@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fix-localization ablation (Section 3.6): the paper reports that
+ * restricting insertion sources to statements of the module under
+ * repair (and insertion targets to initial/always blocks) cuts the
+ * average rate of mutants that fail to compile from 35% to 10%.
+ *
+ * We measure the invalid-mutant rate across every benchmark project
+ * with fix localization on and off (off = donors drawn uniformly from
+ * the whole file, testbench included, whose statements reference names
+ * undeclared in the DUT).
+ */
+
+#include <random>
+
+#include "common.h"
+#include "core/mutation.h"
+#include "verilog/validate.h"
+
+int
+main()
+{
+    using namespace cirfix;
+    using namespace cirfix::core;
+    using namespace cirfix::bench;
+
+    const int kMutants = 400;
+
+    std::printf("Fix localization ablation: invalid-mutant rate "
+                "(%d mutants per project per mode)\n",
+                kMutants);
+    printRule('=');
+    std::printf("%-24s %14s %14s\n", "Project", "with fixloc",
+                "without");
+    printRule();
+
+    double with_sum = 0, without_sum = 0;
+    int n = 0;
+    for (const ProjectSpec &p : allProjects()) {
+        // Use the first defect of the project so the mutated design
+        // is a real repair scenario.
+        auto defects = defectsForProject(p.name);
+        Scenario sc = buildScenario(p, *defects[0]);
+        const verilog::Module *dut = sc.faulty->findModule(
+            defects[0]->repairModule.empty()
+                ? p.dutModule
+                : defects[0]->repairModule);
+
+        std::unordered_set<int> fl;
+        visitAll(*const_cast<verilog::Module *>(dut),
+                 [&](verilog::Node &node) { fl.insert(node.id); });
+
+        double rates[2] = {0, 0};
+        for (int mode = 0; mode < 2; ++mode) {
+            bool use_fixloc = (mode == 0);
+            std::mt19937_64 rng(12345);
+            MutationConfig mcfg;
+            mcfg.useFixLoc = use_fixloc;
+            Mutator mut(rng, mcfg);
+            int invalid = 0, total = 0;
+            for (int i = 0; i < kMutants; ++i) {
+                auto e = mut.mutate(*sc.faulty, *dut, fl);
+                if (!e)
+                    continue;
+                Patch patch;
+                patch.edits.push_back(std::move(*e));
+                auto mutant = applyPatch(*sc.faulty, patch);
+                ++total;
+                invalid += verilog::isValid(*mutant) ? 0 : 1;
+            }
+            rates[mode] =
+                total ? 100.0 * invalid / total : 0.0;
+        }
+        std::printf("%-24s %13.1f%% %13.1f%%\n", p.name.c_str(),
+                    rates[0], rates[1]);
+        with_sum += rates[0];
+        without_sum += rates[1];
+        ++n;
+    }
+    printRule();
+    std::printf("%-24s %13.1f%% %13.1f%%   (paper: 10%% vs 35%%)\n",
+                "average", with_sum / n, without_sum / n);
+    std::printf("\nShape check: fix localization cuts the invalid-"
+                "mutant rate by a large factor.\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Microbenchmarks of the substrate (google-benchmark): parsing,
+ * cloning, patch application, elaboration+simulation, fitness
+ * evaluation and fault localization. The paper reports that over 90%
+ * of repair wall-clock goes to fitness evaluations (design
+ * simulations); these numbers show where a trial's time goes in this
+ * implementation too.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/registry.h"
+#include "core/faultloc.h"
+#include "core/fitness.h"
+#include "core/scenario.h"
+#include "sim/elaborate.h"
+#include "sim/probe.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+
+namespace {
+
+const core::ProjectSpec &
+counterProject()
+{
+    return bench::getProject("counter");
+}
+
+std::string
+combinedSource()
+{
+    const core::ProjectSpec &p = counterProject();
+    return p.goldenSource + "\n" + p.testbenchSource;
+}
+
+void
+BM_ParseCounter(benchmark::State &state)
+{
+    std::string src = combinedSource();
+    for (auto _ : state) {
+        auto file = verilog::parse(src);
+        benchmark::DoNotOptimize(file->nextId);
+    }
+}
+BENCHMARK(BM_ParseCounter);
+
+void
+BM_CloneAst(benchmark::State &state)
+{
+    auto file = verilog::parse(combinedSource());
+    for (auto _ : state) {
+        auto copy = file->cloneFile();
+        benchmark::DoNotOptimize(copy->nextId);
+    }
+}
+BENCHMARK(BM_CloneAst);
+
+void
+BM_ElaborateAndSimulate(benchmark::State &state)
+{
+    std::shared_ptr<const verilog::SourceFile> file =
+        verilog::parse(combinedSource());
+    const core::ProjectSpec &p = counterProject();
+    sim::ProbeConfig probe =
+        sim::deriveProbeConfig(*file, p.tbModule);
+    for (auto _ : state) {
+        auto design = sim::elaborate(file, p.tbModule);
+        sim::TraceRecorder rec(*design, probe);
+        auto res = design->run();
+        benchmark::DoNotOptimize(res.callbacks);
+    }
+}
+BENCHMARK(BM_ElaborateAndSimulate);
+
+void
+BM_FullFitnessProbe(benchmark::State &state)
+{
+    // One complete candidate evaluation: clone + validate +
+    // elaborate + simulate + score (what the GP loop does per child).
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+    for (auto _ : state) {
+        core::Variant v = engine.evaluate(core::Patch{});
+        benchmark::DoNotOptimize(v.fit.fitness);
+    }
+}
+BENCHMARK(BM_FullFitnessProbe);
+
+void
+BM_FitnessComparisonOnly(benchmark::State &state)
+{
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+    core::Variant v = engine.evaluate(core::Patch{});
+    for (auto _ : state) {
+        auto fit = core::evaluateFitness(v.trace, sc.oracle);
+        benchmark::DoNotOptimize(fit.fitness);
+    }
+}
+BENCHMARK(BM_FitnessComparisonOnly);
+
+void
+BM_FaultLocalization(benchmark::State &state)
+{
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_incorrect_reset");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+    core::Variant v = engine.evaluate(core::Patch{});
+    const verilog::Module *dut =
+        sc.faulty->findModule(p.dutModule);
+    for (auto _ : state) {
+        auto fl = core::faultLocalize(*dut, v.trace, sc.oracle);
+        benchmark::DoNotOptimize(fl.nodeIds.size());
+    }
+}
+BENCHMARK(BM_FaultLocalization);
+
+void
+BM_SimulateSha3(benchmark::State &state)
+{
+    // The heaviest benchmark design: permutation rounds with loops.
+    const core::ProjectSpec &p = bench::getProject("sha3");
+    std::shared_ptr<const verilog::SourceFile> file =
+        verilog::parse(p.goldenSource + "\n" + p.testbenchSource);
+    sim::ProbeConfig probe =
+        sim::deriveProbeConfig(*file, p.tbModule);
+    for (auto _ : state) {
+        auto design = sim::elaborate(file, p.tbModule);
+        sim::TraceRecorder rec(*design, probe);
+        auto res = design->run();
+        benchmark::DoNotOptimize(res.callbacks);
+    }
+}
+BENCHMARK(BM_SimulateSha3);
+
+} // namespace
+
+BENCHMARK_MAIN();

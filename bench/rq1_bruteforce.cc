@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RQ1 baseline comparison (Section 5.1): CirFix vs a brute-force
+ * search applying edits uniformly (no fault localization, no fitness
+ * guidance). The paper reports the brute force found no repairs within
+ * its 12-hour bounds and took hours on simple single-edit defects that
+ * CirFix solved in seconds-to-minutes.
+ */
+
+#include "core/bruteforce.h"
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace cirfix;
+    using namespace cirfix::bench;
+
+    // Simple single-edit defects from small course-style projects
+    // (the comparison population the paper describes).
+    const char *ids[] = {
+        "counter_sensitivity",
+        "flipflop_conditional",
+        "lshift_sensitivity",
+        "lshift_conditional",
+        "counter_increment",
+    };
+
+    core::EngineConfig cfg = defaultConfig();
+    double bf_budget = cfg.maxSeconds * 3;
+
+    std::printf("RQ1: CirFix vs brute-force on simple single-edit "
+                "defects\n");
+    printRule('=');
+    std::printf("%-26s | %-10s %10s %8s | %-10s %10s %10s\n",
+                "Defect", "CirFix", "t(s)", "evals", "BruteForce",
+                "t(s)", "tried");
+    printRule();
+
+    int cf_found = 0, bf_found = 0;
+    double cf_time = 0, bf_time = 0;
+    for (const char *id : ids) {
+        const core::DefectSpec &d = getDefect(id);
+        const core::ProjectSpec &p = getProject(d.project);
+        core::Scenario sc = core::buildScenario(p, d);
+
+        ScenarioOutcome cf = runScenario(d, cfg, defaultTrials());
+        cf_found += cf.plausible;
+        cf_time += cf.plausible ? cf.repairSeconds : cfg.maxSeconds;
+
+        core::RepairEngine engine = sc.makeEngine(cfg);
+        core::BruteForceResult bf = core::bruteForceRepair(
+            engine, *sc.faulty,
+            d.repairModule.empty() ? p.dutModule : d.repairModule,
+            bf_budget, 99);
+        bf_found += bf.found;
+        bf_time += bf.seconds;
+
+        std::printf("%-26s | %-10s %10.2f %8ld | %-10s %10.2f %10ld\n",
+                    id, cf.plausible ? "repaired" : "no",
+                    cf.plausible ? cf.repairSeconds : cfg.maxSeconds,
+                    cf.plausible ? cf.fitnessEvals : cf.totalEvals,
+                    bf.found ? "repaired" : "no", bf.seconds,
+                    bf.candidatesTried);
+        std::fflush(stdout);
+    }
+    printRule();
+    std::printf("\nCirFix repaired %d/5 (avg %.2fs); brute force "
+                "repaired %d/5 (avg %.2fs at %.0fx budget).\n",
+                cf_found, cf_time / 5, bf_found, bf_time / 5,
+                bf_budget / cfg.maxSeconds);
+    std::printf("Shape check vs paper: CirFix finds these repairs "
+                "quickly; undirected search is far slower\n"
+                "(the paper's brute force found none within its "
+                "resource bounds on the full benchmarks).\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RQ3 (Section 5.3): quality of the fitness function. The paper's
+ * headline evidence is the counter defect that needs three edits,
+ * whose best-candidate fitness climbed 0 -> 0.58 -> 0.77 -> 1.0 as
+ * the repair assembled — each productive edit raises fitness, i.e.,
+ * strong fitness-distance correlation. This bench reproduces the
+ * trajectory on our triple-edit counter reset defect.
+ */
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace cirfix;
+    using namespace cirfix::bench;
+
+    const core::DefectSpec &defect =
+        getDefect("counter_incorrect_reset");
+    const core::ProjectSpec &project = getProject(defect.project);
+    core::Scenario sc = core::buildScenario(project, defect);
+
+    std::printf("RQ3: best-fitness trajectory for the multi-edit "
+                "counter reset defect\n");
+    printRule('=');
+
+    core::EngineConfig cfg = defaultConfig();
+    cfg.maxSeconds = std::max(cfg.maxSeconds, 20.0);
+
+    bool shown = false;
+    for (int trial = 0; trial < defaultTrials() && !shown; ++trial) {
+        cfg.seed = 1000 + static_cast<uint64_t>(trial) * 7919;
+        core::RepairEngine engine = sc.makeEngine(cfg);
+        core::RepairResult res = engine.run();
+        if (!res.found)
+            continue;
+        shown = true;
+        std::printf("trial seed %llu repaired in %.2fs with %zu "
+                    "edits: %s\n\n",
+                    static_cast<unsigned long long>(cfg.seed),
+                    res.seconds, res.patch.size(),
+                    res.patch.describe().c_str());
+        std::printf("%12s %12s     (paper: 0 -> 0.58 -> 0.77 -> 1.0)\n",
+                    "probe #", "best fitness");
+        for (auto &[probe, fit] : res.fitnessTrajectory)
+            std::printf("%12ld %12.4f\n", probe, fit);
+        // Monotonicity check (the trajectory only records
+        // improvements, so it is strictly increasing by design; the
+        // interesting part is that multiple intermediate levels
+        // exist, i.e., partial repairs scored partially).
+        std::printf("\nimprovement levels observed: %zu ",
+                    res.fitnessTrajectory.size());
+        std::printf("(>= 3 demonstrates incremental credit for "
+                    "partial repairs)\n");
+    }
+    if (!shown) {
+        std::printf("no successful trial; rerun with larger "
+                    "CIRFIX_BUDGET/CIRFIX_GENS\n");
+        return 1;
+    }
+
+    std::printf("\nSecond observation of Section 5.3: the "
+                "instrumented probe can catch errors the\noriginal "
+                "testbench misses -- see the rs_out_stage scenario, "
+                "where pre-reset x values\nare visible only in the "
+                "sampled trace.\n");
+    return 0;
+}

@@ -1,0 +1,289 @@
+#include "benchmarks/registry.h"
+
+/**
+ * @file
+ * The 32 defect scenarios of Table 3, re-transplanted into this
+ * repository's implementations of the 11 benchmark projects. Each
+ * scenario matches its paper row in project, defect description, and
+ * category, and records the paper's outcome (correct / plausible-only
+ * / no-repair, plus repair time) for side-by-side comparison in the
+ * bench output and EXPERIMENTS.md.
+ */
+
+namespace cirfix::bench {
+
+using core::DefectSpec;
+using core::PaperOutcome;
+using core::Rewrite;
+
+namespace {
+
+std::vector<DefectSpec>
+buildDefects()
+{
+    std::vector<DefectSpec> d;
+
+    auto add = [&](const char *id, const char *project, const char *desc,
+                   int cat, PaperOutcome outcome, double paper_time,
+                   std::vector<Rewrite> rewrites,
+                   const char *repair_module = "") {
+        DefectSpec spec;
+        spec.id = id;
+        spec.project = project;
+        spec.description = desc;
+        spec.category = cat;
+        spec.paperOutcome = outcome;
+        spec.paperTimeSeconds = paper_time;
+        spec.rewrites = std::move(rewrites);
+        spec.repairModule = repair_module;
+        d.push_back(std::move(spec));
+    };
+
+    // ---------------- decoder_3_to_8 ----------------
+    add("decoder_numeric_errors", "decoder_3_to_8",
+        "Two separate numeric errors", 1, PaperOutcome::Correct, 13984.3,
+        {{"3'b010 : y = 8'b00000100;", "3'b010 : y = 8'b00000101;"},
+         {"3'b101 : y = 8'b00100000;", "3'b101 : y = 8'b00011111;"}});
+
+    add("decoder_incorrect_assignment", "decoder_3_to_8",
+        "Incorrect assignment", 2, PaperOutcome::NoRepair, -1,
+        {{"3'b111 : y = 8'b10000000;", "3'b111 : y = {5'b00000, a};"}});
+
+    // ---------------- counter ----------------
+    add("counter_sensitivity", "counter",
+        "Incorrect sensitivity list", 1, PaperOutcome::Correct, 19.8,
+        {{"always @(posedge clk)\n    begin : COUNTER",
+          "always @(negedge clk)\n    begin : COUNTER"}});
+
+    add("counter_incorrect_reset", "counter",
+        "Incorrect reset", 1, PaperOutcome::Correct, 32239.2,
+        {{"counter_out <= #1 4'b0000;\n"
+          "            overflow_out <= #1 1'b0;",
+          "counter_out <= #1 4'b0001;"}});
+
+    add("counter_increment", "counter",
+        "Incorrect incremental of counter", 1, PaperOutcome::Correct,
+        27781.3,
+        {{"counter_out <= #1 counter_out + 1;",
+          "counter_out <= #1 counter_out + 2;"}});
+
+    // ---------------- flip_flop ----------------
+    add("flipflop_conditional", "flip_flop",
+        "Incorrect conditional", 1, PaperOutcome::Correct, 7.8,
+        {{"if (t == 1'b1) begin", "if (t != 1'b1) begin"}});
+
+    add("flipflop_branches_swapped", "flip_flop",
+        "Branches of if-statement swapped", 1, PaperOutcome::Correct,
+        923.5,
+        {{"if (t == 1'b1) begin\n"
+          "                q <= !q;\n"
+          "            end\n"
+          "            else begin\n"
+          "                q <= q;\n"
+          "            end",
+          "if (t == 1'b1) begin\n"
+          "                q <= q;\n"
+          "            end\n"
+          "            else begin\n"
+          "                q <= !q;\n"
+          "            end"}});
+
+    // ---------------- fsm_full ----------------
+    add("fsm_case_statement", "fsm_full",
+        "Incorrect case statement", 1, PaperOutcome::NoRepair, -1,
+        {{"case (state)", "case (state ^ 3'b101)"}});
+
+    add("fsm_blocking_assignments", "fsm_full",
+        "Incorrectly blocking assignments", 1,
+        PaperOutcome::PlausibleOnly, 4282.2,
+        {{"state <= next_state;", "state = next_state;"},
+         {"busy <= (state != IDLE);", "busy = (state != IDLE);"}});
+
+    add("fsm_missing_next_state_default", "fsm_full",
+        "Assignment to next state and default in case statement "
+        "omitted", 2, PaperOutcome::PlausibleOnly, 1536.4,
+        {{"if (req_0 == 1'b1) begin\n"
+          "                    next_state = GNT0;\n"
+          "                end\n"
+          "                else if (req_1 == 1'b1) begin",
+          "if (req_0 == 1'b1) begin\n"
+          "                end\n"
+          "                else if (req_1 == 1'b1) begin"},
+         {"default : begin\n"
+          "                next_state = IDLE;\n"
+          "            end",
+          "default : begin\n"
+          "            end"}});
+
+    add("fsm_missing_assign_sensitivity", "fsm_full",
+        "Assignment to next state omitted, incorrect sensitivity list",
+        2, PaperOutcome::Correct, 37.0,
+        {{"always @(state or req_0 or req_1 or req_2)",
+          "always @(req_0)"},
+         {"else if (req_2 == 1'b1) begin\n"
+          "                    next_state = GNT2;\n"
+          "                end",
+          "else if (req_2 == 1'b1) begin\n"
+          "                end"}});
+
+    // ---------------- lshift_reg ----------------
+    add("lshift_blocking", "lshift_reg",
+        "Incorrect blocking assignment", 1, PaperOutcome::Correct, 14.6,
+        {{"op <= op << 1;", "op = op << 1;"}});
+
+    add("lshift_conditional", "lshift_reg",
+        "Incorrect conditional", 1, PaperOutcome::Correct, 33.74,
+        {{"if (load_en == 1'b1) begin", "if (load_en != 1'b1) begin"}});
+
+    add("lshift_sensitivity", "lshift_reg",
+        "Incorrect sensitivity list", 1, PaperOutcome::Correct, 7.8,
+        {{"always @(posedge clk)\n    begin : SHIFT",
+          "always @(negedge clk)\n    begin : SHIFT"}});
+
+    // ---------------- mux_4_1 ----------------
+    add("mux_1bit_output", "mux_4_1",
+        "1 bit instead of 4 bit output", 1, PaperOutcome::NoRepair, -1,
+        {{"output [3:0] out;\n    reg [3:0] out;",
+          "output out;\n    reg out;"}});
+
+    add("mux_hex_constants", "mux_4_1",
+        "Hex instead of binary constants", 1,
+        PaperOutcome::PlausibleOnly, 10315.4,
+        {{"2'b10 : out = in2;", "2'h10 : out = in2;"},
+         {"2'b11 : out = in3;", "2'h11 : out = in3;"}});
+
+    add("mux_numeric_errors", "mux_4_1",
+        "Three separate numeric errors", 2, PaperOutcome::PlausibleOnly,
+        15387.9,
+        {{"2'b00 : out = in0;", "2'b01 : out = in0;"},
+         {"2'b01 : out = in1;", "2'b10 : out = in1;"},
+         {"2'b10 : out = in2;", "2'b00 : out = in2;"}});
+
+    // ---------------- i2c ----------------
+    add("i2c_sensitivity", "i2c",
+        "Incorrect sensitivity list", 2, PaperOutcome::Correct, 183,
+        {{"always @(state or sda_shift)\n    begin : SDA_MUX",
+          "always @(state)\n    begin : SDA_MUX"}},
+        "i2c_master");
+
+    add("i2c_address_assignment", "i2c",
+        "Incorrect address assignment", 2, PaperOutcome::PlausibleOnly,
+        57.9,
+        {{"shift_reg <= {addr, rw};\n"
+          "                        bit_cnt <= 4'd7;",
+          "shift_reg <= {addr, 1'b0};\n"
+          "                        bit_cnt <= 4'd6;"}},
+        "i2c_master");
+
+    add("i2c_no_ack", "i2c",
+        "No command acknowledgement", 2, PaperOutcome::Correct, 1560.5,
+        {{"sda_shift <= 1'b1;\n"
+          "                        ack_out <= 1'b1;\n"
+          "                        bit_cnt <= 4'd7;",
+          "sda_shift <= 1'b1;\n"
+          "                        bit_cnt <= 4'd7;"}},
+        "i2c_master");
+
+    // ---------------- sha3 ----------------
+    add("sha3_loop_bound", "sha3",
+        "Off-by-one error in loop", 1, PaperOutcome::Correct, 50.4,
+        {{"for (i = 0; i < 25; i = i + 1) begin\n            chi[i]",
+          "for (i = 0; i < 24; i = i + 1) begin\n            chi[i]"}});
+
+    add("sha3_negation", "sha3",
+        "Incorrect bitwise negation", 1, PaperOutcome::NoRepair, -1,
+        {{"chi[i] = theta[i] ^ (~theta[(i + 1) % 25]",
+          "chi[i] = theta[i] ^ (theta[(i + 1) % 25]"}});
+
+    add("sha3_wire_assign", "sha3",
+        "Incorrect assignment to wires", 2, PaperOutcome::NoRepair, -1,
+        {{"assign hash_swizzle = {hash_reg[7:0], hash_reg[15:8],",
+          "assign hash_swizzle = {hash_reg[15:8], hash_reg[7:0],"}});
+
+    add("sha3_overflow_check", "sha3",
+        "Skipped buffer overflow check", 2, PaperOutcome::Correct, 50.0,
+        {{"if (buf_cnt == BUF_MAX - 1) begin",
+          "if (buf_cnt != BUF_MAX - 1) begin"}});
+
+    // ---------------- tate_pairing ----------------
+    add("tate_shift_logic", "tate_pairing",
+        "Incorrect logic for bitshifting", 1, PaperOutcome::NoRepair, -1,
+        {{"? ((av << 1) ^ 4'h3)", "? ((av ^ 4'h3) << 1)"}});
+
+    add("tate_shift_operator", "tate_pairing",
+        "Incorrect operator for bitshifting", 1, PaperOutcome::NoRepair,
+        -1, {{"bv <= bv >> 1;", "bv <= bv << 1;"}});
+
+    add("tate_instantiation", "tate_pairing",
+        "Incorrect instantiation of modules", 2, PaperOutcome::NoRepair,
+        -1,
+        {{"gf_mult mul (.clk(clk), .rst(rst), .start(mstart), .a(opa),",
+          "gf_mult mul (.clk(rst), .rst(clk), .start(mstart), "
+          ".a(opa),"}});
+
+    // ---------------- reed_solomon_decoder ----------------
+    add("rs_register_size", "reed_solomon_decoder",
+        "Insufficient register size for decimal values", 1,
+        PaperOutcome::NoRepair, -1,
+        {{"reg [9:0] err_threshold;", "reg [7:0] err_threshold;"}});
+
+    add("rs_out_stage_sensitivity", "reed_solomon_decoder",
+        "Incorrect sensitivity list for reset", 2, PaperOutcome::Correct,
+        28547.8,
+        {{"always @(posedge clk)\n    begin : OUT_BYTE_REG",
+          "always @(negedge reset)\n    begin : OUT_BYTE_REG"}},
+        "rs_out_stage");
+
+    // ---------------- sdram_controller ----------------
+    add("sdram_numeric_definitions", "sdram_controller",
+        "Numeric error in definitions", 1, PaperOutcome::NoRepair, -1,
+        {{"parameter CMD_NOP   = 3'b111;",
+          "parameter CMD_NOP   = 3'b011;"}});
+
+    add("sdram_case_statement", "sdram_controller",
+        "Incorrect case statement", 2, PaperOutcome::NoRepair, -1,
+        {{"case (state)", "case (state_cnt)"}});
+
+    add("sdram_sync_reset", "sdram_controller",
+        "Incorrect assignments to registers during synchronous reset",
+        2, PaperOutcome::Correct, 16607.6,
+        {{"state <= INIT_NOP1;\n"
+          "            command <= CMD_NOP;\n"
+          "            state_cnt <= 4'hf;",
+          "state <= INIT_NOP1;\n"
+          "            state_cnt <= 4'hf;"},
+         {"busy <= 1'b0;\n            rd_ready <= 1'b0;",
+          "busy <= 1'b1;\n            rd_ready <= 1'b0;"}});
+
+    return d;
+}
+
+} // namespace
+
+const std::vector<DefectSpec> &
+allDefects()
+{
+    static const std::vector<DefectSpec> defects = buildDefects();
+    return defects;
+}
+
+const DefectSpec &
+getDefect(const std::string &id)
+{
+    for (auto &d : allDefects())
+        if (d.id == id)
+            return d;
+    throw std::out_of_range("unknown defect id: " + id);
+}
+
+std::vector<const DefectSpec *>
+defectsForProject(const std::string &project)
+{
+    std::vector<const DefectSpec *> out;
+    for (auto &d : allDefects())
+        if (d.project == project)
+            out.push_back(&d);
+    return out;
+}
+
+} // namespace cirfix::bench

@@ -1,0 +1,236 @@
+#include "benchmarks/registry.h"
+
+/**
+ * @file
+ * fsm_full: a three-requester arbiter in the style of the classic
+ * "fsm_full" teaching design — combinational next-state logic plus a
+ * sequential output stage whose busy flag lags the grants by one
+ * cycle (which is what makes blocking-vs-non-blocking defects
+ * externally visible).
+ */
+
+namespace cirfix::bench {
+
+using core::ProjectSpec;
+
+ProjectSpec
+makeFsmFullProject()
+{
+    ProjectSpec p;
+    p.name = "fsm_full";
+    p.description = "Finite state machine";
+    p.dutModule = "fsm_full";
+    p.tbModule = "fsm_full_tb";
+    p.verifyModule = "fsm_full_vtb";
+
+    p.goldenSource = R"(
+module fsm_full (clock, reset, req_0, req_1, req_2,
+                 gnt_0, gnt_1, gnt_2, busy);
+    input clock;
+    input reset;
+    input req_0;
+    input req_1;
+    input req_2;
+    output gnt_0;
+    output gnt_1;
+    output gnt_2;
+    output busy;
+    reg gnt_0;
+    reg gnt_1;
+    reg gnt_2;
+    reg busy;
+
+    parameter IDLE = 3'b000;
+    parameter GNT0 = 3'b001;
+    parameter GNT1 = 3'b010;
+    parameter GNT2 = 3'b100;
+
+    reg [2:0] state;
+    reg [2:0] next_state;
+
+    // Combinational next-state logic: fixed priority req_0 > req_1 >
+    // req_2; a grant is held for as long as its request stays up.
+    always @(state or req_0 or req_1 or req_2)
+    begin : NEXT_STATE_LOGIC
+        case (state)
+            IDLE : begin
+                if (req_0 == 1'b1) begin
+                    next_state = GNT0;
+                end
+                else if (req_1 == 1'b1) begin
+                    next_state = GNT1;
+                end
+                else if (req_2 == 1'b1) begin
+                    next_state = GNT2;
+                end
+                else begin
+                    next_state = IDLE;
+                end
+            end
+            GNT0 : begin
+                if (req_0 == 1'b1) begin
+                    next_state = GNT0;
+                end
+                else begin
+                    next_state = IDLE;
+                end
+            end
+            GNT1 : begin
+                if (req_1 == 1'b1) begin
+                    next_state = GNT1;
+                end
+                else begin
+                    next_state = IDLE;
+                end
+            end
+            GNT2 : begin
+                if (req_2 == 1'b1) begin
+                    next_state = GNT2;
+                end
+                else begin
+                    next_state = IDLE;
+                end
+            end
+            default : begin
+                next_state = IDLE;
+            end
+        endcase
+    end
+
+    // Sequential stage. busy intentionally reflects the *previous*
+    // state (non-blocking read of state before its update commits).
+    always @(posedge clock)
+    begin : SEQ
+        if (reset == 1'b1) begin
+            state <= IDLE;
+            gnt_0 <= 1'b0;
+            gnt_1 <= 1'b0;
+            gnt_2 <= 1'b0;
+            busy <= 1'b0;
+        end
+        else begin
+            state <= next_state;
+            gnt_0 <= (next_state == GNT0);
+            gnt_1 <= (next_state == GNT1);
+            gnt_2 <= (next_state == GNT2);
+            busy <= (state != IDLE);
+        end
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module fsm_full_tb;
+    reg clock;
+    reg reset;
+    reg req_0;
+    reg req_1;
+    reg req_2;
+    wire gnt_0;
+    wire gnt_1;
+    wire gnt_2;
+    wire busy;
+
+    fsm_full dut (.clock(clock), .reset(reset), .req_0(req_0),
+                  .req_1(req_1), .req_2(req_2), .gnt_0(gnt_0),
+                  .gnt_1(gnt_1), .gnt_2(gnt_2), .busy(busy));
+
+    initial begin
+        clock = 0;
+        reset = 0;
+        req_0 = 0;
+        req_1 = 0;
+        req_2 = 0;
+    end
+
+    always #5 clock = !clock;
+
+    initial begin
+        @(negedge clock);
+        reset = 1;
+        @(negedge clock);
+        reset = 0;
+        @(negedge clock);
+        req_0 = 1;
+        repeat (3) @(negedge clock);
+        req_0 = 0;
+        repeat (2) @(negedge clock);
+        req_1 = 1;
+        repeat (3) @(negedge clock);
+        req_1 = 0;
+        repeat (2) @(negedge clock);
+        req_2 = 1;
+        repeat (3) @(negedge clock);
+        req_2 = 0;
+        repeat (2) @(negedge clock);
+        #3 $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module fsm_full_vtb;
+    reg clock;
+    reg reset;
+    reg req_0;
+    reg req_1;
+    reg req_2;
+    wire gnt_0;
+    wire gnt_1;
+    wire gnt_2;
+    wire busy;
+
+    fsm_full dut (.clock(clock), .reset(reset), .req_0(req_0),
+                  .req_1(req_1), .req_2(req_2), .gnt_0(gnt_0),
+                  .gnt_1(gnt_1), .gnt_2(gnt_2), .busy(busy));
+
+    initial begin
+        clock = 0;
+        reset = 0;
+        req_0 = 0;
+        req_1 = 0;
+        req_2 = 0;
+    end
+
+    always #5 clock = !clock;
+
+    initial begin
+        @(negedge clock);
+        reset = 1;
+        @(negedge clock);
+        reset = 0;
+        // req_2 alone, then overlapping requests (priority check),
+        // a reset in the middle of a grant, and back-to-back grants.
+        req_2 = 1;
+        repeat (3) @(negedge clock);
+        req_2 = 0;
+        @(negedge clock);
+        req_1 = 1;
+        req_2 = 1;
+        repeat (3) @(negedge clock);
+        req_0 = 1;
+        repeat (2) @(negedge clock);
+        req_1 = 0;
+        req_2 = 0;
+        repeat (2) @(negedge clock);
+        reset = 1;
+        @(negedge clock);
+        reset = 0;
+        repeat (2) @(negedge clock);
+        req_0 = 0;
+        @(negedge clock);
+        req_1 = 1;
+        @(negedge clock);
+        req_1 = 0;
+        req_2 = 1;
+        repeat (2) @(negedge clock);
+        req_2 = 0;
+        repeat (2) @(negedge clock);
+        #3 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+} // namespace cirfix::bench

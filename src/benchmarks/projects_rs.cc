@@ -1,0 +1,324 @@
+#include "benchmarks/registry.h"
+
+/**
+ * @file
+ * reed_solomon_decoder: syndrome computation for a Reed-Solomon code
+ * over GF(2^4) — an input buffer memory, a multiply-accumulate
+ * syndrome FSM (Horner evaluation with the alpha primitive element),
+ * an error-magnitude threshold, and an out_stage child module that
+ * streams buffered symbols out (size-reduced stand-in for the
+ * OpenCores RS decoder; same idioms: GF arithmetic, memories,
+ * pipelined output staging with reset).
+ */
+
+namespace cirfix::bench {
+
+using core::ProjectSpec;
+
+ProjectSpec
+makeReedSolomonProject()
+{
+    ProjectSpec p;
+    p.name = "reed_solomon_decoder";
+    p.description = "Core for Reed-Solomon error correction";
+    p.dutModule = "rs_decoder";
+    p.tbModule = "rs_decoder_tb";
+    p.verifyModule = "rs_decoder_vtb";
+
+    p.goldenSource = R"(
+module rs_out_stage (clk, reset, out_en, data, out_byte, out_valid);
+    input clk;
+    input reset;
+    input out_en;
+    input [3:0] data;
+    output [3:0] out_byte;
+    output out_valid;
+    reg [3:0] out_byte;
+    reg out_valid;
+
+    // Output register stage: generates output bytes by pipelining
+    // the buffered symbols handed over by the decoder.
+    always @(posedge clk)
+    begin : OUT_BYTE_REG
+        if (reset == 1'b1) begin
+            out_byte <= 4'h0;
+        end
+        else begin
+            if (out_en == 1'b1) begin
+                out_byte <= data;
+            end
+        end
+    end
+
+    always @(posedge clk)
+    begin : OUT_VALID_REG
+        if (reset == 1'b1) begin
+            out_valid <= 1'b0;
+        end
+        else begin
+            out_valid <= out_en;
+        end
+    end
+endmodule
+
+module rs_decoder (clk, reset, data_in, data_valid, start,
+                   syn0, syn1, err_detect, out_byte, out_valid, done);
+    input clk;
+    input reset;
+    input [3:0] data_in;
+    input data_valid;
+    input start;
+    output [3:0] syn0;
+    output [3:0] syn1;
+    output err_detect;
+    output [3:0] out_byte;
+    output out_valid;
+    output done;
+    reg [3:0] syn0;
+    reg [3:0] syn1;
+    reg err_detect;
+    reg done;
+
+    parameter N = 4'd8;
+    parameter LOAD    = 2'd0;
+    parameter COMPUTE = 2'd1;
+    parameter STREAM  = 2'd2;
+    parameter DONE    = 2'd3;
+
+    reg [1:0] state;
+    reg [3:0] buffer [0:7];
+    reg [3:0] wr_idx;
+    reg [3:0] rd_idx;
+    reg [9:0] err_threshold;
+    reg [9:0] err_weight;
+    reg out_en;
+    reg [3:0] out_data;
+
+    wire [3:0] syn1_alpha;
+
+    rs_out_stage out_stage (.clk(clk), .reset(reset), .out_en(out_en),
+                            .data(out_data), .out_byte(out_byte),
+                            .out_valid(out_valid));
+
+    // Horner step: multiply the running syndrome by alpha (= x) in
+    // GF(2^4) with reduction by x^4 + x + 1.
+    assign syn1_alpha = (syn1[3] == 1'b1)
+                        ? ((syn1 << 1) ^ 4'h3)
+                        : (syn1 << 1);
+
+    always @(posedge clk)
+    begin : DECODE
+        if (reset == 1'b1) begin
+            state <= LOAD;
+            wr_idx <= 4'd0;
+            rd_idx <= 4'd0;
+            syn0 <= 4'h0;
+            syn1 <= 4'h0;
+            err_detect <= 1'b0;
+            err_threshold <= 10'd500;
+            err_weight <= 10'd0;
+            out_en <= 1'b0;
+            out_data <= 4'h0;
+            done <= 1'b0;
+        end
+        else begin
+            case (state)
+                LOAD : begin
+                    done <= 1'b0;
+                    if (data_valid == 1'b1) begin
+                        buffer[wr_idx] <= data_in;
+                        wr_idx <= wr_idx + 4'd1;
+                    end
+                    if (start == 1'b1) begin
+                        rd_idx <= 4'd0;
+                        syn0 <= 4'h0;
+                        syn1 <= 4'h0;
+                        err_weight <= 10'd0;
+                        state <= COMPUTE;
+                    end
+                end
+                COMPUTE : begin
+                    syn0 <= syn0 ^ buffer[rd_idx];
+                    syn1 <= syn1_alpha ^ buffer[rd_idx];
+                    err_weight <= err_weight
+                                  + {3'b000, buffer[rd_idx], 3'b000};
+                    if (rd_idx == N - 1) begin
+                        rd_idx <= 4'd0;
+                        state <= STREAM;
+                    end
+                    else begin
+                        rd_idx <= rd_idx + 4'd1;
+                    end
+                end
+                STREAM : begin
+                    err_detect <= (err_weight > err_threshold)
+                                  ? 1'b1 : 1'b0;
+                    out_en <= 1'b1;
+                    out_data <= buffer[rd_idx];
+                    if (rd_idx == N - 1) begin
+                        state <= DONE;
+                    end
+                    else begin
+                        rd_idx <= rd_idx + 4'd1;
+                    end
+                end
+                DONE : begin
+                    out_en <= 1'b0;
+                    done <= 1'b1;
+                    wr_idx <= 4'd0;
+                    state <= LOAD;
+                end
+            endcase
+        end
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module rs_decoder_tb;
+    reg clk;
+    reg reset;
+    reg [3:0] data_in;
+    reg data_valid;
+    reg start;
+    wire [3:0] syn0;
+    wire [3:0] syn1;
+    wire err_detect;
+    wire [3:0] out_byte;
+    wire out_valid;
+    wire done;
+    integer i;
+
+    rs_decoder dut (.clk(clk), .reset(reset), .data_in(data_in),
+                    .data_valid(data_valid), .start(start),
+                    .syn0(syn0), .syn1(syn1),
+                    .err_detect(err_detect), .out_byte(out_byte),
+                    .out_valid(out_valid), .done(done));
+
+    initial begin
+        clk = 0;
+        reset = 0;
+        data_in = 4'h0;
+        data_valid = 0;
+        start = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        reset = 1;
+        repeat (2) @(negedge clk);
+        reset = 0;
+        @(negedge clk);
+        // Load an 8-symbol heavy codeword (trips the error-magnitude
+        // threshold), then decode it.
+        data_valid = 1;
+        for (i = 0; i < 8; i = i + 1) begin
+            data_in = 4'h9 ^ i[3:0];
+            @(negedge clk);
+        end
+        data_valid = 0;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        wait (done == 1'b1);
+        repeat (2) @(negedge clk);
+        // Decode a light codeword (below the threshold).
+        data_valid = 1;
+        for (i = 0; i < 8; i = i + 1) begin
+            data_in = 4'h3 + i[3:0];
+            @(negedge clk);
+        end
+        data_valid = 0;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        wait (done == 1'b1);
+        repeat (3) @(negedge clk);
+        $finish;
+    end
+
+    initial begin
+        #2500 $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module rs_decoder_vtb;
+    reg clk;
+    reg reset;
+    reg [3:0] data_in;
+    reg data_valid;
+    reg start;
+    wire [3:0] syn0;
+    wire [3:0] syn1;
+    wire err_detect;
+    wire [3:0] out_byte;
+    wire out_valid;
+    wire done;
+    integer i;
+
+    rs_decoder dut (.clk(clk), .reset(reset), .data_in(data_in),
+                    .data_valid(data_valid), .start(start),
+                    .syn0(syn0), .syn1(syn1),
+                    .err_detect(err_detect), .out_byte(out_byte),
+                    .out_valid(out_valid), .done(done));
+
+    initial begin
+        clk = 0;
+        reset = 0;
+        data_in = 4'h0;
+        data_valid = 0;
+        start = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        reset = 1;
+        repeat (2) @(negedge clk);
+        reset = 0;
+        @(negedge clk);
+        // Codeword with large symbol values (exercises the error
+        // threshold), decoded twice, with a reset between runs.
+        data_valid = 1;
+        for (i = 0; i < 8; i = i + 1) begin
+            data_in = 4'hf - i[3:0];
+            @(negedge clk);
+        end
+        data_valid = 0;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        wait (done == 1'b1);
+        repeat (2) @(negedge clk);
+        reset = 1;
+        @(negedge clk);
+        reset = 0;
+        @(negedge clk);
+        data_valid = 1;
+        for (i = 0; i < 8; i = i + 1) begin
+            data_in = 4'h2 + i[3:0];
+            @(negedge clk);
+        end
+        data_valid = 0;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        wait (done == 1'b1);
+        repeat (3) @(negedge clk);
+        $finish;
+    end
+
+    initial begin
+        #3000 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+} // namespace cirfix::bench

@@ -1,0 +1,661 @@
+#include "benchmarks/registry.h"
+
+/**
+ * @file
+ * The six small course-style projects of Table 2 (this file holds five
+ * of them; fsm_full lives in projects_fsm.cc).
+ */
+
+namespace cirfix::bench {
+
+using core::ProjectSpec;
+
+// --------------------------------------------------------------------
+// decoder_3_to_8: 3-to-8 decoder with enable.
+// --------------------------------------------------------------------
+
+ProjectSpec
+makeDecoderProject()
+{
+    ProjectSpec p;
+    p.name = "decoder_3_to_8";
+    p.description = "3-to-8 decoder";
+    p.dutModule = "decoder_3_to_8";
+    p.tbModule = "decoder_3_to_8_tb";
+    p.verifyModule = "decoder_3_to_8_vtb";
+
+    p.goldenSource = R"(
+module decoder_3_to_8 (en, a, y);
+    input en;
+    input [2:0] a;
+    output [7:0] y;
+    reg [7:0] y;
+
+    // One-hot decode of the select lines, gated by enable.
+    always @(en or a)
+    begin : DECODE
+        if (en == 1'b1) begin
+            case (a)
+                3'b000 : y = 8'b00000001;
+                3'b001 : y = 8'b00000010;
+                3'b010 : y = 8'b00000100;
+                3'b011 : y = 8'b00001000;
+                3'b100 : y = 8'b00010000;
+                3'b101 : y = 8'b00100000;
+                3'b110 : y = 8'b01000000;
+                3'b111 : y = 8'b10000000;
+            endcase
+        end
+        else begin
+            y = 8'b00000000;
+        end
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module decoder_3_to_8_tb;
+    reg clk;
+    reg en;
+    reg [2:0] a;
+    wire [7:0] y;
+    integer i;
+
+    decoder_3_to_8 dut (.en(en), .a(a), .y(y));
+
+    always #5 clk = !clk;
+
+    initial begin
+        clk = 0;
+        en = 0;
+        a = 3'b000;
+        @(negedge clk);
+        en = 1;
+        for (i = 0; i < 8; i = i + 1) begin
+            a = i[2:0];
+            @(negedge clk);
+        end
+        en = 0;
+        @(negedge clk);
+        @(negedge clk);
+        #2 $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module decoder_3_to_8_vtb;
+    reg clk;
+    reg en;
+    reg [2:0] a;
+    wire [7:0] y;
+    integer i;
+
+    decoder_3_to_8 dut (.en(en), .a(a), .y(y));
+
+    always #5 clk = !clk;
+
+    initial begin
+        clk = 0;
+        en = 0;
+        a = 3'b101;
+        @(negedge clk);
+        // Sweep in reverse order, toggling enable between codes.
+        for (i = 0; i < 8; i = i + 1) begin
+            en = 1;
+            a = 3'b111 - i[2:0];
+            @(negedge clk);
+            en = 0;
+            @(negedge clk);
+        end
+        // Revisit a few codes with enable held.
+        en = 1;
+        a = 3'b011;
+        @(negedge clk);
+        a = 3'b110;
+        @(negedge clk);
+        a = 3'b000;
+        @(negedge clk);
+        en = 0;
+        @(negedge clk);
+        #2 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+// --------------------------------------------------------------------
+// counter: 4-bit counter with overflow (the paper's motivating
+// example, Figure 1).
+// --------------------------------------------------------------------
+
+ProjectSpec
+makeCounterProject()
+{
+    ProjectSpec p;
+    p.name = "counter";
+    p.description = "4-bit counter with overflow";
+    p.dutModule = "counter";
+    p.tbModule = "counter_tb";
+    p.verifyModule = "counter_vtb";
+
+    p.goldenSource = R"(
+module counter (clk, reset, enable, counter_out, overflow_out);
+    input clk;
+    input reset;
+    input enable;
+    output [3:0] counter_out;
+    output overflow_out;
+    reg [3:0] counter_out;
+    reg overflow_out;
+
+    // Execute at each rising edge of the clock signal.
+    always @(posedge clk)
+    begin : COUNTER
+        // If reset is active, reset the outputs to 0.
+        if (reset == 1'b1) begin
+            counter_out <= #1 4'b0000;
+            overflow_out <= #1 1'b0;
+        end
+        // If enable is active, increment the counter.
+        else if (enable == 1'b1) begin
+            counter_out <= #1 counter_out + 1;
+        end
+        // If the counter overflows, set overflow_out to 1.
+        if (counter_out == 4'b1111) begin
+            overflow_out <= #1 1'b1;
+        end
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module counter_tb;
+    reg clk;
+    reg reset;
+    reg enable;
+    wire [3:0] counter_out;
+    wire overflow_out;
+    event reset_trigger;
+    event reset_done_trigger;
+    event terminate_sim;
+
+    counter dut (.clk(clk), .reset(reset), .enable(enable),
+                 .counter_out(counter_out),
+                 .overflow_out(overflow_out));
+
+    initial begin
+        clk = 0;
+        reset = 0;
+        enable = 0;
+    end
+
+    // Set clock signal oscillations.
+    always #5 clk = !clk;
+
+    initial begin
+        #5;
+        forever begin
+            @(reset_trigger);
+            @(negedge clk);
+            reset = 1;
+            @(negedge clk);
+            reset = 0;
+            -> reset_done_trigger;
+        end
+    end
+
+    initial begin
+        #10 -> reset_trigger;
+        @(reset_done_trigger);
+        @(negedge clk);
+        enable = 1;
+        repeat (21) begin
+            @(negedge clk);
+        end
+        enable = 0;
+        #5 -> terminate_sim;
+    end
+
+    initial begin
+        @(terminate_sim);
+        $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module counter_vtb;
+    reg clk;
+    reg reset;
+    reg enable;
+    wire [3:0] counter_out;
+    wire overflow_out;
+
+    counter dut (.clk(clk), .reset(reset), .enable(enable),
+                 .counter_out(counter_out),
+                 .overflow_out(overflow_out));
+
+    initial begin
+        clk = 0;
+        reset = 0;
+        enable = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        // Reset, count past overflow, reset again mid-count, then
+        // count with pauses.
+        @(negedge clk);
+        reset = 1;
+        @(negedge clk);
+        reset = 0;
+        enable = 1;
+        repeat (18) @(negedge clk);
+        enable = 0;
+        repeat (2) @(negedge clk);
+        reset = 1;
+        @(negedge clk);
+        reset = 0;
+        enable = 1;
+        repeat (7) @(negedge clk);
+        enable = 0;
+        repeat (2) @(negedge clk);
+        enable = 1;
+        repeat (14) @(negedge clk);
+        enable = 0;
+        #3 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+// --------------------------------------------------------------------
+// flip_flop: T flip-flop with synchronous reset.
+// --------------------------------------------------------------------
+
+ProjectSpec
+makeFlipFlopProject()
+{
+    ProjectSpec p;
+    p.name = "flip_flop";
+    p.description = "T-flip flop";
+    p.dutModule = "flip_flop";
+    p.tbModule = "flip_flop_tb";
+    p.verifyModule = "flip_flop_vtb";
+
+    p.goldenSource = R"(
+module flip_flop (clk, reset, t, q);
+    input clk;
+    input reset;
+    input t;
+    output q;
+    reg q;
+
+    always @(posedge clk)
+    begin : TFF
+        if (reset == 1'b1) begin
+            q <= 1'b0;
+        end
+        else begin
+            if (t == 1'b1) begin
+                q <= !q;
+            end
+            else begin
+                q <= q;
+            end
+        end
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module flip_flop_tb;
+    reg clk;
+    reg reset;
+    reg t;
+    wire q;
+
+    flip_flop dut (.clk(clk), .reset(reset), .t(t), .q(q));
+
+    initial begin
+        clk = 0;
+        reset = 0;
+        t = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        reset = 1;
+        @(negedge clk);
+        reset = 0;
+        t = 1;
+        repeat (5) @(negedge clk);
+        t = 0;
+        repeat (2) @(negedge clk);
+        t = 1;
+        repeat (3) @(negedge clk);
+        t = 0;
+        #3 $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module flip_flop_vtb;
+    reg clk;
+    reg reset;
+    reg t;
+    wire q;
+
+    flip_flop dut (.clk(clk), .reset(reset), .t(t), .q(q));
+
+    initial begin
+        clk = 0;
+        reset = 0;
+        t = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        reset = 1;
+        @(negedge clk);
+        reset = 0;
+        // Toggle for an odd number of cycles, reset mid-stream, then
+        // alternate hold/toggle.
+        t = 1;
+        repeat (3) @(negedge clk);
+        reset = 1;
+        @(negedge clk);
+        reset = 0;
+        repeat (4) @(negedge clk);
+        t = 0;
+        @(negedge clk);
+        t = 1;
+        @(negedge clk);
+        t = 0;
+        @(negedge clk);
+        t = 1;
+        repeat (6) @(negedge clk);
+        t = 0;
+        #3 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+// --------------------------------------------------------------------
+// lshift_reg: 8-bit left shift register with serial tap.
+// --------------------------------------------------------------------
+
+ProjectSpec
+makeLshiftRegProject()
+{
+    ProjectSpec p;
+    p.name = "lshift_reg";
+    p.description = "8-bit left shift register";
+    p.dutModule = "lshift_reg";
+    p.tbModule = "lshift_reg_tb";
+    p.verifyModule = "lshift_reg_vtb";
+
+    p.goldenSource = R"(
+module lshift_reg (clk, rstn, load_val, load_en, op, serial_out);
+    input clk;
+    input rstn;
+    input [7:0] load_val;
+    input load_en;
+    output [7:0] op;
+    output serial_out;
+    reg [7:0] op;
+    reg serial_out;
+
+    // Shift path: load, hold-and-shift, or reset.
+    always @(posedge clk)
+    begin : SHIFT
+        if (rstn == 1'b0) begin
+            op <= 8'h00;
+        end
+        else begin
+            if (load_en == 1'b1) begin
+                op <= load_val;
+            end
+            else begin
+                op <= op << 1;
+            end
+        end
+    end
+
+    // Serial tap samples the MSB before the shift (non-blocking
+    // semantics make both blocks see the pre-edge value).
+    always @(posedge clk)
+    begin : TAP
+        if (rstn == 1'b0) begin
+            serial_out <= 1'b0;
+        end
+        else begin
+            serial_out <= op[7];
+        end
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module lshift_reg_tb;
+    reg clk;
+    reg rstn;
+    reg [7:0] load_val;
+    reg load_en;
+    wire [7:0] op;
+    wire serial_out;
+
+    lshift_reg dut (.clk(clk), .rstn(rstn), .load_val(load_val),
+                    .load_en(load_en), .op(op),
+                    .serial_out(serial_out));
+
+    initial begin
+        clk = 0;
+        rstn = 0;
+        load_val = 8'h00;
+        load_en = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        repeat (2) @(negedge clk);
+        rstn = 1;
+        load_val = 8'hb5;
+        load_en = 1;
+        @(negedge clk);
+        load_en = 0;
+        repeat (9) @(negedge clk);
+        load_val = 8'h01;
+        load_en = 1;
+        @(negedge clk);
+        load_en = 0;
+        repeat (8) @(negedge clk);
+        #3 $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module lshift_reg_vtb;
+    reg clk;
+    reg rstn;
+    reg [7:0] load_val;
+    reg load_en;
+    wire [7:0] op;
+    wire serial_out;
+
+    lshift_reg dut (.clk(clk), .rstn(rstn), .load_val(load_val),
+                    .load_en(load_en), .op(op),
+                    .serial_out(serial_out));
+
+    initial begin
+        clk = 0;
+        rstn = 0;
+        load_val = 8'h00;
+        load_en = 0;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        repeat (2) @(negedge clk);
+        rstn = 1;
+        // Load a walking pattern, shift fully out, reload mid-shift,
+        // and exercise reset between loads.
+        load_val = 8'hff;
+        load_en = 1;
+        @(negedge clk);
+        load_en = 0;
+        repeat (4) @(negedge clk);
+        load_val = 8'h3c;
+        load_en = 1;
+        @(negedge clk);
+        load_en = 0;
+        repeat (5) @(negedge clk);
+        rstn = 0;
+        repeat (2) @(negedge clk);
+        rstn = 1;
+        load_val = 8'h81;
+        load_en = 1;
+        @(negedge clk);
+        load_en = 0;
+        repeat (10) @(negedge clk);
+        #3 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+// --------------------------------------------------------------------
+// mux_4_1: 4-to-1 multiplexer over 4-bit data.
+// --------------------------------------------------------------------
+
+ProjectSpec
+makeMux41Project()
+{
+    ProjectSpec p;
+    p.name = "mux_4_1";
+    p.description = "4-to-1 multiplexer";
+    p.dutModule = "mux_4_1";
+    p.tbModule = "mux_4_1_tb";
+    p.verifyModule = "mux_4_1_vtb";
+
+    p.goldenSource = R"(
+module mux_4_1 (in0, in1, in2, in3, sel, out);
+    input [3:0] in0;
+    input [3:0] in1;
+    input [3:0] in2;
+    input [3:0] in3;
+    input [1:0] sel;
+    output [3:0] out;
+    reg [3:0] out;
+
+    always @(in0 or in1 or in2 or in3 or sel)
+    begin : MUX
+        case (sel)
+            2'b00 : out = in0;
+            2'b01 : out = in1;
+            2'b10 : out = in2;
+            2'b11 : out = in3;
+        endcase
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module mux_4_1_tb;
+    reg clk;
+    reg [3:0] in0;
+    reg [3:0] in1;
+    reg [3:0] in2;
+    reg [3:0] in3;
+    reg [1:0] sel;
+    wire [3:0] out;
+    integer i;
+
+    mux_4_1 dut (.in0(in0), .in1(in1), .in2(in2), .in3(in3),
+                 .sel(sel), .out(out));
+
+    always #5 clk = !clk;
+
+    initial begin
+        clk = 0;
+        in0 = 4'h1;
+        in1 = 4'h2;
+        in2 = 4'h4;
+        in3 = 4'h8;
+        sel = 2'b00;
+        @(negedge clk);
+        for (i = 0; i < 4; i = i + 1) begin
+            sel = i[1:0];
+            @(negedge clk);
+        end
+        in2 = 4'ha;
+        sel = 2'b10;
+        @(negedge clk);
+        sel = 2'b01;
+        @(negedge clk);
+        #2 $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module mux_4_1_vtb;
+    reg clk;
+    reg [3:0] in0;
+    reg [3:0] in1;
+    reg [3:0] in2;
+    reg [3:0] in3;
+    reg [1:0] sel;
+    wire [3:0] out;
+    integer i;
+    integer j;
+
+    mux_4_1 dut (.in0(in0), .in1(in1), .in2(in2), .in3(in3),
+                 .sel(sel), .out(out));
+
+    always #5 clk = !clk;
+
+    initial begin
+        clk = 0;
+        in0 = 4'hf;
+        in1 = 4'h0;
+        in2 = 4'h5;
+        in3 = 4'h3;
+        sel = 2'b11;
+        @(negedge clk);
+        // Full sweep of selects with two different data vectors.
+        for (j = 0; j < 2; j = j + 1) begin
+            for (i = 0; i < 4; i = i + 1) begin
+                sel = 2'b11 - i[1:0];
+                @(negedge clk);
+            end
+            in0 = 4'h9;
+            in1 = 4'h6;
+            in2 = 4'hc;
+            in3 = 4'h7;
+        end
+        sel = 2'b10;
+        @(negedge clk);
+        #2 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+} // namespace cirfix::bench

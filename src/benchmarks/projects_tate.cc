@@ -1,0 +1,298 @@
+#include "benchmarks/registry.h"
+
+/**
+ * @file
+ * tate_pairing: a Galois-field exponentiation core — an iterative
+ * GF(2^4) multiplier child module driven by a square-and-multiply
+ * Miller-loop-style FSM (size-reduced stand-in for the OpenCores Tate
+ * bilinear pairing core; same idioms: GF shift-and-reduce arithmetic,
+ * multi-cycle sub-unit handshaking, module hierarchy).
+ */
+
+namespace cirfix::bench {
+
+using core::ProjectSpec;
+
+ProjectSpec
+makeTatePairingProject()
+{
+    ProjectSpec p;
+    p.name = "tate_pairing";
+    p.description = "Core for the Tate bilinear pairing algorithm "
+                    "for elliptic curves";
+    p.dutModule = "tate_core";
+    p.tbModule = "tate_core_tb";
+    p.verifyModule = "tate_core_vtb";
+
+    p.goldenSource = R"(
+module gf_mult (clk, rst, start, a, b, done, prod);
+    input clk;
+    input rst;
+    input start;
+    input [3:0] a;
+    input [3:0] b;
+    output done;
+    output [3:0] prod;
+    reg done;
+    reg [3:0] prod;
+
+    reg [3:0] acc;
+    reg [3:0] av;
+    reg [3:0] bv;
+    reg [2:0] cnt;
+    reg running;
+
+    // Shift-and-add multiplication in GF(2^4) modulo x^4 + x + 1.
+    always @(posedge clk)
+    begin : MULT
+        if (rst == 1'b1) begin
+            acc <= 4'h0;
+            av <= 4'h0;
+            bv <= 4'h0;
+            cnt <= 3'd0;
+            running <= 1'b0;
+            done <= 1'b0;
+            prod <= 4'h0;
+        end
+        else begin
+            if (start == 1'b1 && running == 1'b0) begin
+                acc <= 4'h0;
+                av <= a;
+                bv <= b;
+                cnt <= 3'd4;
+                running <= 1'b1;
+                done <= 1'b0;
+            end
+            else begin
+                if (running == 1'b1) begin
+                    if (cnt == 3'd0) begin
+                        prod <= acc;
+                        done <= 1'b1;
+                        running <= 1'b0;
+                    end
+                    else begin
+                        if (bv[0] == 1'b1) begin
+                            acc <= acc ^ av;
+                        end
+                        av <= (av[3] == 1'b1)
+                              ? ((av << 1) ^ 4'h3)
+                              : (av << 1);
+                        bv <= bv >> 1;
+                        cnt <= cnt - 3'd1;
+                    end
+                end
+            end
+        end
+    end
+endmodule
+
+module tate_core (clk, rst, start, base, k, result, valid);
+    input clk;
+    input rst;
+    input start;
+    input [3:0] base;
+    input [7:0] k;
+    output [3:0] result;
+    output valid;
+    reg [3:0] result;
+    reg valid;
+
+    parameter IDLE      = 3'd0;
+    parameter SQ_START  = 3'd1;
+    parameter SQ_WAIT   = 3'd2;
+    parameter MUL_START = 3'd3;
+    parameter MUL_WAIT  = 3'd4;
+    parameter NEXT_BIT  = 3'd5;
+    parameter FINISH    = 3'd6;
+
+    reg [2:0] state;
+    reg [3:0] acc;
+    reg [3:0] cnt;
+    reg [3:0] opa;
+    reg [3:0] opb;
+    reg mstart;
+    wire mdone;
+    wire [3:0] mprod;
+
+    gf_mult mul (.clk(clk), .rst(rst), .start(mstart), .a(opa),
+                 .b(opb), .done(mdone), .prod(mprod));
+
+    // Square-and-multiply over the bits of k, MSB first: the scalar
+    // accumulation at the heart of a Miller-loop iteration.
+    always @(posedge clk)
+    begin : LOOP
+        if (rst == 1'b1) begin
+            state <= IDLE;
+            acc <= 4'h1;
+            cnt <= 4'd0;
+            opa <= 4'h0;
+            opb <= 4'h0;
+            mstart <= 1'b0;
+            result <= 4'h0;
+            valid <= 1'b0;
+        end
+        else begin
+            case (state)
+                IDLE : begin
+                    valid <= 1'b0;
+                    if (start == 1'b1) begin
+                        acc <= 4'h1;
+                        cnt <= 4'd8;
+                        state <= SQ_START;
+                    end
+                end
+                SQ_START : begin
+                    opa <= acc;
+                    opb <= acc;
+                    mstart <= 1'b1;
+                    state <= SQ_WAIT;
+                end
+                SQ_WAIT : begin
+                    mstart <= 1'b0;
+                    if (mdone == 1'b1 && mstart == 1'b0) begin
+                        acc <= mprod;
+                        if (k[cnt - 4'd1] == 1'b1) begin
+                            state <= MUL_START;
+                        end
+                        else begin
+                            state <= NEXT_BIT;
+                        end
+                    end
+                end
+                MUL_START : begin
+                    opa <= acc;
+                    opb <= base;
+                    mstart <= 1'b1;
+                    state <= MUL_WAIT;
+                end
+                MUL_WAIT : begin
+                    mstart <= 1'b0;
+                    if (mdone == 1'b1 && mstart == 1'b0) begin
+                        acc <= mprod;
+                        state <= NEXT_BIT;
+                    end
+                end
+                NEXT_BIT : begin
+                    if (cnt == 4'd1) begin
+                        state <= FINISH;
+                    end
+                    else begin
+                        cnt <= cnt - 4'd1;
+                        state <= SQ_START;
+                    end
+                end
+                FINISH : begin
+                    result <= acc;
+                    valid <= 1'b1;
+                    state <= IDLE;
+                end
+                default : begin
+                    state <= IDLE;
+                end
+            endcase
+        end
+    end
+endmodule
+)";
+
+    p.testbenchSource = R"(
+module tate_core_tb;
+    reg clk;
+    reg rst;
+    reg start;
+    reg [3:0] base;
+    reg [7:0] k;
+    wire [3:0] result;
+    wire valid;
+
+    tate_core dut (.clk(clk), .rst(rst), .start(start), .base(base),
+                   .k(k), .result(result), .valid(valid));
+
+    initial begin
+        clk = 0;
+        rst = 0;
+        start = 0;
+        base = 4'h0;
+        k = 8'h00;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        repeat (2) @(negedge clk);
+        rst = 0;
+        @(negedge clk);
+        base = 4'h7;
+        k = 8'h35;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        wait (valid == 1'b1);
+        repeat (3) @(negedge clk);
+        $finish;
+    end
+
+    initial begin
+        #2500 $finish;
+    end
+endmodule
+)";
+
+    p.verifySource = R"(
+module tate_core_vtb;
+    reg clk;
+    reg rst;
+    reg start;
+    reg [3:0] base;
+    reg [7:0] k;
+    wire [3:0] result;
+    wire valid;
+
+    tate_core dut (.clk(clk), .rst(rst), .start(start), .base(base),
+                   .k(k), .result(result), .valid(valid));
+
+    initial begin
+        clk = 0;
+        rst = 0;
+        start = 0;
+        base = 4'h0;
+        k = 8'h00;
+    end
+
+    always #5 clk = !clk;
+
+    initial begin
+        @(negedge clk);
+        rst = 1;
+        repeat (2) @(negedge clk);
+        rst = 0;
+        @(negedge clk);
+        // Two exponentiations with different base/exponent pairs.
+        base = 4'hb;
+        k = 8'ha2;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        wait (valid == 1'b1);
+        repeat (2) @(negedge clk);
+        base = 4'h3;
+        k = 8'h0f;
+        start = 1;
+        @(negedge clk);
+        start = 0;
+        wait (valid == 1'b1);
+        repeat (3) @(negedge clk);
+        $finish;
+    end
+
+    initial begin
+        #5000 $finish;
+    end
+endmodule
+)";
+    return p;
+}
+
+} // namespace cirfix::bench

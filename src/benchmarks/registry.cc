@@ -1,0 +1,39 @@
+#include "benchmarks/registry.h"
+
+#include <stdexcept>
+
+namespace cirfix::bench {
+
+using core::ProjectSpec;
+
+const std::vector<ProjectSpec> &
+allProjects()
+{
+    static const std::vector<ProjectSpec> projects = [] {
+        std::vector<ProjectSpec> p;
+        p.push_back(makeDecoderProject());
+        p.push_back(makeCounterProject());
+        p.push_back(makeFlipFlopProject());
+        p.push_back(makeFsmFullProject());
+        p.push_back(makeLshiftRegProject());
+        p.push_back(makeMux41Project());
+        p.push_back(makeI2cProject());
+        p.push_back(makeSha3Project());
+        p.push_back(makeTatePairingProject());
+        p.push_back(makeReedSolomonProject());
+        p.push_back(makeSdramControllerProject());
+        return p;
+    }();
+    return projects;
+}
+
+const ProjectSpec &
+getProject(const std::string &name)
+{
+    for (auto &p : allProjects())
+        if (p.name == name)
+            return p;
+    throw std::out_of_range("unknown project: " + name);
+}
+
+} // namespace cirfix::bench

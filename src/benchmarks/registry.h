@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * The CirFix benchmark suite (paper Section 4.1, Tables 2 and 3).
+ *
+ * Eleven hardware projects — six small course-style components and
+ * five larger OpenCores-style designs (arithmetic, communication,
+ * crypto, error correction, memory) — each with a golden
+ * implementation, an instrumented repair testbench, and a held-out
+ * verification testbench; plus 32 defect scenarios transplanting the
+ * defect types of Table 3 into those projects (19 category-1 "easy"
+ * and 13 category-2 "hard" defects).
+ */
+
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace cirfix::bench {
+
+/** All 11 projects, in Table 2 order. */
+const std::vector<core::ProjectSpec> &allProjects();
+
+/** Look up a project by name; throws std::out_of_range if unknown. */
+const core::ProjectSpec &getProject(const std::string &name);
+
+/** All 32 defect scenarios, in Table 3 order. */
+const std::vector<core::DefectSpec> &allDefects();
+
+/** Look up a defect by id; throws std::out_of_range if unknown. */
+const core::DefectSpec &getDefect(const std::string &id);
+
+/** The defects transplanted into one project. */
+std::vector<const core::DefectSpec *>
+defectsForProject(const std::string &project);
+
+// Individual project factories (one per projects_*.cc file).
+core::ProjectSpec makeDecoderProject();
+core::ProjectSpec makeCounterProject();
+core::ProjectSpec makeFlipFlopProject();
+core::ProjectSpec makeFsmFullProject();
+core::ProjectSpec makeLshiftRegProject();
+core::ProjectSpec makeMux41Project();
+core::ProjectSpec makeI2cProject();
+core::ProjectSpec makeSha3Project();
+core::ProjectSpec makeTatePairingProject();
+core::ProjectSpec makeReedSolomonProject();
+core::ProjectSpec makeSdramControllerProject();
+
+} // namespace cirfix::bench

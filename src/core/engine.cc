@@ -1,0 +1,256 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "sim/elaborate.h"
+#include "verilog/printer.h"
+#include "verilog/validate.h"
+
+namespace cirfix::core {
+
+using namespace verilog;
+using sim::Design;
+using sim::ProbeConfig;
+using sim::TraceRecorder;
+
+RepairEngine::RepairEngine(std::shared_ptr<const SourceFile> faulty,
+                           std::string tb_module, std::string dut_module,
+                           ProbeConfig probe, Trace oracle,
+                           EngineConfig config)
+    : faulty_(std::move(faulty)), tbModule_(std::move(tb_module)),
+      dutModule_(std::move(dut_module)), probe_(std::move(probe)),
+      oracle_(std::move(oracle)), config_(config), rng_(config.seed)
+{}
+
+Variant
+RepairEngine::evaluate(const Patch &patch)
+{
+    Variant v;
+    v.patch = patch;
+    v.evaluated = true;
+
+    std::shared_ptr<SourceFile> patched =
+        applyPatch(*faulty_, patch);
+    if (!isValid(*patched)) {
+        v.valid = false;  // "compile error": fitness stays 0
+        return v;
+    }
+    v.valid = true;
+
+    try {
+        auto design = sim::elaborate(
+            std::shared_ptr<const SourceFile>(patched), tbModule_);
+        TraceRecorder rec(*design, probe_);
+        design->run(config_.simLimits);
+        ++evals_;
+        v.trace = rec.takeTrace();
+        v.fit = evaluateFitness(v.trace, oracle_, config_.fitness);
+    } catch (const sim::ElabError &) {
+        v.valid = false;
+    }
+    return v;
+}
+
+Variant
+RepairEngine::makeChild(Patch patch)
+{
+    ++mutants_;
+    Variant v = evaluate(patch);
+    if (!v.valid)
+        ++invalid_;
+    return v;
+}
+
+const Variant &
+RepairEngine::tournament(const std::vector<Variant> &popn)
+{
+    const Variant *best = nullptr;
+    for (int i = 0; i < config_.tournamentSize; ++i) {
+        const Variant &cand = popn[rng_() % popn.size()];
+        if (!best || cand.fit.fitness > best->fit.fitness)
+            best = &cand;
+    }
+    return *best;
+}
+
+FaultLocResult
+RepairEngine::localize(const Variant &v, const SourceFile &ast) const
+{
+    const Module *dut = ast.findModule(dutModule_);
+    if (!dut)
+        return FaultLocResult{};
+    if (!v.evaluated || !v.valid)
+        return faultLocalize(*dut, Trace{}, oracle_);
+    return faultLocalize(*dut, v.trace, oracle_);
+}
+
+RepairResult
+RepairEngine::run()
+{
+    using Clock = std::chrono::steady_clock;
+    auto start = Clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    };
+
+    RepairResult result;
+    Mutator mutator(rng_, config_.mutation);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+    double best_seen = -1.0;
+    auto note = [&](const Variant &v) {
+        if (v.fit.fitness > best_seen) {
+            best_seen = v.fit.fitness;
+            result.fitnessTrajectory.emplace_back(evals_, best_seen);
+        }
+    };
+
+    auto finish = [&](const Variant *winner) {
+        result.fitnessEvals = evals_;
+        result.invalidMutants = invalid_;
+        result.totalMutants = mutants_;
+        result.seconds = elapsed();
+        if (winner) {
+            result.found = true;
+            // Post-process: minimize with delta debugging, then print.
+            Patch minimized = minimizePatch(
+                winner->patch,
+                [&](const Patch &p) {
+                    Variant t = evaluate(p);
+                    return t.valid && t.fit.plausible();
+                });
+            result.patch = minimized;
+            Variant final_v = evaluate(minimized);
+            result.finalFitness = final_v.fit;
+            auto repaired = applyPatch(*faulty_, minimized);
+            result.repairedSource = print(*repaired);
+            result.fitnessEvals = evals_;
+            result.seconds = elapsed();
+        }
+        return result;
+    };
+
+    // seed_popn: the original plus single-mutation neighbours.
+    std::vector<Variant> popn;
+    popn.push_back(makeChild(Patch{}));
+    note(popn.back());
+    if (popn.back().fit.plausible())
+        return finish(&popn.back());
+    {
+        auto ast0 = applyPatch(*faulty_, Patch{});
+        const Module *dut0 = ast0->findModule(dutModule_);
+        if (!dut0)
+            return finish(nullptr);
+        FaultLocResult fl0 =
+            faultLocalize(*dut0, popn[0].trace, oracle_);
+        while (static_cast<int>(popn.size()) < config_.popSize &&
+               elapsed() < config_.maxSeconds) {
+            Patch p;
+            std::optional<Edit> e =
+                uniform(rng_) <= config_.rtThreshold
+                    ? mutator.templateEdit(*ast0, *dut0, fl0.nodeIds)
+                    : mutator.mutate(*ast0, *dut0, fl0.nodeIds);
+            if (e)
+                p.edits.push_back(std::move(*e));
+            popn.push_back(makeChild(std::move(p)));
+            note(popn.back());
+            if (popn.back().fit.plausible())
+                return finish(&popn.back());
+        }
+    }
+
+    // Cache fault localization per parent AST once on the original if
+    // re-localization is disabled (ablation).
+    FaultLocResult static_fl;
+    if (!config_.relocalize) {
+        auto ast0 = applyPatch(*faulty_, Patch{});
+        if (const Module *dut0 = ast0->findModule(dutModule_))
+            static_fl = faultLocalize(*dut0, popn[0].trace, oracle_);
+    }
+
+    for (int gen = 0; gen < config_.maxGenerations; ++gen) {
+        if (elapsed() >= config_.maxSeconds)
+            break;
+        result.generations = gen + 1;
+
+        std::vector<Variant> children;
+        while (static_cast<int>(children.size()) < config_.popSize) {
+            if (elapsed() >= config_.maxSeconds)
+                break;
+            const Variant &parent = tournament(popn);
+            auto parent_ast = applyPatch(*faulty_, parent.patch);
+            const Module *dut = parent_ast->findModule(dutModule_);
+            if (!dut)
+                break;
+            FaultLocResult fl =
+                config_.relocalize ? localize(parent, *parent_ast)
+                                   : static_fl;
+
+            if (uniform(rng_) <= config_.rtThreshold) {
+                // Repair templates.
+                Patch p = parent.patch;
+                if (auto e = mutator.templateEdit(*parent_ast, *dut,
+                                                  fl.nodeIds)) {
+                    p.edits.push_back(std::move(*e));
+                    children.push_back(makeChild(std::move(p)));
+                }
+            } else if (uniform(rng_) <= config_.mutThreshold) {
+                // Mutation operators.
+                Patch p = parent.patch;
+                if (auto e =
+                        mutator.mutate(*parent_ast, *dut, fl.nodeIds)) {
+                    p.edits.push_back(std::move(*e));
+                    children.push_back(makeChild(std::move(p)));
+                }
+            } else {
+                // Crossover with a second parent.
+                const Variant &parent2 = tournament(popn);
+                auto [c1, c2] =
+                    crossover(parent.patch, parent2.patch, rng_);
+                children.push_back(makeChild(std::move(c1)));
+                note(children.back());
+                if (children.back().fit.plausible())
+                    return finish(&children.back());
+                children.push_back(makeChild(std::move(c2)));
+            }
+            if (!children.empty()) {
+                note(children.back());
+                if (children.back().fit.plausible())
+                    return finish(&children.back());
+            }
+        }
+
+        // Elitism: keep the top e% of the previous generation.
+        std::sort(popn.begin(), popn.end(),
+                  [](const Variant &a, const Variant &b) {
+                      return a.fit.fitness > b.fit.fitness;
+                  });
+        int elites = std::max(
+            1, static_cast<int>(config_.elitism *
+                                static_cast<double>(popn.size())));
+        std::vector<Variant> next;
+        for (int i = 0; i < elites &&
+                        i < static_cast<int>(popn.size());
+             ++i)
+            next.push_back(std::move(popn[static_cast<size_t>(i)]));
+        for (auto &c : children)
+            next.push_back(std::move(c));
+        std::sort(next.begin(), next.end(),
+                  [](const Variant &a, const Variant &b) {
+                      return a.fit.fitness > b.fit.fitness;
+                  });
+        if (static_cast<int>(next.size()) > config_.popSize)
+            next.resize(static_cast<size_t>(config_.popSize));
+        popn = std::move(next);
+        if (config_.onGeneration)
+            config_.onGeneration(gen + 1,
+                                 popn.empty() ? 0.0
+                                              : popn[0].fit.fitness,
+                                 evals_);
+    }
+
+    return finish(nullptr);
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,132 @@
+#pragma once
+
+/**
+ * @file
+ * The main CirFix repair loop (paper Algorithm 1).
+ *
+ * Genetic programming over repair patches: maintain a population of
+ * program variants (edit lists over the faulty design's numbered AST);
+ * each generation, tournament-select parents, re-run fault
+ * localization on each parent (supporting dependent multi-edit
+ * repairs), and produce children via repair templates (probability
+ * rtThreshold), mutation (mutThreshold of the remainder) or single-
+ * point crossover. Candidates are scored by the hardware fitness
+ * function against the expected-behavior oracle; a candidate with
+ * fitness 1.0 is a plausible repair, which is then minimized with
+ * delta debugging before being reported.
+ */
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/faultloc.h"
+#include "core/fitness.h"
+#include "core/minimize.h"
+#include "core/mutation.h"
+#include "core/patch.h"
+#include "sim/design.h"
+#include "sim/probe.h"
+
+namespace cirfix::core {
+
+/** GP and resource parameters (paper Section 4.2 defaults, scaled). */
+struct EngineConfig
+{
+    int popSize = 40;
+    int maxGenerations = 8;
+    double rtThreshold = 0.2;   //!< repair-template probability
+    double mutThreshold = 0.7;  //!< mutation (vs crossover) probability
+    MutationConfig mutation;    //!< delete/insert/replace = .3/.3/.4
+    int tournamentSize = 5;
+    double elitism = 0.05;      //!< top fraction carried over unchanged
+    FitnessParams fitness;      //!< phi = 2
+    uint64_t seed = 1;
+    double maxSeconds = 60.0;   //!< wall-clock bound for the trial
+    sim::RunLimits simLimits{100'000, 150'000, 300'000};
+    /** Re-run fault localization for every parent (paper behavior);
+     *  false computes it once on the original (ablation). */
+    bool relocalize = true;
+    /**
+     * Optional progress hook, called after each generation with the
+     * generation index, the best fitness in the new population, and
+     * the cumulative fitness-evaluation count (the artifact's
+     * repair_logs analogue).
+     */
+    std::function<void(int generation, double best_fitness,
+                       long fitness_evals)>
+        onGeneration;
+};
+
+/** One population member. */
+struct Variant
+{
+    Patch patch;
+    FitnessResult fit;
+    sim::Trace trace;     //!< instrumented-testbench output (cached)
+    bool valid = false;   //!< structurally valid ("compiles")
+    bool evaluated = false;
+};
+
+/** Outcome of one repair trial. */
+struct RepairResult
+{
+    bool found = false;
+    Patch patch;                    //!< minimized repair (when found)
+    std::string repairedSource;     //!< regenerated Verilog
+    FitnessResult finalFitness;
+    int generations = 0;
+    long fitnessEvals = 0;          //!< fitness probes (simulations)
+    long invalidMutants = 0;        //!< mutants rejected by validation
+    long totalMutants = 0;
+    double seconds = 0.0;
+    /** (probe index, best fitness) at each improvement — RQ3 data. */
+    std::vector<std::pair<long, double>> fitnessTrajectory;
+};
+
+/**
+ * Repair engine bound to one defect scenario: a faulty design (DUT +
+ * instrumented testbench), a probe configuration, and the
+ * expected-behavior oracle.
+ */
+class RepairEngine
+{
+  public:
+    RepairEngine(std::shared_ptr<const verilog::SourceFile> faulty,
+                 std::string tb_module, std::string dut_module,
+                 sim::ProbeConfig probe, Trace oracle,
+                 EngineConfig config);
+
+    /** Run Algorithm 1 until a repair is found or resources run out. */
+    RepairResult run();
+
+    /**
+     * Evaluate one patch: apply, validate, elaborate, simulate, score.
+     * Exposed for the brute-force baseline, minimization and tests.
+     */
+    Variant evaluate(const Patch &patch);
+
+    const EngineConfig &config() const { return config_; }
+    const Trace &oracle() const { return oracle_; }
+
+  private:
+    Variant makeChild(Patch patch);
+    const Variant &tournament(const std::vector<Variant> &popn);
+    FaultLocResult localize(const Variant &v,
+                            const verilog::SourceFile &ast) const;
+
+    std::shared_ptr<const verilog::SourceFile> faulty_;
+    std::string tbModule_, dutModule_;
+    sim::ProbeConfig probe_;
+    Trace oracle_;
+    EngineConfig config_;
+    std::mt19937_64 rng_;
+    long evals_ = 0;
+    long invalid_ = 0;
+    long mutants_ = 0;
+};
+
+} // namespace cirfix::core

@@ -1,0 +1,191 @@
+#include "core/faultloc.h"
+
+namespace cirfix::core {
+
+using namespace verilog;
+using sim::LogicVec;
+
+namespace {
+
+/** Last path component: "dut.counter_out" -> "counter_out". */
+std::string
+leafName(const std::string &path)
+{
+    size_t dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+/** Base identifier names written by an lvalue expression. */
+void
+lhsNames(const Expr &lhs, std::vector<std::string> &out)
+{
+    switch (lhs.kind) {
+      case NodeKind::Ident:
+        out.push_back(lhs.as<Ident>()->name);
+        break;
+      case NodeKind::Index:
+        out.push_back(lhs.as<Index>()->name);
+        break;
+      case NodeKind::RangeSel:
+        out.push_back(lhs.as<RangeSel>()->name);
+        break;
+      case NodeKind::Concat:
+        for (auto &p : lhs.as<Concat>()->parts)
+            lhsNames(*p, out);
+        break;
+      default:
+        break;
+    }
+}
+
+/** True if any identifier beneath @p e is in @p names. */
+bool
+mentionsAny(const Expr &e,
+            const std::unordered_set<std::string> &names)
+{
+    for (auto &n : collectIdents(e))
+        if (names.count(n))
+            return true;
+    return false;
+}
+
+/** The controlling expression of a conditional-like node, if any. */
+const Expr *
+controlExpr(const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::If: return n.as<If>()->cond.get();
+      case NodeKind::While: return n.as<While>()->cond.get();
+      case NodeKind::For: return n.as<For>()->cond.get();
+      case NodeKind::Case: return n.as<Case>()->subject.get();
+      case NodeKind::Ternary: return n.as<Ternary>()->cond.get();
+      default: return nullptr;
+    }
+}
+
+/** The assignment target of an assignment-like node, if any. */
+const Expr *
+assignTarget(const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::Assign: return n.as<Assign>()->lhs.get();
+      case NodeKind::ContAssign: return n.as<ContAssign>()->lhs.get();
+      default: return nullptr;
+    }
+}
+
+} // namespace
+
+std::unordered_set<std::string>
+outputMismatch(const Trace &sim_result, const Trace &expected)
+{
+    std::unordered_set<std::string> mismatch;
+    std::vector<int> sim_col(expected.vars().size(), -1);
+    for (size_t i = 0; i < expected.vars().size(); ++i)
+        sim_col[i] = sim_result.varIndex(expected.vars()[i]);
+
+    for (const Trace::Row &orow : expected.rows()) {
+        const Trace::Row *srow = sim_result.rowAt(orow.time);
+        for (size_t v = 0; v < orow.values.size(); ++v) {
+            const std::string &name = expected.vars()[v];
+            if (mismatch.count(leafName(name)))
+                continue;
+            const LogicVec &ov = orow.values[v];
+            LogicVec sv = LogicVec::xs(ov.width());
+            if (srow && sim_col[v] >= 0 &&
+                static_cast<size_t>(sim_col[v]) < srow->values.size())
+                sv = srow->values[static_cast<size_t>(sim_col[v])]
+                         .resized(ov.width());
+            if (!sv.identical(ov))
+                mismatch.insert(leafName(name));
+        }
+    }
+    return mismatch;
+}
+
+FaultLocResult
+faultLocalize(const Module &dut,
+              std::unordered_set<std::string> mismatch_seed)
+{
+    FaultLocResult res;
+    std::unordered_set<std::string> &mismatch = res.mismatchNames;
+    std::unordered_set<std::string> next = std::move(mismatch_seed);
+
+    // Fixed point: iterate while the mismatch set grows.
+    while (!next.empty()) {
+        ++res.iterations;
+        bool grew = false;
+        for (const std::string &n : next)
+            grew |= mismatch.insert(n).second;
+        next.clear();
+        if (!grew && res.iterations > 1)
+            break;
+
+        // Walk with the stack of enclosing controlling expressions so
+        // implicated assignments also pull in their *control
+        // dependencies*: the conditions an assignment executes under
+        // (Section 3.1: the analysis "transitively captures data and
+        // control dependencies").
+        std::vector<const Expr *> ctrl_stack;
+        std::function<void(Node &)> walk = [&](Node &node) {
+            bool implicated = false;
+            if (const Expr *target = assignTarget(node)) {
+                std::vector<std::string> names;
+                lhsNames(*target, names);
+                for (auto &n : names)
+                    implicated |= (mismatch.count(n) > 0);
+            }
+            if (!implicated) {
+                if (const Expr *ctrl = controlExpr(node))
+                    implicated = mentionsAny(*ctrl, mismatch);
+            }
+            if (implicated) {
+                // (Add-Child): the node and its whole subtree join FL;
+                // identifiers beneath it join the mismatch set.
+                visitAll(node, [&](Node &sub) {
+                    res.nodeIds.insert(sub.id);
+                    std::string name;
+                    if (sub.kind == NodeKind::Ident)
+                        name = sub.as<Ident>()->name;
+                    else if (sub.kind == NodeKind::Index)
+                        name = sub.as<Index>()->name;
+                    else if (sub.kind == NodeKind::RangeSel)
+                        name = sub.as<RangeSel>()->name;
+                    if (!name.empty() && !mismatch.count(name))
+                        next.insert(name);
+                });
+                // Control dependencies: names read by every enclosing
+                // condition flow into the mismatch set too.
+                for (const Expr *cond : ctrl_stack)
+                    for (auto &n : collectIdents(*cond))
+                        if (!mismatch.count(n))
+                            next.insert(n);
+            }
+            bool pushed = false;
+            if (const Expr *ctrl = controlExpr(node)) {
+                ctrl_stack.push_back(ctrl);
+                pushed = true;
+            }
+            node.forEachChild([&](Node *c) {
+                if (c)
+                    walk(*c);
+            });
+            if (pushed)
+                ctrl_stack.pop_back();
+        };
+        walk(const_cast<Module &>(dut));
+
+        if (res.iterations > 64)
+            break;  // defensive bound; |names| is finite so unreachable
+    }
+    return res;
+}
+
+FaultLocResult
+faultLocalize(const Module &dut, const Trace &sim_result,
+              const Trace &expected)
+{
+    return faultLocalize(dut, outputMismatch(sim_result, expected));
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Dataflow-based fault localization for HDL (paper Section 3.1,
+ * Algorithm 2).
+ *
+ * Spectrum-based fault localization assumes serial execution and does
+ * not transfer to parallel hardware descriptions, so CirFix implicates
+ * code through a context-insensitive fixed-point analysis of
+ * assignments:
+ *
+ *   1. Compare the simulation output against the expected behavior;
+ *      output wires/registers with any mismatched value seed the
+ *      mismatch set.
+ *   2. Repeat until no new names appear:
+ *        - (Impl-Data)  an assignment whose target is in the mismatch
+ *          set is implicated;
+ *        - (Impl-Ctrl)  a conditional whose controlling expression
+ *          mentions a name in the mismatch set is implicated;
+ *        - (Add-Child)  every implicated node and its descendants join
+ *          the fault localization set, and every identifier beneath an
+ *          implicated node joins the mismatch set.
+ *
+ * The result is a uniformly-ranked set of AST node ids: due to the
+ * parallel structure of HDL designs, implicated assignments are
+ * treated as equally likely to contribute to the defect.
+ */
+
+#include <string>
+#include <unordered_set>
+
+#include "sim/trace.h"
+#include "verilog/ast.h"
+
+namespace cirfix::core {
+
+using sim::Trace;
+
+struct FaultLocResult
+{
+    /** Implicated AST node ids (the FL set of Algorithm 2). */
+    std::unordered_set<int> nodeIds;
+    /** Final mismatch set of identifier names. */
+    std::unordered_set<std::string> mismatchNames;
+    /** Number of fixed-point iterations taken. */
+    int iterations = 0;
+
+    bool contains(int id) const { return nodeIds.count(id) > 0; }
+};
+
+/**
+ * Compare @p sim_result with @p expected and return the set of
+ * mismatched variable names (get_output_mismatch of Algorithm 2).
+ * Hierarchical prefixes ("dut.") are stripped so names match the
+ * identifiers of the DUT module.
+ */
+std::unordered_set<std::string>
+outputMismatch(const Trace &sim_result, const Trace &expected);
+
+/**
+ * Run Algorithm 2 on the DUT module.
+ *
+ * @param dut        The module under repair (its AST is scanned).
+ * @param sim_result Instrumented-testbench output of this variant.
+ * @param expected   The expected-behavior oracle.
+ */
+FaultLocResult faultLocalize(const verilog::Module &dut,
+                             const Trace &sim_result,
+                             const Trace &expected);
+
+/**
+ * Variant seeded with an explicit mismatch set (used by tests and by
+ * callers that already computed the mismatch).
+ */
+FaultLocResult
+faultLocalize(const verilog::Module &dut,
+              std::unordered_set<std::string> mismatch_seed);
+
+} // namespace cirfix::core

@@ -1,0 +1,63 @@
+#include "core/fitness.h"
+
+#include <algorithm>
+
+namespace cirfix::core {
+
+using sim::Bit;
+using sim::LogicVec;
+
+FitnessResult
+evaluateFitness(const Trace &sim_result, const Trace &expected,
+                const FitnessParams &params)
+{
+    FitnessResult r;
+
+    // Column mapping oracle var -> simulation var (by name).
+    std::vector<int> sim_col(expected.vars().size(), -1);
+    for (size_t i = 0; i < expected.vars().size(); ++i)
+        sim_col[i] = sim_result.varIndex(expected.vars()[i]);
+
+    for (const Trace::Row &orow : expected.rows()) {
+        const Trace::Row *srow = sim_result.rowAt(orow.time);
+        for (size_t v = 0; v < orow.values.size(); ++v) {
+            const LogicVec &ov = orow.values[v];
+            // Missing rows/columns read as all-x.
+            LogicVec sv = LogicVec::xs(ov.width());
+            if (srow && sim_col[v] >= 0 &&
+                static_cast<size_t>(sim_col[v]) < srow->values.size())
+                sv = srow->values[static_cast<size_t>(sim_col[v])]
+                         .resized(ov.width());
+            for (int b = 0; b < ov.width(); ++b) {
+                Bit o = ov.bit(b), s = sv.bit(b);
+                bool o_def = (o == Bit::Zero || o == Bit::One);
+                bool s_def = (s == Bit::Zero || s == Bit::One);
+                if (o_def && s_def) {
+                    r.total += 1.0;
+                    if (o == s) {
+                        r.sum += 1.0;
+                        ++r.bitMatches;
+                    } else {
+                        r.sum -= 1.0;
+                        ++r.bitMismatches;
+                    }
+                } else {
+                    r.total += params.phi;
+                    if (o == s) {
+                        r.sum += params.phi;
+                        ++r.unknownMatches;
+                    } else {
+                        r.sum -= params.phi;
+                        ++r.unknownMismatches;
+                    }
+                }
+            }
+        }
+    }
+
+    if (r.total > 0)
+        r.fitness = std::max(0.0, r.sum) / r.total;
+    return r;
+}
+
+} // namespace cirfix::core

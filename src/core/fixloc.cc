@@ -1,0 +1,131 @@
+#include "core/fixloc.h"
+
+namespace cirfix::core {
+
+using namespace verilog;
+
+namespace {
+
+bool
+isStmtKind(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::SeqBlock:
+      case NodeKind::If:
+      case NodeKind::Case:
+      case NodeKind::For:
+      case NodeKind::While:
+      case NodeKind::Repeat:
+      case NodeKind::Forever:
+      case NodeKind::Assign:
+      case NodeKind::DelayStmt:
+      case NodeKind::EventCtrl:
+      case NodeKind::Wait:
+      case NodeKind::TriggerEvent:
+      case NodeKind::SysTask:
+      case NodeKind::NullStmt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+collectSlotsIn(Stmt *s, bool in_block,
+               std::vector<StmtSlotInfo> &out)
+{
+    if (!s)
+        return;
+    out.push_back({s->id, s->kind, in_block});
+    switch (s->kind) {
+      case NodeKind::SeqBlock:
+        for (auto &child : s->as<SeqBlock>()->stmts)
+            collectSlotsIn(child.get(), true, out);
+        break;
+      case NodeKind::If:
+        collectSlotsIn(s->as<If>()->thenStmt.get(), false, out);
+        collectSlotsIn(s->as<If>()->elseStmt.get(), false, out);
+        break;
+      case NodeKind::Case:
+        for (auto &item : s->as<Case>()->items)
+            collectSlotsIn(item.body.get(), false, out);
+        break;
+      case NodeKind::For:
+        collectSlotsIn(s->as<For>()->body.get(), false, out);
+        break;
+      case NodeKind::While:
+        collectSlotsIn(s->as<While>()->body.get(), false, out);
+        break;
+      case NodeKind::Repeat:
+        collectSlotsIn(s->as<Repeat>()->body.get(), false, out);
+        break;
+      case NodeKind::Forever:
+        collectSlotsIn(s->as<Forever>()->body.get(), false, out);
+        break;
+      case NodeKind::DelayStmt:
+        collectSlotsIn(s->as<DelayStmt>()->stmt.get(), false, out);
+        break;
+      case NodeKind::EventCtrl:
+        collectSlotsIn(s->as<EventCtrl>()->stmt.get(), false, out);
+        break;
+      case NodeKind::Wait:
+        collectSlotsIn(s->as<Wait>()->stmt.get(), false, out);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+collectDonors(const Module &mod, std::vector<int> &out)
+{
+    for (auto &slot : collectStmtSlots(mod)) {
+        // Whole always/initial bodies (event controls at the top) are
+        // poor donors; keep everything else. Statement types per
+        // Annex A.6.4 — SeqBlock, If, Case, loops, assignments, ...
+        if (isStmtKind(slot.kind) && slot.kind != NodeKind::NullStmt)
+            out.push_back(slot.id);
+    }
+}
+
+} // namespace
+
+std::vector<StmtSlotInfo>
+collectStmtSlots(const Module &mod)
+{
+    std::vector<StmtSlotInfo> out;
+    for (auto &item : mod.items) {
+        if (item->kind == NodeKind::AlwaysBlock)
+            collectSlotsIn(item->as<AlwaysBlock>()->body.get(), false,
+                           out);
+        else if (item->kind == NodeKind::InitialBlock)
+            collectSlotsIn(item->as<InitialBlock>()->body.get(), false,
+                           out);
+    }
+    return out;
+}
+
+FixLocSpace
+computeFixLoc(const SourceFile &file, const Module &dut, bool enabled)
+{
+    FixLocSpace space;
+    space.slots = collectStmtSlots(dut);
+    if (enabled) {
+        collectDonors(dut, space.donorIds);
+    } else {
+        // Ablation: donors from every module, testbench included.
+        for (auto &m : file.modules)
+            collectDonors(*m, space.donorIds);
+    }
+    return space;
+}
+
+bool
+replacementCompatible(NodeKind target_kind, NodeKind donor_kind)
+{
+    if (target_kind == donor_kind)
+        return true;
+    return isStmtKind(target_kind) && isStmtKind(donor_kind);
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,86 @@
+#include "core/minimize.h"
+
+namespace cirfix::core {
+
+namespace {
+
+Patch
+subsetPatch(const Patch &base, const std::vector<bool> &keep)
+{
+    Patch p;
+    for (size_t i = 0; i < base.edits.size(); ++i)
+        if (keep[i])
+            p.edits.push_back(base.edits[i]);
+    return p;
+}
+
+} // namespace
+
+Patch
+minimizePatch(const Patch &patch,
+              const std::function<bool(const Patch &)> &still_plausible,
+              int *tests_out)
+{
+    int tests = 0;
+    auto check = [&](const std::vector<bool> &keep) {
+        ++tests;
+        return still_plausible(subsetPatch(patch, keep));
+    };
+
+    size_t n = patch.edits.size();
+    std::vector<bool> keep(n, true);
+    if (n > 1) {
+        // ddmin: try removing chunks of decreasing size.
+        size_t chunk = (n + 1) / 2;
+        while (chunk >= 1) {
+            bool removed_any = false;
+            for (size_t start = 0; start < n; start += chunk) {
+                // Skip chunks already fully removed.
+                bool live = false;
+                for (size_t i = start; i < std::min(n, start + chunk);
+                     ++i)
+                    live |= keep[i];
+                if (!live)
+                    continue;
+                std::vector<bool> trial = keep;
+                for (size_t i = start; i < std::min(n, start + chunk);
+                     ++i)
+                    trial[i] = false;
+                // Never test the empty subset: an empty patch is the
+                // original (defective) program.
+                bool any = false;
+                for (bool k : trial)
+                    any |= k;
+                if (!any)
+                    continue;
+                if (check(trial)) {
+                    keep = trial;
+                    removed_any = true;
+                }
+            }
+            if (chunk == 1 && !removed_any)
+                break;
+            if (!removed_any)
+                chunk = (chunk + 1) / 2;
+            else if (chunk > 1)
+                chunk = (chunk + 1) / 2;
+        }
+        // Final 1-minimality sweep.
+        for (size_t i = 0; i < n; ++i) {
+            if (!keep[i])
+                continue;
+            std::vector<bool> trial = keep;
+            trial[i] = false;
+            bool any = false;
+            for (bool k : trial)
+                any |= k;
+            if (any && check(trial))
+                keep = trial;
+        }
+    }
+    if (tests_out)
+        *tests_out = tests;
+    return subsetPatch(patch, keep);
+}
+
+} // namespace cirfix::core

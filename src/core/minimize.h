@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * Repair minimization via delta debugging (paper Section 3.7).
+ *
+ * The GP search can accrete edits that do not contribute to the repair
+ * (repeated assignments, neutral deletions). minimizePatch() computes a
+ * 1-minimal subset of the edit list — no single edit can be removed
+ * without losing plausibility — using the ddmin algorithm, which runs
+ * in polynomial time in the number of edits.
+ */
+
+#include <functional>
+
+#include "core/patch.h"
+
+namespace cirfix::core {
+
+/**
+ * Shrink @p patch to a 1-minimal edit subset.
+ *
+ * @param patch            The plausible repair patch.
+ * @param still_plausible  Oracle: does this candidate subset still
+ *                         achieve fitness 1.0? Must be true for
+ *                         @p patch itself.
+ * @param tests_out        Optional count of oracle invocations.
+ */
+Patch minimizePatch(const Patch &patch,
+                    const std::function<bool(const Patch &)> &still_plausible,
+                    int *tests_out = nullptr);
+
+} // namespace cirfix::core

@@ -1,0 +1,146 @@
+#include "core/mutation.h"
+
+#include <algorithm>
+
+namespace cirfix::core {
+
+using namespace verilog;
+
+namespace {
+
+/** Filter slots to those implicated by fault localization. */
+std::vector<StmtSlotInfo>
+implicatedSlots(const std::vector<StmtSlotInfo> &slots,
+                const std::unordered_set<int> &fl_set)
+{
+    std::vector<StmtSlotInfo> out;
+    for (auto &s : slots)
+        if (fl_set.count(s.id))
+            out.push_back(s);
+    return out;
+}
+
+} // namespace
+
+std::optional<Edit>
+Mutator::mutate(const SourceFile &ast, const Module &dut,
+                const std::unordered_set<int> &fl_set)
+{
+    FixLocSpace space = computeFixLoc(ast, dut, config_.useFixLoc);
+    if (space.slots.empty())
+        return std::nullopt;
+
+    std::vector<StmtSlotInfo> targets =
+        implicatedSlots(space.slots, fl_set);
+    if (targets.empty())
+        targets = space.slots;  // fall back to the whole module
+
+    double p = chance();
+    double del = config_.deleteThreshold;
+    double ins = del + config_.insertThreshold;
+
+    if (p <= del) {
+        // Delete: any implicated statement.
+        return Edit{[&] {
+            Edit e;
+            e.kind = EditKind::Delete;
+            e.target = pick(targets).id;
+            return e;
+        }()};
+    }
+
+    if (space.donorIds.empty())
+        return std::nullopt;
+
+    auto donorStmt = [&](NodeKind target_kind,
+                         bool require_compat) -> const Stmt * {
+        // Rejection-sample a compatible donor (bounded attempts).
+        for (int attempt = 0; attempt < 16; ++attempt) {
+            int id = pick(space.donorIds);
+            Node *n = findNode(const_cast<SourceFile &>(ast), id);
+            if (!n)
+                continue;
+            if (require_compat &&
+                !replacementCompatible(target_kind, n->kind))
+                continue;
+            return static_cast<const Stmt *>(n);
+        }
+        return nullptr;
+    };
+
+    if (p <= ins) {
+        // Insert: donor goes after a statement inside a begin/end
+        // block (fix localization: only initial/always blocks, which
+        // is all collectStmtSlots visits).
+        std::vector<StmtSlotInfo> anchors;
+        for (auto &s : targets)
+            if (s.inBlock)
+                anchors.push_back(s);
+        if (anchors.empty())
+            for (auto &s : space.slots)
+                if (s.inBlock)
+                    anchors.push_back(s);
+        if (anchors.empty())
+            return std::nullopt;
+        const Stmt *donor = donorStmt(NodeKind::NullStmt, false);
+        if (!donor)
+            return std::nullopt;
+        Edit e;
+        e.kind = EditKind::InsertAfter;
+        e.target = pick(anchors).id;
+        e.code = donor->cloneStmt();
+        return e;
+    }
+
+    // Replace.
+    const StmtSlotInfo &target = pick(targets);
+    const Stmt *donor = donorStmt(target.kind, config_.useFixLoc);
+    if (!donor || donor->id == target.id)
+        return std::nullopt;
+    Edit e;
+    e.kind = EditKind::Replace;
+    e.target = target.id;
+    e.code = donor->cloneStmt();
+    return e;
+}
+
+std::optional<Edit>
+Mutator::templateEdit(const SourceFile &ast, const Module &dut,
+                      const std::unordered_set<int> &fl_set)
+{
+    (void)ast;
+    std::vector<TemplateSite> sites = enumerateTemplateSites(
+        dut, fl_set.empty() ? nullptr : &fl_set,
+        config_.extendedTemplates);
+    if (sites.empty())
+        sites = enumerateTemplateSites(dut, nullptr,
+                                       config_.extendedTemplates);
+    if (sites.empty())
+        return std::nullopt;
+    const TemplateSite &site = pick(sites);
+    Edit e;
+    e.kind = EditKind::Template;
+    e.tmpl = site.kind;
+    e.target = site.target;
+    e.param = site.param;
+    return e;
+}
+
+std::pair<Patch, Patch>
+crossover(const Patch &a, const Patch &b, std::mt19937_64 &rng)
+{
+    size_t i = a.edits.empty() ? 0 : rng() % (a.edits.size() + 1);
+    size_t j = b.edits.empty() ? 0 : rng() % (b.edits.size() + 1);
+    Patch c1, c2;
+    c1.edits.assign(a.edits.begin(),
+                    a.edits.begin() + static_cast<long>(i));
+    c1.edits.insert(c1.edits.end(), b.edits.begin() + static_cast<long>(j),
+                    b.edits.end());
+    c2.edits.assign(b.edits.begin(),
+                    b.edits.begin() + static_cast<long>(j));
+    c2.edits.insert(c2.edits.end(), a.edits.begin() + static_cast<long>(i),
+                    a.edits.end());
+    return {std::move(c1), std::move(c2)};
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Repair operators: mutation and crossover (paper Sections 3.4-3.6).
+ *
+ * The mutate operator picks one of three sub-types by the configured
+ * thresholds — replace, insert, delete — targeting statements
+ * implicated by fault localization and drawing donor code from the fix
+ * localization space. Crossover is standard single-point crossover on
+ * the edit lists of two parent patches.
+ */
+
+#include <optional>
+#include <random>
+#include <unordered_set>
+
+#include "core/fixloc.h"
+#include "core/patch.h"
+
+namespace cirfix::core {
+
+struct MutationConfig
+{
+    double deleteThreshold = 0.3;
+    double insertThreshold = 0.3;
+    double replaceThreshold = 0.4;
+    /** Restrict donors/targets per Section 3.6 (ablation knob). */
+    bool useFixLoc = true;
+    /** Offer the extended template set (beyond the paper's nine). */
+    bool extendedTemplates = false;
+};
+
+/**
+ * Generates mutation and template edits against concrete program
+ * variants. Stateless apart from the RNG reference, so one Mutator can
+ * serve the whole GP run.
+ */
+class Mutator
+{
+  public:
+    Mutator(std::mt19937_64 &rng, MutationConfig config)
+        : rng_(rng), config_(config)
+    {}
+
+    /**
+     * Produce one mutation edit for the variant @p ast (already
+     * patched), where @p dut is the module under repair inside it and
+     * @p fl_set the fault localization over that tree. Returns nullopt
+     * when no applicable site exists (e.g., no statements at all).
+     */
+    std::optional<Edit> mutate(const verilog::SourceFile &ast,
+                               const verilog::Module &dut,
+                               const std::unordered_set<int> &fl_set);
+
+    /** Produce one repair-template edit (Algorithm 1 line 8). */
+    std::optional<Edit> templateEdit(const verilog::SourceFile &ast,
+                                     const verilog::Module &dut,
+                                     const std::unordered_set<int> &fl_set);
+
+  private:
+    double chance() { return dist_(rng_); }
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[rng_() % v.size()];
+    }
+
+    std::mt19937_64 &rng_;
+    MutationConfig config_;
+    std::uniform_real_distribution<double> dist_{0.0, 1.0};
+};
+
+/**
+ * Single-point crossover: choose a cut point in each parent's edit
+ * list and swap the tails (paper Section 3.4). Returns two children.
+ */
+std::pair<Patch, Patch> crossover(const Patch &a, const Patch &b,
+                                  std::mt19937_64 &rng);
+
+} // namespace cirfix::core

@@ -1,0 +1,38 @@
+#include "core/oracle.h"
+
+#include <cmath>
+
+namespace cirfix::core {
+
+Trace
+thinOracle(const Trace &oracle, double fraction)
+{
+    if (fraction >= 1.0 || oracle.rows().size() <= 2)
+        return oracle;
+    if (fraction <= 0.0)
+        fraction = 1.0 / static_cast<double>(oracle.rows().size());
+
+    Trace out{std::vector<std::string>(oracle.vars())};
+    size_t n = oracle.rows().size();
+    size_t keep = std::max<size_t>(
+        2, static_cast<size_t>(std::llround(fraction *
+                                            static_cast<double>(n))));
+    // Evenly spaced selection including both endpoints.
+    double step = static_cast<double>(n - 1) /
+                  static_cast<double>(keep - 1);
+    size_t prev = n;  // sentinel
+    for (size_t k = 0; k < keep; ++k) {
+        size_t idx = static_cast<size_t>(
+            std::llround(static_cast<double>(k) * step));
+        if (idx >= n)
+            idx = n - 1;
+        if (idx == prev)
+            continue;
+        prev = idx;
+        const Trace::Row &row = oracle.rows()[idx];
+        out.addRow(row.time, row.values);
+    }
+    return out;
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file
+ * Expected-behavior oracles (paper Sections 4.1.2 and 5.4).
+ *
+ * The oracle is a trace of expected output values, normally recorded
+ * by simulating a previously-functioning version of the design with
+ * the instrumented testbench. RQ4 studies how repair quality degrades
+ * as the oracle is thinned: thinOracle() keeps only a fraction of the
+ * annotation rows (evenly spaced), modeling a developer who annotates
+ * expected values only at certain time intervals.
+ */
+
+#include "sim/trace.h"
+
+namespace cirfix::core {
+
+using sim::Trace;
+
+/**
+ * Keep roughly @p fraction of the oracle rows, evenly spaced.
+ * fraction >= 1 returns the oracle unchanged; the first and last rows
+ * are always retained so the observation window is preserved.
+ */
+Trace thinOracle(const Trace &oracle, double fraction);
+
+} // namespace cirfix::core

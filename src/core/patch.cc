@@ -1,0 +1,215 @@
+#include "core/patch.h"
+
+#include <sstream>
+
+namespace cirfix::core {
+
+using namespace verilog;
+
+const char *
+editKindName(EditKind k)
+{
+    switch (k) {
+      case EditKind::Replace: return "replace";
+      case EditKind::InsertAfter: return "insert-after";
+      case EditKind::Delete: return "delete";
+      case EditKind::Template: return "template";
+    }
+    return "?";
+}
+
+Edit::Edit(const Edit &o)
+    : kind(o.kind), target(o.target),
+      code(o.code ? o.code->cloneStmt() : nullptr), tmpl(o.tmpl),
+      param(o.param)
+{}
+
+Edit &
+Edit::operator=(const Edit &o)
+{
+    if (this != &o) {
+        kind = o.kind;
+        target = o.target;
+        code = o.code ? o.code->cloneStmt() : nullptr;
+        tmpl = o.tmpl;
+        param = o.param;
+    }
+    return *this;
+}
+
+std::string
+Edit::describe() const
+{
+    std::ostringstream os;
+    if (kind == EditKind::Template) {
+        os << "template[" << templateName(tmpl) << "]@" << target;
+        if (!param.empty())
+            os << "(" << param << ")";
+    } else {
+        os << editKindName(kind) << "@" << target;
+    }
+    return os.str();
+}
+
+std::string
+Patch::describe() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < edits.size(); ++i) {
+        if (i)
+            os << "; ";
+        os << edits[i].describe();
+    }
+    return os.str();
+}
+
+namespace {
+
+/**
+ * Visit every owned statement slot of a module, pre-order. The
+ * callback receives the slot plus, when the slot is directly inside a
+ * begin/end block, that block and the statement's index. Returning
+ * true stops the walk (used after a mutation so the freshly inserted
+ * code is not re-visited).
+ */
+using SlotFn = std::function<bool(StmtPtr &, SeqBlock *, size_t)>;
+
+bool
+walkSlot(StmtPtr &slot, SeqBlock *parent, size_t idx, const SlotFn &fn)
+{
+    if (!slot)
+        return false;
+    if (fn(slot, parent, idx))
+        return true;
+    switch (slot->kind) {
+      case NodeKind::SeqBlock: {
+        auto *blk = slot->as<SeqBlock>();
+        for (size_t i = 0; i < blk->stmts.size(); ++i)
+            if (walkSlot(blk->stmts[i], blk, i, fn))
+                return true;
+        return false;
+      }
+      case NodeKind::If: {
+        auto *s = slot->as<If>();
+        return walkSlot(s->thenStmt, nullptr, 0, fn) ||
+               walkSlot(s->elseStmt, nullptr, 0, fn);
+      }
+      case NodeKind::Case: {
+        auto *s = slot->as<Case>();
+        for (auto &item : s->items)
+            if (walkSlot(item.body, nullptr, 0, fn))
+                return true;
+        return false;
+      }
+      case NodeKind::For: {
+        auto *s = slot->as<For>();
+        return walkSlot(s->init, nullptr, 0, fn) ||
+               walkSlot(s->step, nullptr, 0, fn) ||
+               walkSlot(s->body, nullptr, 0, fn);
+      }
+      case NodeKind::While:
+        return walkSlot(slot->as<While>()->body, nullptr, 0, fn);
+      case NodeKind::Repeat:
+        return walkSlot(slot->as<Repeat>()->body, nullptr, 0, fn);
+      case NodeKind::Forever:
+        return walkSlot(slot->as<Forever>()->body, nullptr, 0, fn);
+      case NodeKind::DelayStmt:
+        return walkSlot(slot->as<DelayStmt>()->stmt, nullptr, 0, fn);
+      case NodeKind::EventCtrl:
+        return walkSlot(slot->as<EventCtrl>()->stmt, nullptr, 0, fn);
+      case NodeKind::Wait:
+        return walkSlot(slot->as<Wait>()->stmt, nullptr, 0, fn);
+      default:
+        return false;
+    }
+}
+
+bool
+walkModuleSlots(Module &mod, const SlotFn &fn)
+{
+    for (auto &item : mod.items) {
+        if (item->kind == NodeKind::AlwaysBlock) {
+            if (walkSlot(item->as<AlwaysBlock>()->body, nullptr, 0, fn))
+                return true;
+        } else if (item->kind == NodeKind::InitialBlock) {
+            if (walkSlot(item->as<InitialBlock>()->body, nullptr, 0, fn))
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+walkFileSlots(SourceFile &file, const SlotFn &fn)
+{
+    for (auto &mod : file.modules)
+        if (walkModuleSlots(*mod, fn))
+            return true;
+    return false;
+}
+
+} // namespace
+
+bool
+applyEdit(SourceFile &file, const Edit &edit)
+{
+    switch (edit.kind) {
+      case EditKind::Replace: {
+        if (!edit.code)
+            return false;
+        return walkFileSlots(file, [&](StmtPtr &slot, SeqBlock *,
+                                       size_t) {
+            if (slot->id != edit.target)
+                return false;
+            StmtPtr repl = edit.code->cloneStmt();
+            numberSubtree(file, *repl);
+            slot = std::move(repl);
+            return true;
+        });
+      }
+      case EditKind::Delete: {
+        return walkFileSlots(file, [&](StmtPtr &slot, SeqBlock *,
+                                       size_t) {
+            if (slot->id != edit.target)
+                return false;
+            auto null_stmt = std::make_unique<NullStmt>();
+            numberSubtree(file, *null_stmt);
+            slot = std::move(null_stmt);
+            return true;
+        });
+      }
+      case EditKind::InsertAfter: {
+        if (!edit.code)
+            return false;
+        return walkFileSlots(file, [&](StmtPtr &slot, SeqBlock *parent,
+                                       size_t idx) {
+            if (slot->id != edit.target || !parent)
+                return false;
+            StmtPtr ins = edit.code->cloneStmt();
+            numberSubtree(file, *ins);
+            parent->stmts.insert(
+                parent->stmts.begin() + static_cast<long>(idx) + 1,
+                std::move(ins));
+            return true;
+        });
+      }
+      case EditKind::Template:
+        return applyTemplate(file, edit.tmpl, edit.target, edit.param);
+    }
+    return false;
+}
+
+std::unique_ptr<SourceFile>
+applyPatch(const SourceFile &original, const Patch &patch,
+           int *applied_out)
+{
+    auto file = original.cloneFile();
+    int applied = 0;
+    for (const Edit &e : patch.edits)
+        applied += applyEdit(*file, e) ? 1 : 0;
+    if (applied_out)
+        *applied_out = applied;
+    return file;
+}
+
+} // namespace cirfix::core

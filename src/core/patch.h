@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Repair patches: GenProg-style edit lists over AST node ids.
+ *
+ * Each program variant in the CirFix population is stored not as a
+ * whole tree but as a patch — a sequence of edits parameterized by the
+ * unique node numbers of the tree they apply to (paper Section 3).
+ * Applying a patch to a pristine clone of the original design is
+ * deterministic: clones preserve node ids and inserted code is
+ * numbered from SourceFile::nextId in application order, so the same
+ * patch always produces the same tree (edits later in the list may
+ * therefore reference nodes created by earlier edits).
+ *
+ * Edits whose target no longer exists (removed by an earlier edit)
+ * are silently skipped, matching the tolerant patch semantics of
+ * GenProg-family repair tools.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/templates.h"
+#include "verilog/ast.h"
+
+namespace cirfix::core {
+
+enum class EditKind {
+    Replace,      //!< replace statement @p target with a copy of code
+    InsertAfter,  //!< insert a copy of code after statement @p target
+    Delete,       //!< replace statement @p target with a null statement
+    Template,     //!< apply a repair template at @p target
+};
+
+const char *editKindName(EditKind k);
+
+struct Edit
+{
+    EditKind kind = EditKind::Delete;
+    int target = -1;
+    /** Donor statement for Replace/InsertAfter (owned prototype). */
+    verilog::StmtPtr code;
+    /** Template to apply for EditKind::Template. */
+    TemplateKind tmpl = TemplateKind::NegateConditional;
+    /** Template parameter (e.g., the sensitivity signal name). */
+    std::string param;
+
+    Edit() = default;
+    Edit(const Edit &o);
+    Edit &operator=(const Edit &o);
+    Edit(Edit &&) = default;
+    Edit &operator=(Edit &&) = default;
+
+    /** One-line description ("replace(12)", "template[negate-cond]@4"). */
+    std::string describe() const;
+};
+
+struct Patch
+{
+    std::vector<Edit> edits;
+
+    bool empty() const { return edits.empty(); }
+    size_t size() const { return edits.size(); }
+
+    /** Multi-line human-readable description. */
+    std::string describe() const;
+};
+
+/**
+ * Apply @p patch to a fresh clone of @p original.
+ *
+ * @param applied_out If non-null, receives the number of edits that
+ *                    found their target (diagnostics).
+ * @return The patched tree (never null; unapplicable edits skipped).
+ */
+std::unique_ptr<verilog::SourceFile>
+applyPatch(const verilog::SourceFile &original, const Patch &patch,
+           int *applied_out = nullptr);
+
+/**
+ * Apply a single edit in place. Returns false if the target id does
+ * not exist (the edit is then a no-op).
+ */
+bool applyEdit(verilog::SourceFile &file, const Edit &edit);
+
+} // namespace cirfix::core

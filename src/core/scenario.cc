@@ -1,0 +1,188 @@
+#include "core/scenario.h"
+
+#include <stdexcept>
+
+#include "sim/elaborate.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace cirfix::core {
+
+using namespace verilog;
+using sim::Design;
+using sim::ProbeConfig;
+using sim::RunLimits;
+using sim::TraceRecorder;
+
+const char *
+paperOutcomeName(PaperOutcome o)
+{
+    switch (o) {
+      case PaperOutcome::Correct: return "correct";
+      case PaperOutcome::PlausibleOnly: return "plausible-only";
+      case PaperOutcome::NoRepair: return "no-repair";
+    }
+    return "?";
+}
+
+namespace {
+
+int
+countLoc(const std::string &src)
+{
+    int n = 0;
+    bool nonblank = false;
+    for (char c : src) {
+        if (c == '\n') {
+            if (nonblank)
+                ++n;
+            nonblank = false;
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            nonblank = true;
+        }
+    }
+    if (nonblank)
+        ++n;
+    return n;
+}
+
+/** Parse DUT + testbench into one numbered file. */
+std::shared_ptr<const SourceFile>
+parseCombined(const std::string &dut_src, const std::string &tb_src)
+{
+    return std::shared_ptr<const SourceFile>(
+        parse(dut_src + "\n" + tb_src));
+}
+
+Trace
+simulateAndRecord(std::shared_ptr<const SourceFile> file,
+                  const std::string &top, const ProbeConfig &probe,
+                  const RunLimits &limits)
+{
+    auto design = sim::elaborate(std::move(file), top);
+    TraceRecorder rec(*design, probe);
+    design->run(limits);
+    return rec.takeTrace();
+}
+
+} // namespace
+
+int
+ProjectSpec::projectLoc() const
+{
+    return countLoc(goldenSource);
+}
+
+int
+ProjectSpec::testbenchLoc() const
+{
+    return countLoc(testbenchSource);
+}
+
+std::string
+applyRewrites(const std::string &source,
+              const std::vector<Rewrite> &rewrites)
+{
+    std::string out = source;
+    for (const Rewrite &rw : rewrites) {
+        size_t pos = out.find(rw.from);
+        if (pos == std::string::npos)
+            throw std::runtime_error(
+                "defect rewrite pattern not found in golden source: \"" +
+                rw.from + "\"");
+        out.replace(pos, rw.from.size(), rw.to);
+    }
+    return out;
+}
+
+Trace
+recordGoldenTrace(const ProjectSpec &project, bool verify_bench,
+                  const RunLimits &limits)
+{
+    const std::string &tb_src =
+        verify_bench ? project.verifySource : project.testbenchSource;
+    const std::string &top =
+        verify_bench ? project.verifyModule : project.tbModule;
+    auto file = parseCombined(project.goldenSource, tb_src);
+    ProbeConfig probe = sim::deriveProbeConfig(*file, top);
+    return simulateAndRecord(std::move(file), top, probe, limits);
+}
+
+Scenario
+buildScenario(const ProjectSpec &project, const DefectSpec &defect,
+              const RunLimits &limits)
+{
+    Scenario sc;
+    sc.project = &project;
+    sc.defect = &defect;
+
+    // Expected behavior: record from the previously-functioning design
+    // (paper Section 4.1.2).
+    auto golden = parseCombined(project.goldenSource,
+                                project.testbenchSource);
+    sc.probe = sim::deriveProbeConfig(*golden, project.tbModule);
+    sc.oracle =
+        simulateAndRecord(golden, project.tbModule, sc.probe, limits);
+
+    // Transplant the defect.
+    std::string faulty_src =
+        applyRewrites(project.goldenSource, defect.rewrites);
+    sc.faulty = parseCombined(faulty_src, project.testbenchSource);
+
+    // Held-out verification data.
+    sc.verifySource = project.verifySource;
+    sc.verifyModule = project.verifyModule;
+    auto verify_golden =
+        parseCombined(project.goldenSource, project.verifySource);
+    sc.verifyProbe =
+        sim::deriveProbeConfig(*verify_golden, project.verifyModule);
+    sc.verifyOracle = simulateAndRecord(
+        verify_golden, project.verifyModule, sc.verifyProbe, limits);
+
+    return sc;
+}
+
+RepairEngine
+Scenario::makeEngine(const EngineConfig &config) const
+{
+    const std::string &dut = defect && !defect->repairModule.empty()
+                                 ? defect->repairModule
+                                 : project->dutModule;
+    return RepairEngine(faulty, project->tbModule, dut, probe, oracle,
+                        config);
+}
+
+FitnessResult
+Scenario::baselineFitness(const EngineConfig &config) const
+{
+    RepairEngine engine = makeEngine(config);
+    return engine.evaluate(Patch{}).fit;
+}
+
+bool
+checkCorrectness(const Scenario &scenario, const Patch &patch,
+                 const RunLimits &limits)
+{
+    // Apply the repair, extract the patched DUT modules, and pair them
+    // with the held-out verification testbench.
+    auto patched = applyPatch(*scenario.faulty, patch);
+    std::string dut_src;
+    auto tb_file = parse(scenario.verifySource);
+    for (auto &m : patched->modules) {
+        if (!tb_file->findModule(m->name))
+            dut_src += print(*m) + "\n";
+    }
+    auto combined = std::shared_ptr<const SourceFile>(
+        parse(dut_src + "\n" + scenario.verifySource));
+    Trace t;
+    try {
+        t = simulateAndRecord(combined, scenario.verifyModule,
+                              scenario.verifyProbe, limits);
+    } catch (const sim::ElabError &) {
+        return false;
+    }
+    FitnessResult fit = evaluateFitness(t, scenario.verifyOracle);
+    return fit.plausible();
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,303 @@
+#include "core/templates.h"
+
+#include <unordered_set>
+
+namespace cirfix::core {
+
+using namespace verilog;
+
+const char *
+templateName(TemplateKind k)
+{
+    switch (k) {
+      case TemplateKind::NegateConditional: return "negate-conditional";
+      case TemplateKind::SensitivityNegedge: return "sensitivity-negedge";
+      case TemplateKind::SensitivityPosedge: return "sensitivity-posedge";
+      case TemplateKind::SensitivityStar: return "sensitivity-star";
+      case TemplateKind::SensitivityLevel: return "sensitivity-level";
+      case TemplateKind::BlockingToNonblocking: return "blocking-to-nba";
+      case TemplateKind::NonblockingToBlocking: return "nba-to-blocking";
+      case TemplateKind::IncrementValue: return "increment-value";
+      case TemplateKind::DecrementValue: return "decrement-value";
+      case TemplateKind::ForceConditionalTrue: return "force-cond-true";
+      case TemplateKind::ForceConditionalFalse:
+        return "force-cond-false";
+      case TemplateKind::SwapIfBranches: return "swap-if-branches";
+    }
+    return "?";
+}
+
+const std::vector<TemplateKind> &
+allTemplates()
+{
+    static const std::vector<TemplateKind> kinds = {
+        TemplateKind::NegateConditional,
+        TemplateKind::SensitivityNegedge,
+        TemplateKind::SensitivityPosedge,
+        TemplateKind::SensitivityStar,
+        TemplateKind::SensitivityLevel,
+        TemplateKind::BlockingToNonblocking,
+        TemplateKind::NonblockingToBlocking,
+        TemplateKind::IncrementValue,
+        TemplateKind::DecrementValue,
+    };
+    return kinds;
+}
+
+const std::vector<TemplateKind> &
+allTemplatesExtended()
+{
+    static const std::vector<TemplateKind> kinds = [] {
+        std::vector<TemplateKind> all = allTemplates();
+        all.push_back(TemplateKind::ForceConditionalTrue);
+        all.push_back(TemplateKind::ForceConditionalFalse);
+        all.push_back(TemplateKind::SwapIfBranches);
+        return all;
+    }();
+    return kinds;
+}
+
+namespace {
+
+/** Give @p node (only) a fresh id from the file's counter. */
+void
+freshId(SourceFile &file, Node &node)
+{
+    node.id = file.nextId++;
+}
+
+/** True if any node of @p root's subtree has an id in @p fl. */
+bool
+subtreeInFl(Node &root, const std::unordered_set<int> &fl)
+{
+    bool hit = false;
+    visitAll(root, [&](Node &n) { hit |= fl.count(n.id) > 0; });
+    return hit;
+}
+
+/** The top-level event control of an always block body, if any. */
+EventCtrl *
+alwaysEventCtrl(AlwaysBlock &blk)
+{
+    if (blk.body && blk.body->kind == NodeKind::EventCtrl)
+        return blk.body->as<EventCtrl>();
+    return nullptr;
+}
+
+/** Deduplicated identifier names read anywhere under @p root. */
+std::vector<std::string>
+blockSignals(Node &root)
+{
+    std::vector<std::string> out;
+    std::unordered_set<std::string> seen;
+    for (auto &n : collectIdents(root))
+        if (seen.insert(n).second)
+            out.push_back(n);
+    return out;
+}
+
+} // namespace
+
+std::vector<TemplateSite>
+enumerateTemplateSites(const Module &mod,
+                       const std::unordered_set<int> *fl_set,
+                       bool extended)
+{
+    std::vector<TemplateSite> sites;
+    auto in_fl = [&](int id) { return !fl_set || fl_set->count(id) > 0; };
+
+    for (auto &item : const_cast<Module &>(mod).items) {
+        if (item->kind == NodeKind::AlwaysBlock) {
+            auto *blk = item->as<AlwaysBlock>();
+            EventCtrl *ec = alwaysEventCtrl(*blk);
+            if (!ec)
+                continue;
+            bool implicated =
+                !fl_set || subtreeInFl(*blk, *fl_set);
+            if (!implicated)
+                continue;
+            // Candidate trigger signals: anything the block reads plus
+            // the module's ports (the clock is usually a port that the
+            // block body itself never reads).
+            std::vector<std::string> signals =
+                ec->stmt ? blockSignals(*ec->stmt)
+                         : std::vector<std::string>{};
+            {
+                std::unordered_set<std::string> seen(signals.begin(),
+                                                     signals.end());
+                for (auto &port : mod.ports)
+                    if (seen.insert(port.name).second)
+                        signals.push_back(port.name);
+            }
+            for (auto &sig : signals) {
+                sites.push_back({TemplateKind::SensitivityNegedge,
+                                 ec->id, sig});
+                sites.push_back({TemplateKind::SensitivityPosedge,
+                                 ec->id, sig});
+                sites.push_back({TemplateKind::SensitivityLevel,
+                                 ec->id, sig});
+            }
+            sites.push_back({TemplateKind::SensitivityStar, ec->id, ""});
+        }
+    }
+
+    visitAll(const_cast<Module &>(mod), [&](Node &n) {
+        switch (n.kind) {
+          case NodeKind::If:
+          case NodeKind::While:
+            if (in_fl(n.id)) {
+                sites.push_back(
+                    {TemplateKind::NegateConditional, n.id, ""});
+                if (extended) {
+                    sites.push_back(
+                        {TemplateKind::ForceConditionalTrue, n.id,
+                         ""});
+                    sites.push_back(
+                        {TemplateKind::ForceConditionalFalse, n.id,
+                         ""});
+                    if (n.kind == NodeKind::If &&
+                        n.as<If>()->elseStmt)
+                        sites.push_back(
+                            {TemplateKind::SwapIfBranches, n.id, ""});
+                }
+            }
+            break;
+          case NodeKind::Assign:
+            if (in_fl(n.id)) {
+                sites.push_back({n.as<Assign>()->blocking
+                                     ? TemplateKind::BlockingToNonblocking
+                                     : TemplateKind::NonblockingToBlocking,
+                                 n.id, ""});
+            }
+            break;
+          case NodeKind::Number:
+            if (in_fl(n.id)) {
+                sites.push_back({TemplateKind::IncrementValue, n.id, ""});
+                sites.push_back({TemplateKind::DecrementValue, n.id, ""});
+            }
+            break;
+          default:
+            break;
+        }
+    });
+    return sites;
+}
+
+bool
+applyTemplate(SourceFile &file, TemplateKind kind, int target,
+              const std::string &param)
+{
+    Node *node = findNode(file, target);
+    if (!node)
+        return false;
+
+    switch (kind) {
+      case TemplateKind::NegateConditional: {
+        ExprPtr *cond = nullptr;
+        if (node->kind == NodeKind::If)
+            cond = &node->as<If>()->cond;
+        else if (node->kind == NodeKind::While)
+            cond = &node->as<While>()->cond;
+        else
+            return false;
+        auto negated =
+            std::make_unique<Unary>(UnaryOp::Not, std::move(*cond));
+        freshId(file, *negated);
+        *cond = std::move(negated);
+        return true;
+      }
+      case TemplateKind::SensitivityNegedge:
+      case TemplateKind::SensitivityPosedge:
+      case TemplateKind::SensitivityLevel: {
+        EventCtrl *ec = nullptr;
+        if (node->kind == NodeKind::EventCtrl)
+            ec = node->as<EventCtrl>();
+        else if (node->kind == NodeKind::AlwaysBlock)
+            ec = alwaysEventCtrl(*node->as<AlwaysBlock>());
+        if (!ec || param.empty())
+            return false;
+        Edge edge = kind == TemplateKind::SensitivityNegedge ? Edge::Neg
+                    : kind == TemplateKind::SensitivityPosedge
+                        ? Edge::Pos
+                        : Edge::Level;
+        EventExpr ev;
+        ev.edge = edge;
+        auto id = std::make_unique<Ident>(param);
+        freshId(file, *id);
+        ev.signal = std::move(id);
+        ec->star = false;
+        ec->events.clear();
+        ec->events.push_back(std::move(ev));
+        return true;
+      }
+      case TemplateKind::SensitivityStar: {
+        EventCtrl *ec = nullptr;
+        if (node->kind == NodeKind::EventCtrl)
+            ec = node->as<EventCtrl>();
+        else if (node->kind == NodeKind::AlwaysBlock)
+            ec = alwaysEventCtrl(*node->as<AlwaysBlock>());
+        if (!ec)
+            return false;
+        ec->star = true;
+        ec->events.clear();
+        return true;
+      }
+      case TemplateKind::BlockingToNonblocking: {
+        if (node->kind != NodeKind::Assign)
+            return false;
+        auto *a = node->as<Assign>();
+        if (!a->blocking)
+            return false;
+        a->blocking = false;
+        return true;
+      }
+      case TemplateKind::NonblockingToBlocking: {
+        if (node->kind != NodeKind::Assign)
+            return false;
+        auto *a = node->as<Assign>();
+        if (a->blocking)
+            return false;
+        a->blocking = true;
+        return true;
+      }
+      case TemplateKind::ForceConditionalTrue:
+      case TemplateKind::ForceConditionalFalse: {
+        ExprPtr *cond = nullptr;
+        if (node->kind == NodeKind::If)
+            cond = &node->as<If>()->cond;
+        else if (node->kind == NodeKind::While)
+            cond = &node->as<While>()->cond;
+        else
+            return false;
+        auto constant = std::make_unique<Number>(
+            1, kind == TemplateKind::ForceConditionalTrue ? 1u : 0u,
+            'b');
+        freshId(file, *constant);
+        *cond = std::move(constant);
+        return true;
+      }
+      case TemplateKind::SwapIfBranches: {
+        if (node->kind != NodeKind::If)
+            return false;
+        auto *i = node->as<If>();
+        if (!i->elseStmt)
+            return false;
+        std::swap(i->thenStmt, i->elseStmt);
+        return true;
+      }
+      case TemplateKind::IncrementValue:
+      case TemplateKind::DecrementValue: {
+        if (node->kind != NodeKind::Number)
+            return false;
+        auto *num = node->as<Number>();
+        sim::LogicVec one(num->value.width(), uint64_t(1));
+        num->value = kind == TemplateKind::IncrementValue
+                         ? num->value.add(one)
+                         : num->value.sub(one);
+        return true;
+      }
+    }
+    return false;
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Repair templates (paper Section 3.3, Table 1).
+ *
+ * Nine pre-identified fix patterns covering the four defect categories
+ * CirFix targets: incorrect conditionals, incorrect sensitivity lists,
+ * incorrect blocking/non-blocking assignments, and numeric errors.
+ * Three of the categories come from Sudakrishnan et al.'s study of
+ * Verilog bug-fix histories; the numeric category is CirFix's own.
+ */
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "verilog/ast.h"
+
+namespace cirfix::core {
+
+enum class TemplateKind {
+    // Conditionals
+    NegateConditional,       //!< negate an if/while condition
+    // Sensitivity lists
+    SensitivityNegedge,      //!< trigger always block on negedge <param>
+    SensitivityPosedge,      //!< trigger always block on posedge <param>
+    SensitivityStar,         //!< trigger on any change of block's vars
+    SensitivityLevel,        //!< trigger when <param> changes (level)
+    // Assignments
+    BlockingToNonblocking,   //!< a = b  ->  a <= b
+    NonblockingToBlocking,   //!< a <= b ->  a = b
+    // Numeric
+    IncrementValue,          //!< bump a numeric literal by 1
+    DecrementValue,          //!< drop a numeric literal by 1
+
+    // --- Extended set (paper Section 5.2: "adding more repair
+    // templates can help in such cases"; opt-in, not part of the
+    // paper's nine) ---
+    ForceConditionalTrue,    //!< replace an if condition with 1'b1
+    ForceConditionalFalse,   //!< replace an if condition with 1'b0
+    SwapIfBranches,          //!< exchange then/else of an if
+};
+
+constexpr int kNumTemplates = 9;
+constexpr int kNumExtendedTemplates = 12;
+
+const char *templateName(TemplateKind k);
+
+/** All nine template kinds, in Table 1 order. */
+const std::vector<TemplateKind> &allTemplates();
+
+/** The nine plus the three extended kinds. */
+const std::vector<TemplateKind> &allTemplatesExtended();
+
+/**
+ * One concrete application site for a template: which node to edit
+ * and (for sensitivity templates) which signal to use.
+ */
+struct TemplateSite
+{
+    TemplateKind kind;
+    int target;         //!< node id the template applies to
+    std::string param;  //!< sensitivity signal name ("" if unused)
+};
+
+/**
+ * Enumerate every site where some template can apply, restricted to
+ * nodes implicated by fault localization (pass nullptr to consider
+ * every node of the module).
+ */
+std::vector<TemplateSite>
+enumerateTemplateSites(const verilog::Module &mod,
+                       const std::unordered_set<int> *fl_set,
+                       bool extended = false);
+
+/**
+ * Apply a template in place.
+ *
+ * @return false if the target node is missing or the template does
+ *         not apply to its kind (the caller treats this as a no-op).
+ */
+bool applyTemplate(verilog::SourceFile &file, TemplateKind kind,
+                   int target, const std::string &param);
+
+} // namespace cirfix::core

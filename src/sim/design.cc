@@ -1,0 +1,140 @@
+#include "sim/design.h"
+
+#include "sim/interp.h"
+
+namespace cirfix::sim {
+
+InstanceScope *
+InstanceScope::findChild(const std::string &inst_name) const
+{
+    std::string suffix = "." + inst_name;
+    for (auto &c : children) {
+        const std::string &p = c->path;
+        if (p == inst_name ||
+            (p.size() > suffix.size() &&
+             p.compare(p.size() - suffix.size(), suffix.size(), suffix) ==
+                 0))
+            return c.get();
+    }
+    return nullptr;
+}
+
+SignalRef
+InstanceScope::findSignal(const std::string &name) const
+{
+    auto it = signals.find(name);
+    return it == signals.end() ? SignalRef{} : it->second;
+}
+
+Memory *
+InstanceScope::findMemory(const std::string &name) const
+{
+    auto it = memories.find(name);
+    return it == memories.end() ? nullptr : it->second;
+}
+
+NamedEvent *
+InstanceScope::findEvent(const std::string &name) const
+{
+    auto it = events.find(name);
+    return it == events.end() ? nullptr : it->second;
+}
+
+const verilog::FunctionDecl *
+InstanceScope::findFunction(const std::string &name) const
+{
+    auto it = functions.find(name);
+    return it == functions.end() ? nullptr : it->second;
+}
+
+Design::Design() = default;
+Design::~Design() = default;
+
+SignalRef
+Design::findSignal(const std::string &hier_path)
+{
+    size_t dot = hier_path.rfind('.');
+    if (dot == std::string::npos)
+        return top_->findSignal(hier_path);
+    InstanceScope *scope = findScope(hier_path.substr(0, dot));
+    if (!scope)
+        return SignalRef{};
+    return scope->findSignal(hier_path.substr(dot + 1));
+}
+
+InstanceScope *
+Design::findScope(const std::string &hier_path)
+{
+    InstanceScope *scope = top_.get();
+    if (hier_path.empty())
+        return scope;
+    size_t start = 0;
+    while (scope && start <= hier_path.size()) {
+        size_t dot = hier_path.find('.', start);
+        std::string part = hier_path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        scope = scope->findChild(part);
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return scope;
+}
+
+void
+Design::addDisplay(std::string line)
+{
+    if (log_.size() < kMaxLogLines)
+        log_.push_back(std::move(line));
+}
+
+uint32_t
+Design::nextRandom()
+{
+    // xorshift64*
+    rngState_ ^= rngState_ >> 12;
+    rngState_ ^= rngState_ << 25;
+    rngState_ ^= rngState_ >> 27;
+    return static_cast<uint32_t>((rngState_ * 0x2545F4914F6CDD1Dull) >>
+                                 32);
+}
+
+Scheduler::RunResult
+Design::run(const RunLimits &limits)
+{
+    stmtBudget_ = limits.maxStatements;
+    return sched_.run(limits.maxTime, limits.maxCallbacks);
+}
+
+Signal *
+Design::makeSignal(const std::string &name, int width, bool is_reg)
+{
+    signals_.push_back(
+        std::make_unique<Signal>(name, width, is_reg, &sched_));
+    return signals_.back().get();
+}
+
+Memory *
+Design::makeMemory(const std::string &name, int width, int64_t first,
+                   int64_t last)
+{
+    memories_.push_back(std::make_unique<Memory>(name, width, first,
+                                                 last));
+    return memories_.back().get();
+}
+
+NamedEvent *
+Design::makeEvent(const std::string &name)
+{
+    events_.push_back(std::make_unique<NamedEvent>(name));
+    return events_.back().get();
+}
+
+void
+Design::adoptProcess(std::unique_ptr<Process> p)
+{
+    processes_.push_back(std::move(p));
+}
+
+} // namespace cirfix::sim

@@ -1,0 +1,32 @@
+#pragma once
+
+/**
+ * @file
+ * Design elaboration: AST -> runnable Design.
+ */
+
+#include <memory>
+#include <string>
+
+#include "sim/design.h"
+#include "verilog/ast.h"
+
+namespace cirfix::sim {
+
+/**
+ * Elaborate @p file starting from module @p top (the testbench).
+ *
+ * The design keeps a shared reference to the AST: the tree must not be
+ * mutated while the design is alive.
+ *
+ * @throws ElabError on unsupported or inconsistent structure.
+ */
+std::unique_ptr<Design>
+elaborate(std::shared_ptr<const verilog::SourceFile> file,
+          const std::string &top);
+
+/** Convenience overload: clones @p file and elaborates the clone. */
+std::unique_ptr<Design> elaborate(const verilog::SourceFile &file,
+                                  const std::string &top);
+
+} // namespace cirfix::sim

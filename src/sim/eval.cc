@@ -1,0 +1,469 @@
+#include "sim/eval.h"
+
+#include "sim/interp.h"
+
+namespace cirfix::sim {
+
+using namespace verilog;
+
+namespace {
+
+/**
+ * Evaluate a call of a user-defined function (IEEE 1364 §10.4).
+ *
+ * A temporary scope overlays local Signals for the inputs, local
+ * variables, and the function-name result register on top of the
+ * caller's module scope; the body executes synchronously (function
+ * bodies cannot contain timing controls).
+ */
+LogicVec
+callFunction(const FunctionDecl &fn, const FuncCall &call,
+             InstanceScope &scope, Design &design)
+{
+    static thread_local int depth = 0;
+    if (depth >= 64)
+        return LogicVec::xs(1);  // runaway recursion
+
+    // Argument values evaluated in the caller's scope.
+    std::vector<LogicVec> args;
+    for (auto &a : call.args)
+        args.push_back(evalExpr(*a, scope, design));
+    if (args.size() != fn.inputOrder.size())
+        return LogicVec::xs(1);
+
+    int ret_width = 1;
+    if (fn.msb) {
+        try {
+            int64_t m = evalConstInt(*fn.msb, scope.params);
+            int64_t l = evalConstInt(*fn.lsb, scope.params);
+            ret_width = static_cast<int>(m - l + 1);
+        } catch (const ElabError &) {
+            return LogicVec::xs(1);
+        }
+    }
+    if (ret_width <= 0)
+        return LogicVec::xs(1);
+
+    // Local storage for the call frame (stack-owned Signals). The
+    // call scope copies the module's name maps (children excluded:
+    // InstanceScope owns those) and overlays the frame's locals.
+    std::vector<std::unique_ptr<Signal>> frame;
+    InstanceScope local;
+    local.path = scope.path;
+    local.module = scope.module;
+    local.parent = scope.parent;
+    local.signals = scope.signals;
+    local.memories = scope.memories;
+    local.events = scope.events;
+    local.params = scope.params;
+    local.functions = scope.functions;
+
+    auto add_local = [&](const std::string &name, int width,
+                         int lsb) {
+        frame.push_back(std::make_unique<Signal>(
+            name, width, true, &design.scheduler()));
+        local.signals[name] = SignalRef{frame.back().get(), lsb};
+        local.memories.erase(name);
+        return frame.back().get();
+    };
+
+    Signal *ret = add_local(fn.name, ret_width, 0);
+    for (auto &decl : fn.locals) {
+        int width = 1, lsb = 0;
+        if (decl->varKind == VarKind::Integer)
+            width = 32;
+        if (decl->msb) {
+            try {
+                int64_t m = evalConstInt(*decl->msb, scope.params);
+                int64_t l = evalConstInt(*decl->lsb, scope.params);
+                width = static_cast<int>(m - l + 1);
+                lsb = static_cast<int>(l);
+            } catch (const ElabError &) {
+                return LogicVec::xs(ret_width);
+            }
+        }
+        add_local(decl->name, width, lsb);
+    }
+    for (size_t i = 0; i < fn.inputOrder.size(); ++i) {
+        SignalRef r = local.findSignal(fn.inputOrder[i]);
+        if (r.sig)
+            r.sig->initValue(args[i]);
+    }
+
+    if (fn.body && !mightSuspend(*fn.body)) {
+        ++depth;
+        try {
+            execStmtSync(design, local, *fn.body);
+        } catch (...) {
+            --depth;
+            throw;
+        }
+        --depth;
+    }
+    return ret->value();
+}
+
+LogicVec
+applyUnary(UnaryOp op, const LogicVec &v)
+{
+    switch (op) {
+      case UnaryOp::Plus: return v;
+      case UnaryOp::Minus: return v.negate();
+      case UnaryOp::Not: return v.logicNot();
+      case UnaryOp::BitNot: return v.bitNot();
+      case UnaryOp::RedAnd: return v.reduceAnd();
+      case UnaryOp::RedOr: return v.reduceOr();
+      case UnaryOp::RedXor: return v.reduceXor();
+      case UnaryOp::RedNand: return v.reduceNand();
+      case UnaryOp::RedNor: return v.reduceNor();
+      case UnaryOp::RedXnor: return v.reduceXnor();
+    }
+    return LogicVec::xs(v.width());
+}
+
+LogicVec
+applyBinary(BinaryOp op, const LogicVec &a, const LogicVec &b)
+{
+    switch (op) {
+      case BinaryOp::Add: return a.add(b);
+      case BinaryOp::Sub: return a.sub(b);
+      case BinaryOp::Mul: return a.mul(b);
+      case BinaryOp::Div: return a.div(b);
+      case BinaryOp::Mod: return a.mod(b);
+      case BinaryOp::Pow: return a.pow(b);
+      case BinaryOp::BitAnd: return a.bitAnd(b);
+      case BinaryOp::BitOr: return a.bitOr(b);
+      case BinaryOp::BitXor: return a.bitXor(b);
+      case BinaryOp::BitXnor: return a.bitXnor(b);
+      case BinaryOp::LogAnd: return a.logicAnd(b);
+      case BinaryOp::LogOr: return a.logicOr(b);
+      case BinaryOp::Eq: return a.logicEq(b);
+      case BinaryOp::Neq: return a.logicNeq(b);
+      case BinaryOp::CaseEq: return a.caseEq(b);
+      case BinaryOp::CaseNeq: return a.caseNeq(b);
+      case BinaryOp::Lt: return a.lt(b);
+      case BinaryOp::Le: return a.le(b);
+      case BinaryOp::Gt: return a.gt(b);
+      case BinaryOp::Ge: return a.ge(b);
+      case BinaryOp::Shl: return a.shl(b);
+      case BinaryOp::Shr: return a.shr(b);
+    }
+    return LogicVec::xs(std::max(a.width(), b.width()));
+}
+
+/** Ternary with ambiguous condition merges branches bitwise (IEEE). */
+LogicVec
+mergeTernary(const LogicVec &t, const LogicVec &e)
+{
+    int w = std::max(t.width(), e.width());
+    LogicVec a = t.resized(w), b = e.resized(w), r(w, Bit::X);
+    for (int i = 0; i < w; ++i)
+        if (a.bit(i) == b.bit(i) &&
+            (a.bit(i) == Bit::Zero || a.bit(i) == Bit::One))
+            r.setBit(i, a.bit(i));
+    return r;
+}
+
+} // namespace
+
+LogicVec
+evalExpr(const Expr &e, InstanceScope &scope, Design &design)
+{
+    switch (e.kind) {
+      case NodeKind::Number:
+        return e.as<Number>()->value;
+      case NodeKind::Ident: {
+        const std::string &n = e.as<Ident>()->name;
+        if (SignalRef r = scope.findSignal(n); r.sig)
+            return r.sig->value();
+        auto p = scope.params.find(n);
+        if (p != scope.params.end())
+            return p->second;
+        return LogicVec::xs(1);
+      }
+      case NodeKind::Index: {
+        auto *ix = e.as<Index>();
+        LogicVec idx = evalExpr(*ix->index, scope, design);
+        if (Memory *mem = scope.findMemory(ix->name))
+            return mem->read(idx);
+        LogicVec base(1, Bit::X);
+        int lsb = 0;
+        if (SignalRef r = scope.findSignal(ix->name); r.sig) {
+            base = r.sig->value();
+            lsb = r.lsb;
+        } else if (auto p = scope.params.find(ix->name);
+                   p != scope.params.end()) {
+            base = p->second;
+        } else {
+            return LogicVec::xs(1);
+        }
+        if (idx.hasUnknown())
+            return LogicVec::xs(1);
+        int bit = static_cast<int>(idx.toUint64()) - lsb;
+        LogicVec out(1, Bit::X);
+        out.setBit(0, base.bit(bit));
+        return out;
+      }
+      case NodeKind::RangeSel: {
+        auto *r = e.as<RangeSel>();
+        LogicVec m = evalExpr(*r->msb, scope, design);
+        LogicVec l = evalExpr(*r->lsb, scope, design);
+        LogicVec base(1, Bit::X);
+        int lsb_off = 0;
+        if (SignalRef sr = scope.findSignal(r->name); sr.sig) {
+            base = sr.sig->value();
+            lsb_off = sr.lsb;
+        } else if (auto p = scope.params.find(r->name);
+                   p != scope.params.end()) {
+            base = p->second;
+        } else {
+            return LogicVec::xs(1);
+        }
+        if (m.hasUnknown() || l.hasUnknown())
+            return LogicVec::xs(1);
+        int msb = static_cast<int>(m.toUint64()) - lsb_off;
+        int lsb = static_cast<int>(l.toUint64()) - lsb_off;
+        if (msb < lsb)
+            return LogicVec::xs(1);
+        return base.slice(msb, lsb);
+      }
+      case NodeKind::Unary: {
+        auto *u = e.as<Unary>();
+        return applyUnary(u->op, evalExpr(*u->operand, scope, design));
+      }
+      case NodeKind::Binary: {
+        auto *b = e.as<Binary>();
+        return applyBinary(b->op, evalExpr(*b->lhs, scope, design),
+                           evalExpr(*b->rhs, scope, design));
+      }
+      case NodeKind::Ternary: {
+        auto *t = e.as<Ternary>();
+        LogicVec c = evalExpr(*t->cond, scope, design);
+        if (c.hasOne())
+            return evalExpr(*t->thenExpr, scope, design);
+        if (!c.hasUnknown())
+            return evalExpr(*t->elseExpr, scope, design);
+        return mergeTernary(evalExpr(*t->thenExpr, scope, design),
+                            evalExpr(*t->elseExpr, scope, design));
+      }
+      case NodeKind::Concat: {
+        auto *c = e.as<Concat>();
+        LogicVec acc(1, Bit::Zero);
+        bool first = true;
+        for (auto &p : c->parts) {
+            LogicVec v = evalExpr(*p, scope, design);
+            acc = first ? v : LogicVec::concat(acc, v);
+            first = false;
+        }
+        return acc;
+      }
+      case NodeKind::Repl: {
+        auto *r = e.as<Repl>();
+        LogicVec n = evalExpr(*r->count, scope, design);
+        LogicVec v = evalExpr(*r->value, scope, design);
+        if (n.hasUnknown() || n.toUint64() == 0 || n.toUint64() > 4096)
+            return LogicVec::xs(v.width());
+        return v.replicate(static_cast<int>(n.toUint64()));
+      }
+      case NodeKind::FuncCall: {
+        auto *f = e.as<FuncCall>();
+        if (const FunctionDecl *fn = scope.findFunction(f->name))
+            return callFunction(*fn, *f, scope, design);
+        return LogicVec::xs(1);
+      }
+      case NodeKind::SysFuncCall: {
+        auto *f = e.as<SysFuncCall>();
+        if (f->name == "$time" || f->name == "$stime" ||
+            f->name == "$realtime")
+            return LogicVec(64, design.scheduler().now());
+        if (f->name == "$random" || f->name == "$urandom")
+            return LogicVec(32, static_cast<uint64_t>(design.nextRandom()));
+        return LogicVec::xs(32);
+      }
+      default:
+        return LogicVec::xs(1);
+    }
+}
+
+LogicVec
+evalConst(const Expr &e,
+          const std::unordered_map<std::string, LogicVec> &params)
+{
+    switch (e.kind) {
+      case NodeKind::Number:
+        return e.as<Number>()->value;
+      case NodeKind::Ident: {
+        auto it = params.find(e.as<Ident>()->name);
+        if (it == params.end())
+            throw ElabError("non-constant identifier '" +
+                            e.as<Ident>()->name + "' in constant context");
+        return it->second;
+      }
+      case NodeKind::Unary: {
+        auto *u = e.as<Unary>();
+        return applyUnary(u->op, evalConst(*u->operand, params));
+      }
+      case NodeKind::Binary: {
+        auto *b = e.as<Binary>();
+        return applyBinary(b->op, evalConst(*b->lhs, params),
+                           evalConst(*b->rhs, params));
+      }
+      case NodeKind::Ternary: {
+        auto *t = e.as<Ternary>();
+        LogicVec c = evalConst(*t->cond, params);
+        if (c.hasOne())
+            return evalConst(*t->thenExpr, params);
+        if (!c.hasUnknown())
+            return evalConst(*t->elseExpr, params);
+        // Ambiguous condition: IEEE bitwise merge, same as evalExpr.
+        return mergeTernary(evalConst(*t->thenExpr, params),
+                            evalConst(*t->elseExpr, params));
+      }
+      case NodeKind::Concat: {
+        auto *c = e.as<Concat>();
+        LogicVec acc(1, Bit::Zero);
+        bool first = true;
+        for (auto &p : c->parts) {
+            LogicVec v = evalConst(*p, params);
+            acc = first ? v : LogicVec::concat(acc, v);
+            first = false;
+        }
+        return acc;
+      }
+      case NodeKind::Repl: {
+        auto *r = e.as<Repl>();
+        LogicVec n = evalConst(*r->count, params);
+        LogicVec v = evalConst(*r->value, params);
+        if (n.hasUnknown() || n.toUint64() == 0)
+            throw ElabError("bad replication count in constant context");
+        return v.replicate(static_cast<int>(n.toUint64()));
+      }
+      default:
+        throw ElabError(std::string("non-constant expression of kind ") +
+                        nodeKindName(e.kind));
+    }
+}
+
+int64_t
+evalConstInt(const Expr &e,
+             const std::unordered_map<std::string, LogicVec> &params)
+{
+    LogicVec v = evalConst(e, params);
+    if (v.hasUnknown())
+        throw ElabError("x/z value in integer constant context");
+    return static_cast<int64_t>(v.toUint64());
+}
+
+namespace {
+
+void
+resolveInto(Design &design, InstanceScope &scope, const Expr &lhs,
+            WriteTarget &out)
+{
+    switch (lhs.kind) {
+      case NodeKind::Ident: {
+        WriteSlot s;
+        if (SignalRef r = scope.findSignal(lhs.as<Ident>()->name);
+            r.sig) {
+            s.sig = r.sig;
+            s.lsb = 0;
+            s.width = r.sig->width();
+            s.ok = true;
+        }
+        out.slots.push_back(std::move(s));
+        break;
+      }
+      case NodeKind::Index: {
+        auto *ix = lhs.as<Index>();
+        WriteSlot s;
+        LogicVec idx = evalExpr(*ix->index, scope, design);
+        if (Memory *mem = scope.findMemory(ix->name)) {
+            s.mem = mem;
+            s.addr = idx;
+            s.width = mem->width();
+            s.ok = !idx.hasUnknown();
+        } else if (SignalRef r = scope.findSignal(ix->name); r.sig) {
+            s.sig = r.sig;
+            s.width = 1;
+            if (!idx.hasUnknown()) {
+                int bit = static_cast<int>(idx.toUint64()) - r.lsb;
+                if (bit >= 0 && bit < r.sig->width()) {
+                    s.lsb = bit;
+                    s.ok = true;
+                }
+            }
+        }
+        out.slots.push_back(std::move(s));
+        break;
+      }
+      case NodeKind::RangeSel: {
+        auto *rs = lhs.as<RangeSel>();
+        WriteSlot s;
+        LogicVec m = evalExpr(*rs->msb, scope, design);
+        LogicVec l = evalExpr(*rs->lsb, scope, design);
+        if (SignalRef r = scope.findSignal(rs->name);
+            r.sig && !m.hasUnknown() && !l.hasUnknown()) {
+            int msb = static_cast<int>(m.toUint64()) - r.lsb;
+            int lsb = static_cast<int>(l.toUint64()) - r.lsb;
+            if (msb >= lsb && lsb >= 0 && msb < r.sig->width()) {
+                s.sig = r.sig;
+                s.lsb = lsb;
+                s.width = msb - lsb + 1;
+                s.ok = true;
+            } else if (msb >= lsb) {
+                s.width = msb - lsb + 1;
+            }
+        }
+        out.slots.push_back(std::move(s));
+        break;
+      }
+      case NodeKind::Concat:
+        for (auto &p : lhs.as<Concat>()->parts)
+            resolveInto(design, scope, *p, out);
+        break;
+      default:
+        // Invalid target (validator rejects these); drop the write.
+        out.slots.push_back(WriteSlot{});
+        break;
+    }
+}
+
+} // namespace
+
+WriteTarget
+resolveLValue(Design &design, InstanceScope &scope, const Expr &lhs)
+{
+    WriteTarget t;
+    resolveInto(design, scope, lhs, t);
+    for (auto &s : t.slots)
+        t.totalWidth += s.width;
+    return t;
+}
+
+void
+performWrite(const WriteTarget &target, const LogicVec &value)
+{
+    LogicVec v = value.resized(target.totalWidth);
+    int off = 0;  // distribute from the LSB end == last slot first
+    for (auto it = target.slots.rbegin(); it != target.slots.rend();
+         ++it) {
+        const WriteSlot &s = *it;
+        LogicVec part = v.slice(off + s.width - 1, off);
+        off += s.width;
+        if (!s.ok)
+            continue;
+        if (s.mem) {
+            s.mem->write(s.addr, part);
+        } else if (s.sig) {
+            if (s.lsb == 0 && s.width == s.sig->width()) {
+                s.sig->set(part);
+            } else {
+                LogicVec cur = s.sig->value();
+                cur.writeSlice(s.lsb, part);
+                s.sig->set(cur);
+            }
+        }
+    }
+}
+
+} // namespace cirfix::sim

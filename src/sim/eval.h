@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Expression evaluation over an elaborated scope.
+ *
+ * Width rules follow a simplified model: operands are evaluated
+ * bottom-up at their natural widths, binary arithmetic/bitwise
+ * operators extend to the wider operand, and assignment resizes to the
+ * target width. This matches IEEE context-determined sizing for all the
+ * expression shapes used by the benchmark suite.
+ */
+
+#include "sim/design.h"
+#include "verilog/ast.h"
+
+namespace cirfix::sim {
+
+/** Evaluate @p e in @p scope. Unresolvable names evaluate to x. */
+LogicVec evalExpr(const verilog::Expr &e, InstanceScope &scope,
+                  Design &design);
+
+/**
+ * Elaboration-time constant evaluation (numbers, parameters, and
+ * operators only).
+ *
+ * @throws ElabError when the expression is not compile-time constant.
+ */
+LogicVec evalConst(const verilog::Expr &e,
+                   const std::unordered_map<std::string, LogicVec> &params);
+
+/** evalConst() narrowed to a signed 64-bit integer. */
+int64_t evalConstInt(const verilog::Expr &e,
+                     const std::unordered_map<std::string, LogicVec> &params);
+
+// --------------------------------------------------------------------
+// Assignment targets
+// --------------------------------------------------------------------
+
+/** One piece of a (possibly concatenated) assignment target. */
+struct WriteSlot
+{
+    Signal *sig = nullptr;
+    Memory *mem = nullptr;
+    LogicVec addr{1, Bit::X};  //!< memory element address
+    int lsb = 0;               //!< physical LSB within the signal
+    int width = 1;
+    bool ok = false;           //!< false: drop this part of the write
+};
+
+/** A fully resolved assignment target (indices already evaluated). */
+struct WriteTarget
+{
+    std::vector<WriteSlot> slots;  //!< MSB-first, as written in source
+    int totalWidth = 0;
+};
+
+/** Resolve an lvalue expression, evaluating indices now. */
+WriteTarget resolveLValue(Design &design, InstanceScope &scope,
+                          const verilog::Expr &lhs);
+
+/** Write @p value (resized to the target width) into the target. */
+void performWrite(const WriteTarget &target, const LogicVec &value);
+
+} // namespace cirfix::sim

@@ -1,0 +1,662 @@
+#include "sim/logic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cirfix::sim {
+
+char
+bitChar(Bit b)
+{
+    switch (b) {
+      case Bit::Zero: return '0';
+      case Bit::One: return '1';
+      case Bit::Z: return 'z';
+      case Bit::X: return 'x';
+    }
+    return '?';
+}
+
+Bit
+charBit(char c)
+{
+    switch (c) {
+      case '0': return Bit::Zero;
+      case '1': return Bit::One;
+      case 'x': case 'X': return Bit::X;
+      case 'z': case 'Z': case '?': return Bit::Z;
+      default:
+        throw std::invalid_argument(std::string("bad logic char: ") + c);
+    }
+}
+
+LogicVec::LogicVec(int width, Bit fill)
+    : width_(width)
+{
+    if (width <= 0)
+        throw std::invalid_argument("LogicVec width must be positive");
+    int nw = (width + 63) / 64;
+    uint64_t a = (static_cast<uint8_t>(fill) & 1) ? ~0ull : 0ull;
+    uint64_t b = (static_cast<uint8_t>(fill) & 2) ? ~0ull : 0ull;
+    aval_.assign(nw, a);
+    bval_.assign(nw, b);
+    maskTop();
+}
+
+LogicVec::LogicVec(int width, uint64_t value)
+    : width_(width)
+{
+    if (width <= 0)
+        throw std::invalid_argument("LogicVec width must be positive");
+    int nw = (width + 63) / 64;
+    aval_.assign(nw, 0);
+    bval_.assign(nw, 0);
+    aval_[0] = value;
+    maskTop();
+}
+
+LogicVec
+LogicVec::fromString(const std::string &bits)
+{
+    if (bits.empty())
+        throw std::invalid_argument("empty bit string");
+    LogicVec v(static_cast<int>(bits.size()), Bit::Zero);
+    for (size_t i = 0; i < bits.size(); ++i)
+        v.setBit(static_cast<int>(bits.size() - 1 - i), charBit(bits[i]));
+    return v;
+}
+
+void
+LogicVec::maskTop()
+{
+    int rem = width_ % 64;
+    if (rem != 0) {
+        uint64_t mask = (1ull << rem) - 1;
+        aval_.back() &= mask;
+        bval_.back() &= mask;
+    }
+}
+
+Bit
+LogicVec::bit(int i) const
+{
+    if (i < 0 || i >= width_)
+        return Bit::X;
+    uint64_t a = (aval_[i / 64] >> (i % 64)) & 1;
+    uint64_t b = (bval_[i / 64] >> (i % 64)) & 1;
+    return static_cast<Bit>(a | (b << 1));
+}
+
+void
+LogicVec::setBit(int i, Bit b)
+{
+    if (i < 0 || i >= width_)
+        return;
+    uint64_t mask = 1ull << (i % 64);
+    uint8_t enc = static_cast<uint8_t>(b);
+    if (enc & 1)
+        aval_[i / 64] |= mask;
+    else
+        aval_[i / 64] &= ~mask;
+    if (enc & 2)
+        bval_[i / 64] |= mask;
+    else
+        bval_[i / 64] &= ~mask;
+}
+
+bool
+LogicVec::hasUnknown() const
+{
+    for (uint64_t w : bval_)
+        if (w != 0)
+            return true;
+    return false;
+}
+
+bool
+LogicVec::isAllZero() const
+{
+    for (int i = 0; i < words(); ++i)
+        if (aval_[i] != 0 || bval_[i] != 0)
+            return false;
+    return true;
+}
+
+bool
+LogicVec::hasOne() const
+{
+    for (int i = 0; i < words(); ++i)
+        if ((aval_[i] & ~bval_[i]) != 0)
+            return true;
+    return false;
+}
+
+uint64_t
+LogicVec::toUint64() const
+{
+    return aval_[0] & ~bval_[0];
+}
+
+std::string
+LogicVec::toString() const
+{
+    std::string s;
+    s.reserve(width_);
+    for (int i = width_ - 1; i >= 0; --i)
+        s.push_back(bitChar(bit(i)));
+    return s;
+}
+
+std::string
+LogicVec::toDecimalString() const
+{
+    if (hasUnknown())
+        return toString();
+    // Repeated division by 10 over the word array.
+    std::vector<uint64_t> w = aval_;
+    std::string digits;
+    auto all_zero = [&] {
+        return std::all_of(w.begin(), w.end(),
+                           [](uint64_t x) { return x == 0; });
+    };
+    if (all_zero())
+        return "0";
+    while (!all_zero()) {
+        unsigned __int128 rem = 0;
+        for (int i = static_cast<int>(w.size()) - 1; i >= 0; --i) {
+            unsigned __int128 cur = (rem << 64) | w[i];
+            w[i] = static_cast<uint64_t>(cur / 10);
+            rem = cur % 10;
+        }
+        digits.push_back(static_cast<char>('0' + static_cast<int>(rem)));
+    }
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+bool
+LogicVec::identical(const LogicVec &o) const
+{
+    return width_ == o.width_ && aval_ == o.aval_ && bval_ == o.bval_;
+}
+
+LogicVec
+LogicVec::resized(int new_width) const
+{
+    LogicVec r(new_width, Bit::Zero);
+    int n = std::min(new_width, width_);
+    for (int i = 0; i < n; ++i)
+        r.setBit(i, bit(i));
+    return r;
+}
+
+LogicVec
+LogicVec::slice(int msb, int lsb) const
+{
+    assert(msb >= lsb);
+    LogicVec r(msb - lsb + 1, Bit::Zero);
+    for (int i = lsb; i <= msb; ++i)
+        r.setBit(i - lsb, bit(i));
+    return r;
+}
+
+void
+LogicVec::writeSlice(int lsb, const LogicVec &v)
+{
+    for (int i = 0; i < v.width(); ++i) {
+        int dst = lsb + i;
+        if (dst >= 0 && dst < width_)
+            setBit(dst, v.bit(i));
+    }
+}
+
+LogicVec
+LogicVec::bit1(bool v)
+{
+    return LogicVec(1, v ? Bit::One : Bit::Zero);
+}
+
+LogicVec
+LogicVec::bitX()
+{
+    return LogicVec(1, Bit::X);
+}
+
+LogicVec
+LogicVec::bitNot() const
+{
+    // ~0 = 1, ~1 = 0, ~x = x, ~z = x
+    LogicVec r(width_, Bit::Zero);
+    for (int i = 0; i < words(); ++i) {
+        r.bval_[i] = bval_[i];
+        r.aval_[i] = ~aval_[i] | bval_[i];
+    }
+    r.maskTop();
+    return r;
+}
+
+namespace {
+
+/** Pad two operands to a common width for bitwise/arith contexts. */
+int
+commonWidth(const LogicVec &a, const LogicVec &b)
+{
+    return std::max(a.width(), b.width());
+}
+
+} // namespace
+
+LogicVec
+LogicVec::bitAnd(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    LogicVec a = resized(w), b = o.resized(w), r(w, Bit::Zero);
+    // Bitwise: 0 & anything = 0; 1 & 1 = 1; otherwise x.
+    for (int i = 0; i < w; ++i) {
+        Bit x = a.bit(i), y = b.bit(i);
+        if (x == Bit::Zero || y == Bit::Zero)
+            r.setBit(i, Bit::Zero);
+        else if (x == Bit::One && y == Bit::One)
+            r.setBit(i, Bit::One);
+        else
+            r.setBit(i, Bit::X);
+    }
+    return r;
+}
+
+LogicVec
+LogicVec::bitOr(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    LogicVec a = resized(w), b = o.resized(w), r(w, Bit::Zero);
+    for (int i = 0; i < w; ++i) {
+        Bit x = a.bit(i), y = b.bit(i);
+        if (x == Bit::One || y == Bit::One)
+            r.setBit(i, Bit::One);
+        else if (x == Bit::Zero && y == Bit::Zero)
+            r.setBit(i, Bit::Zero);
+        else
+            r.setBit(i, Bit::X);
+    }
+    return r;
+}
+
+LogicVec
+LogicVec::bitXor(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    LogicVec a = resized(w), b = o.resized(w), r(w, Bit::Zero);
+    for (int i = 0; i < w; ++i) {
+        Bit x = a.bit(i), y = b.bit(i);
+        if (x == Bit::X || x == Bit::Z || y == Bit::X || y == Bit::Z)
+            r.setBit(i, Bit::X);
+        else
+            r.setBit(i, (x == y) ? Bit::Zero : Bit::One);
+    }
+    return r;
+}
+
+LogicVec
+LogicVec::bitXnor(const LogicVec &o) const
+{
+    return bitXor(o).bitNot();
+}
+
+LogicVec
+LogicVec::add(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    if (hasUnknown() || o.hasUnknown())
+        return LogicVec::xs(w);
+    LogicVec a = resized(w), b = o.resized(w), r(w, Bit::Zero);
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < a.words(); ++i) {
+        unsigned __int128 s = carry;
+        s += a.aval_[i];
+        s += b.aval_[i];
+        r.aval_[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    r.maskTop();
+    return r;
+}
+
+LogicVec
+LogicVec::sub(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    if (hasUnknown() || o.hasUnknown())
+        return LogicVec::xs(w);
+    return resized(w).add(o.resized(w).negate());
+}
+
+LogicVec
+LogicVec::negate() const
+{
+    if (hasUnknown())
+        return LogicVec::xs(width_);
+    LogicVec r(width_, Bit::Zero);
+    unsigned __int128 carry = 1;
+    for (int i = 0; i < words(); ++i) {
+        unsigned __int128 s = carry;
+        s += ~aval_[i];
+        r.aval_[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    r.maskTop();
+    return r;
+}
+
+LogicVec
+LogicVec::mul(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    if (hasUnknown() || o.hasUnknown())
+        return LogicVec::xs(w);
+    LogicVec a = resized(w), b = o.resized(w), r(w, Bit::Zero);
+    // Schoolbook multiply over 64-bit limbs, truncated to w bits.
+    int nw = a.words();
+    for (int i = 0; i < nw; ++i) {
+        unsigned __int128 carry = 0;
+        for (int j = 0; i + j < nw; ++j) {
+            unsigned __int128 cur = r.aval_[i + j];
+            cur += static_cast<unsigned __int128>(a.aval_[i]) * b.aval_[j];
+            cur += carry;
+            r.aval_[i + j] = static_cast<uint64_t>(cur);
+            carry = cur >> 64;
+        }
+    }
+    r.maskTop();
+    return r;
+}
+
+LogicVec
+LogicVec::div(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    if (hasUnknown() || o.hasUnknown() || o.isAllZero())
+        return LogicVec::xs(w);
+    if (w <= 64)
+        return LogicVec(w, toUint64() / o.toUint64());
+    // Long division: shift-subtract, MSB first.
+    LogicVec rem = LogicVec::zeros(w), quot = LogicVec::zeros(w);
+    LogicVec a = resized(w), b = o.resized(w);
+    for (int i = w - 1; i >= 0; --i) {
+        rem = rem.shl(LogicVec(32, 1ull));
+        rem.setBit(0, a.bit(i));
+        if (rem.compareKnown(b) >= 0) {
+            rem = rem.sub(b);
+            quot.setBit(i, Bit::One);
+        }
+    }
+    return quot;
+}
+
+LogicVec
+LogicVec::mod(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    if (hasUnknown() || o.hasUnknown() || o.isAllZero())
+        return LogicVec::xs(w);
+    if (w <= 64)
+        return LogicVec(w, toUint64() % o.toUint64());
+    LogicVec q = div(o);
+    return resized(w).sub(q.mul(o.resized(w)));
+}
+
+LogicVec
+LogicVec::pow(const LogicVec &o) const
+{
+    if (hasUnknown() || o.hasUnknown())
+        return LogicVec::xs(width_);
+    LogicVec result(width_, 1ull);
+    LogicVec base = *this;
+    uint64_t exp = o.toUint64();
+    while (exp > 0) {
+        if (exp & 1)
+            result = result.mul(base).resized(width_);
+        base = base.mul(base).resized(width_);
+        exp >>= 1;
+    }
+    return result;
+}
+
+LogicVec
+LogicVec::shl(const LogicVec &o) const
+{
+    if (o.hasUnknown())
+        return LogicVec::xs(width_);
+    uint64_t n = o.toUint64();
+    LogicVec r(width_, Bit::Zero);
+    if (n >= static_cast<uint64_t>(width_))
+        return r;
+    for (int i = width_ - 1; i >= static_cast<int>(n); --i)
+        r.setBit(i, bit(i - static_cast<int>(n)));
+    return r;
+}
+
+LogicVec
+LogicVec::shr(const LogicVec &o) const
+{
+    if (o.hasUnknown())
+        return LogicVec::xs(width_);
+    uint64_t n = o.toUint64();
+    LogicVec r(width_, Bit::Zero);
+    if (n >= static_cast<uint64_t>(width_))
+        return r;
+    for (int i = 0; i + static_cast<int>(n) < width_; ++i)
+        r.setBit(i, bit(i + static_cast<int>(n)));
+    return r;
+}
+
+int
+LogicVec::compareKnown(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    LogicVec a = resized(w), b = o.resized(w);
+    for (int i = a.words() - 1; i >= 0; --i) {
+        if (a.aval_[i] < b.aval_[i])
+            return -1;
+        if (a.aval_[i] > b.aval_[i])
+            return 1;
+    }
+    return 0;
+}
+
+LogicVec
+LogicVec::lt(const LogicVec &o) const
+{
+    if (hasUnknown() || o.hasUnknown())
+        return bitX();
+    return bit1(compareKnown(o) < 0);
+}
+
+LogicVec
+LogicVec::le(const LogicVec &o) const
+{
+    if (hasUnknown() || o.hasUnknown())
+        return bitX();
+    return bit1(compareKnown(o) <= 0);
+}
+
+LogicVec
+LogicVec::gt(const LogicVec &o) const
+{
+    if (hasUnknown() || o.hasUnknown())
+        return bitX();
+    return bit1(compareKnown(o) > 0);
+}
+
+LogicVec
+LogicVec::ge(const LogicVec &o) const
+{
+    if (hasUnknown() || o.hasUnknown())
+        return bitX();
+    return bit1(compareKnown(o) >= 0);
+}
+
+LogicVec
+LogicVec::logicEq(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    LogicVec a = resized(w), b = o.resized(w);
+    // A definite bit mismatch makes the result 0 even with x elsewhere.
+    bool unknown = false;
+    for (int i = 0; i < w; ++i) {
+        Bit x = a.bit(i), y = b.bit(i);
+        bool xu = (x == Bit::X || x == Bit::Z);
+        bool yu = (y == Bit::X || y == Bit::Z);
+        if (xu || yu)
+            unknown = true;
+        else if (x != y)
+            return bit1(false);
+    }
+    return unknown ? bitX() : bit1(true);
+}
+
+LogicVec
+LogicVec::logicNeq(const LogicVec &o) const
+{
+    return logicEq(o).logicNot();
+}
+
+LogicVec
+LogicVec::caseEq(const LogicVec &o) const
+{
+    int w = commonWidth(*this, o);
+    LogicVec a = resized(w), b = o.resized(w);
+    for (int i = 0; i < w; ++i)
+        if (a.bit(i) != b.bit(i))
+            return bit1(false);
+    return bit1(true);
+}
+
+LogicVec
+LogicVec::caseNeq(const LogicVec &o) const
+{
+    return bit1(!caseEq(o).hasOne());
+}
+
+LogicVec
+LogicVec::logicAnd(const LogicVec &o) const
+{
+    bool a1 = hasOne(), b1 = o.hasOne();
+    bool a0 = !a1 && !hasUnknown();
+    bool b0 = !b1 && !o.hasUnknown();
+    if (a0 || b0)
+        return bit1(false);
+    if (a1 && b1)
+        return bit1(true);
+    return bitX();
+}
+
+LogicVec
+LogicVec::logicOr(const LogicVec &o) const
+{
+    bool a1 = hasOne(), b1 = o.hasOne();
+    bool a0 = !a1 && !hasUnknown();
+    bool b0 = !b1 && !o.hasUnknown();
+    if (a1 || b1)
+        return bit1(true);
+    if (a0 && b0)
+        return bit1(false);
+    return bitX();
+}
+
+LogicVec
+LogicVec::logicNot() const
+{
+    if (hasOne())
+        return bit1(false);
+    if (hasUnknown())
+        return bitX();
+    return bit1(true);
+}
+
+LogicVec
+LogicVec::reduceAnd() const
+{
+    bool unknown = false;
+    for (int i = 0; i < width_; ++i) {
+        Bit b = bit(i);
+        if (b == Bit::Zero)
+            return bit1(false);
+        if (b != Bit::One)
+            unknown = true;
+    }
+    return unknown ? bitX() : bit1(true);
+}
+
+LogicVec
+LogicVec::reduceOr() const
+{
+    bool unknown = false;
+    for (int i = 0; i < width_; ++i) {
+        Bit b = bit(i);
+        if (b == Bit::One)
+            return bit1(true);
+        if (b != Bit::Zero)
+            unknown = true;
+    }
+    return unknown ? bitX() : bit1(false);
+}
+
+LogicVec
+LogicVec::reduceXor() const
+{
+    bool parity = false;
+    for (int i = 0; i < width_; ++i) {
+        Bit b = bit(i);
+        if (b == Bit::X || b == Bit::Z)
+            return bitX();
+        parity ^= (b == Bit::One);
+    }
+    return bit1(parity);
+}
+
+LogicVec
+LogicVec::reduceNand() const
+{
+    return reduceAnd().logicNot();
+}
+
+LogicVec
+LogicVec::reduceNor() const
+{
+    return reduceOr().logicNot();
+}
+
+LogicVec
+LogicVec::reduceXnor() const
+{
+    LogicVec r = reduceXor();
+    if (r.hasUnknown())
+        return bitX();
+    return bit1(!r.hasOne());
+}
+
+LogicVec
+LogicVec::concat(const LogicVec &hi, const LogicVec &lo)
+{
+    LogicVec r(hi.width() + lo.width(), Bit::Zero);
+    for (int i = 0; i < lo.width(); ++i)
+        r.setBit(i, lo.bit(i));
+    for (int i = 0; i < hi.width(); ++i)
+        r.setBit(lo.width() + i, hi.bit(i));
+    return r;
+}
+
+LogicVec
+LogicVec::replicate(int n) const
+{
+    if (n <= 0)
+        throw std::invalid_argument("replication count must be positive");
+    LogicVec r(width_ * n, Bit::Zero);
+    for (int k = 0; k < n; ++k)
+        for (int i = 0; i < width_; ++i)
+            r.setBit(k * width_ + i, bit(i));
+    return r;
+}
+
+} // namespace cirfix::sim

@@ -1,0 +1,132 @@
+#include "sim/scheduler.h"
+
+namespace cirfix::sim {
+
+void
+Scheduler::scheduleActive(Callback cb)
+{
+    slotAt(now_).active.push_back(std::move(cb));
+}
+
+void
+Scheduler::scheduleInactive(Callback cb)
+{
+    slotAt(now_).inactive.push_back(std::move(cb));
+}
+
+void
+Scheduler::scheduleAt(SimTime t, Callback cb)
+{
+    slotAt(t < now_ ? now_ : t).active.push_back(std::move(cb));
+}
+
+void
+Scheduler::scheduleNba(Callback cb)
+{
+    slotAt(now_).nba.push_back(std::move(cb));
+}
+
+void
+Scheduler::scheduleNbaAt(SimTime t, Callback cb)
+{
+    slotAt(t < now_ ? now_ : t).nba.push_back(std::move(cb));
+}
+
+void
+Scheduler::schedulePostponed(Callback cb)
+{
+    slotAt(now_).postponed.push_back(std::move(cb));
+}
+
+void
+Scheduler::noteAbort(const std::string &reason)
+{
+    aborted_ = true;
+    if (abortReason_.empty())
+        abortReason_ = reason;
+}
+
+Scheduler::RunResult
+Scheduler::run(SimTime max_time, uint64_t max_callbacks)
+{
+    RunResult res;
+    while (!queue_.empty()) {
+        auto it = queue_.begin();
+        now_ = it->first;
+        if (now_ > max_time) {
+            res.status = Status::MaxTime;
+            res.endTime = now_;
+            return res;
+        }
+        // Drain the slot: active, then promote inactive, then NBA.
+        // NBA updates may refill active (edge wakeups), so loop.
+        for (;;) {
+            TimeSlot &slot = queue_[now_];
+            if (!slot.active.empty()) {
+                Callback cb = std::move(slot.active.front());
+                slot.active.pop_front();
+                cb();
+                ++res.callbacks;
+                if (finish_ || aborted_ || res.callbacks > max_callbacks)
+                    break;
+                continue;
+            }
+            if (!slot.inactive.empty()) {
+                slot.active.swap(slot.inactive);
+                continue;
+            }
+            if (!slot.nba.empty()) {
+                // NBA updates execute in scheduling order; each may wake
+                // processes into the (currently empty) active region.
+                std::deque<Callback> updates;
+                updates.swap(slot.nba);
+                for (Callback &cb : updates) {
+                    cb();
+                    ++res.callbacks;
+                    if (finish_ || aborted_ ||
+                        res.callbacks > max_callbacks)
+                        break;
+                }
+                if (finish_ || aborted_ || res.callbacks > max_callbacks)
+                    break;
+                continue;
+            }
+            // Slot quiescent: run postponed (read-only) callbacks.
+            if (!slot.postponed.empty()) {
+                std::deque<Callback> sampled;
+                sampled.swap(slot.postponed);
+                for (Callback &cb : sampled) {
+                    cb();
+                    ++res.callbacks;
+                }
+                // Sampling must not create same-slot activity, but be
+                // defensive: loop again if it somehow did.
+                if (queue_.count(now_) && queue_[now_].busy())
+                    continue;
+            }
+            break;
+        }
+        if (aborted_) {
+            res.status = Status::Runaway;
+            res.endTime = now_;
+            return res;
+        }
+        if (res.callbacks > max_callbacks) {
+            noteAbort("callback budget exhausted");
+            res.status = Status::Runaway;
+            res.endTime = now_;
+            return res;
+        }
+        if (finish_) {
+            res.status = Status::Finished;
+            res.endTime = now_;
+            return res;
+        }
+        queue_.erase(now_);
+    }
+    res.status = Status::Idle;
+    res.endTime = now_;
+    return res;
+}
+
+} // namespace cirfix::sim

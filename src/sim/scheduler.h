@@ -1,0 +1,121 @@
+#pragma once
+
+/**
+ * @file
+ * Event scheduler implementing the IEEE 1364 stratified event queue.
+ *
+ * Each simulation time slot holds four regions processed in order:
+ *
+ *   active    -- process resumptions, blocking assignments, continuous
+ *                assignment re-evaluations
+ *   inactive  -- #0-delayed events (promoted when active drains)
+ *   NBA       -- non-blocking assignment updates (promoted when both
+ *                active and inactive have drained)
+ *   postponed -- read-only sampling (the instrumented-testbench probe);
+ *                runs once when the time slot is otherwise exhausted
+ *
+ * NBA updates change signal values, which wakes edge-sensitive
+ * processes back into the active region of the same time slot, so the
+ * loop iterates until the slot is quiescent before time advances.
+ *
+ * The scheduler also implements the resource bounds CirFix relies on to
+ * survive pathological mutants: a maximum simulation time and a maximum
+ * callback budget ("runaway" detection, the analogue of a simulator
+ * timeout in the original VCS-based pipeline).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cirfix::sim {
+
+using SimTime = uint64_t;
+using Callback = std::function<void()>;
+
+/** Exception used to abort a simulation from inside a process. */
+struct SimAbort : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+class Scheduler
+{
+  public:
+    /** Why a run() call returned. */
+    enum class Status {
+        Finished,  //!< $finish was executed
+        Idle,      //!< event queue drained (no more activity)
+        MaxTime,   //!< simulated up to the max_time bound
+        Runaway,   //!< callback/statement budget exhausted, sim aborted
+    };
+
+    struct RunResult
+    {
+        Status status = Status::Idle;
+        SimTime endTime = 0;
+        uint64_t callbacks = 0;
+    };
+
+    SimTime now() const { return now_; }
+
+    /** Schedule into the active region of the current time slot. */
+    void scheduleActive(Callback cb);
+    /** Schedule into the inactive (#0) region of the current slot. */
+    void scheduleInactive(Callback cb);
+    /** Schedule into the active region at absolute time @p t. */
+    void scheduleAt(SimTime t, Callback cb);
+    /** Schedule an NBA update at the current time. */
+    void scheduleNba(Callback cb);
+    /** Schedule an NBA update at absolute time @p t (a <= #d v). */
+    void scheduleNbaAt(SimTime t, Callback cb);
+    /** Schedule a read-only sampling callback at end of current slot. */
+    void schedulePostponed(Callback cb);
+
+    /** Request termination ($finish); takes effect between callbacks. */
+    void requestFinish() { finish_ = true; }
+    bool finishRequested() const { return finish_; }
+
+    /** Record an abort (runaway mutant); stops the run loop. */
+    void noteAbort(const std::string &reason);
+    bool aborted() const { return aborted_; }
+    const std::string &abortReason() const { return abortReason_; }
+
+    /**
+     * Run the simulation.
+     *
+     * @param max_time      Stop (status MaxTime) once now() passes this.
+     * @param max_callbacks Abort (status Runaway) after this many
+     *                      scheduled callbacks have executed.
+     */
+    RunResult run(SimTime max_time, uint64_t max_callbacks);
+
+  private:
+    struct TimeSlot
+    {
+        std::deque<Callback> active;
+        std::deque<Callback> inactive;
+        std::deque<Callback> nba;
+        std::deque<Callback> postponed;
+
+        bool
+        busy() const
+        {
+            return !active.empty() || !inactive.empty() || !nba.empty();
+        }
+    };
+
+    TimeSlot &slotAt(SimTime t) { return queue_[t]; }
+
+    std::map<SimTime, TimeSlot> queue_;
+    SimTime now_ = 0;
+    bool finish_ = false;
+    bool aborted_ = false;
+    std::string abortReason_;
+};
+
+} // namespace cirfix::sim

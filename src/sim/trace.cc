@@ -1,0 +1,122 @@
+#include "sim/trace.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cirfix::sim {
+
+void
+Trace::addRow(SimTime time, std::vector<LogicVec> values)
+{
+    if (!rows_.empty() && rows_.back().time == time) {
+        // Re-sample at the same instant: keep the latest values.
+        rows_.back().values = std::move(values);
+        return;
+    }
+    rows_.push_back(Row{time, std::move(values)});
+}
+
+int
+Trace::varIndex(const std::string &var) const
+{
+    for (size_t i = 0; i < vars_.size(); ++i)
+        if (vars_[i] == var)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::optional<LogicVec>
+Trace::at(SimTime time, const std::string &var) const
+{
+    int col = varIndex(var);
+    if (col < 0)
+        return std::nullopt;
+    if (const Row *r = rowAt(time))
+        return r->values[static_cast<size_t>(col)];
+    return std::nullopt;
+}
+
+const Trace::Row *
+Trace::rowAt(SimTime time) const
+{
+    // Rows are sorted by time; binary search.
+    size_t lo = 0, hi = rows_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (rows_[mid].time < time)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < rows_.size() && rows_[lo].time == time)
+        return &rows_[lo];
+    return nullptr;
+}
+
+uint64_t
+Trace::totalBits() const
+{
+    uint64_t n = 0;
+    for (auto &r : rows_)
+        for (auto &v : r.values)
+            n += static_cast<uint64_t>(v.width());
+    return n;
+}
+
+std::string
+Trace::toCsv() const
+{
+    std::ostringstream os;
+    os << "time";
+    for (auto &v : vars_)
+        os << "," << v;
+    os << "\n";
+    for (auto &r : rows_) {
+        os << r.time;
+        for (auto &v : r.values)
+            os << "," << v.toString();
+        os << "\n";
+    }
+    return os.str();
+}
+
+Trace
+Trace::fromCsv(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line))
+        throw std::runtime_error("empty trace CSV");
+    auto split = [](const std::string &s) {
+        std::vector<std::string> out;
+        std::string cur;
+        for (char c : s) {
+            if (c == ',') {
+                out.push_back(cur);
+                cur.clear();
+            } else if (c != '\r') {
+                cur.push_back(c);
+            }
+        }
+        out.push_back(cur);
+        return out;
+    };
+    std::vector<std::string> header = split(line);
+    if (header.empty() || header[0] != "time")
+        throw std::runtime_error("trace CSV must start with 'time'");
+    Trace t(std::vector<std::string>(header.begin() + 1, header.end()));
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells = split(line);
+        if (cells.size() != header.size())
+            throw std::runtime_error("trace CSV row width mismatch");
+        std::vector<LogicVec> values;
+        for (size_t i = 1; i < cells.size(); ++i)
+            values.push_back(LogicVec::fromString(cells[i]));
+        t.addRow(std::stoull(cells[0]), std::move(values));
+    }
+    return t;
+}
+
+} // namespace cirfix::sim

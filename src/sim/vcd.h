@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Value Change Dump (VCD) waveform recording.
+ *
+ * Real hardware debug workflows inspect waveforms; the original CirFix
+ * pipeline gets them from VCS ($dumpfile/$dumpvars). This recorder
+ * provides the same capability for our simulator: attach it to an
+ * elaborated design before run() and it streams an IEEE 1364 §18 VCD
+ * document — hierarchical scopes, per-signal identifier codes,
+ * timestamped value changes — that standard viewers (GTKWave) open.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/design.h"
+
+namespace cirfix::sim {
+
+/** Records value changes of design signals in VCD format. */
+class VcdRecorder
+{
+  public:
+    /**
+     * Attach to every signal of @p design (all scopes).
+     *
+     * @param timescale Printed as the VCD timescale (default "1ns").
+     */
+    explicit VcdRecorder(Design &design,
+                         const std::string &timescale = "1ns");
+
+    /**
+     * Attach only to the signals whose hierarchical paths are listed.
+     * Unknown paths are ignored.
+     */
+    VcdRecorder(Design &design, const std::vector<std::string> &paths,
+                const std::string &timescale = "1ns");
+
+    /** The complete VCD document (header + all changes so far). */
+    std::string document() const;
+
+    /** Number of value changes recorded. */
+    size_t changeCount() const { return changes_; }
+
+  private:
+    struct Var
+    {
+        std::string path;   //!< hierarchical path
+        std::string code;   //!< short VCD identifier code
+        int width;
+    };
+
+    void attach(Design &design, Signal *sig, const std::string &path);
+    static std::string codeFor(size_t index);
+    void collectScope(Design &design, InstanceScope &scope);
+
+    std::string timescale_;
+    std::vector<Var> vars_;
+    std::string body_;
+    SimTime lastTime_ = 0;
+    bool timeEmitted_ = false;
+    size_t changes_ = 0;
+    Design &design_;
+};
+
+} // namespace cirfix::sim

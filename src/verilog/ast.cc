@@ -1,0 +1,533 @@
+#include "verilog/ast.h"
+
+namespace cirfix::verilog {
+
+const char *
+nodeKindName(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Number: return "Number";
+      case NodeKind::Ident: return "Ident";
+      case NodeKind::Unary: return "Unary";
+      case NodeKind::Binary: return "Binary";
+      case NodeKind::Ternary: return "Ternary";
+      case NodeKind::Index: return "Index";
+      case NodeKind::RangeSel: return "RangeSel";
+      case NodeKind::Concat: return "Concat";
+      case NodeKind::Repl: return "Repl";
+      case NodeKind::SysFuncCall: return "SysFuncCall";
+      case NodeKind::FuncCall: return "FuncCall";
+      case NodeKind::FunctionDecl: return "FunctionDecl";
+      case NodeKind::SeqBlock: return "SeqBlock";
+      case NodeKind::If: return "If";
+      case NodeKind::Case: return "Case";
+      case NodeKind::For: return "For";
+      case NodeKind::While: return "While";
+      case NodeKind::Repeat: return "Repeat";
+      case NodeKind::Forever: return "Forever";
+      case NodeKind::Assign: return "Assign";
+      case NodeKind::DelayStmt: return "DelayStmt";
+      case NodeKind::EventCtrl: return "EventCtrl";
+      case NodeKind::Wait: return "Wait";
+      case NodeKind::TriggerEvent: return "TriggerEvent";
+      case NodeKind::SysTask: return "SysTask";
+      case NodeKind::NullStmt: return "NullStmt";
+      case NodeKind::VarDecl: return "VarDecl";
+      case NodeKind::ContAssign: return "ContAssign";
+      case NodeKind::AlwaysBlock: return "AlwaysBlock";
+      case NodeKind::InitialBlock: return "InitialBlock";
+      case NodeKind::Instance: return "Instance";
+      case NodeKind::Module: return "Module";
+      case NodeKind::SourceFile: return "SourceFile";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Copy the id/line bookkeeping from @p src onto @p dst and return it. */
+template <typename T>
+NodePtr
+finishClone(const Node &src, std::unique_ptr<T> dst)
+{
+    dst->id = src.id;
+    dst->line = src.line;
+    return dst;
+}
+
+ExprPtr
+cloneExprPtr(const ExprPtr &e)
+{
+    return e ? e->cloneExpr() : nullptr;
+}
+
+StmtPtr
+cloneStmtPtr(const StmtPtr &s)
+{
+    return s ? s->cloneStmt() : nullptr;
+}
+
+} // namespace
+
+ExprPtr
+Expr::cloneExpr() const
+{
+    NodePtr n = cloneNode();
+    return ExprPtr(static_cast<Expr *>(n.release()));
+}
+
+StmtPtr
+Stmt::cloneStmt() const
+{
+    NodePtr n = cloneNode();
+    return StmtPtr(static_cast<Stmt *>(n.release()));
+}
+
+ItemPtr
+Item::cloneItem() const
+{
+    NodePtr n = cloneNode();
+    return ItemPtr(static_cast<Item *>(n.release()));
+}
+
+NodePtr
+Number::cloneNode() const
+{
+    auto n = std::make_unique<Number>(value, base);
+    n->sized = sized;
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+Ident::cloneNode() const
+{
+    return finishClone(*this, std::make_unique<Ident>(name));
+}
+
+NodePtr
+Unary::cloneNode() const
+{
+    return finishClone(*this,
+                       std::make_unique<Unary>(op, operand->cloneExpr()));
+}
+
+NodePtr
+Binary::cloneNode() const
+{
+    return finishClone(*this, std::make_unique<Binary>(
+                                  op, lhs->cloneExpr(), rhs->cloneExpr()));
+}
+
+NodePtr
+Ternary::cloneNode() const
+{
+    return finishClone(*this, std::make_unique<Ternary>(
+                                  cond->cloneExpr(), thenExpr->cloneExpr(),
+                                  elseExpr->cloneExpr()));
+}
+
+NodePtr
+Index::cloneNode() const
+{
+    return finishClone(*this,
+                       std::make_unique<Index>(name, index->cloneExpr()));
+}
+
+NodePtr
+RangeSel::cloneNode() const
+{
+    return finishClone(*this, std::make_unique<RangeSel>(
+                                  name, msb->cloneExpr(), lsb->cloneExpr()));
+}
+
+NodePtr
+Concat::cloneNode() const
+{
+    auto n = std::make_unique<Concat>();
+    for (auto &p : parts)
+        n->parts.push_back(p->cloneExpr());
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+Repl::cloneNode() const
+{
+    return finishClone(*this, std::make_unique<Repl>(count->cloneExpr(),
+                                                     value->cloneExpr()));
+}
+
+NodePtr
+FuncCall::cloneNode() const
+{
+    auto n = std::make_unique<FuncCall>(name);
+    for (auto &a : args)
+        n->args.push_back(a->cloneExpr());
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+SysFuncCall::cloneNode() const
+{
+    auto n = std::make_unique<SysFuncCall>(name);
+    for (auto &a : args)
+        n->args.push_back(a->cloneExpr());
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+SeqBlock::cloneNode() const
+{
+    auto n = std::make_unique<SeqBlock>();
+    n->name = name;
+    for (auto &s : stmts)
+        n->stmts.push_back(s->cloneStmt());
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+If::cloneNode() const
+{
+    auto n = std::make_unique<If>();
+    n->cond = cond->cloneExpr();
+    n->thenStmt = cloneStmtPtr(thenStmt);
+    n->elseStmt = cloneStmtPtr(elseStmt);
+    return finishClone(*this, std::move(n));
+}
+
+CaseItem
+CaseItem::clone() const
+{
+    CaseItem it;
+    for (auto &l : labels)
+        it.labels.push_back(l->cloneExpr());
+    it.body = body ? body->cloneStmt() : nullptr;
+    return it;
+}
+
+NodePtr
+Case::cloneNode() const
+{
+    auto n = std::make_unique<Case>();
+    n->type = type;
+    n->subject = subject->cloneExpr();
+    for (auto &it : items)
+        n->items.push_back(it.clone());
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+Assign::cloneNode() const
+{
+    auto n = std::make_unique<Assign>();
+    n->lhs = lhs->cloneExpr();
+    n->rhs = rhs->cloneExpr();
+    n->blocking = blocking;
+    n->delay = cloneExprPtr(delay);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+For::cloneNode() const
+{
+    auto n = std::make_unique<For>();
+    n->init = cloneStmtPtr(init);
+    n->cond = cond->cloneExpr();
+    n->step = cloneStmtPtr(step);
+    n->body = cloneStmtPtr(body);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+While::cloneNode() const
+{
+    auto n = std::make_unique<While>();
+    n->cond = cond->cloneExpr();
+    n->body = cloneStmtPtr(body);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+Repeat::cloneNode() const
+{
+    auto n = std::make_unique<Repeat>();
+    n->count = count->cloneExpr();
+    n->body = cloneStmtPtr(body);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+Forever::cloneNode() const
+{
+    auto n = std::make_unique<Forever>();
+    n->body = cloneStmtPtr(body);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+DelayStmt::cloneNode() const
+{
+    auto n = std::make_unique<DelayStmt>();
+    n->delay = delay->cloneExpr();
+    n->stmt = cloneStmtPtr(stmt);
+    return finishClone(*this, std::move(n));
+}
+
+EventExpr
+EventExpr::clone() const
+{
+    EventExpr e;
+    e.edge = edge;
+    e.signal = signal->cloneExpr();
+    return e;
+}
+
+NodePtr
+EventCtrl::cloneNode() const
+{
+    auto n = std::make_unique<EventCtrl>();
+    n->star = star;
+    for (auto &e : events)
+        n->events.push_back(e.clone());
+    n->stmt = cloneStmtPtr(stmt);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+Wait::cloneNode() const
+{
+    auto n = std::make_unique<Wait>();
+    n->cond = cond->cloneExpr();
+    n->stmt = cloneStmtPtr(stmt);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+TriggerEvent::cloneNode() const
+{
+    return finishClone(*this, std::make_unique<TriggerEvent>(name));
+}
+
+NodePtr
+SysTask::cloneNode() const
+{
+    auto n = std::make_unique<SysTask>(name);
+    n->format = format;
+    for (auto &a : args)
+        n->args.push_back(a->cloneExpr());
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+NullStmt::cloneNode() const
+{
+    return finishClone(*this, std::make_unique<NullStmt>());
+}
+
+NodePtr
+VarDecl::cloneNode() const
+{
+    auto n = std::make_unique<VarDecl>();
+    n->varKind = varKind;
+    n->name = name;
+    n->msb = cloneExprPtr(msb);
+    n->lsb = cloneExprPtr(lsb);
+    n->arrayFirst = cloneExprPtr(arrayFirst);
+    n->arrayLast = cloneExprPtr(arrayLast);
+    n->init = cloneExprPtr(init);
+    n->isSigned = isSigned;
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+ContAssign::cloneNode() const
+{
+    auto n = std::make_unique<ContAssign>();
+    n->lhs = lhs->cloneExpr();
+    n->rhs = rhs->cloneExpr();
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+AlwaysBlock::cloneNode() const
+{
+    auto n = std::make_unique<AlwaysBlock>();
+    n->body = cloneStmtPtr(body);
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+InitialBlock::cloneNode() const
+{
+    auto n = std::make_unique<InitialBlock>();
+    n->body = cloneStmtPtr(body);
+    return finishClone(*this, std::move(n));
+}
+
+PortConn
+PortConn::clone() const
+{
+    PortConn c;
+    c.port = port;
+    c.expr = expr ? expr->cloneExpr() : nullptr;
+    return c;
+}
+
+NodePtr
+Instance::cloneNode() const
+{
+    auto n = std::make_unique<Instance>();
+    n->moduleName = moduleName;
+    n->instName = instName;
+    for (auto &c : conns)
+        n->conns.push_back(c.clone());
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+FunctionDecl::cloneNode() const
+{
+    auto n = std::make_unique<FunctionDecl>();
+    n->name = name;
+    n->msb = msb ? msb->cloneExpr() : nullptr;
+    n->lsb = lsb ? lsb->cloneExpr() : nullptr;
+    for (auto &l : locals) {
+        NodePtr c = l->cloneNode();
+        n->locals.emplace_back(
+            static_cast<VarDecl *>(c.release()));
+    }
+    n->inputOrder = inputOrder;
+    n->body = body ? body->cloneStmt() : nullptr;
+    return finishClone(*this, std::move(n));
+}
+
+NodePtr
+Module::cloneNode() const
+{
+    auto n = std::make_unique<Module>();
+    n->name = name;
+    n->ports = ports;
+    for (auto &i : items)
+        n->items.push_back(i->cloneItem());
+    return finishClone(*this, std::move(n));
+}
+
+std::unique_ptr<Module>
+Module::cloneModule() const
+{
+    NodePtr n = cloneNode();
+    return std::unique_ptr<Module>(static_cast<Module *>(n.release()));
+}
+
+const VarDecl *
+Module::findDecl(const std::string &n) const
+{
+    for (auto &i : items) {
+        if (i->kind == NodeKind::VarDecl) {
+            auto *d = i->as<VarDecl>();
+            if (d->name == n)
+                return d;
+        }
+    }
+    return nullptr;
+}
+
+std::optional<PortDir>
+Module::portDir(const std::string &n) const
+{
+    for (auto &p : ports)
+        if (p.name == n)
+            return p.dir;
+    return std::nullopt;
+}
+
+NodePtr
+SourceFile::cloneNode() const
+{
+    auto n = std::make_unique<SourceFile>();
+    n->nextId = nextId;
+    for (auto &m : modules)
+        n->modules.push_back(m->cloneModule());
+    return finishClone(*this, std::move(n));
+}
+
+std::unique_ptr<SourceFile>
+SourceFile::cloneFile() const
+{
+    NodePtr n = cloneNode();
+    return std::unique_ptr<SourceFile>(
+        static_cast<SourceFile *>(n.release()));
+}
+
+Module *
+SourceFile::findModule(const std::string &n) const
+{
+    for (auto &m : modules)
+        if (m->name == n)
+            return m.get();
+    return nullptr;
+}
+
+void
+visitAll(Node &root, const std::function<void(Node &)> &fn)
+{
+    fn(root);
+    root.forEachChild([&](Node *c) {
+        if (c)
+            visitAll(*c, fn);
+    });
+}
+
+int
+numberNodes(SourceFile &file, int first_id)
+{
+    int next = first_id;
+    visitAll(file, [&](Node &n) { n.id = next++; });
+    file.nextId = next;
+    return next;
+}
+
+void
+numberSubtree(SourceFile &file, Node &subtree)
+{
+    int next = file.nextId;
+    visitAll(subtree, [&](Node &n) { n.id = next++; });
+    file.nextId = next;
+}
+
+Node *
+findNode(Node &root, int id)
+{
+    if (root.id == id)
+        return &root;
+    Node *found = nullptr;
+    root.forEachChild([&](Node *c) {
+        if (!found && c)
+            found = findNode(*c, id);
+    });
+    return found;
+}
+
+std::vector<std::string>
+collectIdents(const Node &root)
+{
+    std::vector<std::string> names;
+    visitAll(const_cast<Node &>(root), [&](Node &n) {
+        if (n.kind == NodeKind::Ident)
+            names.push_back(n.as<Ident>()->name);
+        else if (n.kind == NodeKind::Index)
+            names.push_back(n.as<Index>()->name);
+        else if (n.kind == NodeKind::RangeSel)
+            names.push_back(n.as<RangeSel>()->name);
+    });
+    return names;
+}
+
+int
+countNodes(Node &root)
+{
+    int n = 0;
+    visitAll(root, [&](Node &) { ++n; });
+    return n;
+}
+
+} // namespace cirfix::verilog

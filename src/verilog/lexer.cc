@@ -1,0 +1,349 @@
+#include "verilog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cirfix::verilog {
+
+using sim::Bit;
+using sim::LogicVec;
+
+namespace {
+
+/** Cursor over the source text with line tracking. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &src) : src_(src) {}
+
+    bool done() const { return pos_ >= src_.size(); }
+    char peek(size_t off = 0) const
+    {
+        return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+    }
+    char
+    take()
+    {
+        char c = peek();
+        ++pos_;
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+    int line() const { return line_; }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw LexError("line " + std::to_string(line_) + ": " + msg);
+    }
+
+  private:
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Parse the digits of a based literal into a LogicVec of @p width. */
+LogicVec
+parseBasedDigits(Cursor &cur, char base, int width)
+{
+    int bits_per = base == 'b' ? 1 : base == 'o' ? 3 : 4;
+    std::vector<Bit> bits;  // LSB-last while collecting digits
+    bool any = false;
+    while (!cur.done()) {
+        char c = cur.peek();
+        if (c == '_') {
+            cur.take();
+            continue;
+        }
+        Bit special;
+        bool is_special = false;
+        if (c == 'x' || c == 'X') {
+            special = Bit::X;
+            is_special = true;
+        } else if (c == 'z' || c == 'Z' || c == '?') {
+            special = Bit::Z;
+            is_special = true;
+        }
+        if (is_special) {
+            cur.take();
+            for (int i = 0; i < bits_per; ++i)
+                bits.push_back(special);
+            any = true;
+            continue;
+        }
+        int d = hexDigit(c);
+        if (d < 0 || (base == 'b' && d > 1) || (base == 'o' && d > 7))
+            break;
+        cur.take();
+        for (int i = bits_per - 1; i >= 0; --i)
+            bits.push_back(((d >> i) & 1) ? Bit::One : Bit::Zero);
+        any = true;
+    }
+    if (!any)
+        cur.fail("based literal has no digits");
+    LogicVec v(width, Bit::Zero);
+    // If the literal is narrower than the width and its MSB is x/z,
+    // Verilog extends with that digit; otherwise zero-extend.
+    Bit msb = bits.front();
+    Bit fill = (msb == Bit::X || msb == Bit::Z) ? msb : Bit::Zero;
+    for (int i = 0; i < width; ++i) {
+        int src = static_cast<int>(bits.size()) - 1 - i;
+        v.setBit(i, src >= 0 ? bits[src] : fill);
+    }
+    return v;
+}
+
+/** Parse a run of decimal digits (with '_') as a uint64. */
+uint64_t
+parseDecimalDigits(Cursor &cur)
+{
+    uint64_t v = 0;
+    while (!cur.done()) {
+        char c = cur.peek();
+        if (c == '_') {
+            cur.take();
+            continue;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            break;
+        v = v * 10 + static_cast<uint64_t>(cur.take() - '0');
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> out;
+    Cursor cur(source);
+
+    auto push = [&](Tok k, std::string text, int line) {
+        Token t;
+        t.kind = k;
+        t.text = std::move(text);
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (!cur.done()) {
+        char c = cur.peek();
+        int line = cur.line();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.take();
+            continue;
+        }
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.take();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.take();
+            cur.take();
+            while (!cur.done() &&
+                   !(cur.peek() == '*' && cur.peek(1) == '/'))
+                cur.take();
+            if (cur.done())
+                cur.fail("unterminated block comment");
+            cur.take();
+            cur.take();
+            continue;
+        }
+        // Compiler directives: skip to end of line (`timescale etc.).
+        if (c == '`') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.take();
+            continue;
+        }
+        // Identifiers / keywords.
+        if (isIdentStart(c)) {
+            std::string name;
+            while (!cur.done() && isIdentChar(cur.peek()))
+                name.push_back(cur.take());
+            push(Tok::Ident, std::move(name), line);
+            continue;
+        }
+        // System identifiers.
+        if (c == '$') {
+            cur.take();
+            std::string name = "$";
+            while (!cur.done() && isIdentChar(cur.peek()))
+                name.push_back(cur.take());
+            if (name.size() == 1)
+                cur.fail("bare '$'");
+            push(Tok::SysIdent, std::move(name), line);
+            continue;
+        }
+        // String literals.
+        if (c == '"') {
+            cur.take();
+            std::string text;
+            while (!cur.done() && cur.peek() != '"') {
+                char ch = cur.take();
+                if (ch == '\\' && !cur.done()) {
+                    char esc = cur.take();
+                    switch (esc) {
+                      case 'n': text.push_back('\n'); break;
+                      case 't': text.push_back('\t'); break;
+                      case '\\': text.push_back('\\'); break;
+                      case '"': text.push_back('"'); break;
+                      default: text.push_back(esc); break;
+                    }
+                } else {
+                    text.push_back(ch);
+                }
+            }
+            if (cur.done())
+                cur.fail("unterminated string");
+            cur.take();
+            Token t;
+            t.kind = Tok::String;
+            t.text = std::move(text);
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        // Numbers: [size]'[base]digits or plain decimal.
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            Token t;
+            t.kind = Tok::Number;
+            t.line = line;
+            int width = 32;
+            bool have_size = false;
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                uint64_t dec = parseDecimalDigits(cur);
+                // Lookahead (skipping spaces) for a based suffix.
+                size_t probe = 0;
+                while (std::isspace(static_cast<unsigned char>(
+                           cur.peek(probe))) && cur.peek(probe) != '\n')
+                    ++probe;
+                if (cur.peek(probe) == '\'') {
+                    for (size_t i = 0; i <= probe; ++i)
+                        cur.take();
+                    width = static_cast<int>(dec);
+                    if (width <= 0 || width > 100000)
+                        cur.fail("bad literal width");
+                    have_size = true;
+                } else {
+                    t.value = LogicVec(32, dec);
+                    t.sized = false;
+                    t.base = 'd';
+                    out.push_back(std::move(t));
+                    continue;
+                }
+            } else {
+                cur.take();  // the quote of an unsized based literal
+            }
+            char base = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(cur.peek())));
+            if (base == 's') {  // signed marker: 4'sb...; accept, ignore
+                cur.take();
+                base = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(cur.peek())));
+            }
+            if (base != 'b' && base != 'o' && base != 'h' && base != 'd')
+                cur.fail("bad literal base");
+            cur.take();
+            while (std::isspace(static_cast<unsigned char>(cur.peek())) &&
+                   cur.peek() != '\n')
+                cur.take();
+            if (base == 'd') {
+                char dc = cur.peek();
+                if (dc == 'x' || dc == 'X') {
+                    cur.take();
+                    t.value = LogicVec(width, Bit::X);
+                } else if (dc == 'z' || dc == 'Z' || dc == '?') {
+                    cur.take();
+                    t.value = LogicVec(width, Bit::Z);
+                } else {
+                    t.value = LogicVec(width, parseDecimalDigits(cur));
+                }
+            } else {
+                t.value = parseBasedDigits(cur, base, width);
+            }
+            t.sized = have_size || true;  // based literals print sized
+            t.base = base;
+            out.push_back(std::move(t));
+            continue;
+        }
+        // Operators and punctuation, longest match first.
+        static const char *three[] = {"===", "!==", "<<<", ">>>"};
+        static const char *two[] = {"==", "!=", "<=", ">=", "&&", "||",
+                                    "<<", ">>", "~^", "^~", "**", "->",
+                                    "~&", "~|"};
+        bool matched = false;
+        for (const char *op : three) {
+            if (cur.peek() == op[0] && cur.peek(1) == op[1] &&
+                cur.peek(2) == op[2]) {
+                cur.take();
+                cur.take();
+                cur.take();
+                // Arithmetic shifts are treated as logical (unsigned).
+                std::string text = op;
+                if (text == "<<<")
+                    text = "<<";
+                else if (text == ">>>")
+                    text = ">>";
+                push(Tok::Punct, text, line);
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        for (const char *op : two) {
+            if (cur.peek() == op[0] && cur.peek(1) == op[1]) {
+                cur.take();
+                cur.take();
+                push(Tok::Punct, op, line);
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        static const std::string singles = "()[]{};:,.#@=+-*/%&|^~!<>?";
+        if (singles.find(c) != std::string::npos) {
+            cur.take();
+            push(Tok::Punct, std::string(1, c), line);
+            continue;
+        }
+        cur.fail(std::string("unexpected character '") + c + "'");
+    }
+
+    push(Tok::End, "", cur.line());
+    return out;
+}
+
+} // namespace cirfix::verilog

@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Tokenizer for the Verilog subset.
+ *
+ * Handles identifiers, keywords, sized/unsized numeric literals
+ * (including x/z digits and '_' separators), string literals, system
+ * identifiers ($display, $time, ...), one- and multi-character operators,
+ * line and block comments, and compiler directives (`timescale and
+ * friends are skipped to end of line, matching how the benchmarks use
+ * them).
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/logic.h"
+
+namespace cirfix::verilog {
+
+enum class Tok {
+    End,
+    Ident,      //!< identifier or keyword (text in Token::text)
+    SysIdent,   //!< $identifier
+    Number,     //!< numeric literal (value in Token::value)
+    String,     //!< "..." (unescaped text in Token::text)
+    // Punctuation / operators; text holds the exact spelling.
+    Punct,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    sim::LogicVec value{1, sim::Bit::X};
+    /** True when a Number literal carried an explicit size/base. */
+    bool sized = false;
+    char base = 'd';
+    int line = 0;
+
+    bool
+    is(Tok k, const std::string &t = "") const
+    {
+        return kind == k && (t.empty() || text == t);
+    }
+    bool isPunct(const std::string &t) const { return is(Tok::Punct, t); }
+    bool isKeyword(const std::string &t) const { return is(Tok::Ident, t); }
+};
+
+/** Thrown on malformed input; carries a message with the line number. */
+struct LexError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Tokenize @p source; the result always ends with a Tok::End token. */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace cirfix::verilog

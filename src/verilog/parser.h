@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Recursive-descent parser for the Verilog subset.
+ *
+ * Produces a SourceFile AST with node ids already assigned via
+ * numberNodes(). Both ANSI ("module m(input clk, output reg [3:0] q)")
+ * and traditional port declaration styles are accepted.
+ */
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "verilog/ast.h"
+
+namespace cirfix::verilog {
+
+/** Thrown on syntactically invalid input. */
+struct ParseError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Parse Verilog source text into a numbered AST.
+ *
+ * @param source  Verilog source containing one or more modules.
+ * @return The parsed source file; node ids are assigned in pre-order.
+ * @throws ParseError / LexError on malformed input.
+ */
+std::unique_ptr<SourceFile> parse(const std::string &source);
+
+} // namespace cirfix::verilog

@@ -1,0 +1,31 @@
+#pragma once
+
+/**
+ * @file
+ * Regenerates Verilog source text from an AST.
+ *
+ * This mirrors PyVerilog's code generator in the original CirFix
+ * pipeline: after a repair patch is applied to the AST, the printer
+ * produces the repaired Verilog for developer review. The output of
+ * print(parse(x)) re-parses to a structurally identical tree.
+ */
+
+#include <string>
+
+#include "verilog/ast.h"
+
+namespace cirfix::verilog {
+
+/** Print a full source file. */
+std::string print(const SourceFile &file);
+
+/** Print a single module. */
+std::string print(const Module &mod);
+
+/** Print one expression (no trailing newline). */
+std::string printExpr(const Expr &e);
+
+/** Print one statement at the given indent level. */
+std::string printStmt(const Stmt &s, int indent = 0);
+
+} // namespace cirfix::verilog

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Expression evaluation tests: operators, 4-state semantics, selects,
+ * memories, parameters, and system functions, evaluated against
+ * elaborated designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/elaborate.h"
+#include "sim/eval.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::sim;
+using namespace cirfix::verilog;
+
+namespace {
+
+/**
+ * Elaborate "module t; <body> wire [..] __w; assign __w = <expr>;",
+ * run the initial blocks, and evaluate <expr> in the settled scope.
+ */
+class EvalHarness
+{
+  public:
+    EvalHarness(const std::string &body, const std::string &expr)
+    {
+        std::string src = "module t;\n" + body +
+                          "\n    wire [63:0] __w;\n    assign __w = " +
+                          expr + ";\nendmodule\n";
+        std::shared_ptr<const SourceFile> file = parse(src);
+        for (auto &it : file->modules[0]->items)
+            if (it->kind == NodeKind::ContAssign)
+                expr_ = it->as<ContAssign>()->rhs.get();
+        design_ = elaborate(file, "t");
+        design_->run();
+    }
+
+    LogicVec
+    value()
+    {
+        return evalExpr(*expr_, design_->top(), *design_);
+    }
+
+  private:
+    std::unique_ptr<Design> design_;
+    const Expr *expr_ = nullptr;
+};
+
+LogicVec
+evalIn(const std::string &body, const std::string &expr)
+{
+    EvalHarness h(body, expr);
+    return h.value();
+}
+
+LogicVec
+evalConst_(const std::string &expr)
+{
+    return evalIn("", expr);
+}
+
+TEST(Eval, NumbersAndArithmetic)
+{
+    EXPECT_EQ(evalConst_("1 + 2").toUint64(), 3u);
+    EXPECT_EQ(evalConst_("10 - 3").toUint64(), 7u);
+    EXPECT_EQ(evalConst_("6 * 7").toUint64(), 42u);
+    EXPECT_EQ(evalConst_("17 / 5").toUint64(), 3u);
+    EXPECT_EQ(evalConst_("17 % 5").toUint64(), 2u);
+    EXPECT_EQ(evalConst_("2 ** 10").toUint64(), 1024u);
+    EXPECT_EQ(evalConst_("-(4'd1)").toString(), "1111");
+}
+
+TEST(Eval, WidthRules)
+{
+    // Binary operators extend to the wider operand.
+    EXPECT_EQ(evalConst_("4'hf + 4'h1").toUint64(), 0u);   // wraps at 4
+    EXPECT_EQ(evalConst_("4'hf + 8'h01").toUint64(), 16u); // 8 bits
+    EXPECT_EQ(evalConst_("2'b11 + 2'b01").toUint64(), 0u);
+}
+
+TEST(Eval, SignalReads)
+{
+    EXPECT_EQ(evalIn("reg [7:0] a; initial a = 8'h2c;", "a").toUint64(),
+              0x2cu);
+    EXPECT_EQ(
+        evalIn("reg [7:0] a; initial a = 8'h2c;", "a + 1").toUint64(),
+        0x2du);
+    // Undeclared names evaluate to x, not a crash.
+    EXPECT_TRUE(evalIn("", "nonexistent").hasUnknown());
+}
+
+TEST(Eval, UninitializedRegIsX)
+{
+    EXPECT_EQ(evalIn("reg [3:0] a;", "a").toString(), "xxxx");
+    EXPECT_TRUE(evalIn("reg [3:0] a;", "a + 1").hasUnknown());
+}
+
+TEST(Eval, BitAndPartSelects)
+{
+    std::string body = "reg [7:0] a; initial a = 8'b11010010;";
+    EXPECT_EQ(evalIn(body, "a[1]").toUint64(), 1u);
+    EXPECT_EQ(evalIn(body, "a[0]").toUint64(), 0u);
+    EXPECT_EQ(evalIn(body, "a[7:4]").toString(), "1101");
+    EXPECT_EQ(evalIn(body, "a[4:1]").toString(), "1001");
+    // Out-of-range select reads x.
+    EXPECT_TRUE(evalIn(body, "a[9]").hasUnknown());
+    // Variable index.
+    EXPECT_EQ(
+        evalIn(body + " reg [2:0] i; initial i = 3'd6;", "a[i]")
+            .toUint64(),
+        1u);
+    // Unknown index reads x.
+    EXPECT_TRUE(evalIn(body + " reg [2:0] i;", "a[i]").hasUnknown());
+}
+
+TEST(Eval, NonZeroLsbRanges)
+{
+    std::string body = "reg [7:4] a; initial a = 4'b1010;";
+    EXPECT_EQ(evalIn(body, "a[7]").toUint64(), 1u);
+    EXPECT_EQ(evalIn(body, "a[4]").toUint64(), 0u);
+    EXPECT_EQ(evalIn(body, "a[6:5]").toString(), "01");
+}
+
+TEST(Eval, MemoryReads)
+{
+    std::string body =
+        "reg [3:0] mem [0:7]; initial begin mem[2] = 4'h9; "
+        "mem[5] = 4'h3; end";
+    EXPECT_EQ(evalIn(body, "mem[2]").toUint64(), 9u);
+    EXPECT_EQ(evalIn(body, "mem[5]").toUint64(), 3u);
+    EXPECT_TRUE(evalIn(body, "mem[6]").hasUnknown());   // never written
+    EXPECT_TRUE(evalIn(body, "mem[9]").hasUnknown());   // out of range
+}
+
+TEST(Eval, Parameters)
+{
+    std::string body = "parameter P = 12; parameter Q = P * 2;";
+    EXPECT_EQ(evalIn(body, "P").toUint64(), 12u);
+    EXPECT_EQ(evalIn(body, "Q").toUint64(), 24u);
+    EXPECT_EQ(evalIn(body, "P + Q").toUint64(), 36u);
+}
+
+TEST(Eval, TernarySemantics)
+{
+    EXPECT_EQ(evalConst_("1'b1 ? 8'haa : 8'h55").toUint64(), 0xaau);
+    EXPECT_EQ(evalConst_("1'b0 ? 8'haa : 8'h55").toUint64(), 0x55u);
+    // Ambiguous condition merges branches bitwise.
+    EXPECT_EQ(evalConst_("1'bx ? 4'b1100 : 4'b1010").toString(),
+              "1xx0");
+}
+
+TEST(Eval, LogicalAndRelational)
+{
+    EXPECT_TRUE(evalConst_("3 < 5").isTrue());
+    EXPECT_TRUE(evalConst_("5 <= 5").isTrue());
+    EXPECT_TRUE(evalConst_("4'b0101 == 4'b0101").isTrue());
+    EXPECT_TRUE(evalConst_("4'b0101 != 4'b0100").isTrue());
+    EXPECT_TRUE(evalConst_("1 && 2").isTrue());
+    EXPECT_FALSE(evalConst_("1 && 0").isTrue());
+    EXPECT_TRUE(evalConst_("0 || 3").isTrue());
+    EXPECT_FALSE(evalConst_("!1").isTrue());
+    EXPECT_TRUE(evalConst_("4'bxxxx === 4'bxxxx").isTrue());
+    EXPECT_FALSE(evalConst_("4'bxxxx == 4'bxxxx").isTrue());
+}
+
+TEST(Eval, ReductionAndUnary)
+{
+    EXPECT_TRUE(evalConst_("&4'b1111").isTrue());
+    EXPECT_FALSE(evalConst_("&4'b1101").isTrue());
+    EXPECT_TRUE(evalConst_("|4'b0100").isTrue());
+    EXPECT_TRUE(evalConst_("^4'b0111").isTrue());
+    EXPECT_EQ(evalConst_("~4'b1100").toString(), "0011");
+}
+
+TEST(Eval, ConcatRepl)
+{
+    EXPECT_EQ(evalConst_("{4'b1010, 4'b0101}").toString(), "10100101");
+    EXPECT_EQ(evalConst_("{2{3'b101}}").toString(), "101101");
+    EXPECT_EQ(evalConst_("{2'b01, {2{1'b1}}, 2'b00}").toString(),
+              "011100");
+}
+
+TEST(Eval, SystemFunctions)
+{
+    // $time at the end of an idle run of a module with no delays is 0.
+    EXPECT_EQ(evalIn("", "$time").toUint64(), 0u);
+    // $random is deterministic per design and 32 bits wide.
+    EXPECT_EQ(evalIn("", "$random").width(), 32);
+}
+
+TEST(Eval, ConstEval)
+{
+    std::unordered_map<std::string, LogicVec> params;
+    params.emplace("W", LogicVec(32, uint64_t(8)));
+    auto file = parse(
+        "module m; wire [63:0] w; assign w = W * 2 - 1; endmodule");
+    const Expr *e = nullptr;
+    for (auto &it : file->modules[0]->items)
+        if (it->kind == NodeKind::ContAssign)
+            e = it->as<ContAssign>()->rhs.get();
+    EXPECT_EQ(evalConst(*e, params).toUint64(), 15u);
+    EXPECT_EQ(evalConstInt(*e, params), 15);
+    // Unknown identifier in constant context throws.
+    auto file2 = parse(
+        "module m; wire [63:0] w; assign w = unknown_name; endmodule");
+    const Expr *e2 = file2->modules[0]->items.back()
+                         ->as<ContAssign>()->rhs.get();
+    EXPECT_THROW(evalConst(*e2, params), ElabError);
+}
+
+TEST(Eval, WriteTargetsThroughAssignments)
+{
+    // Exercise resolveLValue/performWrite via initial-block writes.
+    std::string body = R"(
+    reg [7:0] a;
+    reg b;
+    reg [3:0] mem [0:3];
+    initial begin
+        a = 8'h00;
+        a[5] = 1'b1;
+        a[3:2] = 2'b11;
+        {b, a[0]} = 2'b11;
+        mem[1] = 4'hc;
+    end
+)";
+    EXPECT_EQ(evalIn(body, "a").toString(), "00101101");
+    EXPECT_EQ(evalIn(body, "b").toUint64(), 1u);
+    EXPECT_EQ(evalIn(body, "mem[1]").toUint64(), 0xcu);
+}
+
+TEST(Eval, OutOfRangeWritesDropped)
+{
+    std::string body = R"(
+    reg [3:0] a;
+    reg [1:0] mem [0:1];
+    reg [3:0] i;
+    initial begin
+        a = 4'h0;
+        a[9] = 1'b1;
+        mem[7] = 2'b11;
+        i = 4'hx;
+        a[i] = 1'b1;
+    end
+)";
+    EXPECT_EQ(evalIn(body, "a").toString(), "0000");
+    EXPECT_TRUE(evalIn(body, "mem[0]").hasUnknown());
+}
+
+} // namespace

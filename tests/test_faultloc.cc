@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the dataflow-based fault localization (Algorithm 2),
+ * including the paper's motivating example walk-through.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/faultloc.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using namespace cirfix::verilog;
+using cirfix::sim::LogicVec;
+
+namespace {
+
+/** Parse a module and return it (keeping the file alive). */
+struct Parsed
+{
+    std::unique_ptr<SourceFile> file;
+    Module *mod;
+
+    explicit Parsed(const std::string &src)
+        : file(parse(src)), mod(file->modules[0].get())
+    {}
+};
+
+Trace
+traceOf(const std::vector<std::string> &vars,
+        std::vector<std::pair<uint64_t, std::vector<std::string>>> rows)
+{
+    Trace t{std::vector<std::string>(vars)};
+    for (auto &[time, vals] : rows) {
+        std::vector<LogicVec> vv;
+        for (auto &s : vals)
+            vv.push_back(LogicVec::fromString(s));
+        t.addRow(time, std::move(vv));
+    }
+    return t;
+}
+
+TEST(FaultLoc, OutputMismatchDetectsDifferences)
+{
+    Trace o = traceOf({"dut.a", "dut.b"},
+                      {{5, {"00", "1"}}, {15, {"01", "1"}}});
+    Trace s = traceOf({"dut.a", "dut.b"},
+                      {{5, {"00", "1"}}, {15, {"11", "1"}}});
+    auto mm = outputMismatch(s, o);
+    EXPECT_EQ(mm.size(), 1u);
+    EXPECT_TRUE(mm.count("a"));  // hierarchical prefix stripped
+}
+
+TEST(FaultLoc, XCountsAsMismatch)
+{
+    Trace o = traceOf({"q"}, {{5, {"0"}}});
+    Trace s = traceOf({"q"}, {{5, {"x"}}});
+    EXPECT_EQ(outputMismatch(s, o).count("q"), 1u);
+}
+
+TEST(FaultLoc, MissingSimRowIsMismatch)
+{
+    Trace o = traceOf({"q"}, {{5, {"0"}}, {15, {"0"}}});
+    Trace s = traceOf({"q"}, {{5, {"0"}}});
+    EXPECT_EQ(outputMismatch(s, o).count("q"), 1u);
+}
+
+TEST(FaultLoc, EmptyMismatchYieldsEmptyFl)
+{
+    Parsed p("module m; reg a; initial a = 1'b0; endmodule");
+    auto fl = faultLocalize(*p.mod, {});
+    EXPECT_TRUE(fl.nodeIds.empty());
+}
+
+TEST(FaultLoc, ImplDataImplicatesAssignments)
+{
+    Parsed p(R"(
+module m;
+    reg a, b;
+    initial begin
+        a = 1'b0;
+        b = 1'b1;
+    end
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"a"});
+    // The assignment to a (and its subtree) is in FL; b's is not.
+    bool a_in = false, b_in = false;
+    visitAll(*p.mod, [&](Node &n) {
+        if (n.kind == NodeKind::Assign) {
+            auto *as = n.as<Assign>();
+            if (as->lhs->kind == NodeKind::Ident) {
+                const std::string &nm = as->lhs->as<Ident>()->name;
+                if (nm == "a")
+                    a_in = fl.contains(n.id);
+                if (nm == "b")
+                    b_in = fl.contains(n.id);
+            }
+        }
+    });
+    EXPECT_TRUE(a_in);
+    EXPECT_FALSE(b_in);
+}
+
+TEST(FaultLoc, MotivatingExampleCounter)
+{
+    // Paper Section 2/3.1: overflow_out mismatch implicates the
+    // overflow assignment (Impl-Data), then the wrapping if via its
+    // condition (Impl-Ctrl), which brings counter_out into the
+    // mismatch set (Add-Child), implicating the counter assignments.
+    Parsed p(R"(
+module counter (clk, reset, enable, counter_out, overflow_out);
+    input clk, reset, enable;
+    output [3:0] counter_out;
+    output overflow_out;
+    reg [3:0] counter_out;
+    reg overflow_out;
+    always @(posedge clk)
+    begin : COUNTER
+        if (reset == 1'b1) begin
+            counter_out <= #1 4'b0000;
+        end
+        else if (enable == 1'b1) begin
+            counter_out <= #1 counter_out + 1;
+        end
+        if (counter_out == 4'b1111) begin
+            overflow_out <= #1 1'b1;
+        end
+    end
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"overflow_out"});
+    EXPECT_TRUE(fl.mismatchNames.count("overflow_out"));
+    // counter_out joins the mismatch set transitively.
+    EXPECT_TRUE(fl.mismatchNames.count("counter_out"));
+    // Both the overflow if and the counter assignments implicated.
+    int implicated_assigns = 0;
+    visitAll(*p.mod, [&](Node &n) {
+        if (n.kind == NodeKind::Assign && fl.contains(n.id))
+            ++implicated_assigns;
+    });
+    EXPECT_EQ(implicated_assigns, 3);
+    EXPECT_GE(fl.iterations, 2);
+}
+
+TEST(FaultLoc, ControlDependenciesOfImplicatedAssignments)
+{
+    // An assignment inside a case arm pulls the case subject into the
+    // mismatch set (ascending control dependency).
+    Parsed p(R"(
+module m;
+    reg [1:0] state;
+    reg out, other;
+    always @(state) begin
+        case (state)
+            2'b00 : out = 1'b0;
+            2'b01 : out = 1'b1;
+        endcase
+    end
+    always @(state) begin
+        if (state == 2'b10) other = 1'b1;
+    end
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"out"});
+    EXPECT_TRUE(fl.mismatchNames.count("state"));
+    // Via state, the if conditional in the second block implicates.
+    bool if_in = false;
+    visitAll(*p.mod, [&](Node &n) {
+        if (n.kind == NodeKind::If)
+            if_in |= fl.contains(n.id);
+    });
+    EXPECT_TRUE(if_in);
+}
+
+TEST(FaultLoc, UniformSetNotRanked)
+{
+    // The result is a set of ids: no ordering / scores involved.
+    Parsed p(R"(
+module m;
+    reg a, b;
+    always @(b) a = b;
+    always @(a) b = a;
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"a"});
+    // Fixed point pulls in b and then b's assignment too.
+    EXPECT_TRUE(fl.mismatchNames.count("b"));
+    int assigns = 0;
+    visitAll(*p.mod, [&](Node &n) {
+        if (n.kind == NodeKind::Assign && fl.contains(n.id))
+            ++assigns;
+    });
+    EXPECT_EQ(assigns, 2);
+}
+
+TEST(FaultLoc, ContAssignParticipates)
+{
+    Parsed p(R"(
+module m;
+    wire y;
+    reg a, b;
+    assign y = a & b;
+    initial begin
+        a = 1'b0;
+        b = 1'b1;
+    end
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"y"});
+    EXPECT_TRUE(fl.mismatchNames.count("a"));
+    EXPECT_TRUE(fl.mismatchNames.count("b"));
+    int implicated_assigns = 0;
+    visitAll(*p.mod, [&](Node &n) {
+        if ((n.kind == NodeKind::Assign ||
+             n.kind == NodeKind::ContAssign) &&
+            fl.contains(n.id))
+            ++implicated_assigns;
+    });
+    EXPECT_EQ(implicated_assigns, 3);
+}
+
+TEST(FaultLoc, ConcatLhsImplicates)
+{
+    Parsed p(R"(
+module m;
+    reg a, b, c;
+    initial {a, b} = {c, c};
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"b"});
+    EXPECT_TRUE(fl.mismatchNames.count("c"));
+    EXPECT_FALSE(fl.nodeIds.empty());
+}
+
+TEST(FaultLoc, TerminatesOnSelfReference)
+{
+    Parsed p(R"(
+module m;
+    reg [3:0] q;
+    always @(q) q = q + 1;
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"q"});
+    EXPECT_LE(fl.iterations, 64);
+    EXPECT_FALSE(fl.nodeIds.empty());
+}
+
+TEST(FaultLoc, UnrelatedLogicExcluded)
+{
+    Parsed p(R"(
+module m;
+    reg a, b, u1, u2;
+    always @(b) a = b;
+    always @(u1) u2 = u1;
+endmodule
+)");
+    auto fl = faultLocalize(*p.mod, {"a"});
+    EXPECT_FALSE(fl.mismatchNames.count("u1"));
+    EXPECT_FALSE(fl.mismatchNames.count("u2"));
+    // u2's assignment must not be implicated.
+    visitAll(*p.mod, [&](Node &n) {
+        if (n.kind == NodeKind::Assign) {
+            auto *as = n.as<Assign>();
+            if (as->lhs->kind == NodeKind::Ident &&
+                as->lhs->as<Ident>()->name == "u2") {
+                EXPECT_FALSE(fl.contains(n.id));
+            }
+        }
+    });
+}
+
+TEST(FaultLoc, FromTracesEndToEnd)
+{
+    Parsed p(R"(
+module m;
+    reg good, bad;
+    initial begin
+        good = 1'b1;
+        bad = 1'b0;
+    end
+endmodule
+)");
+    Trace o = traceOf({"dut.good", "dut.bad"}, {{5, {"1", "1"}}});
+    Trace s = traceOf({"dut.good", "dut.bad"}, {{5, {"1", "0"}}});
+    auto fl = faultLocalize(*p.mod, s, o);
+    EXPECT_TRUE(fl.mismatchNames.count("bad"));
+    EXPECT_FALSE(fl.mismatchNames.count("good"));
+}
+
+} // namespace

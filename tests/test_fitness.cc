@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the CirFix fitness function (Section 3.2 formulas),
+ * including the motivating example's arithmetic and property checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/fitness.h"
+
+using namespace cirfix::core;
+using cirfix::sim::LogicVec;
+using cirfix::sim::Trace;
+
+namespace {
+
+Trace
+traceOf(const std::vector<std::string> &vars,
+        const std::vector<std::pair<uint64_t, std::vector<std::string>>>
+            &rows)
+{
+    Trace t{std::vector<std::string>(vars)};
+    for (auto &[time, vals] : rows) {
+        std::vector<LogicVec> vv;
+        for (auto &s : vals)
+            vv.push_back(LogicVec::fromString(s));
+        t.addRow(time, std::move(vv));
+    }
+    return t;
+}
+
+TEST(Fitness, PerfectMatchIsPlausible)
+{
+    Trace o = traceOf({"q"}, {{5, {"0101"}}, {15, {"0110"}}});
+    FitnessResult r = evaluateFitness(o, o);
+    EXPECT_DOUBLE_EQ(r.fitness, 1.0);
+    EXPECT_TRUE(r.plausible());
+    EXPECT_EQ(r.bitMatches, 8u);
+    EXPECT_EQ(r.bitMismatches, 0u);
+}
+
+TEST(Fitness, TotalMismatchIsZero)
+{
+    Trace o = traceOf({"q"}, {{5, {"1111"}}});
+    Trace s = traceOf({"q"}, {{5, {"0000"}}});
+    FitnessResult r = evaluateFitness(s, o);
+    EXPECT_DOUBLE_EQ(r.fitness, 0.0);  // clamped at zero
+    EXPECT_FALSE(r.plausible());
+    EXPECT_EQ(r.bitMismatches, 4u);
+    EXPECT_LT(r.sum, 0.0);
+}
+
+TEST(Fitness, PaperScoringTable)
+{
+    // One bit per case of the paper's sum() definition.
+    Trace o = traceOf({"a", "b", "c", "d", "e", "f"},
+                      {{5, {"0", "x", "1", "0", "x", "z"}}});
+    Trace s = traceOf({"a", "b", "c", "d", "e", "f"},
+                      {{5, {"0", "x", "0", "x", "1", "x"}}});
+    FitnessParams p;
+    p.phi = 2.0;
+    FitnessResult r = evaluateFitness(s, o, p);
+    // (0,0): +1/1. (x,x): +2/2. (1,0): -1/1. (0,x): -2/2.
+    // (x,1): -2/2. (z,x): -2/2.
+    EXPECT_DOUBLE_EQ(r.sum, 1 + 2 - 1 - 2 - 2 - 2);
+    EXPECT_DOUBLE_EQ(r.total, 1 + 2 + 1 + 2 + 2 + 2);
+    EXPECT_DOUBLE_EQ(r.fitness, 0.0);  // sum < 0 clamps
+    EXPECT_EQ(r.unknownMatches, 1u);
+    EXPECT_EQ(r.unknownMismatches, 3u);
+    EXPECT_EQ(r.bitMismatches, 1u);
+}
+
+TEST(Fitness, PhiWeightsUnknowns)
+{
+    Trace o = traceOf({"q"}, {{5, {"00"}}, {15, {"11"}}});
+    Trace s = traceOf({"q"}, {{5, {"0x"}}, {15, {"11"}}});
+    FitnessParams p1{1.0}, p2{2.0}, p3{3.0};
+    double f1 = evaluateFitness(s, o, p1).fitness;
+    double f2 = evaluateFitness(s, o, p2).fitness;
+    double f3 = evaluateFitness(s, o, p3).fitness;
+    // Larger phi penalizes the x mismatch more.
+    EXPECT_GT(f1, f2);
+    EXPECT_GT(f2, f3);
+}
+
+TEST(Fitness, MissingRowsReadAsX)
+{
+    Trace o = traceOf({"q"}, {{5, {"01"}}, {15, {"10"}}});
+    Trace s = traceOf({"q"}, {{5, {"01"}}});  // sim ended early
+    FitnessResult r = evaluateFitness(s, o);
+    // Row 5 matches (+2/2); row 15 is x vs defined (-2*phi / 2*phi).
+    EXPECT_DOUBLE_EQ(r.sum, 2.0 - 4.0);
+    EXPECT_DOUBLE_EQ(r.total, 2.0 + 4.0);
+    EXPECT_DOUBLE_EQ(r.fitness, 0.0);
+}
+
+TEST(Fitness, MissingVariableReadsAsX)
+{
+    Trace o = traceOf({"q", "r"}, {{5, {"1", "0"}}});
+    Trace s = traceOf({"q"}, {{5, {"1"}}});
+    FitnessResult r = evaluateFitness(s, o);
+    EXPECT_EQ(r.bitMatches, 1u);
+    EXPECT_EQ(r.unknownMismatches, 1u);
+}
+
+TEST(Fitness, ExtraSimRowsIgnored)
+{
+    Trace o = traceOf({"q"}, {{5, {"1"}}});
+    Trace s = traceOf({"q"}, {{5, {"1"}}, {15, {"0"}}, {25, {"0"}}});
+    FitnessResult r = evaluateFitness(s, o);
+    EXPECT_TRUE(r.plausible());
+}
+
+TEST(Fitness, VariablesMatchedByName)
+{
+    Trace o = traceOf({"a", "b"}, {{5, {"1", "0"}}});
+    // Columns swapped in the sim trace; name matching must fix it up.
+    Trace s = traceOf({"b", "a"}, {{5, {"0", "1"}}});
+    FitnessResult r = evaluateFitness(s, o);
+    EXPECT_TRUE(r.plausible());
+}
+
+TEST(Fitness, WidthNormalization)
+{
+    Trace o = traceOf({"q"}, {{5, {"0011"}}});
+    Trace s = traceOf({"q"}, {{5, {"11"}}});  // narrower: zero-extends
+    FitnessResult r = evaluateFitness(s, o);
+    EXPECT_TRUE(r.plausible());
+}
+
+TEST(Fitness, EmptyOracleNotPlausible)
+{
+    Trace o{std::vector<std::string>{"q"}};
+    Trace s = traceOf({"q"}, {{5, {"1"}}});
+    FitnessResult r = evaluateFitness(s, o);
+    EXPECT_FALSE(r.plausible());
+    EXPECT_DOUBLE_EQ(r.total, 0.0);
+}
+
+TEST(Fitness, MotivatingExampleShape)
+{
+    // Figure 2: overflow_out mismatches x-vs-0 for 17 of 20 early
+    // cycles while counter_out matches; fitness lands strictly
+    // between 0 and 1 and improves when the mismatch shrinks.
+    std::vector<std::pair<uint64_t, std::vector<std::string>>> orows,
+        srows_bad, srows_better;
+    for (uint64_t c = 0; c < 20; ++c) {
+        uint64_t tm = 25 + 10 * c;
+        orows.push_back({tm, {"0000", "0"}});
+        srows_bad.push_back({tm, {"0000", c < 17 ? "x" : "0"}});
+        srows_better.push_back({tm, {"0000", c < 5 ? "x" : "0"}});
+    }
+    Trace o = traceOf({"counter_out", "overflow_out"}, orows);
+    Trace bad = traceOf({"counter_out", "overflow_out"}, srows_bad);
+    Trace better = traceOf({"counter_out", "overflow_out"},
+                           srows_better);
+    double f_bad = evaluateFitness(bad, o).fitness;
+    double f_better = evaluateFitness(better, o).fitness;
+    EXPECT_GT(f_bad, 0.0);
+    EXPECT_LT(f_bad, 1.0);
+    EXPECT_GT(f_better, f_bad);
+}
+
+class FitnessBoundsProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FitnessBoundsProperty, AlwaysInUnitInterval)
+{
+    std::mt19937_64 rng(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        int rows = 1 + static_cast<int>(rng() % 8);
+        int width = 1 + static_cast<int>(rng() % 6);
+        auto random_trace = [&] {
+            Trace t({"v"});
+            for (int i = 0; i < rows; ++i) {
+                std::string bits;
+                for (int b = 0; b < width; ++b)
+                    bits.push_back("01xz"[rng() % 4]);
+                t.addRow(static_cast<uint64_t>(i * 10),
+                         {LogicVec::fromString(bits)});
+            }
+            return t;
+        };
+        Trace o = random_trace();
+        Trace s = random_trace();
+        FitnessResult r = evaluateFitness(s, o);
+        EXPECT_GE(r.fitness, 0.0);
+        EXPECT_LE(r.fitness, 1.0);
+        // Self-comparison of any trace without x/z... may contain x;
+        // identical traces always score exactly 1.
+        FitnessResult self = evaluateFitness(o, o);
+        EXPECT_DOUBLE_EQ(self.fitness, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitnessBoundsProperty,
+                         ::testing::Values(11u, 22u, 33u));
+
+} // namespace

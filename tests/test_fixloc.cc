@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for fix localization (Section 3.6): donor scoping, insertion
+ * anchors and replacement compatibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fixloc.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using namespace cirfix::verilog;
+
+namespace {
+
+const std::string kTwoModules = R"(
+module dut (clk, q);
+    input clk;
+    output q;
+    reg q;
+    always @(posedge clk) begin
+        q <= !q;
+        if (q) q <= 1'b0;
+    end
+endmodule
+module tb;
+    reg clk;
+    wire q;
+    event go;
+    dut d (.clk(clk), .q(q));
+    initial begin
+        clk = 0;
+        -> go;
+        #5 clk = 1;
+    end
+endmodule
+)";
+
+TEST(FixLoc, CollectsStmtSlots)
+{
+    auto file = parse(kTwoModules);
+    const Module *dut = file->findModule("dut");
+    auto slots = collectStmtSlots(*dut);
+    // begin/end block, two assignments, the if, the nested assign.
+    EXPECT_EQ(slots.size(), 5u);
+    int in_block = 0;
+    for (auto &s : slots)
+        in_block += s.inBlock;
+    EXPECT_EQ(in_block, 2);  // the two direct children of begin/end
+}
+
+TEST(FixLoc, EnabledRestrictsDonorsToDut)
+{
+    auto file = parse(kTwoModules);
+    const Module *dut = file->findModule("dut");
+    FixLocSpace with = computeFixLoc(*file, *dut, true);
+    FixLocSpace without = computeFixLoc(*file, *dut, false);
+    EXPECT_LT(with.donorIds.size(), without.donorIds.size());
+    // All enabled donors belong to the DUT's id range.
+    for (int id : with.donorIds)
+        EXPECT_NE(findNode(*const_cast<Module *>(dut), id), nullptr);
+    // Disabled mode includes testbench statements (e.g. the trigger).
+    bool has_tb_donor = false;
+    for (int id : without.donorIds) {
+        Node *n = findNode(*file, id);
+        has_tb_donor |= (n && n->kind == NodeKind::TriggerEvent);
+    }
+    EXPECT_TRUE(has_tb_donor);
+}
+
+TEST(FixLoc, SlotsAlwaysFromDut)
+{
+    auto file = parse(kTwoModules);
+    const Module *dut = file->findModule("dut");
+    for (bool enabled : {true, false}) {
+        FixLocSpace space = computeFixLoc(*file, *dut, enabled);
+        for (auto &slot : space.slots)
+            EXPECT_NE(
+                findNode(*const_cast<Module *>(dut), slot.id),
+                nullptr);
+    }
+}
+
+TEST(FixLoc, ReplacementCompatibility)
+{
+    // Statements freely substitute (shared `statement` production).
+    EXPECT_TRUE(replacementCompatible(NodeKind::Assign, NodeKind::If));
+    EXPECT_TRUE(replacementCompatible(NodeKind::Case,
+                                      NodeKind::SeqBlock));
+    EXPECT_TRUE(
+        replacementCompatible(NodeKind::NullStmt, NodeKind::Assign));
+    EXPECT_TRUE(replacementCompatible(NodeKind::Assign,
+                                      NodeKind::Assign));
+    // Non-statements require exact kind match.
+    EXPECT_TRUE(replacementCompatible(NodeKind::Number,
+                                      NodeKind::Number));
+    EXPECT_FALSE(replacementCompatible(NodeKind::Number,
+                                       NodeKind::Ident));
+    EXPECT_FALSE(replacementCompatible(NodeKind::Assign,
+                                       NodeKind::Number));
+}
+
+TEST(FixLoc, ContAssignsAreNotDonors)
+{
+    auto file = parse(R"(
+module dut (input a, output y);
+    assign y = a;
+endmodule
+)");
+    const Module *dut = file->findModule("dut");
+    FixLocSpace space = computeFixLoc(*file, *dut, true);
+    EXPECT_TRUE(space.donorIds.empty());
+    EXPECT_TRUE(space.slots.empty());
+}
+
+TEST(FixLoc, NullStatementsNotDonorsButAreSlots)
+{
+    auto file = parse(R"(
+module dut (input clk);
+    reg q;
+    always @(posedge clk) begin
+        ;
+        q <= 1'b1;
+    end
+endmodule
+)");
+    const Module *dut = file->findModule("dut");
+    FixLocSpace space = computeFixLoc(*file, *dut, true);
+    for (int id : space.donorIds) {
+        Node *n = findNode(*const_cast<Module *>(dut), id);
+        EXPECT_NE(n->kind, NodeKind::NullStmt);
+    }
+    bool null_slot = false;
+    for (auto &s : space.slots)
+        null_slot |= (s.kind == NodeKind::NullStmt);
+    EXPECT_TRUE(null_slot);  // replacement can still fill empty arms
+}
+
+} // namespace

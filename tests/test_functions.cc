@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for user-defined Verilog functions (IEEE 1364 §10.4):
+ * parsing, validation, evaluation, and use inside designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/elaborate.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+#include "verilog/validate.h"
+
+using namespace cirfix;
+using namespace cirfix::sim;
+using namespace cirfix::verilog;
+
+namespace {
+
+struct FnRun
+{
+    std::unique_ptr<Design> design;
+
+    explicit FnRun(const std::string &src, const std::string &top = "t")
+    {
+        std::shared_ptr<const SourceFile> file = parse(src);
+        design = elaborate(file, top);
+        design->run();
+    }
+
+    uint64_t
+    value(const std::string &path)
+    {
+        SignalRef r = design->findSignal(path);
+        EXPECT_NE(r.sig, nullptr) << path;
+        return r.sig->value().toUint64();
+    }
+};
+
+TEST(Functions, ParseDeclarationAndCall)
+{
+    auto file = parse(R"(
+module m;
+    function [7:0] add3;
+        input [7:0] x;
+        begin
+            add3 = x + 3;
+        end
+    endfunction
+    reg [7:0] r;
+    initial r = add3(8'd4);
+endmodule
+)");
+    const FunctionDecl *fn = nullptr;
+    for (auto &it : file->modules[0]->items)
+        if (it->kind == NodeKind::FunctionDecl)
+            fn = it->as<FunctionDecl>();
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->name, "add3");
+    EXPECT_EQ(fn->inputOrder.size(), 1u);
+    EXPECT_TRUE(isValid(*file));
+}
+
+TEST(Functions, EvaluateSimpleFunction)
+{
+    FnRun r(R"(
+module t;
+    function [7:0] add3;
+        input [7:0] x;
+        add3 = x + 3;
+    endfunction
+    reg [7:0] out;
+    initial out = add3(8'd10);
+endmodule
+)");
+    EXPECT_EQ(r.value("out"), 13u);
+}
+
+TEST(Functions, MultipleInputsPositional)
+{
+    FnRun r(R"(
+module t;
+    function [7:0] maxv;
+        input [7:0] a;
+        input [7:0] b;
+        maxv = (a > b) ? a : b;
+    endfunction
+    reg [7:0] out1, out2;
+    initial begin
+        out1 = maxv(8'd3, 8'd9);
+        out2 = maxv(8'd20, 8'd9);
+    end
+endmodule
+)");
+    EXPECT_EQ(r.value("out1"), 9u);
+    EXPECT_EQ(r.value("out2"), 20u);
+}
+
+TEST(Functions, LocalsAndLoops)
+{
+    // Parity via a for loop over a local integer.
+    FnRun r(R"(
+module t;
+    function parity;
+        input [7:0] v;
+        integer i;
+        begin
+            parity = 1'b0;
+            for (i = 0; i < 8; i = i + 1)
+                parity = parity ^ v[i];
+        end
+    endfunction
+    reg p1, p2;
+    initial begin
+        p1 = parity(8'b10110100);
+        p2 = parity(8'b10110101);
+    end
+endmodule
+)");
+    EXPECT_EQ(r.value("p1"), 0u);
+    EXPECT_EQ(r.value("p2"), 1u);
+}
+
+TEST(Functions, ReadsModuleState)
+{
+    FnRun r(R"(
+module t;
+    reg [3:0] base;
+    function [3:0] plus_base;
+        input [3:0] x;
+        plus_base = x + base;
+    endfunction
+    reg [3:0] out;
+    initial begin
+        base = 4'd5;
+        out = plus_base(4'd2);
+    end
+endmodule
+)");
+    EXPECT_EQ(r.value("out"), 7u);
+}
+
+TEST(Functions, UsedInContinuousAssign)
+{
+    FnRun r(R"(
+module t;
+    function [3:0] inv;
+        input [3:0] x;
+        inv = ~x;
+    endfunction
+    reg [3:0] a;
+    wire [3:0] y;
+    assign y = inv(a);
+    reg [3:0] seen;
+    initial begin
+        a = 4'b0011;
+        #1 seen = y;
+    end
+endmodule
+)");
+    EXPECT_EQ(r.value("seen"), 0b1100u);
+}
+
+TEST(Functions, RecursionBoundedToX)
+{
+    FnRun r(R"(
+module t;
+    function [7:0] forever_fn;
+        input [7:0] x;
+        forever_fn = forever_fn(x + 1);
+    endfunction
+    reg [7:0] out;
+    initial out = forever_fn(8'd0);
+endmodule
+)");
+    SignalRef ref = r.design->findSignal("out");
+    EXPECT_TRUE(ref.sig->value().hasUnknown());
+}
+
+TEST(Functions, UnknownFunctionEvaluatesToX)
+{
+    // Validation catches it, but evaluation must stay safe too.
+    auto file = parse(R"(
+module t;
+    reg [7:0] out;
+    initial out = ghost(8'd1);
+endmodule
+)");
+    EXPECT_FALSE(isValid(*file));
+}
+
+TEST(Functions, ValidatorChecksArity)
+{
+    auto file = parse(R"(
+module m;
+    function [3:0] f;
+        input [3:0] a;
+        f = a;
+    endfunction
+    reg [3:0] r;
+    initial r = f(4'd1, 4'd2);
+endmodule
+)");
+    auto errs = validate(*file);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].message.find("argument"), std::string::npos);
+}
+
+TEST(Functions, ValidatorRejectsTimingControls)
+{
+    auto file = parse(R"(
+module m;
+    function [3:0] f;
+        input [3:0] a;
+        begin
+            #5 f = a;
+        end
+    endfunction
+    reg [3:0] r;
+    initial r = f(4'd1);
+endmodule
+)");
+    EXPECT_FALSE(isValid(*file));
+}
+
+TEST(Functions, PrintRoundTrip)
+{
+    const std::string src = R"(
+module m;
+    function [7:0] crc_step;
+        input [7:0] c;
+        input d;
+        reg fb;
+        begin
+            fb = c[7] ^ d;
+            crc_step = {c[6:0], 1'b0} ^ {fb, 2'b00, fb, 3'b000, fb};
+        end
+    endfunction
+    reg [7:0] r;
+    initial r = crc_step(8'hff, 1'b0);
+endmodule
+)";
+    auto f1 = parse(src);
+    std::string p1 = print(*f1);
+    std::unique_ptr<SourceFile> f2;
+    ASSERT_NO_THROW(f2 = parse(p1)) << p1;
+    EXPECT_EQ(p1, print(*f2));
+}
+
+TEST(Functions, CrcDatapathEndToEnd)
+{
+    // A realistic use: CRC-8 computed bit-serially via a function in
+    // a clocked datapath.
+    FnRun r(R"(
+module t;
+    reg clk;
+    reg [7:0] data;
+    reg [7:0] crc;
+    integer i;
+
+    function [7:0] crc8_step;
+        input [7:0] c;
+        input b;
+        reg fb;
+        begin
+            fb = c[7] ^ b;
+            crc8_step = (c << 1) ^ (fb ? 8'h07 : 8'h00);
+        end
+    endfunction
+
+    initial begin
+        clk = 0;
+        crc = 8'h00;
+        data = 8'ha5;
+        for (i = 0; i < 8; i = i + 1) begin
+            crc = crc8_step(crc, data[7]);
+            data = data << 1;
+        end
+    end
+endmodule
+)");
+    // Reference CRC-8/ATM of 0xa5 starting from 0x00.
+    uint8_t crc = 0;
+    uint8_t d = 0xa5;
+    for (int i = 0; i < 8; ++i) {
+        uint8_t fb = ((crc >> 7) ^ (d >> 7)) & 1;
+        crc = static_cast<uint8_t>((crc << 1) ^ (fb ? 0x07 : 0x00));
+        d = static_cast<uint8_t>(d << 1);
+    }
+    EXPECT_EQ(r.value("crc"), crc);
+}
+
+} // namespace

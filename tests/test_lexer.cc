@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the Verilog tokenizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verilog/lexer.h"
+
+using namespace cirfix::verilog;
+using cirfix::sim::Bit;
+
+namespace {
+
+std::vector<Token>
+lexAll(const std::string &src)
+{
+    std::vector<Token> toks = lex(src);
+    EXPECT_FALSE(toks.empty());
+    EXPECT_EQ(toks.back().kind, Tok::End);
+    toks.pop_back();
+    return toks;
+}
+
+TEST(Lexer, EmptyInput)
+{
+    std::vector<Token> toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::End);
+}
+
+TEST(Lexer, IdentifiersAndKeywords)
+{
+    auto toks = lexAll("module foo_bar _x a$b endmodule");
+    ASSERT_EQ(toks.size(), 5u);
+    for (auto &t : toks)
+        EXPECT_EQ(t.kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "foo_bar");
+    EXPECT_EQ(toks[2].text, "_x");
+    EXPECT_EQ(toks[3].text, "a$b");
+}
+
+TEST(Lexer, LineAndBlockComments)
+{
+    auto toks = lexAll("a // comment here\n b /* multi\nline */ c");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+    EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows)
+{
+    EXPECT_THROW(lex("a /* never closed"), LexError);
+}
+
+TEST(Lexer, DirectivesSkipped)
+{
+    auto toks = lexAll("`timescale 1ns/1ps\nmodule");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].text, "module");
+}
+
+TEST(Lexer, PlainDecimal)
+{
+    auto toks = lexAll("42");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::Number);
+    EXPECT_EQ(toks[0].value.width(), 32);
+    EXPECT_EQ(toks[0].value.toUint64(), 42u);
+    EXPECT_FALSE(toks[0].sized);
+}
+
+TEST(Lexer, SizedBinary)
+{
+    auto toks = lexAll("4'b10_10");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].value.width(), 4);
+    EXPECT_EQ(toks[0].value.toString(), "1010");
+    EXPECT_EQ(toks[0].base, 'b');
+}
+
+TEST(Lexer, SizedHexOctalDecimal)
+{
+    auto toks = lexAll("8'hFf 6'o17 10'd500");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].value.toUint64(), 0xffu);
+    EXPECT_EQ(toks[1].value.toUint64(), 017u);
+    EXPECT_EQ(toks[2].value.toUint64(), 500u);
+    EXPECT_EQ(toks[2].value.width(), 10);
+}
+
+TEST(Lexer, XAndZDigits)
+{
+    auto toks = lexAll("4'b1x0z 8'hxz 4'dx 1'bz");
+    EXPECT_EQ(toks[0].value.toString(), "1x0z");
+    EXPECT_EQ(toks[1].value.toString(), "xxxxzzzz");
+    EXPECT_EQ(toks[2].value.toString(), "xxxx");
+    EXPECT_EQ(toks[3].value.toString(), "z");
+}
+
+TEST(Lexer, MsbExtensionOfShortBasedLiterals)
+{
+    // A literal narrower than its width extends with the top digit
+    // when that digit is x/z, else with zero.
+    auto toks = lexAll("8'bx1 8'b01 8'hz");
+    EXPECT_EQ(toks[0].value.toString(), "xxxxxxx1");
+    EXPECT_EQ(toks[1].value.toString(), "00000001");
+    EXPECT_EQ(toks[2].value.toString(), "zzzzzzzz");
+}
+
+TEST(Lexer, SizeWithSpaceBeforeBase)
+{
+    auto toks = lexAll("4 'b1010");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].value.toString(), "1010");
+}
+
+TEST(Lexer, TruncationToWidth)
+{
+    auto toks = lexAll("2'h10");  // 16 truncated to 2 bits
+    EXPECT_EQ(toks[0].value.toUint64(), 0u);
+}
+
+TEST(Lexer, BadLiterals)
+{
+    EXPECT_THROW(lex("4'q0"), LexError);
+    EXPECT_THROW(lex("4'b"), LexError);
+    EXPECT_THROW(lex("$"), LexError);
+}
+
+TEST(Lexer, SystemIdentifiers)
+{
+    auto toks = lexAll("$display $time $finish");
+    for (auto &t : toks)
+        EXPECT_EQ(t.kind, Tok::SysIdent);
+    EXPECT_EQ(toks[0].text, "$display");
+    EXPECT_EQ(toks[1].text, "$time");
+}
+
+TEST(Lexer, StringsWithEscapes)
+{
+    auto toks = lexAll(R"("hello \"world\"\n")");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::String);
+    EXPECT_EQ(toks[0].text, "hello \"world\"\n");
+    EXPECT_THROW(lex("\"never closed"), LexError);
+}
+
+TEST(Lexer, MultiCharOperators)
+{
+    auto toks = lexAll("=== !== == != <= >= && || << >> ~^ ** -> ~& ~|");
+    std::vector<std::string> expect = {"===", "!==", "==", "!=", "<=",
+                                       ">=", "&&", "||", "<<", ">>",
+                                       "~^", "**", "->", "~&", "~|"};
+    ASSERT_EQ(toks.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(toks[i].kind, Tok::Punct);
+        EXPECT_EQ(toks[i].text, expect[i]);
+    }
+}
+
+TEST(Lexer, ArithmeticShiftsDegradeToLogical)
+{
+    auto toks = lexAll("a <<< b >>> c");
+    EXPECT_EQ(toks[1].text, "<<");
+    EXPECT_EQ(toks[3].text, ">>");
+}
+
+TEST(Lexer, SingleCharPunct)
+{
+    auto toks = lexAll("( ) [ ] { } ; : , . # @ = + - * / % & | ^ ~ !");
+    for (auto &t : toks)
+        EXPECT_EQ(t.kind, Tok::Punct);
+}
+
+TEST(Lexer, LineNumbersTracked)
+{
+    auto toks = lexAll("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, UnexpectedCharacter)
+{
+    EXPECT_THROW(lex("a \x01 b"), LexError);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for delta-debugging repair minimization (Section 3.7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/minimize.h"
+
+using namespace cirfix::core;
+
+namespace {
+
+Patch
+patchOfTargets(const std::vector<int> &targets)
+{
+    Patch p;
+    for (int t : targets) {
+        Edit e;
+        e.kind = EditKind::Delete;
+        e.target = t;
+        p.edits.push_back(std::move(e));
+    }
+    return p;
+}
+
+std::multiset<int>
+targets(const Patch &p)
+{
+    std::multiset<int> out;
+    for (auto &e : p.edits)
+        out.insert(e.target);
+    return out;
+}
+
+/** Plausibility oracle: the patch must contain all of @p needed. */
+auto
+needsAll(std::vector<int> needed)
+{
+    return [needed](const Patch &p) {
+        std::multiset<int> have = targets(p);
+        for (int n : needed)
+            if (!have.count(n))
+                return false;
+        return true;
+    };
+}
+
+TEST(Minimize, DropsAllExtraneousEdits)
+{
+    Patch p = patchOfTargets({1, 2, 3, 4, 5, 6, 7, 8});
+    int tests = 0;
+    Patch m = minimizePatch(p, needsAll({3}), &tests);
+    EXPECT_EQ(targets(m), (std::multiset<int>{3}));
+    EXPECT_GT(tests, 0);
+}
+
+TEST(Minimize, KeepsMultipleRequiredEdits)
+{
+    Patch p = patchOfTargets({1, 2, 3, 4, 5, 6});
+    Patch m = minimizePatch(p, needsAll({2, 5, 6}));
+    EXPECT_EQ(targets(m), (std::multiset<int>{2, 5, 6}));
+}
+
+TEST(Minimize, AlreadyMinimalUnchanged)
+{
+    Patch p = patchOfTargets({4, 9});
+    Patch m = minimizePatch(p, needsAll({4, 9}));
+    EXPECT_EQ(targets(m), (std::multiset<int>{4, 9}));
+}
+
+TEST(Minimize, SingleEditPatch)
+{
+    Patch p = patchOfTargets({42});
+    Patch m = minimizePatch(p, needsAll({42}));
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Minimize, AllEditsRequired)
+{
+    Patch p = patchOfTargets({1, 2, 3, 4, 5, 6, 7});
+    Patch m = minimizePatch(p, needsAll({1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(m.size(), 7u);
+}
+
+TEST(Minimize, PreservesOrder)
+{
+    Patch p = patchOfTargets({9, 1, 7, 3});
+    Patch m = minimizePatch(p, needsAll({1, 3}));
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.edits[0].target, 1);
+    EXPECT_EQ(m.edits[1].target, 3);
+}
+
+TEST(Minimize, ResultIsOneMinimal)
+{
+    // Oracle: needs {2} OR ({4} AND {6}) — minimization should land on
+    // a subset from which nothing more can be dropped.
+    auto oracle = [](const Patch &p) {
+        auto t = targets(p);
+        return t.count(2) || (t.count(4) && t.count(6));
+    };
+    Patch p = patchOfTargets({1, 2, 3, 4, 5, 6});
+    Patch m = minimizePatch(p, oracle);
+    EXPECT_TRUE(oracle(m));
+    // Every single-edit removal leaving a non-empty patch breaks it.
+    for (size_t i = 0; i < m.edits.size(); ++i) {
+        Patch without;
+        for (size_t j = 0; j < m.edits.size(); ++j)
+            if (j != i)
+                without.edits.push_back(m.edits[j]);
+        if (!without.empty()) {
+            EXPECT_FALSE(oracle(without))
+                << "edit " << i << " is removable";
+        }
+    }
+}
+
+TEST(Minimize, NeverTestsEmptyPatch)
+{
+    Patch p = patchOfTargets({1, 2});
+    bool saw_empty = false;
+    minimizePatch(p, [&](const Patch &q) {
+        saw_empty |= q.empty();
+        return true;  // everything "plausible": maximal removal
+    });
+    EXPECT_FALSE(saw_empty);
+}
+
+TEST(Minimize, PolynomialTestCount)
+{
+    Patch p = patchOfTargets(
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+    int tests = 0;
+    minimizePatch(p, needsAll({7}), &tests);
+    EXPECT_LT(tests, 16 * 16);
+}
+
+} // namespace

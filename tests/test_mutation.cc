@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the mutation and crossover repair operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mutation.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+#include "verilog/validate.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using namespace cirfix::verilog;
+
+namespace {
+
+const std::string kSrc = R"(
+module dut (clk, rst, q);
+    input clk, rst;
+    output [3:0] q;
+    reg [3:0] q;
+    always @(posedge clk) begin
+        if (rst == 1'b1) begin
+            q <= 4'd0;
+        end
+        else begin
+            q <= q + 4'd1;
+        end
+    end
+endmodule
+module tb;
+    reg clk, rst;
+    wire [3:0] q;
+    reg tb_private;
+    dut d (.clk(clk), .rst(rst), .q(q));
+    initial begin
+        clk = 0;
+        tb_private = 0;
+        #100 $finish;
+    end
+    always #5 clk = !clk;
+endmodule
+)";
+
+std::unordered_set<int>
+allIds(const Module &m)
+{
+    std::unordered_set<int> ids;
+    visitAll(const_cast<Module &>(m), [&](Node &n) { ids.insert(n.id); });
+    return ids;
+}
+
+TEST(Mutation, ProducesOneOfThreeKinds)
+{
+    auto file = parse(kSrc);
+    const Module *dut = file->findModule("dut");
+    std::mt19937_64 rng(7);
+    Mutator mut(rng, MutationConfig{});
+    std::unordered_set<int> fl = allIds(*dut);
+    int deletes = 0, inserts = 0, replaces = 0, none = 0;
+    for (int i = 0; i < 300; ++i) {
+        auto e = mut.mutate(*file, *dut, fl);
+        if (!e) {
+            ++none;
+            continue;
+        }
+        switch (e->kind) {
+          case EditKind::Delete: ++deletes; break;
+          case EditKind::InsertAfter: ++inserts; break;
+          case EditKind::Replace: ++replaces; break;
+          default: FAIL() << "unexpected edit kind";
+        }
+    }
+    // Thresholds .3/.3/.4 should produce a mix of all three.
+    EXPECT_GT(deletes, 30);
+    EXPECT_GT(inserts, 30);
+    EXPECT_GT(replaces, 30);
+    EXPECT_LT(none, 150);
+}
+
+TEST(Mutation, TargetsRespectFaultLocalization)
+{
+    auto file = parse(kSrc);
+    const Module *dut = file->findModule("dut");
+    // Restrict FL to the reset assignment only.
+    int reset_assign = -1;
+    visitAll(*const_cast<Module *>(dut), [&](Node &n) {
+        if (n.kind == NodeKind::Assign &&
+            printExpr(*n.as<Assign>()->rhs).find("4'd0") !=
+                std::string::npos)
+            reset_assign = n.id;
+    });
+    ASSERT_GE(reset_assign, 0);
+    std::unordered_set<int> fl{reset_assign};
+    std::mt19937_64 rng(11);
+    Mutator mut(rng, MutationConfig{});
+    for (int i = 0; i < 100; ++i) {
+        auto e = mut.mutate(*file, *dut, fl);
+        if (!e)
+            continue;
+        if (e->kind == EditKind::Delete ||
+            e->kind == EditKind::Replace) {
+            EXPECT_EQ(e->target, reset_assign);
+        }
+    }
+}
+
+TEST(Mutation, FallsBackWhenFlEmpty)
+{
+    auto file = parse(kSrc);
+    const Module *dut = file->findModule("dut");
+    std::mt19937_64 rng(3);
+    Mutator mut(rng, MutationConfig{});
+    auto e = mut.mutate(*file, *dut, {});
+    EXPECT_TRUE(e.has_value());
+}
+
+TEST(Mutation, WithFixLocMutantsMostlyValid)
+{
+    auto file = parse(kSrc);
+    const Module *dut = file->findModule("dut");
+    std::mt19937_64 rng(13);
+    MutationConfig cfg;
+    cfg.useFixLoc = true;
+    Mutator mut(rng, cfg);
+    std::unordered_set<int> fl = allIds(*dut);
+    int invalid = 0, total = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto e = mut.mutate(*file, *dut, fl);
+        if (!e)
+            continue;
+        Patch p;
+        p.edits.push_back(std::move(*e));
+        auto mutant = applyPatch(*file, p);
+        ++total;
+        invalid += isValid(*mutant) ? 0 : 1;
+    }
+    ASSERT_GT(total, 100);
+    EXPECT_LT(static_cast<double>(invalid) / total, 0.15);
+}
+
+TEST(Mutation, WithoutFixLocMoreInvalidMutants)
+{
+    auto file = parse(kSrc);
+    const Module *dut = file->findModule("dut");
+    auto rate = [&](bool use_fixloc) {
+        std::mt19937_64 rng(17);
+        MutationConfig cfg;
+        cfg.useFixLoc = use_fixloc;
+        Mutator mut(rng, cfg);
+        std::unordered_set<int> fl = allIds(*dut);
+        int invalid = 0, total = 0;
+        for (int i = 0; i < 300; ++i) {
+            auto e = mut.mutate(*file, *dut, fl);
+            if (!e)
+                continue;
+            Patch p;
+            p.edits.push_back(std::move(*e));
+            auto mutant = applyPatch(*file, p);
+            ++total;
+            invalid += isValid(*mutant) ? 0 : 1;
+        }
+        return static_cast<double>(invalid) / total;
+    };
+    // The Section 3.6 claim: fix localization reduces the fraction of
+    // mutants that fail to compile.
+    EXPECT_LT(rate(true), rate(false));
+}
+
+TEST(Crossover, SwapsTails)
+{
+    auto mkpatch = [](std::initializer_list<int> targets) {
+        Patch p;
+        for (int t : targets) {
+            Edit e;
+            e.kind = EditKind::Delete;
+            e.target = t;
+            p.edits.push_back(std::move(e));
+        }
+        return p;
+    };
+    Patch a = mkpatch({1, 2, 3});
+    Patch b = mkpatch({10, 20});
+    std::mt19937_64 rng(5);
+    auto [c1, c2] = crossover(a, b, rng);
+    // Children together contain exactly the parents' edits.
+    EXPECT_EQ(c1.size() + c2.size(), a.size() + b.size());
+    // Each child's prefix comes from one parent.
+    if (!c1.edits.empty()) {
+        EXPECT_TRUE(c1.edits[0].target == 1 ||
+                    c1.edits[0].target == 10);
+    }
+}
+
+TEST(Crossover, EmptyParentsGiveEmptyChildren)
+{
+    std::mt19937_64 rng(5);
+    auto [c1, c2] = crossover(Patch{}, Patch{}, rng);
+    EXPECT_TRUE(c1.empty());
+    EXPECT_TRUE(c2.empty());
+}
+
+TEST(Crossover, Deterministic)
+{
+    Patch a, b;
+    for (int t : {1, 2, 3, 4}) {
+        Edit e;
+        e.kind = EditKind::Delete;
+        e.target = t;
+        a.edits.push_back(std::move(e));
+    }
+    for (int t : {10, 20, 30}) {
+        Edit e;
+        e.kind = EditKind::Delete;
+        e.target = t;
+        b.edits.push_back(std::move(e));
+    }
+    std::mt19937_64 r1(99), r2(99);
+    auto [x1, x2] = crossover(a, b, r1);
+    auto [y1, y2] = crossover(a, b, r2);
+    EXPECT_EQ(x1.describe(), y1.describe());
+    EXPECT_EQ(x2.describe(), y2.describe());
+}
+
+TEST(Mutation, TemplateEditFromSites)
+{
+    auto file = parse(kSrc);
+    const Module *dut = file->findModule("dut");
+    std::mt19937_64 rng(23);
+    Mutator mut(rng, MutationConfig{});
+    std::unordered_set<int> fl = allIds(*dut);
+    int got = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto e = mut.templateEdit(*file, *dut, fl);
+        if (e) {
+            ++got;
+            EXPECT_EQ(e->kind, EditKind::Template);
+        }
+    }
+    EXPECT_EQ(got, 50);
+}
+
+} // namespace

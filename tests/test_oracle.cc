@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for oracle thinning (RQ4 support).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.h"
+
+using namespace cirfix::core;
+using cirfix::sim::LogicVec;
+
+namespace {
+
+Trace
+rampTrace(int rows)
+{
+    Trace t({"v"});
+    for (int i = 0; i < rows; ++i)
+        t.addRow(static_cast<uint64_t>(5 + 10 * i),
+                 {LogicVec(8, static_cast<uint64_t>(i))});
+    return t;
+}
+
+TEST(Oracle, FullFractionIsIdentity)
+{
+    Trace t = rampTrace(20);
+    Trace out = thinOracle(t, 1.0);
+    EXPECT_EQ(out.size(), t.size());
+}
+
+TEST(Oracle, HalfKeepsAboutHalf)
+{
+    Trace t = rampTrace(20);
+    Trace out = thinOracle(t, 0.5);
+    EXPECT_GE(out.size(), 9u);
+    EXPECT_LE(out.size(), 11u);
+}
+
+TEST(Oracle, QuarterKeepsAboutQuarter)
+{
+    Trace t = rampTrace(40);
+    Trace out = thinOracle(t, 0.25);
+    EXPECT_GE(out.size(), 9u);
+    EXPECT_LE(out.size(), 11u);
+}
+
+TEST(Oracle, EndpointsRetained)
+{
+    Trace t = rampTrace(30);
+    for (double frac : {0.5, 0.25, 0.1}) {
+        Trace out = thinOracle(t, frac);
+        ASSERT_GE(out.size(), 2u);
+        EXPECT_EQ(out.rows().front().time, t.rows().front().time);
+        EXPECT_EQ(out.rows().back().time, t.rows().back().time);
+    }
+}
+
+TEST(Oracle, RowsAreSubsetWithSameValues)
+{
+    Trace t = rampTrace(25);
+    Trace out = thinOracle(t, 0.3);
+    for (auto &row : out.rows()) {
+        const Trace::Row *orig = t.rowAt(row.time);
+        ASSERT_NE(orig, nullptr);
+        EXPECT_TRUE(row.values[0].identical(orig->values[0]));
+    }
+}
+
+TEST(Oracle, TimesStrictlyIncreasing)
+{
+    Trace out = thinOracle(rampTrace(50), 0.17);
+    for (size_t i = 1; i < out.size(); ++i)
+        EXPECT_LT(out.rows()[i - 1].time, out.rows()[i].time);
+}
+
+TEST(Oracle, TinyTracesUnchanged)
+{
+    Trace t = rampTrace(2);
+    EXPECT_EQ(thinOracle(t, 0.25).size(), 2u);
+    Trace one = rampTrace(1);
+    EXPECT_EQ(thinOracle(one, 0.1).size(), 1u);
+}
+
+TEST(Oracle, ZeroFractionDegradesGracefully)
+{
+    Trace out = thinOracle(rampTrace(20), 0.0);
+    EXPECT_GE(out.size(), 2u);
+    EXPECT_LT(out.size(), 20u);
+}
+
+} // namespace

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Unit tests for the Verilog parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "verilog/parser.h"
+
+using namespace cirfix::verilog;
+
+namespace {
+
+std::unique_ptr<Module>
+parseModule(const std::string &body)
+{
+    auto file = parse("module m;\n" + body + "\nendmodule\n");
+    EXPECT_EQ(file->modules.size(), 1u);
+    return std::move(file->modules[0]);
+}
+
+/** First statement of the first always block in the module. */
+const Stmt *
+alwaysBody(const Module &m)
+{
+    for (auto &it : m.items)
+        if (it->kind == NodeKind::AlwaysBlock)
+            return it->as<AlwaysBlock>()->body.get();
+    return nullptr;
+}
+
+TEST(Parser, EmptyModule)
+{
+    auto file = parse("module top; endmodule");
+    ASSERT_EQ(file->modules.size(), 1u);
+    EXPECT_EQ(file->modules[0]->name, "top");
+    EXPECT_TRUE(file->modules[0]->ports.empty());
+}
+
+TEST(Parser, TraditionalPorts)
+{
+    auto file = parse(R"(
+module m (clk, q);
+    input clk;
+    output [3:0] q;
+    reg [3:0] q;
+endmodule
+)");
+    const Module &m = *file->modules[0];
+    ASSERT_EQ(m.ports.size(), 2u);
+    EXPECT_EQ(m.ports[0].name, "clk");
+    EXPECT_EQ(*m.portDir("clk"), PortDir::Input);
+    EXPECT_EQ(*m.portDir("q"), PortDir::Output);
+    EXPECT_FALSE(m.portDir("nope").has_value());
+}
+
+TEST(Parser, AnsiPorts)
+{
+    auto file = parse(
+        "module m (input wire clk, input [1:0] sel, "
+        "output reg [3:0] q, r); endmodule");
+    const Module &m = *file->modules[0];
+    ASSERT_EQ(m.ports.size(), 4u);
+    EXPECT_EQ(*m.portDir("sel"), PortDir::Input);
+    EXPECT_EQ(*m.portDir("q"), PortDir::Output);
+    EXPECT_EQ(*m.portDir("r"), PortDir::Output);
+    const VarDecl *q = m.findDecl("q");
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->varKind, VarKind::Reg);
+    ASSERT_NE(q->msb, nullptr);
+}
+
+TEST(Parser, Declarations)
+{
+    auto m = parseModule(R"(
+    wire a, b;
+    reg [7:0] r = 8'hff;
+    integer i;
+    event e;
+    parameter P = 4;
+    localparam Q = P + 1;
+    reg [3:0] mem [0:15];
+)");
+    EXPECT_NE(m->findDecl("a"), nullptr);
+    EXPECT_NE(m->findDecl("b"), nullptr);
+    const VarDecl *r = m->findDecl("r");
+    ASSERT_NE(r, nullptr);
+    EXPECT_NE(r->init, nullptr);
+    EXPECT_EQ(m->findDecl("i")->varKind, VarKind::Integer);
+    EXPECT_EQ(m->findDecl("P")->varKind, VarKind::Parameter);
+    EXPECT_EQ(m->findDecl("Q")->varKind, VarKind::Localparam);
+    const VarDecl *mem = m->findDecl("mem");
+    ASSERT_NE(mem, nullptr);
+    EXPECT_NE(mem->arrayFirst, nullptr);
+}
+
+TEST(Parser, ContinuousAssignList)
+{
+    auto m = parseModule("wire a, b, c;\nassign a = b, c = a;");
+    int count = 0;
+    for (auto &it : m->items)
+        count += it->kind == NodeKind::ContAssign;
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Parser, AlwaysWithSensitivity)
+{
+    auto m = parseModule(R"(
+    reg q; wire clk, rst;
+    always @(posedge clk or negedge rst)
+        q <= 1'b0;
+)");
+    const Stmt *body = alwaysBody(*m);
+    ASSERT_NE(body, nullptr);
+    ASSERT_EQ(body->kind, NodeKind::EventCtrl);
+    auto *ec = body->as<EventCtrl>();
+    ASSERT_EQ(ec->events.size(), 2u);
+    EXPECT_EQ(ec->events[0].edge, Edge::Pos);
+    EXPECT_EQ(ec->events[1].edge, Edge::Neg);
+    ASSERT_NE(ec->stmt, nullptr);
+    EXPECT_EQ(ec->stmt->kind, NodeKind::Assign);
+    EXPECT_FALSE(ec->stmt->as<Assign>()->blocking);
+}
+
+TEST(Parser, AlwaysStarForms)
+{
+    auto m1 = parseModule("reg q; wire a;\nalways @* q = a;");
+    EXPECT_TRUE(alwaysBody(*m1)->as<EventCtrl>()->star);
+    auto m2 = parseModule("reg q; wire a;\nalways @(*) q = a;");
+    EXPECT_TRUE(alwaysBody(*m2)->as<EventCtrl>()->star);
+}
+
+TEST(Parser, NamedBlocks)
+{
+    auto m = parseModule(R"(
+    reg q; wire clk;
+    always @(posedge clk)
+    begin : MYBLOCK
+        q <= 1'b1;
+    end
+)");
+    auto *ec = alwaysBody(*m)->as<EventCtrl>();
+    ASSERT_EQ(ec->stmt->kind, NodeKind::SeqBlock);
+    EXPECT_EQ(ec->stmt->as<SeqBlock>()->name, "MYBLOCK");
+}
+
+TEST(Parser, IfElseChain)
+{
+    auto m = parseModule(R"(
+    reg q; wire a, b;
+    always @(a or b)
+        if (a == 1'b1) q = 1'b0;
+        else if (b) q = 1'b1;
+        else q = 1'bx;
+)");
+    auto *ec = alwaysBody(*m)->as<EventCtrl>();
+    ASSERT_EQ(ec->stmt->kind, NodeKind::If);
+    auto *i = ec->stmt->as<If>();
+    ASSERT_NE(i->elseStmt, nullptr);
+    EXPECT_EQ(i->elseStmt->kind, NodeKind::If);
+    EXPECT_NE(i->elseStmt->as<If>()->elseStmt, nullptr);
+}
+
+TEST(Parser, CaseStatement)
+{
+    auto m = parseModule(R"(
+    reg [1:0] s; reg q;
+    always @(s)
+        case (s)
+            2'b00, 2'b01 : q = 1'b0;
+            2'b10 : begin q = 1'b1; end
+            default : q = 1'bx;
+        endcase
+)");
+    auto *c = alwaysBody(*m)->as<EventCtrl>()->stmt->as<Case>();
+    ASSERT_EQ(c->items.size(), 3u);
+    EXPECT_EQ(c->items[0].labels.size(), 2u);
+    EXPECT_TRUE(c->items[2].labels.empty());  // default
+    EXPECT_EQ(c->type, CaseType::Case);
+}
+
+TEST(Parser, CasezCasex)
+{
+    auto m = parseModule(R"(
+    reg [1:0] s; reg q;
+    always @(s) begin
+        casez (s) 2'b1? : q = 1'b1; default : q = 1'b0; endcase
+        casex (s) 2'bx1 : q = 1'b1; default : q = 1'b0; endcase
+    end
+)");
+    auto *blk =
+        alwaysBody(*m)->as<EventCtrl>()->stmt->as<SeqBlock>();
+    EXPECT_EQ(blk->stmts[0]->as<Case>()->type, CaseType::CaseZ);
+    EXPECT_EQ(blk->stmts[1]->as<Case>()->type, CaseType::CaseX);
+}
+
+TEST(Parser, Loops)
+{
+    auto m = parseModule(R"(
+    integer i; reg [7:0] q;
+    initial begin
+        for (i = 0; i < 8; i = i + 1) q = q + 1;
+        while (q > 0) q = q - 1;
+        repeat (4) q = q + 2;
+        forever q = q;
+    end
+)");
+    auto *blk = m->items.back()->as<InitialBlock>()
+                    ->body->as<SeqBlock>();
+    EXPECT_EQ(blk->stmts[0]->kind, NodeKind::For);
+    EXPECT_EQ(blk->stmts[1]->kind, NodeKind::While);
+    EXPECT_EQ(blk->stmts[2]->kind, NodeKind::Repeat);
+    EXPECT_EQ(blk->stmts[3]->kind, NodeKind::Forever);
+}
+
+TEST(Parser, DelaysAndIntraAssignmentDelay)
+{
+    auto m = parseModule(R"(
+    reg q;
+    initial begin
+        #5 q = 1'b0;
+        #10;
+        q <= #1 1'b1;
+        q = #2 1'b0;
+    end
+)");
+    auto *blk = m->items.back()->as<InitialBlock>()
+                    ->body->as<SeqBlock>();
+    ASSERT_EQ(blk->stmts[0]->kind, NodeKind::DelayStmt);
+    EXPECT_NE(blk->stmts[0]->as<DelayStmt>()->stmt, nullptr);
+    EXPECT_EQ(blk->stmts[1]->as<DelayStmt>()->stmt, nullptr);
+    auto *nba = blk->stmts[2]->as<Assign>();
+    EXPECT_FALSE(nba->blocking);
+    EXPECT_NE(nba->delay, nullptr);
+    auto *ba = blk->stmts[3]->as<Assign>();
+    EXPECT_TRUE(ba->blocking);
+    EXPECT_NE(ba->delay, nullptr);
+}
+
+TEST(Parser, EventControlsAndTrigger)
+{
+    auto m = parseModule(R"(
+    event go; reg q; wire clk;
+    initial begin
+        @(go);
+        @(posedge clk) q = 1'b1;
+        -> go;
+    end
+)");
+    auto *blk = m->items.back()->as<InitialBlock>()
+                    ->body->as<SeqBlock>();
+    EXPECT_EQ(blk->stmts[0]->kind, NodeKind::EventCtrl);
+    EXPECT_EQ(blk->stmts[0]->as<EventCtrl>()->stmt, nullptr);
+    EXPECT_EQ(blk->stmts[2]->kind, NodeKind::TriggerEvent);
+    EXPECT_EQ(blk->stmts[2]->as<TriggerEvent>()->name, "go");
+}
+
+TEST(Parser, WaitStatement)
+{
+    auto m = parseModule(R"(
+    wire busy; reg q;
+    initial begin
+        wait (busy == 1'b0);
+        wait (busy) q = 1'b1;
+    end
+)");
+    auto *blk = m->items.back()->as<InitialBlock>()
+                    ->body->as<SeqBlock>();
+    EXPECT_EQ(blk->stmts[0]->kind, NodeKind::Wait);
+    EXPECT_EQ(blk->stmts[0]->as<Wait>()->stmt, nullptr);
+    EXPECT_NE(blk->stmts[1]->as<Wait>()->stmt, nullptr);
+}
+
+TEST(Parser, SysTasks)
+{
+    auto m = parseModule(R"(
+    reg q;
+    initial begin
+        $display("q=%b at %t", q, $time);
+        $finish;
+    end
+)");
+    auto *blk = m->items.back()->as<InitialBlock>()
+                    ->body->as<SeqBlock>();
+    auto *disp = blk->stmts[0]->as<SysTask>();
+    EXPECT_EQ(disp->name, "$display");
+    ASSERT_TRUE(disp->format.has_value());
+    EXPECT_EQ(disp->args.size(), 2u);
+    EXPECT_EQ(disp->args[1]->kind, NodeKind::SysFuncCall);
+    EXPECT_EQ(blk->stmts[1]->as<SysTask>()->name, "$finish");
+}
+
+TEST(Parser, LValueForms)
+{
+    auto m = parseModule(R"(
+    reg [7:0] a; reg b; reg [3:0] mem [0:3]; wire [1:0] i;
+    initial begin
+        a = 8'h00;
+        a[3] = 1'b1;
+        a[7:4] = 4'hf;
+        {a[0], b} = 2'b10;
+        mem[i] = 4'h5;
+    end
+)");
+    auto *blk = m->items.back()->as<InitialBlock>()
+                    ->body->as<SeqBlock>();
+    EXPECT_EQ(blk->stmts[0]->as<Assign>()->lhs->kind, NodeKind::Ident);
+    EXPECT_EQ(blk->stmts[1]->as<Assign>()->lhs->kind, NodeKind::Index);
+    EXPECT_EQ(blk->stmts[2]->as<Assign>()->lhs->kind,
+              NodeKind::RangeSel);
+    EXPECT_EQ(blk->stmts[3]->as<Assign>()->lhs->kind, NodeKind::Concat);
+    EXPECT_EQ(blk->stmts[4]->as<Assign>()->lhs->kind, NodeKind::Index);
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    auto m = parseModule(R"(
+    wire [7:0] a, b, c; wire q;
+    assign q = a + b * c == c && a < b || !q;
+)");
+    const ContAssign *ca = nullptr;
+    for (auto &it : m->items)
+        if (it->kind == NodeKind::ContAssign)
+            ca = it->as<ContAssign>();
+    ASSERT_NE(ca, nullptr);
+    // Top node must be || (lowest precedence).
+    ASSERT_EQ(ca->rhs->kind, NodeKind::Binary);
+    EXPECT_EQ(ca->rhs->as<Binary>()->op, BinaryOp::LogOr);
+    // Left of || is &&.
+    EXPECT_EQ(ca->rhs->as<Binary>()->lhs->as<Binary>()->op,
+              BinaryOp::LogAnd);
+}
+
+TEST(Parser, TernaryRightAssociative)
+{
+    auto m = parseModule(R"(
+    wire a, b; wire [1:0] q;
+    assign q = a ? 2'b00 : b ? 2'b01 : 2'b10;
+)");
+    const ContAssign *ca = m->items.back()->as<ContAssign>();
+    ASSERT_EQ(ca->rhs->kind, NodeKind::Ternary);
+    EXPECT_EQ(ca->rhs->as<Ternary>()->elseExpr->kind,
+              NodeKind::Ternary);
+}
+
+TEST(Parser, ConcatReplicationSelects)
+{
+    auto m = parseModule(R"(
+    wire [7:0] a; wire [15:0] q;
+    assign q = {a[7:4], {2{a[0]}}, a, 2'b01};
+)");
+    const ContAssign *ca = m->items.back()->as<ContAssign>();
+    ASSERT_EQ(ca->rhs->kind, NodeKind::Concat);
+    auto *cc = ca->rhs->as<Concat>();
+    ASSERT_EQ(cc->parts.size(), 4u);
+    EXPECT_EQ(cc->parts[0]->kind, NodeKind::RangeSel);
+    EXPECT_EQ(cc->parts[1]->kind, NodeKind::Repl);
+}
+
+TEST(Parser, Instances)
+{
+    auto file = parse(R"(
+module child (input a, output y);
+endmodule
+module top;
+    wire a, y1, y2;
+    child c1 (.a(a), .y(y1));
+    child c2 (a, y2);
+    child c3 (.a(1'b1), .y());
+endmodule
+)");
+    Module *top = file->findModule("top");
+    ASSERT_NE(top, nullptr);
+    std::vector<const Instance *> insts;
+    for (auto &it : top->items)
+        if (it->kind == NodeKind::Instance)
+            insts.push_back(it->as<Instance>());
+    ASSERT_EQ(insts.size(), 3u);
+    EXPECT_EQ(insts[0]->conns[0].port, "a");
+    EXPECT_TRUE(insts[1]->conns[0].port.empty());
+    EXPECT_EQ(insts[2]->conns[1].expr, nullptr);
+}
+
+TEST(Parser, NodeNumberingIsDense)
+{
+    auto file = parse("module m; reg a; initial a = 1'b0; endmodule");
+    int count = 0;
+    int max_id = -1;
+    visitAll(*file, [&](Node &n) {
+        ++count;
+        max_id = std::max(max_id, n.id);
+        EXPECT_GE(n.id, 0);
+    });
+    EXPECT_EQ(max_id, count - 1);
+    EXPECT_EQ(file->nextId, count);
+}
+
+TEST(Parser, Errors)
+{
+    EXPECT_THROW(parse("module"), ParseError);
+    EXPECT_THROW(parse("module m; initial begin endmodule"),
+                 ParseError);
+    EXPECT_THROW(parse("module m; assign = 1; endmodule"), ParseError);
+    EXPECT_THROW(parse("module m; wire w; w; endmodule"), ParseError);
+    EXPECT_THROW(parse("garbage"), ParseError);
+}
+
+TEST(Parser, MultipleModules)
+{
+    auto file = parse(R"(
+module a; endmodule
+module b; endmodule
+module c; endmodule
+)");
+    EXPECT_EQ(file->modules.size(), 3u);
+    EXPECT_NE(file->findModule("b"), nullptr);
+    EXPECT_EQ(file->findModule("zzz"), nullptr);
+}
+
+} // namespace

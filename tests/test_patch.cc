@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the edit-list patch representation and its application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/patch.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using namespace cirfix::verilog;
+
+namespace {
+
+const std::string kSrc = R"(
+module m (clk, q);
+    input clk;
+    output [3:0] q;
+    reg [3:0] q;
+    reg [3:0] shadow;
+    always @(posedge clk) begin
+        q <= q + 4'd1;
+        shadow <= q;
+    end
+endmodule
+)";
+
+struct Ids
+{
+    int first_assign = -1;
+    int second_assign = -1;
+    int block = -1;
+
+    explicit Ids(SourceFile &f)
+    {
+        visitAll(f, [&](Node &n) {
+            if (n.kind == NodeKind::Assign) {
+                if (first_assign < 0)
+                    first_assign = n.id;
+                else if (second_assign < 0)
+                    second_assign = n.id;
+            }
+            if (n.kind == NodeKind::SeqBlock && block < 0)
+                block = n.id;
+        });
+    }
+};
+
+StmtPtr
+parseDonor(const std::string &stmt_src)
+{
+    auto f = parse("module d; reg [3:0] q; initial " + stmt_src +
+                   " endmodule");
+    auto *blk = f->modules[0]->items.back()->as<InitialBlock>();
+    return blk->body->cloneStmt();
+}
+
+TEST(Patch, EmptyPatchIsOriginal)
+{
+    auto orig = parse(kSrc);
+    auto copy = applyPatch(*orig, Patch{});
+    EXPECT_EQ(print(*orig), print(*copy));
+}
+
+TEST(Patch, ApplyDoesNotMutateOriginal)
+{
+    auto orig = parse(kSrc);
+    std::string before = print(*orig);
+    Ids ids(*orig);
+    Patch p;
+    Edit e;
+    e.kind = EditKind::Delete;
+    e.target = ids.first_assign;
+    p.edits.push_back(std::move(e));
+    auto patched = applyPatch(*orig, p);
+    EXPECT_EQ(print(*orig), before);
+    EXPECT_NE(print(*patched), before);
+}
+
+TEST(Patch, DeleteReplacesWithNull)
+{
+    auto orig = parse(kSrc);
+    Ids ids(*orig);
+    Patch p;
+    Edit e;
+    e.kind = EditKind::Delete;
+    e.target = ids.first_assign;
+    p.edits.push_back(std::move(e));
+    int applied = 0;
+    auto patched = applyPatch(*orig, p, &applied);
+    EXPECT_EQ(applied, 1);
+    EXPECT_EQ(findNode(*patched, ids.first_assign), nullptr);
+    // Structure is preserved: the block still has two statements.
+    auto *blk = findNode(*patched, ids.block)->as<SeqBlock>();
+    EXPECT_EQ(blk->stmts.size(), 2u);
+    EXPECT_EQ(blk->stmts[0]->kind, NodeKind::NullStmt);
+}
+
+TEST(Patch, ReplaceClonesDonorWithFreshIds)
+{
+    auto orig = parse(kSrc);
+    Ids ids(*orig);
+    Patch p;
+    Edit e;
+    e.kind = EditKind::Replace;
+    e.target = ids.second_assign;
+    e.code = parseDonor("q <= 4'd9;");
+    p.edits.push_back(std::move(e));
+    auto patched = applyPatch(*orig, p);
+    auto *blk = findNode(*patched, ids.block)->as<SeqBlock>();
+    auto *repl = blk->stmts[1]->as<Assign>();
+    EXPECT_EQ(printExpr(*repl->rhs), "4'd9");
+    // Fresh id beyond the original numbering.
+    EXPECT_GE(repl->id, orig->nextId);
+}
+
+TEST(Patch, InsertAfterInBlock)
+{
+    auto orig = parse(kSrc);
+    Ids ids(*orig);
+    Patch p;
+    Edit e;
+    e.kind = EditKind::InsertAfter;
+    e.target = ids.first_assign;
+    e.code = parseDonor("q <= 4'd0;");
+    p.edits.push_back(std::move(e));
+    auto patched = applyPatch(*orig, p);
+    auto *blk = findNode(*patched, ids.block)->as<SeqBlock>();
+    ASSERT_EQ(blk->stmts.size(), 3u);
+    EXPECT_EQ(printExpr(*blk->stmts[1]->as<Assign>()->rhs), "4'd0");
+}
+
+TEST(Patch, MissingTargetSkipsEdit)
+{
+    auto orig = parse(kSrc);
+    Patch p;
+    Edit e;
+    e.kind = EditKind::Delete;
+    e.target = 424242;
+    p.edits.push_back(std::move(e));
+    int applied = -1;
+    auto patched = applyPatch(*orig, p, &applied);
+    EXPECT_EQ(applied, 0);
+    EXPECT_EQ(print(*orig), print(*patched));
+}
+
+TEST(Patch, EditsApplyInOrderAndCanChain)
+{
+    // The second edit targets a node created by the first (the fresh
+    // numbering is deterministic).
+    auto orig = parse(kSrc);
+    Ids ids(*orig);
+    Patch p;
+    Edit ins;
+    ins.kind = EditKind::InsertAfter;
+    ins.target = ids.first_assign;
+    ins.code = parseDonor("q <= 4'd5;");
+    p.edits.push_back(std::move(ins));
+    // Find the fresh id the insertion will get by applying once.
+    auto probe = applyPatch(*orig, p);
+    int inserted_id = -1;
+    auto *blk = findNode(*probe, ids.block)->as<SeqBlock>();
+    inserted_id = blk->stmts[1]->id;
+    // Now chain a template on the inserted statement's literal.
+    int num_id = -1;
+    visitAll(*blk->stmts[1], [&](Node &n) {
+        if (n.kind == NodeKind::Number)
+            num_id = n.id;
+    });
+    ASSERT_GE(num_id, 0);
+    Edit tmpl;
+    tmpl.kind = EditKind::Template;
+    tmpl.tmpl = TemplateKind::DecrementValue;
+    tmpl.target = num_id;
+    p.edits.push_back(std::move(tmpl));
+    auto patched = applyPatch(*orig, p);
+    auto *blk2 = findNode(*patched, ids.block)->as<SeqBlock>();
+    EXPECT_EQ(blk2->stmts[1]->id, inserted_id);  // deterministic ids
+    EXPECT_EQ(printExpr(*blk2->stmts[1]->as<Assign>()->rhs), "4'd4");
+}
+
+TEST(Patch, DeterministicReapplication)
+{
+    auto orig = parse(kSrc);
+    Ids ids(*orig);
+    Patch p;
+    for (int round = 0; round < 2; ++round) {
+        Edit e;
+        e.kind = EditKind::InsertAfter;
+        e.target = ids.second_assign;
+        e.code = parseDonor("q <= 4'd3;");
+        p.edits.push_back(std::move(e));
+    }
+    auto a = applyPatch(*orig, p);
+    auto b = applyPatch(*orig, p);
+    EXPECT_EQ(print(*a), print(*b));
+    EXPECT_EQ(a->nextId, b->nextId);
+}
+
+TEST(Patch, CopySemanticsDeepCopyDonor)
+{
+    Edit e;
+    e.kind = EditKind::Replace;
+    e.target = 1;
+    e.code = parseDonor("q <= 4'd1;");
+    Edit copy = e;
+    EXPECT_NE(copy.code.get(), e.code.get());
+    EXPECT_EQ(copy.target, e.target);
+    Patch p;
+    p.edits.push_back(e);
+    Patch q = p;  // patch copy via Edit's copy ctor
+    EXPECT_EQ(q.edits.size(), 1u);
+    EXPECT_NE(q.edits[0].code.get(), p.edits[0].code.get());
+}
+
+TEST(Patch, Describe)
+{
+    Patch p;
+    Edit e1;
+    e1.kind = EditKind::Delete;
+    e1.target = 7;
+    p.edits.push_back(std::move(e1));
+    Edit e2;
+    e2.kind = EditKind::Template;
+    e2.tmpl = TemplateKind::SensitivityPosedge;
+    e2.target = 3;
+    e2.param = "clk";
+    p.edits.push_back(std::move(e2));
+    EXPECT_EQ(p.describe(),
+              "delete@7; template[sensitivity-posedge]@3(clk)");
+    EXPECT_STREQ(editKindName(EditKind::InsertAfter), "insert-after");
+}
+
+TEST(Patch, TargetsInsideControlStructures)
+{
+    auto orig = parse(R"(
+module m;
+    reg [3:0] q;
+    reg clk;
+    always @(posedge clk) begin
+        if (q == 4'd3)
+            q <= 4'd0;
+        else
+            case (q)
+                4'd1 : q <= 4'd2;
+                default : q <= q + 4'd1;
+            endcase
+    end
+endmodule
+)");
+    // Delete the assignment inside the case default arm.
+    int target = -1;
+    visitAll(*orig, [&](Node &n) {
+        if (n.kind == NodeKind::Case) {
+            auto *c = n.as<Case>();
+            for (auto &item : c->items)
+                if (item.labels.empty())
+                    target = item.body->id;
+        }
+    });
+    ASSERT_GE(target, 0);
+    Patch p;
+    Edit e;
+    e.kind = EditKind::Delete;
+    e.target = target;
+    p.edits.push_back(std::move(e));
+    int applied = 0;
+    auto patched = applyPatch(*orig, p, &applied);
+    EXPECT_EQ(applied, 1);
+    EXPECT_EQ(findNode(*patched, target), nullptr);
+}
+
+} // namespace

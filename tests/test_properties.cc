@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Cross-cutting property tests:
+ *
+ *  - differential testing of the two expression evaluation paths
+ *    (evalConst vs evalExpr through an elaborated design) on randomly
+ *    generated constant expressions;
+ *  - random single-template mutants always re-parse after printing
+ *    (the printer/parser round trip holds under mutation);
+ *  - randomly generated patches applied to benchmark designs are
+ *    deterministic and never corrupt the original tree;
+ *  - the 4-state edge-detection table agrees with the IEEE intuition
+ *    under exhaustive enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "benchmarks/registry.h"
+#include "core/mutation.h"
+#include "core/templates.h"
+#include "sim/elaborate.h"
+#include "sim/eval.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+using namespace cirfix;
+using namespace cirfix::sim;
+using namespace cirfix::verilog;
+
+namespace {
+
+/** Generate a random constant expression as source text. */
+std::string
+randomConstExpr(std::mt19937_64 &rng, int depth)
+{
+    auto literal = [&]() {
+        std::ostringstream os;
+        switch (rng() % 3) {
+          case 0:
+            os << (rng() % 256);
+            break;
+          case 1:
+            os << "8'd" << (rng() % 256);
+            break;
+          default: {
+            os << "4'b";
+            for (int i = 0; i < 4; ++i)
+                os << "01xz"[rng() % (depth == 0 ? 2 : 4)];
+            break;
+          }
+        }
+        return os.str();
+    };
+    if (depth <= 0 || rng() % 3 == 0)
+        return literal();
+    static const char *binops[] = {"+",  "-",  "*",  "&",  "|",
+                                   "^",  "<<", ">>", "==", "!=",
+                                   "<",  ">",  "&&", "||"};
+    static const char *unops[] = {"~", "!", "-", "&", "|", "^"};
+    switch (rng() % 4) {
+      case 0:
+        return "(" + randomConstExpr(rng, depth - 1) + " " +
+               binops[rng() % 14] + " " +
+               randomConstExpr(rng, depth - 1) + ")";
+      case 1:
+        return std::string(unops[rng() % 6]) + "(" +
+               randomConstExpr(rng, depth - 1) + ")";
+      case 2:
+        return "{" + randomConstExpr(rng, depth - 1) + ", " +
+               randomConstExpr(rng, depth - 1) + "}";
+      default:
+        return "(" + randomConstExpr(rng, depth - 1) + " ? " +
+               randomConstExpr(rng, depth - 1) + " : " +
+               randomConstExpr(rng, depth - 1) + ")";
+    }
+}
+
+class EvalDifferential : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EvalDifferential, ConstAndRuntimeEvaluationAgree)
+{
+    std::mt19937_64 rng(GetParam());
+    for (int trial = 0; trial < 60; ++trial) {
+        std::string expr_src = randomConstExpr(rng, 3);
+        std::string src = "module t; wire [63:0] w; assign w = " +
+                          expr_src + "; endmodule";
+        std::shared_ptr<const SourceFile> file;
+        ASSERT_NO_THROW(file = parse(src)) << expr_src;
+        const Expr *e = nullptr;
+        for (auto &it : file->modules[0]->items)
+            if (it->kind == NodeKind::ContAssign)
+                e = it->as<ContAssign>()->rhs.get();
+        ASSERT_NE(e, nullptr);
+
+        std::unordered_map<std::string, LogicVec> no_params;
+        LogicVec via_const = evalConst(*e, no_params);
+
+        auto design = elaborate(file, "t");
+        design->run();
+        LogicVec via_runtime =
+            evalExpr(*e, design->top(), *design);
+
+        EXPECT_TRUE(via_const.identical(via_runtime))
+            << expr_src << "\n  const:   " << via_const.toString()
+            << "\n  runtime: " << via_runtime.toString();
+
+        // And the continuous assign committed the resized value.
+        SignalRef w = design->findSignal("w");
+        ASSERT_NE(w.sig, nullptr);
+        EXPECT_TRUE(w.sig->value().identical(via_const.resized(64)))
+            << expr_src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalDifferential,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+class MutantRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MutantRoundTrip, RandomTemplateMutantsReparse)
+{
+    const core::ProjectSpec &p = bench::getProject(GetParam());
+    auto file = parse(p.goldenSource + "\n" + p.testbenchSource);
+    const Module *dut = file->findModule(p.dutModule);
+    ASSERT_NE(dut, nullptr);
+    auto sites = core::enumerateTemplateSites(*dut, nullptr);
+    ASSERT_FALSE(sites.empty());
+    std::mt19937_64 rng(7);
+    for (int trial = 0; trial < 40; ++trial) {
+        const core::TemplateSite &site = sites[rng() % sites.size()];
+        core::Patch patch;
+        core::Edit e;
+        e.kind = core::EditKind::Template;
+        e.tmpl = site.kind;
+        e.target = site.target;
+        e.param = site.param;
+        patch.edits.push_back(std::move(e));
+        auto mutant = core::applyPatch(*file, patch);
+        std::string printed = print(*mutant);
+        EXPECT_NO_THROW(parse(printed))
+            << "template " << core::templateName(site.kind) << " @"
+            << site.target << " broke printing:\n"
+            << printed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Projects, MutantRoundTrip,
+                         ::testing::Values("counter", "fsm_full",
+                                           "sha3", "i2c",
+                                           "sdram_controller"));
+
+class MutationDeterminism : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MutationDeterminism, RandomPatchesApplyDeterministically)
+{
+    const core::ProjectSpec &p = bench::getProject("fsm_full");
+    auto file = parse(p.goldenSource + "\n" + p.testbenchSource);
+    const Module *dut = file->findModule(p.dutModule);
+    std::string original = print(*file);
+
+    std::unordered_set<int> fl;
+    visitAll(*const_cast<Module *>(dut),
+             [&](Node &n) { fl.insert(n.id); });
+
+    std::mt19937_64 rng(GetParam());
+    core::Mutator mut(rng, core::MutationConfig{});
+    core::Patch patch;
+    for (int i = 0; i < 5; ++i) {
+        // Grow the patch against the *current* mutant, as the engine
+        // does, so later edits may reference fresh node ids.
+        auto current = core::applyPatch(*file, patch);
+        const Module *cur_dut = current->findModule(p.dutModule);
+        auto e = mut.mutate(*current, *cur_dut, fl);
+        if (!e)
+            continue;
+        patch.edits.push_back(std::move(*e));
+        auto a = core::applyPatch(*file, patch);
+        auto b = core::applyPatch(*file, patch);
+        EXPECT_EQ(print(*a), print(*b)) << patch.describe();
+        EXPECT_EQ(a->nextId, b->nextId);
+    }
+    // The original tree was never mutated in place.
+    EXPECT_EQ(print(*file), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationDeterminism,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(EdgeTable, ExhaustiveFourStateTransitions)
+{
+    // IEEE 1364: posedge covers transitions toward 1 (0->1, 0->x/z,
+    // x/z->1); negedge mirrors; level fires on any change.
+    const Bit bits[] = {Bit::Zero, Bit::One, Bit::X, Bit::Z};
+    auto rank = [](Bit b) {
+        return b == Bit::Zero ? 0 : b == Bit::One ? 2 : 1;
+    };
+    for (Bit from : bits) {
+        for (Bit to : bits) {
+            bool change = from != to;
+            EXPECT_EQ(edgeMatches(Edge::Level, from, to), change);
+            EXPECT_EQ(edgeMatches(Edge::Pos, from, to),
+                      change && rank(to) > rank(from));
+            EXPECT_EQ(edgeMatches(Edge::Neg, from, to),
+                      change && rank(to) < rank(from));
+            // posedge and negedge are mutually exclusive.
+            EXPECT_FALSE(edgeMatches(Edge::Pos, from, to) &&
+                         edgeMatches(Edge::Neg, from, to));
+        }
+    }
+}
+
+TEST(OracleProperty, GoldenDesignsAlwaysScorePerfect)
+{
+    // For every project: the golden design evaluated against its own
+    // recorded oracle is plausible, under both phi values.
+    for (const core::ProjectSpec &p : bench::allProjects()) {
+        Trace oracle = core::recordGoldenTrace(p, false);
+        Trace again = core::recordGoldenTrace(p, false);
+        // Simulation is deterministic.
+        ASSERT_EQ(oracle.size(), again.size()) << p.name;
+        for (double phi : {1.0, 2.0, 3.0}) {
+            core::FitnessParams fp;
+            fp.phi = phi;
+            auto fit = core::evaluateFitness(again, oracle, fp);
+            EXPECT_TRUE(fit.plausible()) << p.name << " phi=" << phi;
+        }
+    }
+}
+
+} // namespace

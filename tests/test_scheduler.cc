@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the stratified event scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+
+using namespace cirfix::sim;
+
+namespace {
+
+TEST(Scheduler, EmptyQueueIsIdle)
+{
+    Scheduler s;
+    auto res = s.run(1000, 1000);
+    EXPECT_EQ(res.status, Scheduler::Status::Idle);
+    EXPECT_EQ(res.callbacks, 0u);
+}
+
+TEST(Scheduler, ActiveCallbacksRunFifo)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.scheduleActive([&] { order.push_back(1); });
+    s.scheduleActive([&] { order.push_back(2); });
+    s.scheduleActive([&] { order.push_back(3); });
+    s.run(10, 100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TimeAdvancesInOrder)
+{
+    Scheduler s;
+    std::vector<SimTime> seen;
+    s.scheduleAt(30, [&] { seen.push_back(s.now()); });
+    s.scheduleAt(10, [&] { seen.push_back(s.now()); });
+    s.scheduleAt(20, [&] { seen.push_back(s.now()); });
+    auto res = s.run(100, 100);
+    EXPECT_EQ(seen, (std::vector<SimTime>{10, 20, 30}));
+    EXPECT_EQ(res.endTime, 30u);
+}
+
+TEST(Scheduler, InactiveRunsAfterActiveDrains)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.scheduleInactive([&] { order.push_back(9); });
+    s.scheduleActive([&] {
+        order.push_back(1);
+        s.scheduleActive([&] { order.push_back(2); });
+    });
+    s.run(10, 100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 9}));
+}
+
+TEST(Scheduler, NbaRunsAfterInactive)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.scheduleNba([&] { order.push_back(3); });
+    s.scheduleInactive([&] { order.push_back(2); });
+    s.scheduleActive([&] { order.push_back(1); });
+    s.run(10, 100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, NbaWakesBackIntoActiveSameSlot)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.scheduleNba([&] {
+        order.push_back(1);
+        s.scheduleActive([&] { order.push_back(2); });
+    });
+    auto res = s.run(10, 100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(res.endTime, 0u);
+}
+
+TEST(Scheduler, PostponedRunsLast)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.schedulePostponed([&] { order.push_back(9); });
+    s.scheduleNba([&] {
+        order.push_back(2);
+        s.scheduleActive([&] { order.push_back(3); });
+    });
+    s.scheduleActive([&] { order.push_back(1); });
+    s.run(10, 100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 9}));
+}
+
+TEST(Scheduler, NbaAtFutureTime)
+{
+    Scheduler s;
+    std::vector<std::pair<SimTime, int>> seen;
+    s.scheduleNbaAt(5, [&] { seen.push_back({s.now(), 1}); });
+    s.scheduleAt(5, [&] { seen.push_back({s.now(), 0}); });
+    s.run(10, 100);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], (std::pair<SimTime, int>{5, 0}));  // active first
+    EXPECT_EQ(seen[1], (std::pair<SimTime, int>{5, 1}));
+}
+
+TEST(Scheduler, PastTimeClampsToNow)
+{
+    Scheduler s;
+    bool ran = false;
+    s.scheduleAt(50, [&] {
+        // Scheduling "in the past" lands in the current slot.
+        s.scheduleAt(10, [&] { ran = (s.now() == 50); });
+    });
+    s.run(100, 100);
+    EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, FinishStopsBetweenCallbacks)
+{
+    Scheduler s;
+    int count = 0;
+    s.scheduleActive([&] {
+        ++count;
+        s.requestFinish();
+    });
+    s.scheduleActive([&] { ++count; });
+    auto res = s.run(10, 100);
+    EXPECT_EQ(res.status, Scheduler::Status::Finished);
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, MaxTimeBound)
+{
+    Scheduler s;
+    // Self-perpetuating future events.
+    std::function<void()> tick = [&] { s.scheduleAt(s.now() + 10, tick); };
+    s.scheduleAt(0, tick);
+    auto res = s.run(55, 1'000'000);
+    EXPECT_EQ(res.status, Scheduler::Status::MaxTime);
+    EXPECT_GT(res.endTime, 55u);
+}
+
+TEST(Scheduler, CallbackBudgetDetectsRunaway)
+{
+    Scheduler s;
+    std::function<void()> spin = [&] { s.scheduleActive(spin); };
+    s.scheduleActive(spin);
+    auto res = s.run(10, 500);
+    EXPECT_EQ(res.status, Scheduler::Status::Runaway);
+    EXPECT_TRUE(s.aborted());
+    EXPECT_FALSE(s.abortReason().empty());
+}
+
+TEST(Scheduler, NoteAbortStopsRun)
+{
+    Scheduler s;
+    s.scheduleActive([&] { s.noteAbort("deliberate"); });
+    s.scheduleAt(5, [] {});
+    auto res = s.run(10, 100);
+    EXPECT_EQ(res.status, Scheduler::Status::Runaway);
+    EXPECT_EQ(s.abortReason(), "deliberate");
+}
+
+TEST(Scheduler, SimAbortCarriesMessage)
+{
+    SimAbort e("budget gone");
+    EXPECT_STREQ(e.what(), "budget gone");
+}
+
+} // namespace

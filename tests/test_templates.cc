@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for the nine repair templates of Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/templates.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using namespace cirfix::verilog;
+
+namespace {
+
+struct Parsed
+{
+    std::unique_ptr<SourceFile> file;
+    Module *mod;
+
+    explicit Parsed(const std::string &src)
+        : file(parse(src)), mod(file->modules[0].get())
+    {}
+
+    int
+    firstId(NodeKind kind)
+    {
+        int id = -1;
+        visitAll(*mod, [&](Node &n) {
+            if (id < 0 && n.kind == kind)
+                id = n.id;
+        });
+        return id;
+    }
+};
+
+const std::string kModule = R"(
+module m (clk, rst, q);
+    input clk, rst;
+    output [3:0] q;
+    reg [3:0] q;
+    always @(posedge clk) begin
+        if (rst == 1'b1) begin
+            q <= 4'd0;
+        end
+        else begin
+            q <= q + 4'd1;
+        end
+        while (q > 4'd8) q = q - 4'd2;
+    end
+endmodule
+)";
+
+TEST(Templates, CatalogComplete)
+{
+    EXPECT_EQ(allTemplates().size(),
+              static_cast<size_t>(kNumTemplates));
+    for (TemplateKind k : allTemplates())
+        EXPECT_STRNE(templateName(k), "?");
+}
+
+TEST(Templates, NegateConditionalOnIf)
+{
+    Parsed p(kModule);
+    int if_id = p.firstId(NodeKind::If);
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::NegateConditional,
+                              if_id, ""));
+    Node *n = findNode(*p.file, if_id);
+    auto *i = n->as<If>();
+    ASSERT_EQ(i->cond->kind, NodeKind::Unary);
+    EXPECT_EQ(i->cond->as<Unary>()->op, UnaryOp::Not);
+    // The new node has a fresh, unique id.
+    EXPECT_GE(i->cond->id, 0);
+}
+
+TEST(Templates, NegateConditionalOnWhile)
+{
+    Parsed p(kModule);
+    int wid = p.firstId(NodeKind::While);
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::NegateConditional,
+                              wid, ""));
+    EXPECT_EQ(findNode(*p.file, wid)->as<While>()->cond->kind,
+              NodeKind::Unary);
+}
+
+TEST(Templates, NegateRejectsOtherKinds)
+{
+    Parsed p(kModule);
+    int assign_id = p.firstId(NodeKind::Assign);
+    EXPECT_FALSE(applyTemplate(*p.file, TemplateKind::NegateConditional,
+                               assign_id, ""));
+}
+
+TEST(Templates, SensitivityEdges)
+{
+    for (auto [kind, edge] :
+         {std::pair{TemplateKind::SensitivityNegedge, Edge::Neg},
+          std::pair{TemplateKind::SensitivityPosedge, Edge::Pos},
+          std::pair{TemplateKind::SensitivityLevel, Edge::Level}}) {
+        Parsed p(kModule);
+        int ec_id = p.firstId(NodeKind::EventCtrl);
+        ASSERT_TRUE(applyTemplate(*p.file, kind, ec_id, "rst"));
+        auto *ec = findNode(*p.file, ec_id)->as<EventCtrl>();
+        ASSERT_EQ(ec->events.size(), 1u);
+        EXPECT_EQ(ec->events[0].edge, edge);
+        EXPECT_EQ(ec->events[0].signal->as<Ident>()->name, "rst");
+        EXPECT_FALSE(ec->star);
+    }
+}
+
+TEST(Templates, SensitivityStar)
+{
+    Parsed p(kModule);
+    int ec_id = p.firstId(NodeKind::EventCtrl);
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::SensitivityStar,
+                              ec_id, ""));
+    auto *ec = findNode(*p.file, ec_id)->as<EventCtrl>();
+    EXPECT_TRUE(ec->star);
+    EXPECT_TRUE(ec->events.empty());
+}
+
+TEST(Templates, SensitivityViaAlwaysBlockNode)
+{
+    Parsed p(kModule);
+    int blk_id = p.firstId(NodeKind::AlwaysBlock);
+    ASSERT_TRUE(applyTemplate(
+        *p.file, TemplateKind::SensitivityPosedge, blk_id, "clk"));
+}
+
+TEST(Templates, SensitivityNeedsParam)
+{
+    Parsed p(kModule);
+    int ec_id = p.firstId(NodeKind::EventCtrl);
+    EXPECT_FALSE(applyTemplate(*p.file, TemplateKind::SensitivityPosedge,
+                               ec_id, ""));
+}
+
+TEST(Templates, BlockingToggles)
+{
+    Parsed p(kModule);
+    // First assignment (q <= 4'd0) is non-blocking.
+    int nba_id = p.firstId(NodeKind::Assign);
+    EXPECT_FALSE(applyTemplate(
+        *p.file, TemplateKind::BlockingToNonblocking, nba_id, ""));
+    ASSERT_TRUE(applyTemplate(
+        *p.file, TemplateKind::NonblockingToBlocking, nba_id, ""));
+    EXPECT_TRUE(findNode(*p.file, nba_id)->as<Assign>()->blocking);
+    ASSERT_TRUE(applyTemplate(
+        *p.file, TemplateKind::BlockingToNonblocking, nba_id, ""));
+    EXPECT_FALSE(findNode(*p.file, nba_id)->as<Assign>()->blocking);
+}
+
+TEST(Templates, IncrementDecrementValue)
+{
+    Parsed p(kModule);
+    int num_id = -1;
+    visitAll(*p.mod, [&](Node &n) {
+        if (n.kind == NodeKind::Number &&
+            n.as<Number>()->value.toUint64() == 8)
+            num_id = n.id;
+    });
+    ASSERT_GE(num_id, 0);
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::IncrementValue,
+                              num_id, ""));
+    EXPECT_EQ(findNode(*p.file, num_id)->as<Number>()->value.toUint64(),
+              9u);
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::DecrementValue,
+                              num_id, ""));
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::DecrementValue,
+                              num_id, ""));
+    EXPECT_EQ(findNode(*p.file, num_id)->as<Number>()->value.toUint64(),
+              7u);
+}
+
+TEST(Templates, DecrementWrapsAtZero)
+{
+    Parsed p("module m; reg r; initial r = 1'b0; endmodule");
+    int num_id = p.firstId(NodeKind::Number);
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::DecrementValue,
+                              num_id, ""));
+    // 1-bit 0 - 1 wraps to 1.
+    EXPECT_EQ(findNode(*p.file, num_id)->as<Number>()->value.toUint64(),
+              1u);
+}
+
+TEST(Templates, MissingTargetIsNoop)
+{
+    Parsed p(kModule);
+    EXPECT_FALSE(applyTemplate(*p.file, TemplateKind::IncrementValue,
+                               999999, ""));
+}
+
+TEST(Templates, ResultStillPrintsAndReparses)
+{
+    Parsed p(kModule);
+    int if_id = p.firstId(NodeKind::If);
+    int ec_id = p.firstId(NodeKind::EventCtrl);
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::NegateConditional,
+                              if_id, ""));
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::SensitivityNegedge,
+                              ec_id, "clk"));
+    std::string out = print(*p.file);
+    EXPECT_NO_THROW(parse(out)) << out;
+    EXPECT_NE(out.find("negedge clk"), std::string::npos);
+    EXPECT_NE(out.find("!("), std::string::npos);
+}
+
+TEST(Templates, EnumerateSitesCoverAllCategories)
+{
+    Parsed p(kModule);
+    auto sites = enumerateTemplateSites(*p.mod, nullptr);
+    int negate = 0, sens = 0, blocking = 0, numeric = 0;
+    for (auto &s : sites) {
+        switch (s.kind) {
+          case TemplateKind::NegateConditional: ++negate; break;
+          case TemplateKind::SensitivityNegedge:
+          case TemplateKind::SensitivityPosedge:
+          case TemplateKind::SensitivityLevel:
+          case TemplateKind::SensitivityStar: ++sens; break;
+          case TemplateKind::BlockingToNonblocking:
+          case TemplateKind::NonblockingToBlocking: ++blocking; break;
+          case TemplateKind::IncrementValue:
+          case TemplateKind::DecrementValue: ++numeric; break;
+          default: break;  // extended kinds are opt-in
+        }
+    }
+    EXPECT_EQ(negate, 2);    // one if, one while
+    EXPECT_GT(sens, 3);      // 3 per signal + star
+    EXPECT_EQ(blocking, 3);  // three assignments
+    EXPECT_GT(numeric, 4);   // two per literal
+}
+
+TEST(Templates, SensitivitySitesIncludePorts)
+{
+    // clk is not read in the block body, but it is a port, so the
+    // sensitivity templates must offer it as a trigger candidate.
+    Parsed p(R"(
+module m (clk, d, q);
+    input clk, d;
+    output q;
+    reg q;
+    always @(negedge d) begin
+        q <= d;
+    end
+endmodule
+)");
+    auto sites = enumerateTemplateSites(*p.mod, nullptr);
+    bool clk_pos = false;
+    for (auto &s : sites)
+        clk_pos |= (s.kind == TemplateKind::SensitivityPosedge &&
+                    s.param == "clk");
+    EXPECT_TRUE(clk_pos);
+}
+
+TEST(Templates, FlSetFiltersSites)
+{
+    Parsed p(kModule);
+    std::unordered_set<int> empty_fl{999999};
+    auto none = enumerateTemplateSites(*p.mod, &empty_fl);
+    auto all = enumerateTemplateSites(*p.mod, nullptr);
+    EXPECT_LT(none.size(), all.size());
+}
+
+TEST(ExtTemplates, CatalogAndNames)
+{
+    EXPECT_EQ(allTemplatesExtended().size(),
+              static_cast<size_t>(kNumExtendedTemplates));
+    EXPECT_STREQ(templateName(TemplateKind::ForceConditionalTrue),
+                 "force-cond-true");
+    EXPECT_STREQ(templateName(TemplateKind::SwapIfBranches),
+                 "swap-if-branches");
+}
+
+TEST(ExtTemplates, ForceConditional)
+{
+    Parsed p(kModule);
+    int if_id = p.firstId(NodeKind::If);
+    ASSERT_TRUE(applyTemplate(
+        *p.file, TemplateKind::ForceConditionalTrue, if_id, ""));
+    auto *i = findNode(*p.file, if_id)->as<If>();
+    ASSERT_EQ(i->cond->kind, NodeKind::Number);
+    EXPECT_EQ(i->cond->as<Number>()->value.toUint64(), 1u);
+
+    Parsed q(kModule);
+    int if2 = q.firstId(NodeKind::If);
+    ASSERT_TRUE(applyTemplate(
+        *q.file, TemplateKind::ForceConditionalFalse, if2, ""));
+    EXPECT_EQ(findNode(*q.file, if2)
+                  ->as<If>()->cond->as<Number>()->value.toUint64(),
+              0u);
+}
+
+TEST(ExtTemplates, SwapIfBranches)
+{
+    Parsed p(kModule);
+    int if_id = p.firstId(NodeKind::If);
+    auto *before = findNode(*p.file, if_id)->as<If>();
+    int then_id = before->thenStmt->id;
+    int else_id = before->elseStmt->id;
+    ASSERT_TRUE(applyTemplate(*p.file, TemplateKind::SwapIfBranches,
+                              if_id, ""));
+    auto *after = findNode(*p.file, if_id)->as<If>();
+    EXPECT_EQ(after->thenStmt->id, else_id);
+    EXPECT_EQ(after->elseStmt->id, then_id);
+}
+
+TEST(ExtTemplates, SwapRequiresElse)
+{
+    Parsed p(R"(
+module m;
+    reg q; wire c;
+    always @(c) begin
+        if (c) q = 1'b1;
+    end
+endmodule
+)");
+    int if_id = p.firstId(NodeKind::If);
+    EXPECT_FALSE(applyTemplate(*p.file, TemplateKind::SwapIfBranches,
+                               if_id, ""));
+}
+
+TEST(ExtTemplates, EnumerationIsOptIn)
+{
+    Parsed p(kModule);
+    auto plain = enumerateTemplateSites(*p.mod, nullptr, false);
+    auto ext = enumerateTemplateSites(*p.mod, nullptr, true);
+    EXPECT_GT(ext.size(), plain.size());
+    for (auto &s : plain) {
+        EXPECT_NE(s.kind, TemplateKind::ForceConditionalTrue);
+        EXPECT_NE(s.kind, TemplateKind::SwapIfBranches);
+    }
+    bool has_swap = false;
+    for (auto &s : ext)
+        has_swap |= (s.kind == TemplateKind::SwapIfBranches);
+    EXPECT_TRUE(has_swap);
+}
+
+} // namespace

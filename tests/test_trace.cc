@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the sampled-trace data model and its CSV serialization
+ * (the Figure 2 format).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+
+using namespace cirfix::sim;
+
+namespace {
+
+Trace
+makeTrace()
+{
+    Trace t({"dut.q", "dut.flag"});
+    t.addRow(5, {LogicVec::fromString("xxxx"), LogicVec::fromString("x")});
+    t.addRow(15, {LogicVec::fromString("0000"), LogicVec::fromString("0")});
+    t.addRow(25, {LogicVec::fromString("0001"), LogicVec::fromString("0")});
+    t.addRow(35, {LogicVec::fromString("0010"), LogicVec::fromString("1")});
+    return t;
+}
+
+TEST(Trace, BasicAccessors)
+{
+    Trace t = makeTrace();
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_FALSE(t.empty());
+    EXPECT_EQ(t.varIndex("dut.q"), 0);
+    EXPECT_EQ(t.varIndex("dut.flag"), 1);
+    EXPECT_EQ(t.varIndex("missing"), -1);
+}
+
+TEST(Trace, RowLookupByTime)
+{
+    Trace t = makeTrace();
+    ASSERT_NE(t.rowAt(25), nullptr);
+    EXPECT_EQ(t.rowAt(25)->values[0].toString(), "0001");
+    EXPECT_EQ(t.rowAt(26), nullptr);
+    EXPECT_EQ(t.rowAt(0), nullptr);
+    EXPECT_NE(t.rowAt(35), nullptr);
+}
+
+TEST(Trace, AtAccessor)
+{
+    Trace t = makeTrace();
+    auto v = t.at(15, "dut.flag");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->toString(), "0");
+    EXPECT_FALSE(t.at(15, "missing").has_value());
+    EXPECT_FALSE(t.at(16, "dut.q").has_value());
+}
+
+TEST(Trace, ResampleSameInstantKeepsLatest)
+{
+    Trace t({"a"});
+    t.addRow(10, {LogicVec::fromString("0")});
+    t.addRow(10, {LogicVec::fromString("1")});
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.rowAt(10)->values[0].toString(), "1");
+}
+
+TEST(Trace, TotalBits)
+{
+    Trace t = makeTrace();
+    EXPECT_EQ(t.totalBits(), 4u * (4 + 1));
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    Trace t = makeTrace();
+    std::string csv = t.toCsv();
+    EXPECT_EQ(csv.substr(0, 20), "time,dut.q,dut.flag\n");
+    Trace back = Trace::fromCsv(csv);
+    ASSERT_EQ(back.size(), t.size());
+    ASSERT_EQ(back.vars(), t.vars());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back.rows()[i].time, t.rows()[i].time);
+        for (size_t v = 0; v < t.vars().size(); ++v)
+            EXPECT_TRUE(back.rows()[i].values[v].identical(
+                t.rows()[i].values[v]));
+    }
+}
+
+TEST(Trace, CsvPreservesXZ)
+{
+    Trace t({"w"});
+    t.addRow(1, {LogicVec::fromString("1x0z")});
+    Trace back = Trace::fromCsv(t.toCsv());
+    EXPECT_EQ(back.rows()[0].values[0].toString(), "1x0z");
+}
+
+TEST(Trace, CsvErrors)
+{
+    EXPECT_THROW(Trace::fromCsv(""), std::runtime_error);
+    EXPECT_THROW(Trace::fromCsv("bogus,a\n"), std::runtime_error);
+    EXPECT_THROW(Trace::fromCsv("time,a\n5,01,11\n"),
+                 std::runtime_error);
+}
+
+TEST(Trace, EmptyTraceCsv)
+{
+    Trace t({"a", "b"});
+    Trace back = Trace::fromCsv(t.toCsv());
+    EXPECT_TRUE(back.empty());
+    EXPECT_EQ(back.vars().size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for structural validation (the "does it compile" gate that
+ * rejects ill-formed mutants).
+ */
+
+#include <gtest/gtest.h>
+
+#include "verilog/parser.h"
+#include "verilog/validate.h"
+
+using namespace cirfix::verilog;
+
+namespace {
+
+std::vector<ValidationError>
+check(const std::string &src)
+{
+    auto file = parse(src);
+    return validate(*file);
+}
+
+TEST(Validate, CleanModulePasses)
+{
+    auto errs = check(R"(
+module m (clk, q);
+    input clk;
+    output q;
+    reg q;
+    wire w;
+    event e;
+    assign w = q & clk;
+    always @(posedge clk) begin
+        q <= !q;
+        -> e;
+    end
+endmodule
+)");
+    EXPECT_TRUE(errs.empty());
+}
+
+TEST(Validate, UndeclaredReference)
+{
+    auto errs = check(
+        "module m; wire w; assign w = ghost; endmodule");
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_NE(errs[0].message.find("ghost"), std::string::npos);
+    EXPECT_EQ(errs[0].module, "m");
+}
+
+TEST(Validate, AssignmentToUndeclared)
+{
+    auto errs = check(
+        "module m; initial ghost = 1'b1; endmodule");
+    EXPECT_FALSE(errs.empty());
+}
+
+TEST(Validate, ProceduralAssignToWire)
+{
+    auto errs = check(
+        "module m; wire w; initial w = 1'b1; endmodule");
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].message.find("non-reg"), std::string::npos);
+}
+
+TEST(Validate, ContinuousAssignToReg)
+{
+    auto errs = check(
+        "module m; reg r; assign r = 1'b1; endmodule");
+    ASSERT_FALSE(errs.empty());
+}
+
+TEST(Validate, TriggerOfNonEvent)
+{
+    auto errs = check(
+        "module m; reg r; initial -> r; endmodule");
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].message.find("event"), std::string::npos);
+}
+
+TEST(Validate, UnknownInstanceModule)
+{
+    auto errs = check("module m; ghost u (); endmodule");
+    ASSERT_FALSE(errs.empty());
+}
+
+TEST(Validate, UnknownPortConnection)
+{
+    auto errs = check(R"(
+module child (input a);
+endmodule
+module m;
+    reg r;
+    child u (.nonport(r));
+endmodule
+)");
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].message.find("nonport"), std::string::npos);
+}
+
+TEST(Validate, PortWithoutDeclarationStillOk)
+{
+    // Header-only ports default to scalar wires at elaboration; the
+    // validator flags them since the source has no explicit decl.
+    auto errs = check("module m (a); endmodule");
+    EXPECT_FALSE(errs.empty());
+}
+
+TEST(Validate, TestbenchNamesDontLeakAcrossModules)
+{
+    // A statement referencing testbench names is invalid inside the
+    // DUT (this is exactly the mutant class fix localization avoids).
+    auto errs = check(R"(
+module dut (input clk);
+    reg q;
+    always @(posedge clk) q <= tb_only_signal;
+endmodule
+module tb;
+    reg clk;
+    reg tb_only_signal;
+    dut d (.clk(clk));
+endmodule
+)");
+    ASSERT_FALSE(errs.empty());
+    EXPECT_EQ(errs[0].module, "dut");
+}
+
+TEST(Validate, IntegerAssignable)
+{
+    auto errs = check(
+        "module m; integer i; initial i = 5; endmodule");
+    EXPECT_TRUE(errs.empty());
+}
+
+TEST(Validate, ConcatLValueChecksParts)
+{
+    auto errs = check(R"(
+module m;
+    reg a;
+    wire b;
+    initial {a, b} = 2'b10;
+endmodule
+)");
+    ASSERT_FALSE(errs.empty());  // b is a wire
+}
+
+TEST(Validate, EmptySensitivityRejected)
+{
+    // Built programmatically: an event control with no events and no
+    // star is structurally invalid.
+    auto file = parse(
+        "module m; reg q; always @(q) q <= !q; endmodule");
+    Module *m = file->modules[0].get();
+    for (auto &it : m->items) {
+        if (it->kind == NodeKind::AlwaysBlock) {
+            auto *ec = it->as<AlwaysBlock>()->body->as<EventCtrl>();
+            ec->events.clear();
+        }
+    }
+    EXPECT_FALSE(validate(*file).empty());
+}
+
+TEST(Validate, IsValidWrapper)
+{
+    auto good = parse("module m; reg r; initial r = 1'b0; endmodule");
+    EXPECT_TRUE(isValid(*good));
+    auto bad = parse("module m; initial ghost = 1'b0; endmodule");
+    EXPECT_FALSE(isValid(*bad));
+}
+
+TEST(Validate, AllBenchmarkIdiomsPass)
+{
+    auto errs = check(R"(
+module m (clk, rst, q);
+    input clk, rst;
+    output [3:0] q;
+    reg [3:0] q;
+    parameter LIMIT = 4'hf;
+    reg [3:0] mem [0:3];
+    integer i;
+    wire full;
+    assign full = (q == LIMIT);
+    always @(posedge clk or posedge rst) begin
+        if (rst) begin
+            q <= 4'h0;
+            for (i = 0; i < 4; i = i + 1) mem[i[1:0]] <= 4'h0;
+        end
+        else begin
+            case (q[1:0])
+                2'b00 : q <= q + 1;
+                default : q[3:2] <= 2'b01;
+            endcase
+        end
+    end
+endmodule
+)");
+    EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs[0].message);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the VCD waveform recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/elaborate.h"
+#include "sim/vcd.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::sim;
+using namespace cirfix::verilog;
+
+namespace {
+
+const char *kDesign = R"(
+module child (input clk, output reg [3:0] q);
+    always @(posedge clk) q <= q + 1;
+    initial q = 4'h0;
+endmodule
+module t;
+    reg clk;
+    wire [3:0] q;
+    child c (.clk(clk), .q(q));
+    initial begin
+        clk = 0;
+        #35 $finish;
+    end
+    always #5 clk = !clk;
+endmodule
+)";
+
+TEST(Vcd, DocumentStructure)
+{
+    std::shared_ptr<const SourceFile> file = parse(kDesign);
+    auto design = elaborate(file, "t");
+    VcdRecorder vcd(*design);
+    design->run();
+    std::string doc = vcd.document();
+    EXPECT_NE(doc.find("$timescale 1ns $end"), std::string::npos);
+    EXPECT_NE(doc.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(doc.find("$dumpvars"), std::string::npos);
+    EXPECT_NE(doc.find("$scope module"), std::string::npos);
+    EXPECT_NE(doc.find("$upscope $end"), std::string::npos);
+    // clk is a 1-bit var; q is a 4-bit vector with a range suffix.
+    EXPECT_NE(doc.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(doc.find("[3:0] $end"), std::string::npos);
+    EXPECT_GT(vcd.changeCount(), 5u);
+}
+
+TEST(Vcd, TimestampsAndChanges)
+{
+    std::shared_ptr<const SourceFile> file = parse(kDesign);
+    auto design = elaborate(file, "t");
+    VcdRecorder vcd(*design);
+    design->run();
+    std::string doc = vcd.document();
+    // Clock toggles at 5, 10, 15, ... -> timestamps present in order.
+    size_t t5 = doc.find("#5\n");
+    size_t t10 = doc.find("#10\n");
+    size_t t15 = doc.find("#15\n");
+    ASSERT_NE(t5, std::string::npos);
+    ASSERT_NE(t10, std::string::npos);
+    ASSERT_NE(t15, std::string::npos);
+    EXPECT_LT(t5, t10);
+    EXPECT_LT(t10, t15);
+    // Vector changes use the b<bits> form.
+    EXPECT_NE(doc.find("b0001 "), std::string::npos);
+    EXPECT_NE(doc.find("b0010 "), std::string::npos);
+}
+
+TEST(Vcd, SelectedSignalsOnly)
+{
+    std::shared_ptr<const SourceFile> file = parse(kDesign);
+    auto design = elaborate(file, "t");
+    VcdRecorder vcd(*design, std::vector<std::string>{"c.q"});
+    design->run();
+    std::string doc = vcd.document();
+    // Only one $var: the selected vector.
+    size_t count = 0;
+    for (size_t pos = doc.find("$var"); pos != std::string::npos;
+         pos = doc.find("$var", pos + 1))
+        ++count;
+    EXPECT_EQ(count, 1u);
+    // clk's per-cycle toggles are not recorded.
+    EXPECT_EQ(doc.find("$var wire 1 "), std::string::npos);
+}
+
+TEST(Vcd, UnknownPathIgnored)
+{
+    std::shared_ptr<const SourceFile> file = parse(kDesign);
+    auto design = elaborate(file, "t");
+    VcdRecorder vcd(*design, std::vector<std::string>{"nope.q"});
+    design->run();
+    EXPECT_EQ(vcd.changeCount(), 0u);
+}
+
+TEST(Vcd, InitialValuesAreX)
+{
+    std::shared_ptr<const SourceFile> file = parse(kDesign);
+    auto design = elaborate(file, "t");
+    VcdRecorder vcd(*design, std::vector<std::string>{"c.q"});
+    design->run();
+    std::string doc = vcd.document();
+    size_t dump = doc.find("$dumpvars");
+    size_t end = doc.find("$end", dump);
+    EXPECT_NE(doc.substr(dump, end - dump).find("bxxxx"),
+              std::string::npos);
+}
+
+} // namespace

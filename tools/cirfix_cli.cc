@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Command-line front end — the analogue of the original artifact's
+ * prototype/repair.py driven by repair.conf.
+ *
+ * Subcommands:
+ *
+ *   cirfix repair   --design faulty.v --tb <tb_module> --dut <module>
+ *                   (--golden golden.v | --oracle trace.csv)
+ *                   [--pop N] [--gens N] [--budget SECONDS] [--seed N]
+ *                   [--phi F] [--out repaired.v] [--trials N]
+ *
+ *   cirfix simulate --design design.v --tb <tb_module>
+ *                   [--vcd out.vcd] [--trace out.csv]
+ *
+ *   cirfix localize --design faulty.v --tb <tb_module> --dut <module>
+ *                   (--golden golden.v | --oracle trace.csv)
+ *
+ * Design files may contain the testbench module inline, or pass an
+ * extra file with --extra (repeatable) — all files are concatenated.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/faultloc.h"
+#include "core/scenario.h"
+#include "sim/elaborate.h"
+#include "sim/probe.h"
+#include "sim/vcd.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace {
+
+using namespace cirfix;
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> extras;
+
+    const std::string &
+    need(const std::string &key) const
+    {
+        auto it = flags.find(key);
+        if (it == flags.end())
+            throw std::runtime_error("missing required flag --" + key);
+        return it->second;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : it->second;
+    }
+
+    long
+    getLong(const std::string &key, long fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stol(it->second);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? fallback : std::stod(it->second);
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        throw std::runtime_error("no subcommand");
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) != 0)
+            throw std::runtime_error("unexpected argument: " + a);
+        std::string key = a.substr(2);
+        if (i + 1 >= argc)
+            throw std::runtime_error("flag --" + key + " needs a value");
+        std::string value = argv[++i];
+        if (key == "extra")
+            args.extras.push_back(value);
+        else
+            args.flags[key] = value;
+    }
+    return args;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write " + path);
+    out << content;
+}
+
+std::string
+gatherSources(const Args &args)
+{
+    std::string src = readFile(args.need("design"));
+    for (auto &e : args.extras)
+        src += "\n" + readFile(e);
+    return src;
+}
+
+/** Expected behavior: golden design re-simulation or a CSV trace. */
+sim::Trace
+loadOracle(const Args &args, const sim::ProbeConfig &probe,
+           const std::string &tb, const std::string &extra_tb_src)
+{
+    if (args.flags.count("oracle"))
+        return sim::Trace::fromCsv(readFile(args.get("oracle")));
+    if (!args.flags.count("golden"))
+        throw std::runtime_error("need --golden <file> or --oracle "
+                                 "<csv>");
+    std::string golden_src = readFile(args.get("golden"));
+    golden_src += "\n" + extra_tb_src;
+    std::shared_ptr<const verilog::SourceFile> golden =
+        verilog::parse(golden_src);
+    auto design = sim::elaborate(golden, tb);
+    sim::TraceRecorder rec(*design, probe);
+    design->run();
+    return rec.takeTrace();
+}
+
+/** The --golden file holds the DUT only; reuse the tb from --design
+ *  by stripping DUT modules that the golden file redefines. */
+std::string
+testbenchOnlySource(const std::string &combined_src,
+                    const std::string &golden_src)
+{
+    auto combined = verilog::parse(combined_src);
+    auto golden = verilog::parse(golden_src);
+    std::string out;
+    for (auto &m : combined->modules)
+        if (!golden->findModule(m->name))
+            out += verilog::print(*m) + "\n";
+    return out;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    std::string src = gatherSources(args);
+    std::string tb = args.need("tb");
+    std::shared_ptr<const verilog::SourceFile> file =
+        verilog::parse(src);
+    sim::ProbeConfig probe = sim::deriveProbeConfig(*file, tb);
+    auto design = sim::elaborate(file, tb);
+    sim::TraceRecorder rec(*design, probe);
+    std::unique_ptr<sim::VcdRecorder> vcd;
+    if (args.flags.count("vcd"))
+        vcd = std::make_unique<sim::VcdRecorder>(*design);
+    auto res = design->run();
+    std::cout << "simulation ended at t=" << res.endTime << " ("
+              << res.callbacks << " callbacks)\n";
+    for (auto &line : design->displayLog())
+        std::cout << "$display: " << line << "\n";
+    if (args.flags.count("trace")) {
+        writeFile(args.get("trace"), rec.trace().toCsv());
+        std::cout << "trace written to " << args.get("trace") << "\n";
+    } else {
+        std::cout << rec.trace().toCsv();
+    }
+    if (vcd) {
+        writeFile(args.get("vcd"), vcd->document());
+        std::cout << "vcd written to " << args.get("vcd") << "\n";
+    }
+    return 0;
+}
+
+int
+cmdLocalize(const Args &args)
+{
+    std::string src = gatherSources(args);
+    std::string tb = args.need("tb");
+    std::string dut = args.need("dut");
+    std::shared_ptr<const verilog::SourceFile> file =
+        verilog::parse(src);
+    sim::ProbeConfig probe = sim::deriveProbeConfig(*file, tb);
+
+    sim::Trace oracle = loadOracle(
+        args, probe, tb,
+        args.flags.count("golden")
+            ? testbenchOnlySource(src, readFile(args.get("golden")))
+            : "");
+
+    auto design = sim::elaborate(file, tb);
+    sim::TraceRecorder rec(*design, probe);
+    design->run();
+
+    auto mismatch = core::outputMismatch(rec.trace(), oracle);
+    std::cout << "mismatched outputs:";
+    for (auto &m : mismatch)
+        std::cout << " " << m;
+    std::cout << "\n";
+
+    const verilog::Module *mod = file->findModule(dut);
+    if (!mod)
+        throw std::runtime_error("module not found: " + dut);
+    auto fl = core::faultLocalize(*mod, rec.trace(), oracle);
+    std::cout << "fault localization: " << fl.nodeIds.size()
+              << " implicated nodes after " << fl.iterations
+              << " iterations\n";
+    verilog::visitAll(
+        *const_cast<verilog::Module *>(mod),
+        [&](verilog::Node &n) {
+            if (n.kind == verilog::NodeKind::Assign &&
+                fl.contains(n.id))
+                std::cout << "  line " << n.line << ": "
+                          << verilog::printStmt(
+                                 *n.as<verilog::Assign>());
+        });
+    return 0;
+}
+
+int
+cmdRepair(const Args &args)
+{
+    std::string src = gatherSources(args);
+    std::string tb = args.need("tb");
+    std::string dut = args.need("dut");
+    std::shared_ptr<const verilog::SourceFile> faulty =
+        verilog::parse(src);
+    sim::ProbeConfig probe = sim::deriveProbeConfig(*faulty, tb);
+
+    sim::Trace oracle = loadOracle(
+        args, probe, tb,
+        args.flags.count("golden")
+            ? testbenchOnlySource(src, readFile(args.get("golden")))
+            : "");
+
+    core::EngineConfig cfg;
+    cfg.popSize = static_cast<int>(args.getLong("pop", 500));
+    cfg.maxGenerations = static_cast<int>(args.getLong("gens", 20));
+    cfg.maxSeconds = args.getDouble("budget", 60.0);
+    cfg.fitness.phi = args.getDouble("phi", 2.0);
+    int trials = static_cast<int>(args.getLong("trials", 5));
+    uint64_t seed0 =
+        static_cast<uint64_t>(args.getLong("seed", 1000));
+
+    std::unique_ptr<std::ofstream> log;
+    if (args.flags.count("log"))
+        log = std::make_unique<std::ofstream>(args.get("log"));
+    for (int trial = 0; trial < trials; ++trial) {
+        cfg.seed = seed0 + static_cast<uint64_t>(trial) * 7919;
+        if (log) {
+            cfg.onGeneration = [&log, trial](int gen, double best,
+                                             long evals) {
+                *log << "trial " << trial + 1 << " gen " << gen
+                     << " best " << best << " evals " << evals
+                     << "\n";
+                log->flush();
+            };
+        }
+        core::RepairEngine engine(faulty, tb, dut, probe, oracle, cfg);
+        std::cout << "trial " << trial + 1 << "/" << trials
+                  << " (seed " << cfg.seed << ")...\n";
+        core::RepairResult res = engine.run();
+        std::cout << "  " << res.fitnessEvals << " fitness probes, "
+                  << res.generations << " generations, "
+                  << res.seconds << "s\n";
+        if (!res.found)
+            continue;
+        std::cout << "repair found: " << res.patch.describe() << "\n";
+        if (args.flags.count("out")) {
+            writeFile(args.get("out"), res.repairedSource);
+            std::cout << "repaired design written to "
+                      << args.get("out") << "\n";
+        } else {
+            std::cout << res.repairedSource;
+        }
+        return 0;
+    }
+    std::cout << "no repair found within resource bounds\n";
+    return 2;
+}
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: cirfix <repair|simulate|localize> [flags]\n"
+        "  repair   --design f.v --tb TB --dut MOD "
+        "(--golden g.v | --oracle t.csv)\n"
+        "           [--pop N] [--gens N] [--budget S] [--seed N] "
+        "[--phi F] [--trials N] [--out r.v]\n"
+        "  simulate --design f.v --tb TB [--vcd o.vcd] "
+        "[--trace o.csv]\n"
+        "  localize --design f.v --tb TB --dut MOD "
+        "(--golden g.v | --oracle t.csv)\n"
+        "  (--extra file.v may be repeated to add source files)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args = parseArgs(argc, argv);
+        if (args.command == "repair")
+            return cmdRepair(args);
+        if (args.command == "simulate")
+            return cmdSimulate(args);
+        if (args.command == "localize")
+            return cmdLocalize(args);
+        usage();
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        usage();
+        return 1;
+    }
+}
