@@ -8,9 +8,14 @@
  * implementation too.
  */
 
+#include <functional>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "benchmarks/registry.h"
+#include "core/engine.h"
+#include "core/evalpool.h"
 #include "core/faultloc.h"
 #include "core/fitness.h"
 #include "core/scenario.h"
@@ -86,7 +91,9 @@ BM_FullFitnessProbe(benchmark::State &state)
     core::EngineConfig cfg;
     core::RepairEngine engine = sc.makeEngine(cfg);
     for (auto _ : state) {
-        core::Variant v = engine.evaluate(core::Patch{});
+        // Uncached: measure the real probe, not a fitness-cache hit
+        // (BM_FitnessCacheLookup measures the hit).
+        core::Variant v = engine.evaluateUncached(core::Patch{});
         benchmark::DoNotOptimize(v.fit.fitness);
     }
 }
@@ -127,6 +134,66 @@ BM_FaultLocalization(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FaultLocalization);
+
+void
+BM_ParallelEvalThroughput(benchmark::State &state)
+{
+    // Candidate-evaluation throughput of the EvalPool at N threads:
+    // each iteration fans one generation-sized batch of full fitness
+    // probes (clone + validate + elaborate + simulate + score) out to
+    // the pool — the hot loop of a parallel repair trial. Compare the
+    // items/s of Arg(1) vs Arg(4) for the speedup; run() merges
+    // results in child order, so any Arg produces identical repairs.
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+
+    const int threads = static_cast<int>(state.range(0));
+    constexpr int kBatch = 16;
+    core::EvalPool pool(threads);
+    std::vector<core::Variant> out(kBatch);
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < kBatch; ++i)
+        jobs.push_back([&engine, &out, i] {
+            out[static_cast<size_t>(i)] =
+                engine.evaluateUncached(core::Patch{});
+        });
+    for (auto _ : state) {
+        pool.run(jobs);
+        benchmark::DoNotOptimize(out[0].fit.fitness);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ParallelEvalThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FitnessCacheLookup(benchmark::State &state)
+{
+    // A cache hit must be orders of magnitude cheaper than the
+    // simulation it replaces (BM_FullFitnessProbe).
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+    engine.evaluate(core::Patch{});  // prime the cache
+    for (auto _ : state) {
+        core::Variant v = engine.evaluate(core::Patch{});
+        benchmark::DoNotOptimize(v.fit.fitness);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FitnessCacheLookup);
 
 void
 BM_SimulateSha3(benchmark::State &state)

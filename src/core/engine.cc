@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <thread>
+#include <unordered_map>
 
 #include "sim/elaborate.h"
 #include "verilog/printer.h"
@@ -13,17 +15,38 @@ using sim::Design;
 using sim::ProbeConfig;
 using sim::TraceRecorder;
 
+size_t
+uniformIndex(std::mt19937_64 &rng, size_t n)
+{
+    return std::uniform_int_distribution<size_t>(0, n - 1)(rng);
+}
+
 RepairEngine::RepairEngine(std::shared_ptr<const SourceFile> faulty,
                            std::string tb_module, std::string dut_module,
                            ProbeConfig probe, Trace oracle,
                            EngineConfig config)
     : faulty_(std::move(faulty)), tbModule_(std::move(tb_module)),
       dutModule_(std::move(dut_module)), probe_(std::move(probe)),
-      oracle_(std::move(oracle)), config_(config), rng_(config.seed)
+      oracle_(std::move(oracle)), config_(config), rng_(config.seed),
+      cache_(config.fitnessCacheSize)
 {}
 
+EvalPool &
+RepairEngine::pool()
+{
+    if (!pool_) {
+        int n = config_.numThreads;
+        if (n <= 0)
+            n = static_cast<int>(std::thread::hardware_concurrency());
+        if (n < 1)
+            n = 1;
+        pool_ = std::make_unique<EvalPool>(n);
+    }
+    return *pool_;
+}
+
 Variant
-RepairEngine::evaluate(const Patch &patch)
+RepairEngine::evaluateUncached(const Patch &patch) const
 {
     Variant v;
     v.patch = patch;
@@ -42,7 +65,6 @@ RepairEngine::evaluate(const Patch &patch)
             std::shared_ptr<const SourceFile>(patched), tbModule_);
         TraceRecorder rec(*design, probe_);
         design->run(config_.simLimits);
-        ++evals_;
         v.trace = rec.takeTrace();
         v.fit = evaluateFitness(v.trace, oracle_, config_.fitness);
     } catch (const sim::ElabError &) {
@@ -52,13 +74,85 @@ RepairEngine::evaluate(const Patch &patch)
 }
 
 Variant
-RepairEngine::makeChild(Patch patch)
+RepairEngine::evaluate(const Patch &patch)
 {
-    ++mutants_;
-    Variant v = evaluate(patch);
-    if (!v.valid)
-        ++invalid_;
+    std::string key = patch.key();
+    if (const FitnessCache::Entry *hit = cache_.find(key)) {
+        Variant v;
+        v.patch = patch;
+        v.evaluated = true;
+        v.valid = hit->valid;
+        v.fit = hit->fit;
+        v.trace = hit->trace;
+        return v;
+    }
+    Variant v = evaluateUncached(patch);
+    if (v.valid)
+        ++evals_;
+    cache_.insert(key, FitnessCache::Entry{v.valid, v.fit, v.trace});
     return v;
+}
+
+std::vector<Variant>
+RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
+                            std::vector<bool> &simulated_out)
+{
+    const size_t n = patches.size();
+    enum class Source { Fresh, Cached, Duplicate };
+    std::vector<Variant> out(n);
+    std::vector<std::string> keys(n);
+    std::vector<Source> source(n, Source::Fresh);
+    std::vector<size_t> dup_of(n, 0);
+    std::unordered_map<std::string, size_t> first_occurrence;
+    std::vector<std::function<void()>> jobs;
+
+    // Cache lookups and in-batch dedup in child order, on this thread
+    // (so hit/miss accounting and LRU order are schedule-independent).
+    for (size_t i = 0; i < n; ++i) {
+        keys[i] = patches[i].key();
+        auto dup = first_occurrence.find(keys[i]);
+        if (dup != first_occurrence.end()) {
+            source[i] = Source::Duplicate;
+            dup_of[i] = dup->second;
+            cache_.noteDuplicateHit();
+            continue;
+        }
+        if (const FitnessCache::Entry *hit = cache_.find(keys[i])) {
+            source[i] = Source::Cached;
+            out[i].patch = patches[i];
+            out[i].evaluated = true;
+            out[i].valid = hit->valid;
+            out[i].fit = hit->fit;
+            out[i].trace = hit->trace;
+            continue;
+        }
+        first_occurrence.emplace(keys[i], i);
+        jobs.push_back([this, &patches, &out, i] {
+            out[i] = evaluateUncached(patches[i]);
+        });
+    }
+
+    pool().run(jobs);
+
+    // Merge in child order; only this thread touches the cache.
+    simulated_out.assign(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        switch (source[i]) {
+          case Source::Fresh:
+            simulated_out[i] = out[i].valid;
+            cache_.insert(keys[i], FitnessCache::Entry{
+                                       out[i].valid, out[i].fit,
+                                       out[i].trace});
+            break;
+          case Source::Duplicate:
+            out[i] = out[dup_of[i]];
+            out[i].patch = patches[i];
+            break;
+          case Source::Cached:
+            break;
+        }
+    }
+    return out;
 }
 
 const Variant &
@@ -66,7 +160,7 @@ RepairEngine::tournament(const std::vector<Variant> &popn)
 {
     const Variant *best = nullptr;
     for (int i = 0; i < config_.tournamentSize; ++i) {
-        const Variant &cand = popn[rng_() % popn.size()];
+        const Variant &cand = popn[uniformIndex(rng_, popn.size())];
         if (!best || cand.fit.fitness > best->fit.fitness)
             best = &cand;
     }
@@ -128,15 +222,47 @@ RepairEngine::run()
             result.fitnessEvals = evals_;
             result.seconds = elapsed();
         }
+        result.cache = cache_.stats();
         return result;
     };
 
-    // seed_popn: the original plus single-mutation neighbours.
+    /**
+     * Charge a batch of evaluated children against the engine
+     * counters, append them to @p into, and record trajectory
+     * improvements — all in child order, so the merged state is
+     * bit-identical at any thread count. Returns the first plausible
+     * child (if any), which ends the trial.
+     */
+    auto absorb = [&](std::vector<Variant> &vs,
+                      const std::vector<bool> &simulated,
+                      std::vector<Variant> &into) -> const Variant * {
+        size_t winner = vs.size();
+        size_t base = into.size();
+        for (size_t i = 0; i < vs.size(); ++i) {
+            ++mutants_;
+            if (!vs[i].valid)
+                ++invalid_;
+            if (simulated[i])
+                ++evals_;
+            into.push_back(std::move(vs[i]));
+            note(into.back());
+            if (winner == vs.size() && into.back().fit.plausible())
+                winner = base + i;
+        }
+        return winner == vs.size() ? nullptr : &into[winner];
+    };
+
+    // seed_popn: the original plus single-mutation neighbours. The
+    // original goes first (and alone): its trace seeds fault
+    // localization for the neighbour draws.
     std::vector<Variant> popn;
-    popn.push_back(makeChild(Patch{}));
-    note(popn.back());
-    if (popn.back().fit.plausible())
-        return finish(&popn.back());
+    {
+        std::vector<Patch> seed{Patch{}};
+        std::vector<bool> simulated;
+        auto vs = evaluateBatch(seed, simulated);
+        if (const Variant *w = absorb(vs, simulated, popn))
+            return finish(w);
+    }
     {
         auto ast0 = applyPatch(*faulty_, Patch{});
         const Module *dut0 = ast0->findModule(dutModule_);
@@ -144,7 +270,9 @@ RepairEngine::run()
             return finish(nullptr);
         FaultLocResult fl0 =
             faultLocalize(*dut0, popn[0].trace, oracle_);
-        while (static_cast<int>(popn.size()) < config_.popSize &&
+        std::vector<Patch> seeds;
+        while (static_cast<int>(popn.size() + seeds.size()) <
+                   config_.popSize &&
                elapsed() < config_.maxSeconds) {
             Patch p;
             std::optional<Edit> e =
@@ -153,11 +281,12 @@ RepairEngine::run()
                     : mutator.mutate(*ast0, *dut0, fl0.nodeIds);
             if (e)
                 p.edits.push_back(std::move(*e));
-            popn.push_back(makeChild(std::move(p)));
-            note(popn.back());
-            if (popn.back().fit.plausible())
-                return finish(&popn.back());
+            seeds.push_back(std::move(p));
         }
+        std::vector<bool> simulated;
+        auto vs = evaluateBatch(seeds, simulated);
+        if (const Variant *w = absorb(vs, simulated, popn))
+            return finish(w);
     }
 
     // Cache fault localization per parent AST once on the original if
@@ -174,8 +303,14 @@ RepairEngine::run()
             break;
         result.generations = gen + 1;
 
-        std::vector<Variant> children;
-        while (static_cast<int>(children.size()) < config_.popSize) {
+        // (a) Pre-draw every stochastic decision for the generation on
+        // this thread: parent picks, operator choices, edit sites. The
+        // RNG stream therefore never depends on evaluation scheduling.
+        std::vector<Patch> planned;
+        int attempts = 0;
+        const int max_attempts = config_.popSize * 16 + 16;
+        while (static_cast<int>(planned.size()) < config_.popSize &&
+               attempts++ < max_attempts) {
             if (elapsed() >= config_.maxSeconds)
                 break;
             const Variant &parent = tournament(popn);
@@ -193,7 +328,7 @@ RepairEngine::run()
                 if (auto e = mutator.templateEdit(*parent_ast, *dut,
                                                   fl.nodeIds)) {
                     p.edits.push_back(std::move(*e));
-                    children.push_back(makeChild(std::move(p)));
+                    planned.push_back(std::move(p));
                 }
             } else if (uniform(rng_) <= config_.mutThreshold) {
                 // Mutation operators.
@@ -201,25 +336,25 @@ RepairEngine::run()
                 if (auto e =
                         mutator.mutate(*parent_ast, *dut, fl.nodeIds)) {
                     p.edits.push_back(std::move(*e));
-                    children.push_back(makeChild(std::move(p)));
+                    planned.push_back(std::move(p));
                 }
             } else {
                 // Crossover with a second parent.
                 const Variant &parent2 = tournament(popn);
                 auto [c1, c2] =
                     crossover(parent.patch, parent2.patch, rng_);
-                children.push_back(makeChild(std::move(c1)));
-                note(children.back());
-                if (children.back().fit.plausible())
-                    return finish(&children.back());
-                children.push_back(makeChild(std::move(c2)));
-            }
-            if (!children.empty()) {
-                note(children.back());
-                if (children.back().fit.plausible())
-                    return finish(&children.back());
+                planned.push_back(std::move(c1));
+                planned.push_back(std::move(c2));
             }
         }
+
+        // (b) Fan the children out to the pool, (c) merge in child
+        // order.
+        std::vector<bool> simulated;
+        auto vs = evaluateBatch(planned, simulated);
+        std::vector<Variant> children;
+        if (const Variant *w = absorb(vs, simulated, children))
+            return finish(w);
 
         // Elitism: keep the top e% of the previous generation.
         std::sort(popn.begin(), popn.end(),

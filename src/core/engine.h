@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evalpool.h"
 #include "core/faultloc.h"
 #include "core/fitness.h"
 #include "core/minimize.h"
@@ -50,6 +51,17 @@ struct EngineConfig
     /** Re-run fault localization for every parent (paper behavior);
      *  false computes it once on the original (ablation). */
     bool relocalize = true;
+    /**
+     * Candidate evaluations run concurrently on this many threads
+     * (<= 0 selects std::thread::hardware_concurrency()). The repair
+     * search is deterministic per seed at ANY thread count: all
+     * stochastic decisions are drawn on the main thread before
+     * fan-out and results merge in child order (see DESIGN.md,
+     * "Parallel evaluation").
+     */
+    int numThreads = 0;
+    /** LRU bound of the patch-keyed fitness cache (0 disables it). */
+    size_t fitnessCacheSize = 512;
     /**
      * Optional progress hook, called after each generation with the
      * generation index, the best fitness in the new population, and
@@ -85,6 +97,8 @@ struct RepairResult
     double seconds = 0.0;
     /** (probe index, best fitness) at each improvement — RQ3 data. */
     std::vector<std::pair<long, double>> fitnessTrajectory;
+    /** Fitness-cache accounting for the trial (hits/misses/evictions). */
+    CacheStats cache;
 };
 
 /**
@@ -104,16 +118,37 @@ class RepairEngine
     RepairResult run();
 
     /**
-     * Evaluate one patch: apply, validate, elaborate, simulate, score.
-     * Exposed for the brute-force baseline, minimization and tests.
+     * Evaluate one patch: apply, validate, elaborate, simulate, score,
+     * going through the fitness cache. Exposed for the brute-force
+     * baseline, minimization and tests. Main thread only.
      */
     Variant evaluate(const Patch &patch);
 
+    /**
+     * Cache-free, counter-free evaluation. Thread-safe: touches only
+     * immutable engine state (the faulty AST, probe, oracle, config)
+     * and objects owned by the call, so any number of invocations may
+     * run concurrently. This is what run() fans out to worker threads.
+     */
+    Variant evaluateUncached(const Patch &patch) const;
+
     const EngineConfig &config() const { return config_; }
     const Trace &oracle() const { return oracle_; }
+    /** Fitness-cache accounting so far (also placed in RepairResult). */
+    const CacheStats &cacheStats() const { return cache_.stats(); }
 
   private:
-    Variant makeChild(Patch patch);
+    /**
+     * Evaluate a batch of candidate patches: cache lookups and
+     * in-batch deduplication on the calling thread, cache misses
+     * fanned out to the pool, results merged (and the cache updated)
+     * in child order. @p simulated_out receives, per child, whether a
+     * real simulation ran (the caller charges evals_ in order).
+     */
+    std::vector<Variant>
+    evaluateBatch(const std::vector<Patch> &patches,
+                  std::vector<bool> &simulated_out);
+    EvalPool &pool();
     const Variant &tournament(const std::vector<Variant> &popn);
     FaultLocResult localize(const Variant &v,
                             const verilog::SourceFile &ast) const;
@@ -124,9 +159,18 @@ class RepairEngine
     Trace oracle_;
     EngineConfig config_;
     std::mt19937_64 rng_;
+    FitnessCache cache_;
+    std::unique_ptr<EvalPool> pool_;  //!< created lazily by run()
     long evals_ = 0;
     long invalid_ = 0;
     long mutants_ = 0;
 };
+
+/**
+ * Unbiased uniform draw from [0, n): the modulo idiom rng() % n skews
+ * toward small values when n does not divide 2^64 (tournament
+ * selection bias); this uses std::uniform_int_distribution instead.
+ */
+size_t uniformIndex(std::mt19937_64 &rng, size_t n);
 
 } // namespace cirfix::core

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "verilog/printer.h"
+
 namespace cirfix::core {
 
 using namespace verilog;
@@ -61,6 +63,30 @@ Patch::describe() const
         os << edits[i].describe();
     }
     return os.str();
+}
+
+std::string
+Edit::key() const
+{
+    // \x1f separates fields, \x1e terminates the edit; neither occurs
+    // in printed Verilog, so the encoding is unambiguous.
+    std::ostringstream os;
+    os << static_cast<int>(kind) << '\x1f' << target << '\x1f';
+    if (kind == EditKind::Template)
+        os << static_cast<int>(tmpl) << '\x1f' << param;
+    else if (code)
+        os << printStmt(*code, 0);
+    os << '\x1e';
+    return os.str();
+}
+
+std::string
+Patch::key() const
+{
+    std::string k;
+    for (const Edit &e : edits)
+        k += e.key();
+    return k;
 }
 
 namespace {

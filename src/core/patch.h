@@ -55,6 +55,14 @@ struct Edit
 
     /** One-line description ("replace(12)", "template[negate-cond]@4"). */
     std::string describe() const;
+
+    /**
+     * Canonical fingerprint of this edit: kind, target, and the full
+     * payload (printed donor code, template kind, template parameter),
+     * separated by control characters that cannot appear in printed
+     * Verilog. Two edits have equal keys iff they apply identically.
+     */
+    std::string key() const;
 };
 
 struct Patch
@@ -66,6 +74,16 @@ struct Patch
 
     /** Multi-line human-readable description. */
     std::string describe() const;
+
+    /**
+     * Canonical cache key: the concatenated Edit::key() sequence.
+     * Patch application is deterministic (see file comment), so equal
+     * keys imply identical patched trees and hence identical fitness —
+     * the property the engine's fitness cache relies on. Unlike a
+     * 64-bit digest, the key is exact: distinct edit lists can never
+     * collide.
+     */
+    std::string key() const;
 };
 
 /**

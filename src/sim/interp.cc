@@ -238,8 +238,9 @@ runDisplay(Design &design, InstanceScope &scope, const SysTask &task)
 bool
 mightSuspend(const Stmt &stmt)
 {
-    if (stmt.suspendCache >= 0)
-        return stmt.suspendCache != 0;
+    int8_t cached = stmt.suspendCache.load(std::memory_order_relaxed);
+    if (cached >= 0)
+        return cached != 0;
     bool result = false;
     switch (stmt.kind) {
       case NodeKind::DelayStmt:
@@ -293,7 +294,7 @@ mightSuspend(const Stmt &stmt)
         result = false;
         break;
     }
-    stmt.suspendCache = result ? 1 : 0;
+    stmt.suspendCache.store(result ? 1 : 0, std::memory_order_relaxed);
     return result;
 }
 

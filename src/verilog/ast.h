@@ -19,6 +19,7 @@
  * expression operators of IEEE 1364-2005.
  */
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -105,8 +106,13 @@ struct Stmt : Node
      * suspend the process (delay/event/wait)? -1 = not yet computed.
      * Purely an execution cache; not part of program structure (and
      * deliberately not copied by clones, which recompute it).
+     *
+     * Atomic because one shared AST may be simulated by several
+     * designs concurrently (parallel candidate evaluation). The cached
+     * value is a pure function of the subtree, so racing writers store
+     * the same value and relaxed ordering suffices.
      */
-    mutable int8_t suspendCache = -1;
+    mutable std::atomic<int8_t> suspendCache{-1};
 };
 
 using StmtPtr = std::unique_ptr<Stmt>;

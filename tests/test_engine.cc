@@ -273,6 +273,65 @@ TEST(Engine, GenerationHookReportsProgress)
     }
 }
 
+TEST(Engine, UniformIndexIsUnbiased)
+{
+    // Tournament selection previously used rng() % n, which skews
+    // toward small indices whenever n does not divide 2^64.
+    // uniformIndex() must pass a chi-squared uniformity check on an
+    // awkward (non-power-of-two) bucket count.
+    constexpr size_t kBuckets = 13;
+    constexpr int kDraws = 130000;
+    std::mt19937_64 rng(987654321);
+    std::vector<long> counts(kBuckets, 0);
+    for (int i = 0; i < kDraws; ++i) {
+        size_t idx = uniformIndex(rng, kBuckets);
+        ASSERT_LT(idx, kBuckets);
+        ++counts[idx];
+    }
+    const double expected =
+        static_cast<double>(kDraws) / static_cast<double>(kBuckets);
+    double chi2 = 0.0;
+    for (long c : counts) {
+        double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    // 12 degrees of freedom: the 99.9th percentile of chi^2 is ~32.9.
+    // A deterministic seed keeps this stable; a modulo-biased
+    // generator over a 13-bucket range drawn from a small word would
+    // blow far past this.
+    EXPECT_LT(chi2, 32.9);
+    // Every bucket was reachable.
+    for (long c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Engine, UniformIndexCoversFullRangeSmallN)
+{
+    std::mt19937_64 rng(5);
+    std::vector<bool> seen(3, false);
+    for (int i = 0; i < 100; ++i)
+        seen[uniformIndex(rng, 3)] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(Engine, ReportsCacheStatsInResult)
+{
+    MiniScenario sc(kGoldenToggle, faultyToggle(), "tb");
+    EngineConfig cfg;
+    cfg.popSize = 12;
+    cfg.maxGenerations = 2;
+    cfg.maxSeconds = 30.0;
+    cfg.seed = 42;
+    auto engine = sc.engine("tb", "dut", cfg);
+    RepairResult res = engine.run();
+    // Whatever the outcome, the trial evaluated candidates, so the
+    // cache saw traffic, and the result mirrors the engine's stats.
+    EXPECT_GT(res.cache.misses, 0);
+    EXPECT_EQ(res.cache.hits, engine.cacheStats().hits);
+    EXPECT_EQ(res.cache.misses, engine.cacheStats().misses);
+    EXPECT_EQ(res.cache.evictions, engine.cacheStats().evictions);
+}
+
 TEST(Engine, BruteForceRespectsTimeBudget)
 {
     MiniScenario sc(kGoldenToggle, faultyToggle(), "tb");

@@ -3,6 +3,9 @@
  * Tests for the edit-list patch representation and its application.
  */
 
+#include <map>
+#include <random>
+
 #include <gtest/gtest.h>
 
 #include "core/patch.h"
@@ -271,6 +274,196 @@ endmodule
     auto patched = applyPatch(*orig, p, &applied);
     EXPECT_EQ(applied, 1);
     EXPECT_EQ(findNode(*patched, target), nullptr);
+}
+
+// ------------------------------------------------------------------
+// Patch::key() — the fitness-cache fingerprint
+// ------------------------------------------------------------------
+
+/** Build a randomized edit; donors come from a fixed pool. */
+Edit
+randomEdit(std::mt19937_64 &rng)
+{
+    static const char *donors[] = {
+        "q <= 4'd1;", "q = q + 4'd2;", "shadow <= q;",
+        "begin q <= 4'd0; shadow <= 4'd7; end",
+    };
+    Edit e;
+    switch (rng() % 4) {
+      case 0:
+        e.kind = EditKind::Delete;
+        break;
+      case 1:
+        e.kind = EditKind::Replace;
+        e.code = parseDonor(donors[rng() % 4]);
+        break;
+      case 2:
+        e.kind = EditKind::InsertAfter;
+        e.code = parseDonor(donors[rng() % 4]);
+        break;
+      default:
+        e.kind = EditKind::Template;
+        e.tmpl = static_cast<TemplateKind>(rng() % 9);
+        if (rng() % 2)
+            e.param = (rng() % 2) ? "clk" : "rst";
+        break;
+    }
+    e.target = static_cast<int>(rng() % 50);
+    return e;
+}
+
+Patch
+randomPatch(std::mt19937_64 &rng)
+{
+    Patch p;
+    size_t len = 1 + rng() % 4;
+    for (size_t i = 0; i < len; ++i)
+        p.edits.push_back(randomEdit(rng));
+    return p;
+}
+
+TEST(PatchKey, EqualEditListsHashEqual)
+{
+    std::mt19937_64 rng(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        Patch p = randomPatch(rng);
+        Patch copy = p;  // deep-copies donor code
+        EXPECT_EQ(p.key(), copy.key());
+    }
+}
+
+TEST(PatchKey, KeyIsStableAcrossCalls)
+{
+    std::mt19937_64 rng(7);
+    Patch p = randomPatch(rng);
+    EXPECT_EQ(p.key(), p.key());
+}
+
+TEST(PatchKey, TargetPerturbationChangesKey)
+{
+    std::mt19937_64 rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        Patch p = randomPatch(rng);
+        Patch q = p;
+        size_t i = rng() % q.edits.size();
+        q.edits[i].target += 1;
+        EXPECT_NE(p.key(), q.key()) << "trial " << trial;
+    }
+}
+
+TEST(PatchKey, KindPerturbationChangesKey)
+{
+    std::mt19937_64 rng(2);
+    for (int trial = 0; trial < 100; ++trial) {
+        Patch p = randomPatch(rng);
+        Patch q = p;
+        size_t i = rng() % q.edits.size();
+        Edit &e = q.edits[i];
+        // Delete <-> Replace-with-null-free-code is the cleanest
+        // same-payload kind flip; for code-bearing kinds swap the
+        // insert/replace pair so the payload stays identical.
+        switch (e.kind) {
+          case EditKind::Delete:
+            e.kind = EditKind::Template;
+            e.tmpl = TemplateKind::NegateConditional;
+            e.param.clear();
+            break;
+          case EditKind::Replace:
+            e.kind = EditKind::InsertAfter;
+            break;
+          case EditKind::InsertAfter:
+            e.kind = EditKind::Replace;
+            break;
+          case EditKind::Template:
+            e.kind = EditKind::Delete;
+            break;
+        }
+        EXPECT_NE(p.key(), q.key()) << "trial " << trial;
+    }
+}
+
+TEST(PatchKey, PayloadPerturbationChangesKey)
+{
+    // Donor-code payload.
+    Patch a, b;
+    Edit ea;
+    ea.kind = EditKind::Replace;
+    ea.target = 3;
+    ea.code = parseDonor("q <= 4'd1;");
+    a.edits.push_back(std::move(ea));
+    Edit eb;
+    eb.kind = EditKind::Replace;
+    eb.target = 3;
+    eb.code = parseDonor("q <= 4'd2;");
+    b.edits.push_back(std::move(eb));
+    EXPECT_NE(a.key(), b.key());
+
+    // Template-kind payload.
+    Patch c, d;
+    Edit ec;
+    ec.kind = EditKind::Template;
+    ec.target = 3;
+    ec.tmpl = TemplateKind::IncrementValue;
+    c.edits.push_back(std::move(ec));
+    Edit ed;
+    ed.kind = EditKind::Template;
+    ed.target = 3;
+    ed.tmpl = TemplateKind::DecrementValue;
+    d.edits.push_back(std::move(ed));
+    EXPECT_NE(c.key(), d.key());
+
+    // Template-parameter payload.
+    Patch f, g;
+    Edit ef;
+    ef.kind = EditKind::Template;
+    ef.target = 3;
+    ef.tmpl = TemplateKind::SensitivityPosedge;
+    ef.param = "clk";
+    f.edits.push_back(std::move(ef));
+    Edit eg;
+    eg.kind = EditKind::Template;
+    eg.target = 3;
+    eg.tmpl = TemplateKind::SensitivityPosedge;
+    eg.param = "rst";
+    g.edits.push_back(std::move(eg));
+    EXPECT_NE(f.key(), g.key());
+}
+
+TEST(PatchKey, EditListOrderAndLengthMatter)
+{
+    Edit del;
+    del.kind = EditKind::Delete;
+    del.target = 4;
+    Edit tmpl;
+    tmpl.kind = EditKind::Template;
+    tmpl.target = 9;
+    tmpl.tmpl = TemplateKind::NegateConditional;
+
+    Patch ab, ba, a;
+    ab.edits = {del, tmpl};
+    ba.edits = {tmpl, del};
+    a.edits = {del};
+    EXPECT_NE(ab.key(), ba.key());
+    EXPECT_NE(ab.key(), a.key());
+    EXPECT_NE(Patch{}.key(), a.key());
+    EXPECT_EQ(Patch{}.key(), std::string());
+}
+
+TEST(PatchKey, NoCollisionsAcrossRandomizedPatches)
+{
+    // Distinct random patches should (essentially always) have
+    // distinct keys; the key is an exact canonical encoding, so the
+    // only allowed equal-key pairs are structurally equal edit lists.
+    std::mt19937_64 rng(1234);
+    std::map<std::string, std::string> seen;  // key -> describe()
+    int collisions = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        Patch p = randomPatch(rng);
+        auto [it, inserted] = seen.emplace(p.key(), p.describe());
+        if (!inserted && it->second != p.describe())
+            ++collisions;
+    }
+    EXPECT_EQ(collisions, 0);
 }
 
 } // namespace

@@ -3,9 +3,16 @@
  * Unit tests for the stratified event scheduler.
  */
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "sim/elaborate.h"
+#include "sim/probe.h"
 #include "sim/scheduler.h"
+#include "verilog/parser.h"
 
 using namespace cirfix::sim;
 
@@ -167,6 +174,91 @@ TEST(Scheduler, SimAbortCarriesMessage)
 {
     SimAbort e("budget gone");
     EXPECT_STREQ(e.what(), "budget gone");
+}
+
+// ------------------------------------------------------------------
+// Concurrency stress: simulating one shared AST from many threads
+// ------------------------------------------------------------------
+
+/**
+ * Parallel candidate evaluation elaborates and simulates designs on
+ * worker threads, and several designs may share one AST (e.g. the
+ * unpatched original). The interpreter lazily writes the per-statement
+ * suspendCache on that shared tree, so this test drives 8 concurrent
+ * simulations of the *same* SourceFile and demands identical traces —
+ * it is the regression guard for the atomic suspendCache (run it under
+ * `ctest -L tsan` in a -DCIRFIX_TSAN=ON build to prove race-freedom).
+ */
+TEST(SchedulerStress, ConcurrentSimulationsOfSharedAstAgree)
+{
+    const char *src = R"(
+module dut (clk, rst, count);
+    input clk, rst;
+    output [3:0] count;
+    reg [3:0] count;
+    integer i;
+    reg [3:0] acc;
+    always @(posedge clk) begin
+        if (rst) begin
+            count <= 4'd0;
+        end
+        else begin
+            acc = 4'd0;
+            for (i = 0; i < 3; i = i + 1)
+                acc = acc + 4'd1;
+            if (count == 4'd9)
+                count <= 4'd0;
+            else
+                count <= count + (acc - 4'd2);
+        end
+    end
+endmodule
+module tb;
+    reg clk, rst;
+    wire [3:0] count;
+    dut d (.clk(clk), .rst(rst), .count(count));
+    initial begin
+        clk = 0;
+        rst = 1;
+        #12 rst = 0;
+        #300 $finish;
+    end
+    always #5 clk = !clk;
+endmodule
+)";
+    std::shared_ptr<const cirfix::verilog::SourceFile> file =
+        cirfix::verilog::parse(src);
+    ProbeConfig probe = deriveProbeConfig(*file, "tb");
+
+    // Reference trace from a serial run of a private clone (its
+    // suspendCache fills independently of the shared tree's).
+    std::string expected;
+    {
+        auto design = elaborate(*file, "tb");
+        TraceRecorder rec(*design, probe);
+        design->run();
+        expected = rec.takeTrace().toCsv();
+    }
+    ASSERT_FALSE(expected.empty());
+
+    constexpr int kThreads = 8;
+    std::vector<std::string> traces(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            // Shares `file` (and its lazily-written suspendCache)
+            // with every other thread.
+            auto design = elaborate(file, "tb");
+            TraceRecorder rec(*design, probe);
+            design->run();
+            traces[static_cast<size_t>(t)] = rec.takeTrace().toCsv();
+        });
+    for (auto &th : threads)
+        th.join();
+
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(traces[static_cast<size_t>(t)], expected)
+            << "thread " << t << " diverged";
 }
 
 } // namespace

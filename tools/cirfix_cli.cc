@@ -260,6 +260,7 @@ cmdRepair(const Args &args)
     cfg.maxGenerations = static_cast<int>(args.getLong("gens", 20));
     cfg.maxSeconds = args.getDouble("budget", 60.0);
     cfg.fitness.phi = args.getDouble("phi", 2.0);
+    cfg.numThreads = static_cast<int>(args.getLong("threads", 0));
     int trials = static_cast<int>(args.getLong("trials", 5));
     uint64_t seed0 =
         static_cast<uint64_t>(args.getLong("seed", 1000));
@@ -309,7 +310,7 @@ usage()
         "  repair   --design f.v --tb TB --dut MOD "
         "(--golden g.v | --oracle t.csv)\n"
         "           [--pop N] [--gens N] [--budget S] [--seed N] "
-        "[--phi F] [--trials N] [--out r.v]\n"
+        "[--phi F] [--trials N] [--threads N] [--out r.v]\n"
         "  simulate --design f.v --tb TB [--vcd o.vcd] "
         "[--trace o.csv]\n"
         "  localize --design f.v --tb TB --dut MOD "
