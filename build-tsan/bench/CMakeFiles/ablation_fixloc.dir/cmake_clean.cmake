@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fixloc.dir/ablation_fixloc.cc.o"
+  "CMakeFiles/ablation_fixloc.dir/ablation_fixloc.cc.o.d"
+  "ablation_fixloc"
+  "ablation_fixloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

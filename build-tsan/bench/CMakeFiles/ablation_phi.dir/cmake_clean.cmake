@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phi.dir/ablation_phi.cc.o"
+  "CMakeFiles/ablation_phi.dir/ablation_phi.cc.o.d"
+  "ablation_phi"
+  "ablation_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relocalize.dir/ablation_relocalize.cc.o"
+  "CMakeFiles/ablation_relocalize.dir/ablation_relocalize.cc.o.d"
+  "ablation_relocalize"
+  "ablation_relocalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relocalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

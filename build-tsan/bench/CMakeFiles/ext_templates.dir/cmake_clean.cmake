@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_templates.dir/ext_templates.cc.o"
+  "CMakeFiles/ext_templates.dir/ext_templates.cc.o.d"
+  "ext_templates"
+  "ext_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

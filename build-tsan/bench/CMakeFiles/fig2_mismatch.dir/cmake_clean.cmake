@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mismatch.dir/fig2_mismatch.cc.o"
+  "CMakeFiles/fig2_mismatch.dir/fig2_mismatch.cc.o.d"
+  "fig2_mismatch"
+  "fig2_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

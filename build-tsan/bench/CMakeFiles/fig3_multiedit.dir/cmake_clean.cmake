@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_multiedit.dir/fig3_multiedit.cc.o"
+  "CMakeFiles/fig3_multiedit.dir/fig3_multiedit.cc.o.d"
+  "fig3_multiedit"
+  "fig3_multiedit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_multiedit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

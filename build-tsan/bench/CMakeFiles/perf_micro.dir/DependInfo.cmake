@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_micro.cc" "bench/CMakeFiles/perf_micro.dir/perf_micro.cc.o" "gcc" "bench/CMakeFiles/perf_micro.dir/perf_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/cirfix_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cirfix_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_verilog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

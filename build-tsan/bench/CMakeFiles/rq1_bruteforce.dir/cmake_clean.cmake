@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq1_bruteforce.dir/rq1_bruteforce.cc.o"
+  "CMakeFiles/rq1_bruteforce.dir/rq1_bruteforce.cc.o.d"
+  "rq1_bruteforce"
+  "rq1_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq1_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rq1_bruteforce.
+# This may be replaced when dependencies are built.

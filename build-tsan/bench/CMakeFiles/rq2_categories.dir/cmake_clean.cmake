@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq2_categories.dir/rq2_categories.cc.o"
+  "CMakeFiles/rq2_categories.dir/rq2_categories.cc.o.d"
+  "rq2_categories"
+  "rq2_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq2_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

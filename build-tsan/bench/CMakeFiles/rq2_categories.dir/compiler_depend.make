@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rq2_categories.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rq2_categories.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq3_trajectory.dir/rq3_trajectory.cc.o"
+  "CMakeFiles/rq3_trajectory.dir/rq3_trajectory.cc.o.d"
+  "rq3_trajectory"
+  "rq3_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq3_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq4_oracle.dir/rq4_oracle.cc.o"
+  "CMakeFiles/rq4_oracle.dir/rq4_oracle.cc.o.d"
+  "rq4_oracle"
+  "rq4_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq4_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

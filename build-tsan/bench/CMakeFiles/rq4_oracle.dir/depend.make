@@ -1,0 +1,2 @@
+# Empty dependencies file for rq4_oracle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_templates.dir/table1_templates.cc.o"
+  "CMakeFiles/table1_templates.dir/table1_templates.cc.o.d"
+  "table1_templates"
+  "table1_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

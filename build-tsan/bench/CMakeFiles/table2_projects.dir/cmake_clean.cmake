@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_projects.dir/table2_projects.cc.o"
+  "CMakeFiles/table2_projects.dir/table2_projects.cc.o.d"
+  "table2_projects"
+  "table2_projects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_projects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_repair.dir/table3_repair.cc.o"
+  "CMakeFiles/table3_repair.dir/table3_repair.cc.o.d"
+  "table3_repair"
+  "table3_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

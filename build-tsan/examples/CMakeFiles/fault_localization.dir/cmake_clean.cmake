@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_localization.dir/fault_localization.cpp.o"
+  "CMakeFiles/fault_localization.dir/fault_localization.cpp.o.d"
+  "fault_localization"
+  "fault_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

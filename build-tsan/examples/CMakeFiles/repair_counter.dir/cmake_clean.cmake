@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_counter.dir/repair_counter.cpp.o"
+  "CMakeFiles/repair_counter.dir/repair_counter.cpp.o.d"
+  "repair_counter"
+  "repair_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_design.dir/simulate_design.cpp.o"
+  "CMakeFiles/simulate_design.dir/simulate_design.cpp.o.d"
+  "simulate_design"
+  "simulate_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/defects.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/defects.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/defects.cc.o.d"
+  "/root/repo/src/benchmarks/projects_fsm.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_fsm.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_fsm.cc.o.d"
+  "/root/repo/src/benchmarks/projects_i2c.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_i2c.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_i2c.cc.o.d"
+  "/root/repo/src/benchmarks/projects_rs.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_rs.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_rs.cc.o.d"
+  "/root/repo/src/benchmarks/projects_sdram.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_sdram.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_sdram.cc.o.d"
+  "/root/repo/src/benchmarks/projects_sha3.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_sha3.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_sha3.cc.o.d"
+  "/root/repo/src/benchmarks/projects_small.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_small.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_small.cc.o.d"
+  "/root/repo/src/benchmarks/projects_tate.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_tate.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/projects_tate.cc.o.d"
+  "/root/repo/src/benchmarks/registry.cc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/registry.cc.o" "gcc" "src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/cirfix_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cirfix_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_verilog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

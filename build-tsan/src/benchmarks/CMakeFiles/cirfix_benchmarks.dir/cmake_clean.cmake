@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix_benchmarks.dir/defects.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/defects.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_fsm.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_fsm.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_i2c.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_i2c.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_rs.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_rs.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_sdram.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_sdram.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_sha3.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_sha3.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_small.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_small.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_tate.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/projects_tate.cc.o.d"
+  "CMakeFiles/cirfix_benchmarks.dir/registry.cc.o"
+  "CMakeFiles/cirfix_benchmarks.dir/registry.cc.o.d"
+  "libcirfix_benchmarks.a"
+  "libcirfix_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

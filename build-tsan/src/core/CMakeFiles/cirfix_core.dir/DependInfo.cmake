@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bruteforce.cc" "src/core/CMakeFiles/cirfix_core.dir/bruteforce.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/bruteforce.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/cirfix_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/evalpool.cc" "src/core/CMakeFiles/cirfix_core.dir/evalpool.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/evalpool.cc.o.d"
+  "/root/repo/src/core/faultloc.cc" "src/core/CMakeFiles/cirfix_core.dir/faultloc.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/faultloc.cc.o.d"
+  "/root/repo/src/core/fitness.cc" "src/core/CMakeFiles/cirfix_core.dir/fitness.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/fitness.cc.o.d"
+  "/root/repo/src/core/fixloc.cc" "src/core/CMakeFiles/cirfix_core.dir/fixloc.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/fixloc.cc.o.d"
+  "/root/repo/src/core/minimize.cc" "src/core/CMakeFiles/cirfix_core.dir/minimize.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/minimize.cc.o.d"
+  "/root/repo/src/core/mutation.cc" "src/core/CMakeFiles/cirfix_core.dir/mutation.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/mutation.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/cirfix_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/patch.cc" "src/core/CMakeFiles/cirfix_core.dir/patch.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/patch.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/cirfix_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/templates.cc" "src/core/CMakeFiles/cirfix_core.dir/templates.cc.o" "gcc" "src/core/CMakeFiles/cirfix_core.dir/templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cirfix_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_verilog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

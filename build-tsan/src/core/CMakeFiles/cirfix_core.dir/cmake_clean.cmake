@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix_core.dir/bruteforce.cc.o"
+  "CMakeFiles/cirfix_core.dir/bruteforce.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/engine.cc.o"
+  "CMakeFiles/cirfix_core.dir/engine.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/evalpool.cc.o"
+  "CMakeFiles/cirfix_core.dir/evalpool.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/faultloc.cc.o"
+  "CMakeFiles/cirfix_core.dir/faultloc.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/fitness.cc.o"
+  "CMakeFiles/cirfix_core.dir/fitness.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/fixloc.cc.o"
+  "CMakeFiles/cirfix_core.dir/fixloc.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/minimize.cc.o"
+  "CMakeFiles/cirfix_core.dir/minimize.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/mutation.cc.o"
+  "CMakeFiles/cirfix_core.dir/mutation.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/oracle.cc.o"
+  "CMakeFiles/cirfix_core.dir/oracle.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/patch.cc.o"
+  "CMakeFiles/cirfix_core.dir/patch.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/scenario.cc.o"
+  "CMakeFiles/cirfix_core.dir/scenario.cc.o.d"
+  "CMakeFiles/cirfix_core.dir/templates.cc.o"
+  "CMakeFiles/cirfix_core.dir/templates.cc.o.d"
+  "libcirfix_core.a"
+  "libcirfix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/design.cc" "src/sim/CMakeFiles/cirfix_sim.dir/design.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/design.cc.o.d"
+  "/root/repo/src/sim/elaborate.cc" "src/sim/CMakeFiles/cirfix_sim.dir/elaborate.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/elaborate.cc.o.d"
+  "/root/repo/src/sim/eval.cc" "src/sim/CMakeFiles/cirfix_sim.dir/eval.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/eval.cc.o.d"
+  "/root/repo/src/sim/interp.cc" "src/sim/CMakeFiles/cirfix_sim.dir/interp.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/interp.cc.o.d"
+  "/root/repo/src/sim/probe.cc" "src/sim/CMakeFiles/cirfix_sim.dir/probe.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/probe.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/cirfix_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/signal.cc" "src/sim/CMakeFiles/cirfix_sim.dir/signal.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/signal.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/cirfix_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/vcd.cc" "src/sim/CMakeFiles/cirfix_sim.dir/vcd.cc.o" "gcc" "src/sim/CMakeFiles/cirfix_sim.dir/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_verilog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix_sim.dir/design.cc.o"
+  "CMakeFiles/cirfix_sim.dir/design.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/elaborate.cc.o"
+  "CMakeFiles/cirfix_sim.dir/elaborate.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/eval.cc.o"
+  "CMakeFiles/cirfix_sim.dir/eval.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/interp.cc.o"
+  "CMakeFiles/cirfix_sim.dir/interp.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/probe.cc.o"
+  "CMakeFiles/cirfix_sim.dir/probe.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/scheduler.cc.o"
+  "CMakeFiles/cirfix_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/signal.cc.o"
+  "CMakeFiles/cirfix_sim.dir/signal.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/trace.cc.o"
+  "CMakeFiles/cirfix_sim.dir/trace.cc.o.d"
+  "CMakeFiles/cirfix_sim.dir/vcd.cc.o"
+  "CMakeFiles/cirfix_sim.dir/vcd.cc.o.d"
+  "libcirfix_sim.a"
+  "libcirfix_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

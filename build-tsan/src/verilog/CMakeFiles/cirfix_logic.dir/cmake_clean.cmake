@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix_logic.dir/__/sim/logic.cc.o"
+  "CMakeFiles/cirfix_logic.dir/__/sim/logic.cc.o.d"
+  "libcirfix_logic.a"
+  "libcirfix_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

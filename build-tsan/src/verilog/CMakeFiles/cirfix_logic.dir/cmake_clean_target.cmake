@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcirfix_logic.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verilog/ast.cc" "src/verilog/CMakeFiles/cirfix_verilog.dir/ast.cc.o" "gcc" "src/verilog/CMakeFiles/cirfix_verilog.dir/ast.cc.o.d"
+  "/root/repo/src/verilog/lexer.cc" "src/verilog/CMakeFiles/cirfix_verilog.dir/lexer.cc.o" "gcc" "src/verilog/CMakeFiles/cirfix_verilog.dir/lexer.cc.o.d"
+  "/root/repo/src/verilog/parser.cc" "src/verilog/CMakeFiles/cirfix_verilog.dir/parser.cc.o" "gcc" "src/verilog/CMakeFiles/cirfix_verilog.dir/parser.cc.o.d"
+  "/root/repo/src/verilog/printer.cc" "src/verilog/CMakeFiles/cirfix_verilog.dir/printer.cc.o" "gcc" "src/verilog/CMakeFiles/cirfix_verilog.dir/printer.cc.o.d"
+  "/root/repo/src/verilog/validate.cc" "src/verilog/CMakeFiles/cirfix_verilog.dir/validate.cc.o" "gcc" "src/verilog/CMakeFiles/cirfix_verilog.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

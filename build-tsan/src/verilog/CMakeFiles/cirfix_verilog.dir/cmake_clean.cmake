@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix_verilog.dir/ast.cc.o"
+  "CMakeFiles/cirfix_verilog.dir/ast.cc.o.d"
+  "CMakeFiles/cirfix_verilog.dir/lexer.cc.o"
+  "CMakeFiles/cirfix_verilog.dir/lexer.cc.o.d"
+  "CMakeFiles/cirfix_verilog.dir/parser.cc.o"
+  "CMakeFiles/cirfix_verilog.dir/parser.cc.o.d"
+  "CMakeFiles/cirfix_verilog.dir/printer.cc.o"
+  "CMakeFiles/cirfix_verilog.dir/printer.cc.o.d"
+  "CMakeFiles/cirfix_verilog.dir/validate.cc.o"
+  "CMakeFiles/cirfix_verilog.dir/validate.cc.o.d"
+  "libcirfix_verilog.a"
+  "libcirfix_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix_stress_tests.dir/test_evalpool.cc.o"
+  "CMakeFiles/cirfix_stress_tests.dir/test_evalpool.cc.o.d"
+  "CMakeFiles/cirfix_stress_tests.dir/test_scheduler.cc.o"
+  "CMakeFiles/cirfix_stress_tests.dir/test_scheduler.cc.o.d"
+  "cirfix_stress_tests"
+  "cirfix_stress_tests.pdb"
+  "cirfix_stress_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix_stress_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_benchmarks.cc" "tests/CMakeFiles/cirfix_tests.dir/test_benchmarks.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_benchmarks.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/cirfix_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_eval.cc" "tests/CMakeFiles/cirfix_tests.dir/test_eval.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_eval.cc.o.d"
+  "/root/repo/tests/test_evalpool.cc" "tests/CMakeFiles/cirfix_tests.dir/test_evalpool.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_evalpool.cc.o.d"
+  "/root/repo/tests/test_faultloc.cc" "tests/CMakeFiles/cirfix_tests.dir/test_faultloc.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_faultloc.cc.o.d"
+  "/root/repo/tests/test_fitness.cc" "tests/CMakeFiles/cirfix_tests.dir/test_fitness.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_fitness.cc.o.d"
+  "/root/repo/tests/test_fixloc.cc" "tests/CMakeFiles/cirfix_tests.dir/test_fixloc.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_fixloc.cc.o.d"
+  "/root/repo/tests/test_functions.cc" "tests/CMakeFiles/cirfix_tests.dir/test_functions.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_functions.cc.o.d"
+  "/root/repo/tests/test_lexer.cc" "tests/CMakeFiles/cirfix_tests.dir/test_lexer.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_lexer.cc.o.d"
+  "/root/repo/tests/test_logic.cc" "tests/CMakeFiles/cirfix_tests.dir/test_logic.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_logic.cc.o.d"
+  "/root/repo/tests/test_minimize.cc" "tests/CMakeFiles/cirfix_tests.dir/test_minimize.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_minimize.cc.o.d"
+  "/root/repo/tests/test_mutation.cc" "tests/CMakeFiles/cirfix_tests.dir/test_mutation.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_mutation.cc.o.d"
+  "/root/repo/tests/test_oracle.cc" "tests/CMakeFiles/cirfix_tests.dir/test_oracle.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_oracle.cc.o.d"
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/cirfix_tests.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/test_patch.cc" "tests/CMakeFiles/cirfix_tests.dir/test_patch.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_patch.cc.o.d"
+  "/root/repo/tests/test_printer.cc" "tests/CMakeFiles/cirfix_tests.dir/test_printer.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_printer.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/cirfix_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_reference_models.cc" "tests/CMakeFiles/cirfix_tests.dir/test_reference_models.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_reference_models.cc.o.d"
+  "/root/repo/tests/test_scenarios.cc" "tests/CMakeFiles/cirfix_tests.dir/test_scenarios.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_scenarios.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/cirfix_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/cirfix_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_templates.cc" "tests/CMakeFiles/cirfix_tests.dir/test_templates.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_templates.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/cirfix_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_validate.cc" "tests/CMakeFiles/cirfix_tests.dir/test_validate.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_validate.cc.o.d"
+  "/root/repo/tests/test_vcd.cc" "tests/CMakeFiles/cirfix_tests.dir/test_vcd.cc.o" "gcc" "tests/CMakeFiles/cirfix_tests.dir/test_vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/benchmarks/CMakeFiles/cirfix_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/cirfix_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cirfix_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_verilog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/verilog/CMakeFiles/cirfix_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

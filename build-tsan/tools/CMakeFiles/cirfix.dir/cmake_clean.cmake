@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix.dir/cirfix_cli.cc.o"
+  "CMakeFiles/cirfix.dir/cirfix_cli.cc.o.d"
+  "cirfix"
+  "cirfix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

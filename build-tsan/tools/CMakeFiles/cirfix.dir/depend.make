@@ -1,0 +1,2 @@
+# Empty dependencies file for cirfix.
+# This may be replaced when dependencies are built.
