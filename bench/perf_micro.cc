@@ -8,6 +8,8 @@
  * implementation too.
  */
 
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "benchmarks/registry.h"
 #include "core/engine.h"
 #include "core/evalpool.h"
+#include "core/snapshot.h"
 #include "core/faultloc.h"
 #include "core/fitness.h"
 #include "core/scenario.h"
@@ -98,6 +101,29 @@ BM_FullFitnessProbe(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullFitnessProbe);
+
+void
+BM_FullFitnessProbeUnguarded(benchmark::State &state)
+{
+    // The same probe with the containment guardrails disabled (no
+    // wall-clock deadline, no memory budget): the delta against
+    // BM_FullFitnessProbe is the per-candidate cost of the failure-
+    // containment layer (deadline checks every 4096 statements plus
+    // allocation accounting), which should be noise.
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    cfg.evalDeadlineSeconds = 0.0;
+    cfg.evalMemoryBudget = 0;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+    for (auto _ : state) {
+        core::Variant v = engine.evaluateUncached(core::Patch{});
+        benchmark::DoNotOptimize(v.fit.fitness);
+    }
+}
+BENCHMARK(BM_FullFitnessProbeUnguarded);
 
 void
 BM_FitnessComparisonOnly(benchmark::State &state)
@@ -194,6 +220,42 @@ BM_FitnessCacheLookup(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FitnessCacheLookup);
+
+void
+BM_SnapshotEncodeDecode(benchmark::State &state)
+{
+    // Checkpoint cost: serialize + parse a real end-of-generation
+    // engine state (population with traces, quarantine, cache in LRU
+    // order). Written once per generation — i.e. once per ~popSize
+    // fitness probes (BM_FullFitnessProbe) — so a handful of probes'
+    // worth of encode time is effectively free.
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    cfg.popSize = 16;
+    cfg.maxGenerations = 1;
+    cfg.snapshotPath = "/tmp/cirfix_perf_micro.snap";
+    std::remove(cfg.snapshotPath.c_str());
+    // A run that repairs the defect mid-generation exits before the
+    // end-of-generation snapshot; scan seeds until one survives a
+    // full generation (deterministic, and seed 1 usually suffices).
+    for (cfg.seed = 1; cfg.seed < 64; ++cfg.seed) {
+        core::RepairEngine engine = sc.makeEngine(cfg);
+        engine.run();
+        if (std::ifstream(cfg.snapshotPath).good())
+            break;
+    }
+    core::EngineState st = core::loadSnapshot(cfg.snapshotPath);
+    std::remove(cfg.snapshotPath.c_str());
+    for (auto _ : state) {
+        std::string bytes = core::encodeSnapshot(st);
+        core::EngineState back = core::decodeSnapshot(bytes);
+        benchmark::DoNotOptimize(back.generationsDone);
+    }
+}
+BENCHMARK(BM_SnapshotEncodeDecode);
 
 void
 BM_SimulateSha3(benchmark::State &state)

@@ -1,9 +1,11 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 
+#include "core/snapshot.h"
 #include "sim/elaborate.h"
 #include "verilog/printer.h"
 #include "verilog/validate.h"
@@ -48,6 +50,8 @@ RepairEngine::pool()
 Variant
 RepairEngine::evaluateUncached(const Patch &patch) const
 {
+    using SimStatus = sim::Scheduler::Status;
+
     Variant v;
     v.patch = patch;
     v.evaluated = true;
@@ -56,20 +60,88 @@ RepairEngine::evaluateUncached(const Patch &patch) const
         applyPatch(*faulty_, patch);
     if (!isValid(*patched)) {
         v.valid = false;  // "compile error": fitness stays 0
+        v.outcome = EvalOutcome::ParseFail;
+        v.error = "patch failed structural validation";
         return v;
     }
     v.valid = true;
 
+    // Total containment: no failure mode of a candidate may escape
+    // this function. Every escape hatch degrades to a worst-fitness
+    // Variant tagged with its EvalOutcome.
+    std::unique_ptr<sim::Design> design;
     try {
-        auto design = sim::elaborate(
-            std::shared_ptr<const SourceFile>(patched), tbModule_);
+        sim::SimGuards guards;
+        guards.memBudgetBytes = config_.evalMemoryBudget;
+        guards.faultPlan = config_.faultPlan;
+        design = sim::elaborate(
+            std::shared_ptr<const SourceFile>(patched), tbModule_,
+            guards);
         TraceRecorder rec(*design, probe_);
-        design->run(config_.simLimits);
-        v.trace = rec.takeTrace();
-        v.fit = evaluateFitness(v.trace, oracle_, config_.fitness);
-    } catch (const sim::ElabError &) {
+        sim::RunLimits limits = config_.simLimits;
+        if (limits.maxWallSeconds <= 0)
+            limits.maxWallSeconds = config_.evalDeadlineSeconds;
+        auto rr = design->run(limits);
+        switch (rr.status) {
+          case SimStatus::Runaway:
+            v.outcome = EvalOutcome::Runaway;
+            break;
+          case SimStatus::Deadline:
+            v.outcome = EvalOutcome::Deadline;
+            break;
+          case SimStatus::Crashed:
+            v.outcome = EvalOutcome::Crashed;
+            break;
+          default:
+            break;  // Finished / Idle / MaxTime: a real result
+        }
+        if (v.outcome == EvalOutcome::Ok) {
+            v.trace = rec.takeTrace();
+            v.fit = evaluateFitness(v.trace, oracle_, config_.fitness);
+        } else {
+            v.valid = false;
+            v.error = design->scheduler().abortReason();
+        }
+    } catch (const sim::ElabError &e) {
         v.valid = false;
+        v.outcome = EvalOutcome::ElabFail;
+        v.error = e.what();
+    } catch (const sim::SimOom &e) {
+        v.valid = false;
+        v.outcome = EvalOutcome::Oom;
+        v.error = e.what();
+    } catch (const sim::SimAbort &e) {
+        // A budget/deadline abort thrown outside a process (continuous
+        // assignment or function evaluation) unwinds through run();
+        // the scheduler's latch knows which kind fired first.
+        v.valid = false;
+        v.outcome = design && design->scheduler().abortStatus() ==
+                                  SimStatus::Deadline
+                        ? EvalOutcome::Deadline
+                        : EvalOutcome::Runaway;
+        v.error = e.what();
+    } catch (const std::exception &e) {
+        v.valid = false;
+        v.outcome = EvalOutcome::Crashed;
+        v.error = e.what();
+    } catch (...) {
+        v.valid = false;
+        v.outcome = EvalOutcome::Crashed;
+        v.error = "unknown exception";
     }
+    return v;
+}
+
+Variant
+RepairEngine::quarantinedVariant(const Patch &patch,
+                                 const QuarantineEntry &entry) const
+{
+    Variant v;
+    v.patch = patch;
+    v.evaluated = true;
+    v.valid = false;  // worst fitness, no simulation
+    v.outcome = entry.outcome;
+    v.error = entry.error;
     return v;
 }
 
@@ -77,6 +149,11 @@ Variant
 RepairEngine::evaluate(const Patch &patch)
 {
     std::string key = patch.key();
+    auto q = quarantine_.find(key);
+    if (q != quarantine_.end()) {
+        ++outcomes_.quarantineHits;
+        return quarantinedVariant(patch, q->second);
+    }
     if (const FitnessCache::Entry *hit = cache_.find(key)) {
         Variant v;
         v.patch = patch;
@@ -84,12 +161,19 @@ RepairEngine::evaluate(const Patch &patch)
         v.valid = hit->valid;
         v.fit = hit->fit;
         v.trace = hit->trace;
+        v.outcome = hit->outcome;
+        v.error = hit->error;
         return v;
     }
     Variant v = evaluateUncached(patch);
     if (v.valid)
         ++evals_;
-    cache_.insert(key, FitnessCache::Entry{v.valid, v.fit, v.trace});
+    outcomes_.add(v.outcome);
+    if (isQuarantineOutcome(v.outcome))
+        quarantine_.emplace(key, QuarantineEntry{v.outcome, v.error});
+    else
+        cache_.insert(key, FitnessCache::Entry{v.valid, v.fit, v.trace,
+                                               v.outcome, v.error});
     return v;
 }
 
@@ -98,7 +182,7 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
                             std::vector<bool> &simulated_out)
 {
     const size_t n = patches.size();
-    enum class Source { Fresh, Cached, Duplicate };
+    enum class Source { Fresh, Cached, Duplicate, Quarantined };
     std::vector<Variant> out(n);
     std::vector<std::string> keys(n);
     std::vector<Source> source(n, Source::Fresh);
@@ -106,10 +190,19 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
     std::unordered_map<std::string, size_t> first_occurrence;
     std::vector<std::function<void()>> jobs;
 
-    // Cache lookups and in-batch dedup in child order, on this thread
-    // (so hit/miss accounting and LRU order are schedule-independent).
+    // Quarantine + cache lookups and in-batch dedup in child order, on
+    // this thread (so all accounting and LRU order are
+    // schedule-independent). Quarantine wins over everything: a
+    // condemned key must never reach a worker again.
     for (size_t i = 0; i < n; ++i) {
         keys[i] = patches[i].key();
+        auto q = quarantine_.find(keys[i]);
+        if (q != quarantine_.end()) {
+            source[i] = Source::Quarantined;
+            ++outcomes_.quarantineHits;
+            out[i] = quarantinedVariant(patches[i], q->second);
+            continue;
+        }
         auto dup = first_occurrence.find(keys[i]);
         if (dup != first_occurrence.end()) {
             source[i] = Source::Duplicate;
@@ -124,6 +217,8 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
             out[i].valid = hit->valid;
             out[i].fit = hit->fit;
             out[i].trace = hit->trace;
+            out[i].outcome = hit->outcome;
+            out[i].error = hit->error;
             continue;
         }
         first_occurrence.emplace(keys[i], i);
@@ -134,21 +229,31 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
 
     pool().run(jobs);
 
-    // Merge in child order; only this thread touches the cache.
+    // Merge in child order; only this thread touches the cache, the
+    // quarantine and the outcome counters.
     simulated_out.assign(n, false);
     for (size_t i = 0; i < n; ++i) {
         switch (source[i]) {
           case Source::Fresh:
             simulated_out[i] = out[i].valid;
-            cache_.insert(keys[i], FitnessCache::Entry{
-                                       out[i].valid, out[i].fit,
-                                       out[i].trace});
+            outcomes_.add(out[i].outcome);
+            if (isQuarantineOutcome(out[i].outcome))
+                quarantine_.emplace(
+                    keys[i],
+                    QuarantineEntry{out[i].outcome, out[i].error});
+            else
+                cache_.insert(keys[i],
+                              FitnessCache::Entry{
+                                  out[i].valid, out[i].fit,
+                                  out[i].trace, out[i].outcome,
+                                  out[i].error});
             break;
           case Source::Duplicate:
             out[i] = out[dup_of[i]];
             out[i].patch = patches[i];
             break;
           case Source::Cached:
+          case Source::Quarantined:
             break;
         }
     }
@@ -181,8 +286,69 @@ RepairEngine::localize(const Variant &v, const SourceFile &ast) const
 RepairResult
 RepairEngine::run()
 {
+    return runInternal(nullptr);
+}
+
+RepairResult
+RepairEngine::resume(const EngineState &state)
+{
+    uint64_t fp = fingerprintSource(print(*faulty_));
+    if (state.designFingerprint != fp)
+        throw std::runtime_error(
+            "snapshot does not match this design "
+            "(fingerprint mismatch: snapshot was taken against a "
+            "different faulty source)");
+    return runInternal(&state);
+}
+
+EngineState
+RepairEngine::captureState(
+    int generations_done, const std::vector<Variant> &popn,
+    double elapsed_seconds, double best_seen,
+    const std::vector<std::pair<long, double>> &trajectory) const
+{
+    EngineState st;
+    st.seed = config_.seed;
+    st.designFingerprint = fingerprintSource(print(*faulty_));
+    {
+        std::ostringstream os;
+        os << rng_;
+        st.rngState = os.str();
+    }
+    st.generationsDone = generations_done;
+    st.evals = evals_;
+    st.invalid = invalid_;
+    st.mutants = mutants_;
+    st.elapsedSeconds = elapsed_seconds;
+    st.bestSeen = best_seen;
+    st.trajectory = trajectory;
+    st.outcomes = outcomes_;
+    st.population = popn;
+    for (const auto &[key, entry] : quarantine_)
+        st.quarantine.push_back(QuarantineRecord{key, entry});
+    std::sort(st.quarantine.begin(), st.quarantine.end(),
+              [](const QuarantineRecord &a, const QuarantineRecord &b) {
+                  return a.key < b.key;
+              });
+    st.cacheStats = cache_.stats();
+    // LRU-first so restore re-insert()s in an order that reproduces
+    // the live list (and therefore future evictions) exactly.
+    const auto &lru = cache_.entries();
+    for (auto it = lru.rbegin(); it != lru.rend(); ++it)
+        st.cache.push_back(CacheRecord{it->first, it->second});
+    return st;
+}
+
+RepairResult
+RepairEngine::runInternal(const EngineState *restore)
+{
     using Clock = std::chrono::steady_clock;
     auto start = Clock::now();
+    if (restore)
+        // Bill time consumed before the snapshot against maxSeconds,
+        // as if the run had never stopped.
+        start -= std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(restore->elapsedSeconds));
     auto elapsed = [&] {
         return std::chrono::duration<double>(Clock::now() - start)
             .count();
@@ -223,6 +389,7 @@ RepairEngine::run()
             result.seconds = elapsed();
         }
         result.cache = cache_.stats();
+        result.outcomes = outcomes_;
         return result;
     };
 
@@ -252,18 +419,46 @@ RepairEngine::run()
         return winner == vs.size() ? nullptr : &into[winner];
     };
 
-    // seed_popn: the original plus single-mutation neighbours. The
-    // original goes first (and alone): its trace seeds fault
-    // localization for the neighbour draws.
     std::vector<Variant> popn;
-    {
-        std::vector<Patch> seed{Patch{}};
-        std::vector<bool> simulated;
-        auto vs = evaluateBatch(seed, simulated);
-        if (const Variant *w = absorb(vs, simulated, popn))
-            return finish(w);
-    }
-    {
+    int start_gen = 0;
+
+    if (restore) {
+        // Rebuild the complete search state: the continuation is
+        // bit-identical to a run that never stopped.
+        {
+            std::istringstream is(restore->rngState);
+            is >> rng_;
+            if (!is)
+                throw std::runtime_error(
+                    "corrupt snapshot: bad RNG state");
+        }
+        evals_ = restore->evals;
+        invalid_ = restore->invalid;
+        mutants_ = restore->mutants;
+        outcomes_ = restore->outcomes;
+        best_seen = restore->bestSeen;
+        result.fitnessTrajectory = restore->trajectory;
+        result.generations = restore->generationsDone;
+        quarantine_.clear();
+        for (const QuarantineRecord &q : restore->quarantine)
+            quarantine_.emplace(q.key, q.entry);
+        cache_ = FitnessCache(config_.fitnessCacheSize);
+        for (const CacheRecord &c : restore->cache)
+            cache_.insert(c.key, c.entry);  // LRU-first, see snapshot.h
+        cache_.setStats(restore->cacheStats);
+        popn = restore->population;
+        start_gen = restore->generationsDone;
+    } else {
+        // seed_popn: the original plus single-mutation neighbours. The
+        // original goes first (and alone): its trace seeds fault
+        // localization for the neighbour draws.
+        {
+            std::vector<Patch> seed{Patch{}};
+            std::vector<bool> simulated;
+            auto vs = evaluateBatch(seed, simulated);
+            if (const Variant *w = absorb(vs, simulated, popn))
+                return finish(w);
+        }
         auto ast0 = applyPatch(*faulty_, Patch{});
         const Module *dut0 = ast0->findModule(dutModule_);
         if (!dut0)
@@ -290,15 +485,25 @@ RepairEngine::run()
     }
 
     // Cache fault localization per parent AST once on the original if
-    // re-localization is disabled (ablation).
+    // re-localization is disabled (ablation). On resume popn[0] is no
+    // longer the original, so recompute its trace off to the side
+    // (evaluateUncached touches no counters/cache, keeping the resumed
+    // state byte-identical).
     FaultLocResult static_fl;
     if (!config_.relocalize) {
         auto ast0 = applyPatch(*faulty_, Patch{});
-        if (const Module *dut0 = ast0->findModule(dutModule_))
-            static_fl = faultLocalize(*dut0, popn[0].trace, oracle_);
+        if (const Module *dut0 = ast0->findModule(dutModule_)) {
+            if (!restore) {
+                static_fl =
+                    faultLocalize(*dut0, popn[0].trace, oracle_);
+            } else {
+                Variant orig = evaluateUncached(Patch{});
+                static_fl = faultLocalize(*dut0, orig.trace, oracle_);
+            }
+        }
     }
 
-    for (int gen = 0; gen < config_.maxGenerations; ++gen) {
+    for (int gen = start_gen; gen < config_.maxGenerations; ++gen) {
         if (elapsed() >= config_.maxSeconds)
             break;
         result.generations = gen + 1;
@@ -378,6 +583,15 @@ RepairEngine::run()
         if (static_cast<int>(next.size()) > config_.popSize)
             next.resize(static_cast<size_t>(config_.popSize));
         popn = std::move(next);
+        // Snapshot BEFORE the progress callback: if the process dies
+        // anywhere after this point (including inside the callback),
+        // the generation is already durable.
+        if (!config_.snapshotPath.empty() && config_.snapshotEvery > 0 &&
+            (gen + 1) % config_.snapshotEvery == 0)
+            saveSnapshot(config_.snapshotPath,
+                         captureState(gen + 1, popn, elapsed(),
+                                      best_seen,
+                                      result.fitnessTrajectory));
         if (config_.onGeneration)
             config_.onGeneration(gen + 1,
                                  popn.empty() ? 0.0

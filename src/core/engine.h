@@ -21,8 +21,10 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/evaloutcome.h"
 #include "core/evalpool.h"
 #include "core/faultloc.h"
 #include "core/fitness.h"
@@ -33,6 +35,8 @@
 #include "sim/probe.h"
 
 namespace cirfix::core {
+
+struct EngineState;
 
 /** GP and resource parameters (paper Section 4.2 defaults, scaled). */
 struct EngineConfig
@@ -63,6 +67,24 @@ struct EngineConfig
     /** LRU bound of the patch-keyed fitness cache (0 disables it). */
     size_t fitnessCacheSize = 512;
     /**
+     * Wall-clock deadline per candidate evaluation in seconds, layered
+     * on the statement/callback budgets (0 disables). Reaps candidates
+     * that burn real time without burning budget — the analogue of the
+     * VCS timeout the paper's pipeline relies on. Generous by default
+     * so slow sanitizer builds never trip it on honest candidates.
+     */
+    double evalDeadlineSeconds = 30.0;
+    /** Per-evaluation memory budget in bytes, charged in sim::Design
+     *  signal/memory/event allocation (0 = unlimited). */
+    uint64_t evalMemoryBudget = 64ull << 20;
+    /** Fault plan compiled into every candidate simulation; used by
+     *  the fault-injection tests, all-zero (inert) in production. */
+    sim::FaultPlan faultPlan;
+    /** Snapshot file path; non-empty enables checkpointing. */
+    std::string snapshotPath;
+    /** Generations between snapshots (>= 1). */
+    int snapshotEvery = 1;
+    /**
      * Optional progress hook, called after each generation with the
      * generation index, the best fitness in the new population, and
      * the cumulative fitness-evaluation count (the artifact's
@@ -81,6 +103,17 @@ struct Variant
     sim::Trace trace;     //!< instrumented-testbench output (cached)
     bool valid = false;   //!< structurally valid ("compiles")
     bool evaluated = false;
+    /** How the evaluation ended; anything but Ok means worst fitness. */
+    EvalOutcome outcome = EvalOutcome::Ok;
+    /** Diagnostic message for non-Ok outcomes. */
+    std::string error;
+};
+
+/** Why a quarantined patch key is never re-simulated. */
+struct QuarantineEntry
+{
+    EvalOutcome outcome = EvalOutcome::Crashed;
+    std::string error;
 };
 
 /** Outcome of one repair trial. */
@@ -99,6 +132,8 @@ struct RepairResult
     std::vector<std::pair<long, double>> fitnessTrajectory;
     /** Fitness-cache accounting for the trial (hits/misses/evictions). */
     CacheStats cache;
+    /** Per-outcome evaluation counts (failure containment report). */
+    OutcomeCounts outcomes;
 };
 
 /**
@@ -116,6 +151,17 @@ class RepairEngine
 
     /** Run Algorithm 1 until a repair is found or resources run out. */
     RepairResult run();
+
+    /**
+     * Continue a run from a snapshot (see snapshot.h). The restored
+     * run is bit-identical to the uninterrupted one: RNG stream,
+     * population, quarantine, cache contents and counters all resume
+     * exactly where the snapshot was taken.
+     *
+     * @throws std::runtime_error when the snapshot was taken against a
+     *         different design (fingerprint mismatch) or is corrupt.
+     */
+    RepairResult resume(const EngineState &state);
 
     /**
      * Evaluate one patch: apply, validate, elaborate, simulate, score,
@@ -136,8 +182,27 @@ class RepairEngine
     const Trace &oracle() const { return oracle_; }
     /** Fitness-cache accounting so far (also placed in RepairResult). */
     const CacheStats &cacheStats() const { return cache_.stats(); }
+    /** Per-outcome evaluation counts so far. */
+    const OutcomeCounts &outcomes() const { return outcomes_; }
+    /** Keys condemned by a Runaway/Deadline/Oom/Crashed evaluation. */
+    size_t quarantineSize() const { return quarantine_.size(); }
 
   private:
+    /** run() and resume() share one loop; @p restore is null for a
+     *  fresh run. */
+    RepairResult runInternal(const EngineState *restore);
+
+    /** Serialize the complete search state (see snapshot.h). */
+    EngineState
+    captureState(int generations_done, const std::vector<Variant> &popn,
+                 double elapsed_seconds, double best_seen,
+                 const std::vector<std::pair<long, double>> &trajectory)
+        const;
+
+    /** Build the worst-fitness Variant a quarantine hit returns. */
+    Variant quarantinedVariant(const Patch &patch,
+                               const QuarantineEntry &entry) const;
+
     /**
      * Evaluate a batch of candidate patches: cache lookups and
      * in-batch deduplication on the calling thread, cache misses
@@ -164,6 +229,10 @@ class RepairEngine
     long evals_ = 0;
     long invalid_ = 0;
     long mutants_ = 0;
+    OutcomeCounts outcomes_;
+    /** Patch keys that crashed/ran away once: never re-simulated.
+     *  Main thread only, like the cache. */
+    std::unordered_map<std::string, QuarantineEntry> quarantine_;
 };
 
 /**

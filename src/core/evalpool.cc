@@ -32,14 +32,22 @@ EvalPool::drainJobs()
         if (i >= jobs.size())
             return;
         std::exception_ptr err;
+        std::string msg;
         try {
             jobs[i]();
+        } catch (const std::exception &e) {
+            err = std::current_exception();
+            msg = e.what();
         } catch (...) {
             err = std::current_exception();
+            msg = "unknown exception";
         }
         std::lock_guard<std::mutex> lock(mu_);
-        if (err)
+        if (err) {
             errors_[i] = err;
+            errorMessages_[i] = std::move(msg);
+            ++jobFailures_;
+        }
         if (--pending_ == 0)
             done_.notify_all();
     }
@@ -74,14 +82,27 @@ EvalPool::run(const std::vector<std::function<void()>> &jobs)
     if (threads_ == 1) {
         // Serial fast path: no locking, exceptions propagate directly
         // (the first job to throw is trivially the lowest-indexed).
-        for (const auto &job : jobs)
-            job();
+        errorMessages_.assign(jobs.size(), std::string());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            try {
+                jobs[i]();
+            } catch (const std::exception &e) {
+                errorMessages_[i] = e.what();
+                ++jobFailures_;
+                throw;
+            } catch (...) {
+                errorMessages_[i] = "unknown exception";
+                ++jobFailures_;
+                throw;
+            }
+        }
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mu_);
         jobs_ = &jobs;
         errors_.assign(jobs.size(), nullptr);
+        errorMessages_.assign(jobs.size(), std::string());
         next_.store(0, std::memory_order_relaxed);
         pending_ = jobs.size();
         ++batchId_;

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/evaloutcome.h"
 #include "core/fitness.h"
 #include "sim/trace.h"
 
@@ -63,10 +64,23 @@ class EvalPool
     /**
      * Execute every job in @p jobs and wait for completion. The
      * calling thread participates. A job that throws has its exception
-     * captured; after the batch drains, the exception of the
-     * lowest-indexed failing job is rethrown (deterministically).
+     * *and* its message captured (never silently dropped); after the
+     * batch drains, the exception of the lowest-indexed failing job is
+     * rethrown (deterministically). Jobs that contain their own
+     * failures (the engine's evaluation jobs record an EvalOutcome in
+     * their result slot) never reach this path.
      */
     void run(const std::vector<std::function<void()>> &jobs);
+
+    /** Total jobs that threw over the pool's lifetime (for end-of-run
+     *  failure accounting; contained failures do not count here). */
+    long jobFailures() const { return jobFailures_; }
+    /** Messages of the failing jobs of the most recent batch, in job
+     *  order ("" for jobs that succeeded). */
+    const std::vector<std::string> &lastErrorMessages() const
+    {
+        return errorMessages_;
+    }
 
   private:
     void workerLoop();
@@ -80,6 +94,8 @@ class EvalPool
     std::condition_variable done_;   //!< caller waits for completion
     const std::vector<std::function<void()>> *jobs_ = nullptr;
     std::vector<std::exception_ptr> errors_;
+    std::vector<std::string> errorMessages_;
+    long jobFailures_ = 0;
     std::atomic<size_t> next_{0};
     size_t pending_ = 0;       //!< jobs of the current batch not yet done
     int activeDrainers_ = 0;   //!< workers currently inside drainJobs()
@@ -111,6 +127,8 @@ class FitnessCache
         bool valid = false;       //!< structurally valid ("compiled")
         FitnessResult fit;
         sim::Trace trace;
+        EvalOutcome outcome = EvalOutcome::Ok;
+        std::string error;        //!< diagnostic for non-Ok outcomes
     };
 
     /** @param capacity max resident entries; 0 disables caching. */
@@ -139,9 +157,17 @@ class FitnessCache
     size_t size() const { return map_.size(); }
     size_t capacity() const { return capacity_; }
     const CacheStats &stats() const { return stats_; }
+    /** Overwrite the accounting (snapshot restore). */
+    void setStats(const CacheStats &stats) { stats_ = stats; }
+
+    using LruList = std::list<std::pair<std::string, Entry>>;
+
+    /** Resident entries, front = most recently used. Snapshot code
+     *  walks this back-to-front and re-insert()s LRU-first so the
+     *  restored eviction order matches the original exactly. */
+    const LruList &entries() const { return lru_; }
 
   private:
-    using LruList = std::list<std::pair<std::string, Entry>>;
 
     size_t capacity_;
     LruList lru_;  //!< front = most recently used

@@ -178,7 +178,11 @@ checkCorrectness(const Scenario &scenario, const Patch &patch,
     try {
         t = simulateAndRecord(combined, scenario.verifyModule,
                               scenario.verifyProbe, limits);
-    } catch (const sim::ElabError &) {
+    } catch (const std::exception &) {
+        // Same containment contract as candidate evaluation: any
+        // failure of the verification simulation (elaboration error,
+        // abort escaping a non-process context, OOM) means the
+        // candidate is not a correct repair — never a crashed run.
         return false;
     }
     FitnessResult fit = evaluateFitness(t, scenario.verifyOracle);

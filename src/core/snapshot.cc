@@ -1,0 +1,444 @@
+#include "core/snapshot.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/templates.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace cirfix::core {
+
+namespace {
+
+using verilog::StmtPtr;
+
+[[noreturn]] void
+corrupt(const std::string &what)
+{
+    throw std::runtime_error("corrupt snapshot: " + what);
+}
+
+/** Bit-exact double round-trip: %a out, strtod back. */
+std::string
+doubleToken(double d)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", d);
+    return buf;
+}
+
+double
+tokenToDouble(const std::string &tok)
+{
+    char *end = nullptr;
+    double d = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0')
+        corrupt("bad floating-point token '" + tok + "'");
+    return d;
+}
+
+EditKind
+editKindFromName(const std::string &name)
+{
+    for (EditKind k : {EditKind::Replace, EditKind::InsertAfter,
+                       EditKind::Delete, EditKind::Template})
+        if (name == editKindName(k))
+            return k;
+    corrupt("unknown edit kind '" + name + "'");
+}
+
+TemplateKind
+templateFromName(const std::string &name)
+{
+    for (TemplateKind k : allTemplatesExtended())
+        if (name == templateName(k))
+            return k;
+    corrupt("unknown template kind '" + name + "'");
+}
+
+/**
+ * Reparse a printed donor statement. Donor node ids are irrelevant:
+ * applyEdit clones and renumbers donors on application, and
+ * Edit::key() is the printed text, so print + reparse preserves patch
+ * identity exactly (print(parse(x)) re-parses structurally identical).
+ */
+StmtPtr
+reparseDonor(const std::string &text)
+{
+    std::string wrapped =
+        "module __cirfix_snapshot_donor;\ninitial\n" + text +
+        "\nendmodule\n";
+    std::unique_ptr<verilog::SourceFile> file;
+    try {
+        file = verilog::parse(wrapped);
+    } catch (const std::exception &e) {
+        corrupt(std::string("donor statement does not reparse: ") +
+                e.what());
+    }
+    if (file->modules.size() != 1)
+        corrupt("donor wrapper parsed to multiple modules");
+    for (auto &item : file->modules[0]->items)
+        if (auto *ib = dynamic_cast<verilog::InitialBlock *>(item.get()))
+            return std::move(ib->body);
+    corrupt("donor wrapper lost its initial block");
+}
+
+// ---------------------------------------------------------------- writer
+
+class Writer
+{
+  public:
+    void
+    line(const std::string &s)
+    {
+        os_ << s << '\n';
+    }
+
+    /** Length-prefixed payload that may contain anything. */
+    void
+    blob(const std::string &tag, const std::string &data)
+    {
+        os_ << tag << " blob " << data.size() << '\n' << data << '\n';
+    }
+
+    void
+    writeVariant(const Variant &v)
+    {
+        std::ostringstream head;
+        head << "variant " << (v.valid ? 1 : 0) << " "
+             << (v.evaluated ? 1 : 0) << " "
+             << evalOutcomeName(v.outcome);
+        line(head.str());
+        std::ostringstream fit;
+        fit << "fitness " << doubleToken(v.fit.fitness) << " "
+            << doubleToken(v.fit.sum) << " " << doubleToken(v.fit.total)
+            << " " << v.fit.bitMatches << " " << v.fit.bitMismatches
+            << " " << v.fit.unknownMatches << " "
+            << v.fit.unknownMismatches;
+        line(fit.str());
+        blob("error", v.error);
+        line("patch " + std::to_string(v.patch.edits.size()));
+        for (const Edit &e : v.patch.edits) {
+            std::ostringstream eh;
+            eh << "edit " << editKindName(e.kind) << " " << e.target
+               << " " << templateName(e.tmpl);
+            line(eh.str());
+            blob("param", e.param);
+            blob("code", e.code ? verilog::printStmt(*e.code, 0) : "");
+        }
+        blob("trace", v.trace.toCsv());
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+// ---------------------------------------------------------------- reader
+
+class Reader
+{
+  public:
+    explicit Reader(const std::string &text) : text_(text) {}
+
+    std::string
+    line()
+    {
+        size_t nl = text_.find('\n', pos_);
+        if (nl == std::string::npos)
+            corrupt("unexpected end of file");
+        std::string s = text_.substr(pos_, nl - pos_);
+        pos_ = nl + 1;
+        return s;
+    }
+
+    /** Split the next line into whitespace tokens and check the tag. */
+    std::vector<std::string>
+    tokens(const std::string &tag, size_t expect)
+    {
+        std::istringstream is(line());
+        std::vector<std::string> toks;
+        std::string t;
+        while (is >> t)
+            toks.push_back(t);
+        if (toks.empty() || toks[0] != tag)
+            corrupt("expected '" + tag + "' record");
+        if (expect && toks.size() != expect)
+            corrupt("'" + tag + "' record has " +
+                    std::to_string(toks.size() - 1) + " fields, want " +
+                    std::to_string(expect - 1));
+        return toks;
+    }
+
+    std::string
+    blob(const std::string &tag)
+    {
+        auto toks = tokens(tag, 3);
+        if (toks[1] != "blob")
+            corrupt("'" + tag + "' is not a blob");
+        size_t n = parseSize(toks[2]);
+        if (pos_ + n + 1 > text_.size())
+            corrupt("'" + tag + "' blob truncated");
+        std::string data = text_.substr(pos_, n);
+        pos_ += n;
+        if (text_[pos_] != '\n')
+            corrupt("'" + tag + "' blob missing terminator");
+        ++pos_;
+        return data;
+    }
+
+    long
+    parseLong(const std::string &tok)
+    {
+        char *end = nullptr;
+        long v = std::strtol(tok.c_str(), &end, 10);
+        if (!end || *end != '\0')
+            corrupt("bad integer '" + tok + "'");
+        return v;
+    }
+
+    uint64_t
+    parseU64(const std::string &tok)
+    {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+        if (!end || *end != '\0')
+            corrupt("bad integer '" + tok + "'");
+        return v;
+    }
+
+    size_t
+    parseSize(const std::string &tok)
+    {
+        return static_cast<size_t>(parseU64(tok));
+    }
+
+    Variant
+    readVariant()
+    {
+        Variant v;
+        auto head = tokens("variant", 4);
+        v.valid = parseLong(head[1]) != 0;
+        v.evaluated = parseLong(head[2]) != 0;
+        v.outcome = evalOutcomeFromName(head[3]);
+        auto fit = tokens("fitness", 8);
+        v.fit.fitness = tokenToDouble(fit[1]);
+        v.fit.sum = tokenToDouble(fit[2]);
+        v.fit.total = tokenToDouble(fit[3]);
+        v.fit.bitMatches = parseU64(fit[4]);
+        v.fit.bitMismatches = parseU64(fit[5]);
+        v.fit.unknownMatches = parseU64(fit[6]);
+        v.fit.unknownMismatches = parseU64(fit[7]);
+        v.error = blob("error");
+        auto patch = tokens("patch", 2);
+        size_t nedits = parseSize(patch[1]);
+        for (size_t i = 0; i < nedits; ++i) {
+            auto eh = tokens("edit", 4);
+            Edit e;
+            e.kind = editKindFromName(eh[1]);
+            e.target = static_cast<int>(parseLong(eh[2]));
+            e.tmpl = templateFromName(eh[3]);
+            e.param = blob("param");
+            std::string code = blob("code");
+            if (!code.empty())
+                e.code = reparseDonor(code);
+            v.patch.edits.push_back(std::move(e));
+        }
+        std::string csv = blob("trace");
+        if (!csv.empty())
+            v.trace = sim::Trace::fromCsv(csv);
+        return v;
+    }
+
+    bool done() const { return pos_ >= text_.size(); }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+uint64_t
+fingerprintSource(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+encodeSnapshot(const EngineState &state)
+{
+    Writer w;
+    w.line("CIRFIX-SNAPSHOT " + std::to_string(EngineState::kVersion));
+    w.line("seed " + std::to_string(state.seed));
+    w.line("fingerprint " + std::to_string(state.designFingerprint));
+    w.blob("rng", state.rngState);
+    {
+        std::ostringstream os;
+        os << "progress " << state.generationsDone << " " << state.evals
+           << " " << state.invalid << " " << state.mutants << " "
+           << doubleToken(state.elapsedSeconds) << " "
+           << doubleToken(state.bestSeen);
+        w.line(os.str());
+    }
+    w.line("trajectory " + std::to_string(state.trajectory.size()));
+    for (const auto &[at, best] : state.trajectory)
+        w.line("point " + std::to_string(at) + " " + doubleToken(best));
+    {
+        std::ostringstream os;
+        os << "outcomes";
+        for (long c : state.outcomes.counts)
+            os << " " << c;
+        os << " " << state.outcomes.quarantineHits;
+        w.line(os.str());
+    }
+    w.line("population " + std::to_string(state.population.size()));
+    for (const Variant &v : state.population)
+        w.writeVariant(v);
+    w.line("quarantine " + std::to_string(state.quarantine.size()));
+    for (const QuarantineRecord &q : state.quarantine) {
+        w.blob("key", q.key);
+        w.line("condemned " +
+               std::string(evalOutcomeName(q.entry.outcome)));
+        w.blob("error", q.entry.error);
+    }
+    w.line("cachestats " + std::to_string(state.cacheStats.hits) + " " +
+           std::to_string(state.cacheStats.misses) + " " +
+           std::to_string(state.cacheStats.evictions));
+    w.line("cache " + std::to_string(state.cache.size()));
+    for (const CacheRecord &c : state.cache) {
+        w.blob("key", c.key);
+        Variant v;
+        v.valid = c.entry.valid;
+        v.evaluated = true;
+        v.fit = c.entry.fit;
+        v.trace = c.entry.trace;
+        v.outcome = c.entry.outcome;
+        v.error = c.entry.error;
+        w.writeVariant(v);
+    }
+    w.line("end");
+    return w.str();
+}
+
+EngineState
+decodeSnapshot(const std::string &text)
+{
+    Reader r(text);
+    EngineState st;
+    {
+        auto magic = r.tokens("CIRFIX-SNAPSHOT", 2);
+        long version = r.parseLong(magic[1]);
+        if (version != EngineState::kVersion)
+            throw std::runtime_error(
+                "unsupported snapshot version " +
+                std::to_string(version) + " (this build reads version " +
+                std::to_string(EngineState::kVersion) + ")");
+    }
+    st.seed = r.parseU64(r.tokens("seed", 2)[1]);
+    st.designFingerprint = r.parseU64(r.tokens("fingerprint", 2)[1]);
+    st.rngState = r.blob("rng");
+    {
+        auto p = r.tokens("progress", 7);
+        st.generationsDone = static_cast<int>(r.parseLong(p[1]));
+        st.evals = r.parseLong(p[2]);
+        st.invalid = r.parseLong(p[3]);
+        st.mutants = r.parseLong(p[4]);
+        st.elapsedSeconds = tokenToDouble(p[5]);
+        st.bestSeen = tokenToDouble(p[6]);
+    }
+    size_t npoints = r.parseSize(r.tokens("trajectory", 2)[1]);
+    for (size_t i = 0; i < npoints; ++i) {
+        auto p = r.tokens("point", 3);
+        st.trajectory.emplace_back(r.parseLong(p[1]),
+                                   tokenToDouble(p[2]));
+    }
+    {
+        auto o = r.tokens("outcomes",
+                          static_cast<size_t>(kEvalOutcomeCount) + 2);
+        for (int i = 0; i < kEvalOutcomeCount; ++i)
+            st.outcomes.counts[static_cast<size_t>(i)] =
+                r.parseLong(o[static_cast<size_t>(i) + 1]);
+        st.outcomes.quarantineHits =
+            r.parseLong(o[static_cast<size_t>(kEvalOutcomeCount) + 1]);
+    }
+    size_t npop = r.parseSize(r.tokens("population", 2)[1]);
+    for (size_t i = 0; i < npop; ++i)
+        st.population.push_back(r.readVariant());
+    size_t nquar = r.parseSize(r.tokens("quarantine", 2)[1]);
+    for (size_t i = 0; i < nquar; ++i) {
+        QuarantineRecord q;
+        q.key = r.blob("key");
+        auto c = r.tokens("condemned", 2);
+        q.entry.outcome = evalOutcomeFromName(c[1]);
+        q.entry.error = r.blob("error");
+        st.quarantine.push_back(std::move(q));
+    }
+    {
+        auto cs = r.tokens("cachestats", 4);
+        st.cacheStats.hits = r.parseLong(cs[1]);
+        st.cacheStats.misses = r.parseLong(cs[2]);
+        st.cacheStats.evictions = r.parseLong(cs[3]);
+    }
+    size_t ncache = r.parseSize(r.tokens("cache", 2)[1]);
+    for (size_t i = 0; i < ncache; ++i) {
+        CacheRecord c;
+        c.key = r.blob("key");
+        Variant v = r.readVariant();
+        c.entry.valid = v.valid;
+        c.entry.fit = v.fit;
+        c.entry.trace = std::move(v.trace);
+        c.entry.outcome = v.outcome;
+        c.entry.error = std::move(v.error);
+        st.cache.push_back(std::move(c));
+    }
+    r.tokens("end", 1);
+    return st;
+}
+
+void
+saveSnapshot(const std::string &path, const EngineState &state)
+{
+    std::string data = encodeSnapshot(state);
+    // Write-then-rename in the same directory: a crash mid-write leaves
+    // the previous snapshot intact, never a torn file.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("cannot write snapshot temp file " +
+                                     tmp);
+        os.write(data.data(),
+                 static_cast<std::streamsize>(data.size()));
+        os.flush();
+        if (!os)
+            throw std::runtime_error("short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename " + tmp + " to " + path);
+    }
+}
+
+EngineState
+loadSnapshot(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot read snapshot " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return decodeSnapshot(buf.str());
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,102 @@
+#pragma once
+
+/**
+ * @file
+ * Crash-safe checkpoint/resume for repair runs.
+ *
+ * Every N generations the engine serializes its complete search state
+ * to a versioned snapshot file; `cirfix_cli --resume <snapshot>`
+ * continues the run bit-identically (same final patch, same fitness,
+ * same counters), extending the determinism contract of DESIGN.md
+ * "Parallel evaluation" across process death.
+ *
+ * The state captured is exactly what the generation loop depends on:
+ * the RNG stream position (mt19937_64 serialized via its stream
+ * operators), the population (patches serialized as printed donor
+ * statements — applyPatch renumbers donors on application and
+ * Edit::key() is the printed text, so print + reparse is exact), the
+ * quarantine set, and the full fitness cache in LRU order (restored by
+ * re-inserting LRU-first, so hit/miss/eviction behavior after resume
+ * matches the uninterrupted run).
+ *
+ * Format: versioned line-oriented text ("CIRFIX-SNAPSHOT 1" magic),
+ * length-prefixed blobs for strings that may contain newlines, and
+ * hexfloat (%a) doubles so round-trips are bit-exact. Writes go to a
+ * temp file in the same directory followed by an atomic rename, so a
+ * crash mid-write never corrupts the previous snapshot.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace cirfix::core {
+
+/** One quarantined patch key with the outcome that condemned it. */
+struct QuarantineRecord
+{
+    std::string key;
+    QuarantineEntry entry;
+};
+
+/** One resident fitness-cache entry (keyed, in LRU order). */
+struct CacheRecord
+{
+    std::string key;
+    FitnessCache::Entry entry;
+};
+
+/**
+ * Complete serialized engine state: everything the generation loop
+ * reads, so a resumed run is indistinguishable from one that never
+ * stopped.
+ */
+struct EngineState
+{
+    /** Bump when the on-disk layout changes; readers reject other
+     *  versions rather than misparse. */
+    static constexpr int kVersion = 1;
+
+    uint64_t seed = 0;
+    /** FNV-1a of the printed faulty design; resume refuses to continue
+     *  a snapshot against a different design. */
+    uint64_t designFingerprint = 0;
+    /** mt19937_64 stream state (operator<< text form). */
+    std::string rngState;
+    int generationsDone = 0;
+    long evals = 0;
+    long invalid = 0;
+    long mutants = 0;
+    double elapsedSeconds = 0.0;
+    double bestSeen = -1.0;
+    std::vector<std::pair<long, double>> trajectory;
+    OutcomeCounts outcomes;
+    std::vector<Variant> population;
+    /** Sorted by key (so snapshots are byte-stable). */
+    std::vector<QuarantineRecord> quarantine;
+    CacheStats cacheStats;
+    /** LRU-first: re-insert() in order to reproduce eviction order. */
+    std::vector<CacheRecord> cache;
+};
+
+/** FNV-1a 64-bit hash of @p text (design fingerprinting). */
+uint64_t fingerprintSource(const std::string &text);
+
+/** Serialize @p state to the snapshot text format. */
+std::string encodeSnapshot(const EngineState &state);
+
+/** Parse encodeSnapshot() output. @throws std::runtime_error on a bad
+ *  magic line, unsupported version, or any structural corruption. */
+EngineState decodeSnapshot(const std::string &text);
+
+/** Write @p state to @p path atomically (temp file + rename).
+ *  @throws std::runtime_error when the file cannot be written. */
+void saveSnapshot(const std::string &path, const EngineState &state);
+
+/** Read and decode the snapshot at @p path.
+ *  @throws std::runtime_error when unreadable or corrupt. */
+EngineState loadSnapshot(const std::string &path);
+
+} // namespace cirfix::core

@@ -1,5 +1,7 @@
 #include "sim/design.h"
 
+#include <thread>
+
 #include "sim/interp.h"
 
 namespace cirfix::sim {
@@ -104,12 +106,72 @@ Scheduler::RunResult
 Design::run(const RunLimits &limits)
 {
     stmtBudget_ = limits.maxStatements;
-    return sched_.run(limits.maxTime, limits.maxCallbacks);
+    if (limits.maxWallSeconds > 0) {
+        hasDeadline_ = true;
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            limits.maxWallSeconds));
+    } else {
+        hasDeadline_ = false;
+    }
+    return sched_.run(limits.maxTime, limits.maxCallbacks,
+                      limits.maxWallSeconds);
+}
+
+void
+Design::setGuards(const SimGuards &guards)
+{
+    memBudget_ = guards.memBudgetBytes;
+    fault_ = guards.faultPlan;
+    faultArmed_ = fault_.throwAtStmt != 0 || fault_.stallAtStmt != 0;
+}
+
+void
+Design::chargeAlloc(uint64_t bytes)
+{
+    ++allocCount_;
+    if (fault_.failAllocAt && allocCount_ >= fault_.failAllocAt)
+        throw SimOom("injected allocation failure (allocation " +
+                     std::to_string(allocCount_) + ")");
+    memUsed_ += bytes;
+    if (memBudget_ && memUsed_ > memBudget_)
+        throw SimOom("memory budget exhausted (" +
+                     std::to_string(memUsed_) + " > " +
+                     std::to_string(memBudget_) + " bytes)");
+}
+
+void
+Design::checkDeadline()
+{
+    if (std::chrono::steady_clock::now() < deadline_)
+        return;
+    // Flag the scheduler first so the run status reads Deadline, then
+    // unwind the executing process via the usual SimAbort path.
+    sched_.noteDeadline("wall-clock deadline exceeded");
+    throw SimAbort("wall-clock deadline exceeded");
+}
+
+void
+Design::faultStmtHook()
+{
+    if (fault_.throwAtStmt && stmtCount_ >= fault_.throwAtStmt)
+        throw std::runtime_error("injected fault: throw at statement " +
+                                 std::to_string(stmtCount_));
+    if (fault_.stallAtStmt && stmtCount_ >= fault_.stallAtStmt) {
+        if (!hasDeadline_)
+            throw std::runtime_error(
+                "injected stall without an armed deadline");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        checkDeadline();
+    }
 }
 
 Signal *
 Design::makeSignal(const std::string &name, int width, bool is_reg)
 {
+    chargeAlloc(128 + static_cast<uint64_t>(width < 0 ? 0 : width) / 4);
     signals_.push_back(
         std::make_unique<Signal>(name, width, is_reg, &sched_));
     return signals_.back().get();
@@ -119,6 +181,12 @@ Memory *
 Design::makeMemory(const std::string &name, int width, int64_t first,
                    int64_t last)
 {
+    uint64_t words =
+        last >= first ? static_cast<uint64_t>(last - first + 1)
+                      : static_cast<uint64_t>(first - last + 1);
+    chargeAlloc(64 + words * (32 + static_cast<uint64_t>(
+                                       width < 0 ? 0 : width) /
+                                       4));
     memories_.push_back(std::make_unique<Memory>(name, width, first,
                                                  last));
     return memories_.back().get();
@@ -127,6 +195,7 @@ Design::makeMemory(const std::string &name, int width, int64_t first,
 NamedEvent *
 Design::makeEvent(const std::string &name)
 {
+    chargeAlloc(64);
     events_.push_back(std::make_unique<NamedEvent>(name));
     return events_.back().get();
 }

@@ -11,6 +11,7 @@
  * wiring continuous assignments as change-driven re-evaluations.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,6 +31,52 @@ class Design;
 struct ElabError : std::runtime_error
 {
     using std::runtime_error::runtime_error;
+};
+
+/** Thrown when a per-evaluation memory budget is exhausted. */
+struct SimOom : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Deterministic fault-injection hooks compiled into the simulator, so
+ * tests can prove the repair engine degrades every failure mode to
+ * worst fitness instead of dying. All counters are 1-based; 0 disables
+ * the hook.
+ */
+struct FaultPlan
+{
+    /** Throw std::runtime_error at the Nth charged statement. */
+    uint64_t throwAtStmt = 0;
+    /**
+     * From the Nth charged statement on, burn ~1 ms of wall clock per
+     * statement without making progress, so only the wall-clock
+     * deadline can reap the run. Requires an armed deadline
+     * (RunLimits::maxWallSeconds > 0); without one the stall degrades
+     * to a throw instead of hanging the process.
+     */
+    uint64_t stallAtStmt = 0;
+    /** Throw SimOom at the Nth runtime-object allocation. */
+    uint64_t failAllocAt = 0;
+
+    bool
+    any() const
+    {
+        return throwAtStmt != 0 || stallAtStmt != 0 || failAllocAt != 0;
+    }
+};
+
+/**
+ * Containment knobs installed on a Design at elaboration time (the
+ * memory budget must already be charged while elaborate() allocates
+ * signals).
+ */
+struct SimGuards
+{
+    /** Allocation budget in bytes (0 = unlimited). */
+    uint64_t memBudgetBytes = 0;
+    FaultPlan faultPlan;
 };
 
 /** A named signal plus its declared range mapping. */
@@ -69,6 +116,13 @@ struct RunLimits
     SimTime maxTime = 1'000'000;
     uint64_t maxCallbacks = 2'000'000;
     uint64_t maxStatements = 20'000'000;
+    /**
+     * Wall-clock deadline for the run in seconds (0 = unlimited).
+     * Layered on the statement/callback budgets: it reaps candidates
+     * that burn real time without burning budget (checked in both the
+     * scheduler loop and the statement path).
+     */
+    double maxWallSeconds = 0.0;
 };
 
 /**
@@ -102,16 +156,29 @@ class Design
     void seedRandom(uint64_t seed) { rngState_ = seed | 1; }
 
     /**
-     * Charge one statement execution against the budget.
-     * @throws SimAbort once the budget is exhausted (runaway mutant).
+     * Charge one statement execution against the budgets.
+     * @throws SimAbort once the statement budget is exhausted or the
+     *         wall-clock deadline has passed (runaway mutant);
+     *         std::runtime_error / SimOom from fault injection.
      */
     void
     chargeStmt()
     {
+        ++stmtCount_;
+        if (faultArmed_)
+            faultStmtHook();
+        if (hasDeadline_ && (stmtCount_ & 0xFFF) == 0)
+            checkDeadline();
         if (stmtBudget_ == 0)
             throw SimAbort("statement budget exhausted");
         --stmtBudget_;
     }
+
+    /** Install containment knobs (see SimGuards); elaborate() calls
+     *  this before any allocation so budgets cover elaboration too. */
+    void setGuards(const SimGuards &guards);
+    /** Bytes charged against the memory budget so far. */
+    uint64_t memoryUsed() const { return memUsed_; }
 
     /** Run the simulation under the given resource limits. */
     Scheduler::RunResult run(const RunLimits &limits = RunLimits());
@@ -132,6 +199,14 @@ class Design
     const verilog::SourceFile *ast() const { return ast_.get(); }
 
   private:
+    /** Charge @p bytes for one runtime-object allocation; throws
+     *  SimOom over budget (or on an injected allocation failure). */
+    void chargeAlloc(uint64_t bytes);
+    /** Cold path of chargeStmt: injected throws and stalls. */
+    void faultStmtHook();
+    /** Throws SimAbort (after flagging the scheduler) past deadline. */
+    void checkDeadline();
+
     Scheduler sched_;
     std::unique_ptr<InstanceScope> top_;
     std::vector<std::unique_ptr<Signal>> signals_;
@@ -142,6 +217,14 @@ class Design
     std::shared_ptr<const verilog::SourceFile> ast_;
     uint64_t rngState_ = 0x2545F4914F6CDD1Dull;
     uint64_t stmtBudget_ = 20'000'000;
+    uint64_t stmtCount_ = 0;
+    uint64_t memBudget_ = 0;   //!< 0 = unlimited
+    uint64_t memUsed_ = 0;
+    uint64_t allocCount_ = 0;
+    FaultPlan fault_;
+    bool faultArmed_ = false;
+    bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point deadline_;
     static constexpr size_t kMaxLogLines = 100'000;
 };
 

@@ -386,12 +386,14 @@ class Elaborator
 } // namespace
 
 std::unique_ptr<Design>
-elaborate(std::shared_ptr<const SourceFile> file, const std::string &top)
+elaborate(std::shared_ptr<const SourceFile> file, const std::string &top,
+          const SimGuards &guards)
 {
     const Module *top_mod = file->findModule(top);
     if (!top_mod)
         throw ElabError("top module '" + top + "' not found");
     auto design = std::make_unique<Design>();
+    design->setGuards(guards);
     design->holdAst(file);
     Elaborator e(*design, *file);
     e.buildTop(*top_mod);
@@ -399,10 +401,11 @@ elaborate(std::shared_ptr<const SourceFile> file, const std::string &top)
 }
 
 std::unique_ptr<Design>
-elaborate(const SourceFile &file, const std::string &top)
+elaborate(const SourceFile &file, const std::string &top,
+          const SimGuards &guards)
 {
     std::shared_ptr<const SourceFile> copy = file.cloneFile();
-    return elaborate(std::move(copy), top);
+    return elaborate(std::move(copy), top, guards);
 }
 
 } // namespace cirfix::sim

@@ -19,14 +19,20 @@ namespace cirfix::sim {
  * The design keeps a shared reference to the AST: the tree must not be
  * mutated while the design is alive.
  *
- * @throws ElabError on unsupported or inconsistent structure.
+ * @p guards installs containment knobs (memory budget, fault plan)
+ * before the first runtime allocation, so elaboration itself is covered
+ * by the budget.
+ *
+ * @throws ElabError on unsupported or inconsistent structure; SimOom if
+ *         the elaborated design exceeds the memory budget.
  */
 std::unique_ptr<Design>
 elaborate(std::shared_ptr<const verilog::SourceFile> file,
-          const std::string &top);
+          const std::string &top, const SimGuards &guards = {});
 
 /** Convenience overload: clones @p file and elaborates the clone. */
 std::unique_ptr<Design> elaborate(const verilog::SourceFile &file,
-                                  const std::string &top);
+                                  const std::string &top,
+                                  const SimGuards &guards = {});
 
 } // namespace cirfix::sim

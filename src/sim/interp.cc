@@ -744,8 +744,12 @@ Process::root(Process *self)
     } catch (const SimAbort &e) {
         self->design_.scheduler().noteAbort(e.what());
     } catch (const std::exception &e) {
-        self->design_.scheduler().noteAbort(
-            std::string("internal interpreter error: ") + e.what());
+        // Anything that is not a budget abort is a crash: SimOom from
+        // the memory budget, injected faults, or interpreter bugs. The
+        // first-abort-wins latch keeps an earlier Deadline/Runaway
+        // classification intact while this unwinds.
+        self->design_.scheduler().noteCrash(
+            std::string("process crashed: ") + e.what());
     }
 }
 

@@ -1,5 +1,7 @@
 #include "sim/scheduler.h"
 
+#include <chrono>
+
 namespace cirfix::sim {
 
 void
@@ -39,17 +41,54 @@ Scheduler::schedulePostponed(Callback cb)
 }
 
 void
+Scheduler::note(const std::string &reason, AbortKind kind)
+{
+    // First abort wins: later notes (e.g. the generic noteAbort from a
+    // process unwinding a deadline SimAbort) must not reclassify it.
+    if (aborted_)
+        return;
+    aborted_ = true;
+    abortKind_ = kind;
+    abortReason_ = reason;
+}
+
+void
 Scheduler::noteAbort(const std::string &reason)
 {
-    aborted_ = true;
-    if (abortReason_.empty())
-        abortReason_ = reason;
+    note(reason, AbortKind::Budget);
+}
+
+void
+Scheduler::noteDeadline(const std::string &reason)
+{
+    note(reason, AbortKind::Deadline);
+}
+
+void
+Scheduler::noteCrash(const std::string &reason)
+{
+    note(reason, AbortKind::Crash);
 }
 
 Scheduler::RunResult
-Scheduler::run(SimTime max_time, uint64_t max_callbacks)
+Scheduler::run(SimTime max_time, uint64_t max_callbacks,
+               double max_wall_seconds)
 {
     RunResult res;
+    const auto wall_start = std::chrono::steady_clock::now();
+    uint64_t next_wall_check = 1024;
+    auto tick = [&] {
+        ++res.callbacks;
+        if (max_wall_seconds > 0 && res.callbacks >= next_wall_check) {
+            next_wall_check = res.callbacks + 1024;
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wall_start)
+                              .count();
+            if (secs > max_wall_seconds)
+                noteDeadline("wall-clock deadline exceeded");
+        }
+    };
     while (!queue_.empty()) {
         auto it = queue_.begin();
         now_ = it->first;
@@ -66,7 +105,7 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks)
                 Callback cb = std::move(slot.active.front());
                 slot.active.pop_front();
                 cb();
-                ++res.callbacks;
+                tick();
                 if (finish_ || aborted_ || res.callbacks > max_callbacks)
                     break;
                 continue;
@@ -82,7 +121,7 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks)
                 updates.swap(slot.nba);
                 for (Callback &cb : updates) {
                     cb();
-                    ++res.callbacks;
+                    tick();
                     if (finish_ || aborted_ ||
                         res.callbacks > max_callbacks)
                         break;
@@ -97,7 +136,7 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks)
                 sampled.swap(slot.postponed);
                 for (Callback &cb : sampled) {
                     cb();
-                    ++res.callbacks;
+                    tick();
                 }
                 // Sampling must not create same-slot activity, but be
                 // defensive: loop again if it somehow did.
@@ -107,7 +146,7 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks)
             break;
         }
         if (aborted_) {
-            res.status = Status::Runaway;
+            res.status = abortStatus();
             res.endTime = now_;
             return res;
         }

@@ -52,6 +52,8 @@ class Scheduler
         Idle,      //!< event queue drained (no more activity)
         MaxTime,   //!< simulated up to the max_time bound
         Runaway,   //!< callback/statement budget exhausted, sim aborted
+        Deadline,  //!< wall-clock deadline exceeded, sim aborted
+        Crashed,   //!< internal error escaped a process, sim aborted
     };
 
     struct RunResult
@@ -82,17 +84,44 @@ class Scheduler
 
     /** Record an abort (runaway mutant); stops the run loop. */
     void noteAbort(const std::string &reason);
+    /** Record a wall-clock deadline abort (status Deadline). */
+    void noteDeadline(const std::string &reason);
+    /** Record an internal-error abort (status Crashed). */
+    void noteCrash(const std::string &reason);
     bool aborted() const { return aborted_; }
     const std::string &abortReason() const { return abortReason_; }
+
+    /** Status the latched abort maps to (Idle when not aborted); lets
+     *  callers classify a SimAbort that escaped the run loop. */
+    Status
+    abortStatus() const
+    {
+        if (!aborted_)
+            return Status::Idle;
+        switch (abortKind_) {
+          case AbortKind::Deadline: return Status::Deadline;
+          case AbortKind::Crash: return Status::Crashed;
+          case AbortKind::Budget: break;
+        }
+        return Status::Runaway;
+    }
 
     /**
      * Run the simulation.
      *
-     * @param max_time      Stop (status MaxTime) once now() passes this.
-     * @param max_callbacks Abort (status Runaway) after this many
-     *                      scheduled callbacks have executed.
+     * @param max_time         Stop (status MaxTime) once now() passes
+     *                         this.
+     * @param max_callbacks    Abort (status Runaway) after this many
+     *                         scheduled callbacks have executed.
+     * @param max_wall_seconds Abort (status Deadline) once this much
+     *                         wall-clock time has elapsed, checked
+     *                         every 1024 callbacks (0 disables the
+     *                         watchdog). Layered on the budgets: it
+     *                         reaps candidates that burn real time
+     *                         without burning callbacks.
      */
-    RunResult run(SimTime max_time, uint64_t max_callbacks);
+    RunResult run(SimTime max_time, uint64_t max_callbacks,
+                  double max_wall_seconds = 0.0);
 
   private:
     struct TimeSlot
@@ -111,10 +140,16 @@ class Scheduler
 
     TimeSlot &slotAt(SimTime t) { return queue_[t]; }
 
+    /** What kind of abort latched first (decides the run status). */
+    enum class AbortKind { Budget, Deadline, Crash };
+
+    void note(const std::string &reason, AbortKind kind);
+
     std::map<SimTime, TimeSlot> queue_;
     SimTime now_ = 0;
     bool finish_ = false;
     bool aborted_ = false;
+    AbortKind abortKind_ = AbortKind::Budget;
     std::string abortReason_;
 };
 

@@ -29,6 +29,7 @@
 #include "core/engine.h"
 #include "core/faultloc.h"
 #include "core/scenario.h"
+#include "core/snapshot.h"
 #include "sim/elaborate.h"
 #include "sim/probe.h"
 #include "sim/vcd.h"
@@ -261,6 +262,13 @@ cmdRepair(const Args &args)
     cfg.maxSeconds = args.getDouble("budget", 60.0);
     cfg.fitness.phi = args.getDouble("phi", 2.0);
     cfg.numThreads = static_cast<int>(args.getLong("threads", 0));
+    cfg.evalDeadlineSeconds =
+        args.getDouble("deadline", cfg.evalDeadlineSeconds);
+    cfg.evalMemoryBudget = static_cast<uint64_t>(args.getLong(
+        "mem-budget", static_cast<long>(cfg.evalMemoryBudget)));
+    cfg.snapshotPath = args.get("snapshot");
+    cfg.snapshotEvery =
+        static_cast<int>(args.getLong("snapshot-every", 1));
     int trials = static_cast<int>(args.getLong("trials", 5));
     uint64_t seed0 =
         static_cast<uint64_t>(args.getLong("seed", 1000));
@@ -268,6 +276,46 @@ cmdRepair(const Args &args)
     std::unique_ptr<std::ofstream> log;
     if (args.flags.count("log"))
         log = std::make_unique<std::ofstream>(args.get("log"));
+
+    auto report = [&](const core::RepairResult &res) {
+        std::cout << "  " << res.fitnessEvals << " fitness probes, "
+                  << res.generations << " generations, " << res.seconds
+                  << "s\n"
+                  << "  outcomes: " << res.outcomes.summary() << "\n";
+        if (!res.found)
+            return 2;
+        std::cout << "repair found: " << res.patch.describe() << "\n";
+        if (args.flags.count("out")) {
+            writeFile(args.get("out"), res.repairedSource);
+            std::cout << "repaired design written to "
+                      << args.get("out") << "\n";
+        } else {
+            std::cout << res.repairedSource;
+        }
+        return 0;
+    };
+
+    // --resume <snapshot>: continue an interrupted run bit-identically
+    // (one trial; the snapshot pins the seed and progress).
+    if (args.flags.count("resume")) {
+        core::EngineState state =
+            core::loadSnapshot(args.get("resume"));
+        cfg.seed = state.seed;
+        if (log) {
+            cfg.onGeneration = [&log](int gen, double best,
+                                      long evals) {
+                *log << "trial 1 gen " << gen << " best " << best
+                     << " evals " << evals << "\n";
+                log->flush();
+            };
+        }
+        core::RepairEngine engine(faulty, tb, dut, probe, oracle, cfg);
+        std::cout << "resuming from " << args.get("resume")
+                  << " (seed " << state.seed << ", "
+                  << state.generationsDone << " generations done)...\n";
+        return report(engine.resume(state));
+    }
+
     for (int trial = 0; trial < trials; ++trial) {
         cfg.seed = seed0 + static_cast<uint64_t>(trial) * 7919;
         if (log) {
@@ -283,20 +331,8 @@ cmdRepair(const Args &args)
         std::cout << "trial " << trial + 1 << "/" << trials
                   << " (seed " << cfg.seed << ")...\n";
         core::RepairResult res = engine.run();
-        std::cout << "  " << res.fitnessEvals << " fitness probes, "
-                  << res.generations << " generations, "
-                  << res.seconds << "s\n";
-        if (!res.found)
-            continue;
-        std::cout << "repair found: " << res.patch.describe() << "\n";
-        if (args.flags.count("out")) {
-            writeFile(args.get("out"), res.repairedSource);
-            std::cout << "repaired design written to "
-                      << args.get("out") << "\n";
-        } else {
-            std::cout << res.repairedSource;
-        }
-        return 0;
+        if (report(res) == 0)
+            return 0;
     }
     std::cout << "no repair found within resource bounds\n";
     return 2;
@@ -311,6 +347,9 @@ usage()
         "(--golden g.v | --oracle t.csv)\n"
         "           [--pop N] [--gens N] [--budget S] [--seed N] "
         "[--phi F] [--trials N] [--threads N] [--out r.v]\n"
+        "           [--deadline S] [--mem-budget BYTES]\n"
+        "           [--snapshot f.snap] [--snapshot-every N] "
+        "[--resume f.snap]\n"
         "  simulate --design f.v --tb TB [--vcd o.vcd] "
         "[--trace o.csv]\n"
         "  localize --design f.v --tb TB --dut MOD "
