@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Microbenchmarks for the repair-service layer: JSON encode/decode,
+ * frame throughput over a socketpair, and JobQueue submit/pop. These
+ * bound the daemon's per-request overhead — the repair engine itself
+ * dominates everything else, so the service layer must stay cheap.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/framing.h"
+#include "service/jobqueue.h"
+#include "service/protocol.h"
+
+using namespace cirfix::service;
+
+namespace {
+
+JobSpec
+sampleSpec(size_t design_bytes)
+{
+    JobSpec spec;
+    spec.designSource = std::string(design_bytes, 'x');
+    spec.tbModule = "tb";
+    spec.dutModule = "dut";
+    spec.oracleCsv = "t,q\n0,0\n5,1\n";
+    spec.params.popSize = 40;
+    spec.params.maxGenerations = 8;
+    return spec;
+}
+
+void
+BM_JsonDumpJobSpec(benchmark::State &state)
+{
+    Json j = toJson(sampleSpec(static_cast<size_t>(state.range(0))));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(j.dump());
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(j.dump().size()));
+}
+BENCHMARK(BM_JsonDumpJobSpec)->Arg(1 << 10)->Arg(64 << 10);
+
+void
+BM_JsonParseJobSpec(benchmark::State &state)
+{
+    std::string text =
+        toJson(sampleSpec(static_cast<size_t>(state.range(0)))).dump();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Json::parse(text));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseJobSpec)->Arg(1 << 10)->Arg(64 << 10);
+
+void
+BM_SpecRoundTrip(benchmark::State &state)
+{
+    JobSpec spec = sampleSpec(4 << 10);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            jobSpecFromJson(Json::parse(toJson(spec).dump())));
+}
+BENCHMARK(BM_SpecRoundTrip);
+
+/** One frame through a socketpair, echo-style: the cost of the wire
+ *  layer per request/response pair. */
+void
+BM_FrameEchoSocketpair(benchmark::State &state)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        state.SkipWithError("socketpair failed");
+        return;
+    }
+    std::thread echo([fd = fds[1]] {
+        std::string payload;
+        while (readFrame(fd, payload))
+            writeFrame(fd, payload);
+    });
+    std::string msg(static_cast<size_t>(state.range(0)), 'm');
+    std::string back;
+    for (auto _ : state) {
+        writeFrame(fds[0], msg);
+        readFrame(fds[0], back);
+    }
+    ::shutdown(fds[0], SHUT_RDWR);
+    echo.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(2 * msg.size()));
+}
+BENCHMARK(BM_FrameEchoSocketpair)->Arg(256)->Arg(64 << 10);
+
+void
+BM_QueueSubmitPop(benchmark::State &state)
+{
+    AdmissionLimits limits;
+    limits.queueDepth = 1 << 20;
+    JobSpec spec = sampleSpec(1 << 10);
+    for (auto _ : state) {
+        JobQueue q(limits);
+        for (int i = 0; i < state.range(0); ++i) {
+            spec.priority = i % 7;
+            benchmark::DoNotOptimize(q.submit(spec));
+        }
+        q.close();
+        while (q.pop())
+            ;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_QueueSubmitPop)->Arg(64)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -503,9 +503,17 @@ RepairEngine::runInternal(const EngineState *restore)
         }
     }
 
+    auto stopRequested = [&] {
+        return config_.shouldStop && config_.shouldStop();
+    };
+
     for (int gen = start_gen; gen < config_.maxGenerations; ++gen) {
         if (elapsed() >= config_.maxSeconds)
             break;
+        if (stopRequested()) {
+            result.stopped = true;
+            break;
+        }
         result.generations = gen + 1;
 
         // (a) Pre-draw every stochastic decision for the generation on
@@ -516,7 +524,7 @@ RepairEngine::runInternal(const EngineState *restore)
         const int max_attempts = config_.popSize * 16 + 16;
         while (static_cast<int>(planned.size()) < config_.popSize &&
                attempts++ < max_attempts) {
-            if (elapsed() >= config_.maxSeconds)
+            if (elapsed() >= config_.maxSeconds || stopRequested())
                 break;
             const Variant &parent = tournament(popn);
             auto parent_ast = applyPatch(*faulty_, parent.patch);
@@ -551,6 +559,15 @@ RepairEngine::runInternal(const EngineState *restore)
                 planned.push_back(std::move(c1));
                 planned.push_back(std::move(c2));
             }
+        }
+
+        // A cancel inside the planning loop aborts before the batch is
+        // simulated: the generation's work is discarded, so the cancel
+        // takes effect mid-generation rather than after it.
+        if (stopRequested()) {
+            result.generations = gen;  // this generation never ran
+            result.stopped = true;
+            break;
         }
 
         // (b) Fan the children out to the pool, (c) merge in child
@@ -592,11 +609,19 @@ RepairEngine::runInternal(const EngineState *restore)
                          captureState(gen + 1, popn, elapsed(),
                                       best_seen,
                                       result.fitnessTrajectory));
-        if (config_.onGeneration)
-            config_.onGeneration(gen + 1,
-                                 popn.empty() ? 0.0
-                                              : popn[0].fit.fitness,
-                                 evals_);
+        if (config_.onGeneration) {
+            GenerationStats gs;
+            gs.generation = gen + 1;
+            gs.bestFitness = popn.empty() ? 0.0 : popn[0].fit.fitness;
+            gs.fitnessEvals = evals_;
+            gs.invalidMutants = invalid_;
+            gs.totalMutants = mutants_;
+            gs.outcomes = outcomes_;
+            gs.cache = cache_.stats();
+            gs.quarantined = quarantine_.size();
+            gs.elapsedSeconds = elapsed();
+            config_.onGeneration(gs);
+        }
     }
 
     return finish(nullptr);

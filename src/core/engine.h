@@ -85,14 +85,34 @@ struct EngineConfig
     /** Generations between snapshots (>= 1). */
     int snapshotEvery = 1;
     /**
-     * Optional progress hook, called after each generation with the
-     * generation index, the best fitness in the new population, and
-     * the cumulative fitness-evaluation count (the artifact's
-     * repair_logs analogue).
+     * Optional progress hook, called after each generation with a
+     * GenerationStats snapshot (the artifact's repair_logs analogue).
+     * Fired after the generation's checkpoint is durable, so a
+     * subscriber never observes progress that a crash could lose.
      */
-    std::function<void(int generation, double best_fitness,
-                       long fitness_evals)>
-        onGeneration;
+    std::function<void(const struct GenerationStats &)> onGeneration;
+    /**
+     * Cooperative cancellation: polled at generation boundaries and
+     * between planning steps inside a generation. Returning true ends
+     * the run with RepairResult::stopped set (no repair, counters
+     * reflect work actually done). The repair service uses this for
+     * client-initiated cancel; nullptr means never stop early.
+     */
+    std::function<bool()> shouldStop;
+};
+
+/** Per-generation progress report passed to EngineConfig::onGeneration. */
+struct GenerationStats
+{
+    int generation = 0;       //!< 1-based index of the finished generation
+    double bestFitness = 0.0; //!< best fitness in the new population
+    long fitnessEvals = 0;    //!< cumulative simulations so far
+    long invalidMutants = 0;  //!< cumulative structurally invalid mutants
+    long totalMutants = 0;    //!< cumulative children produced
+    OutcomeCounts outcomes;   //!< cumulative per-outcome counts
+    CacheStats cache;         //!< fitness-cache accounting so far
+    size_t quarantined = 0;   //!< condemned patch keys so far
+    double elapsedSeconds = 0.0;
 };
 
 /** One population member. */
@@ -128,6 +148,9 @@ struct RepairResult
     long invalidMutants = 0;        //!< mutants rejected by validation
     long totalMutants = 0;
     double seconds = 0.0;
+    /** True when EngineConfig::shouldStop ended the run early (the
+     *  run was canceled, not exhausted). */
+    bool stopped = false;
     /** (probe index, best fitness) at each improvement — RQ3 data. */
     std::vector<std::pair<long, double>> fitnessTrajectory;
     /** Fitness-cache accounting for the trial (hits/misses/evictions). */

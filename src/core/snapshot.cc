@@ -256,6 +256,7 @@ class Reader
     }
 
     bool done() const { return pos_ >= text_.size(); }
+    size_t pos() const { return pos_; }
 
   private:
     const std::string &text_;
@@ -327,9 +328,54 @@ encodeSnapshot(const EngineState &state)
         v.error = c.entry.error;
         w.writeVariant(v);
     }
+    // Seal the body: the checksum covers every byte written so far, so
+    // any bit flip inside a blob (which a length-prefixed parse would
+    // accept) is caught on load.
+    std::string body = w.str();
+    w.line("checksum " + std::to_string(fingerprintSource(body)));
     w.line("end");
     return w.str();
 }
+
+namespace {
+
+/**
+ * Verify the sealing records before any content is parsed: the file
+ * must end with "checksum <fnv>\nend\n" and the stored FNV-1a must
+ * match the bytes before the checksum line. Doing this up front means
+ * a bit flip deep inside a blob payload is reported as file damage
+ * rather than as whatever downstream parse error it happens to cause.
+ */
+void
+verifySeal(const std::string &text)
+{
+    const std::string endmark = "end\n";
+    if (text.size() < endmark.size() ||
+        text.compare(text.size() - endmark.size(), endmark.size(),
+                     endmark) != 0)
+        corrupt("missing 'end' marker (file truncated or has "
+                "trailing garbage)");
+    const std::string tag = "\nchecksum ";
+    size_t cks = text.rfind(tag, text.size() - endmark.size() - 1);
+    if (cks == std::string::npos)
+        corrupt("missing 'checksum' record");
+    size_t nl = text.find('\n', cks + 1);
+    if (nl != text.size() - endmark.size() - 1)
+        corrupt("'checksum' record is not the penultimate line");
+    std::string tok = text.substr(cks + tag.size(),
+                                  nl - cks - tag.size());
+    char *end = nullptr;
+    uint64_t want = std::strtoull(tok.c_str(), &end, 10);
+    if (!end || *end != '\0' || tok.empty())
+        corrupt("bad checksum value '" + tok + "'");
+    uint64_t got = fingerprintSource(text.substr(0, cks + 1));
+    if (want != got)
+        corrupt("checksum mismatch (file damaged): stored " +
+                std::to_string(want) + ", computed " +
+                std::to_string(got));
+}
+
+} // namespace
 
 EngineState
 decodeSnapshot(const std::string &text)
@@ -345,6 +391,7 @@ decodeSnapshot(const std::string &text)
                 std::to_string(version) + " (this build reads version " +
                 std::to_string(EngineState::kVersion) + ")");
     }
+    verifySeal(text);
     st.seed = r.parseU64(r.tokens("seed", 2)[1]);
     st.designFingerprint = r.parseU64(r.tokens("fingerprint", 2)[1]);
     st.rngState = r.blob("rng");
@@ -402,7 +449,19 @@ decodeSnapshot(const std::string &text)
         c.entry.error = std::move(v.error);
         st.cache.push_back(std::move(c));
     }
+    {
+        // The checksum record covers every byte before itself.
+        size_t body_end = r.pos();
+        uint64_t want = r.parseU64(r.tokens("checksum", 2)[1]);
+        uint64_t got = fingerprintSource(text.substr(0, body_end));
+        if (want != got)
+            corrupt("checksum mismatch (file damaged): stored " +
+                    std::to_string(want) + ", computed " +
+                    std::to_string(got));
+    }
     r.tokens("end", 1);
+    if (!r.done())
+        corrupt("trailing garbage after 'end' marker");
     return st;
 }
 

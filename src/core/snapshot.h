@@ -19,11 +19,15 @@
  * re-inserting LRU-first, so hit/miss/eviction behavior after resume
  * matches the uninterrupted run).
  *
- * Format: versioned line-oriented text ("CIRFIX-SNAPSHOT 1" magic),
+ * Format: versioned line-oriented text ("CIRFIX-SNAPSHOT 2" magic),
  * length-prefixed blobs for strings that may contain newlines, and
- * hexfloat (%a) doubles so round-trips are bit-exact. Writes go to a
- * temp file in the same directory followed by an atomic rename, so a
- * crash mid-write never corrupts the previous snapshot.
+ * hexfloat (%a) doubles so round-trips are bit-exact. The body is
+ * sealed by a trailing "checksum" record (FNV-1a over every byte
+ * before it) and an "end" marker that must also end the file, so
+ * truncation, bit rot and appended garbage are all rejected with a
+ * diagnostic instead of yielding partial state. Writes go to a temp
+ * file in the same directory followed by an atomic rename, so a crash
+ * mid-write never corrupts the previous snapshot.
  */
 
 #include <cstdint>
@@ -56,8 +60,9 @@ struct CacheRecord
 struct EngineState
 {
     /** Bump when the on-disk layout changes; readers reject other
-     *  versions rather than misparse. */
-    static constexpr int kVersion = 1;
+     *  versions rather than misparse. Version 2 added the sealing
+     *  checksum record. */
+    static constexpr int kVersion = 2;
 
     uint64_t seed = 0;
     /** FNV-1a of the printed faulty design; resume refuses to continue

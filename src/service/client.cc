@@ -1,0 +1,158 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/framing.h"
+
+namespace cirfix::service {
+
+namespace {
+
+[[noreturn]] void
+throwErrorFrame(const Json &msg)
+{
+    throw ServiceError(msg.str("code", "internal"),
+                       msg.str("message", "unspecified server error"));
+}
+
+} // namespace
+
+Client::Client(const std::string &socketPath)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path)
+        throw std::runtime_error("socket path too long: " + socketPath);
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("cannot connect to " + socketPath +
+                                 ": " + std::strerror(err));
+    }
+    try {
+        send(makeHello());
+        if (!recv(&hello_))
+            throw std::runtime_error(
+                "server closed the connection during the handshake");
+        if (hello_.str("type") == "error")
+            throwErrorFrame(hello_);
+        if (hello_.str("type") != "hello")
+            throw std::runtime_error("unexpected handshake reply '" +
+                                     hello_.str("type") + "'");
+    } catch (...) {
+        ::close(fd_);
+        fd_ = -1;
+        throw;
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Client::send(const Json &msg)
+{
+    writeFrame(fd_, msg.dump());
+}
+
+bool
+Client::recv(Json *out)
+{
+    std::string payload;
+    if (!readFrame(fd_, payload))
+        return false;
+    *out = Json::parse(payload);
+    return true;
+}
+
+Json
+Client::request(const Json &msg)
+{
+    send(msg);
+    Json reply;
+    if (!recv(&reply))
+        throw std::runtime_error(
+            "server closed the connection mid-request");
+    if (reply.str("type") == "error")
+        throwErrorFrame(reply);
+    return reply;
+}
+
+long
+Client::submit(const JobSpec &spec)
+{
+    Json msg = Json::object();
+    msg["type"] = "submit";
+    msg["job"] = toJson(spec);
+    Json reply = request(msg);
+    return reply.num("id", -1);
+}
+
+Json
+Client::status(long id)
+{
+    Json msg = Json::object();
+    msg["type"] = "status";
+    msg["id"] = id;
+    Json reply = request(msg);
+    if (const Json *job = reply.find("job"))
+        return *job;
+    return Json();
+}
+
+Json
+Client::list()
+{
+    Json msg = Json::object();
+    msg["type"] = "list";
+    Json reply = request(msg);
+    if (const Json *jobs = reply.find("jobs"))
+        return *jobs;
+    return Json::array();
+}
+
+void
+Client::cancel(long id)
+{
+    Json msg = Json::object();
+    msg["type"] = "cancel";
+    msg["id"] = id;
+    request(msg);
+}
+
+Json
+Client::result(long id)
+{
+    Json msg = Json::object();
+    msg["type"] = "result";
+    msg["id"] = id;
+    return request(msg);
+}
+
+void
+Client::subscribe(long id)
+{
+    Json msg = Json::object();
+    msg["type"] = "subscribe";
+    msg["id"] = id;
+    send(msg);
+}
+
+} // namespace cirfix::service

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Client side of the repair service: connect, handshake, speak frames.
+ *
+ * Client wraps one connection to a `cirfix serve` daemon. The
+ * constructor connects and completes the versioned hello exchange (so
+ * a constructed Client is always protocol-compatible); the typed
+ * helpers (submit/status/list/cancel/result) wrap one request/response
+ * round trip each and convert error frames into ServiceError, which
+ * preserves the wire error code — the CLI maps codes to exit codes.
+ *
+ * subscribe() switches the connection into streaming mode: the caller
+ * then recv()s event frames until the end_of_stream marker. The
+ * connection stays usable for further requests afterwards.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace cirfix::service {
+
+/** An error frame from the server, code preserved. */
+class ServiceError : public std::runtime_error
+{
+  public:
+    ServiceError(std::string code, const std::string &message)
+        : std::runtime_error(message), code_(std::move(code))
+    {}
+    const std::string &code() const { return code_; }
+
+  private:
+    std::string code_;
+};
+
+class Client
+{
+  public:
+    /** Connect to the daemon at @p socketPath and run the handshake.
+     *  @throws std::runtime_error on connect/IO failure, ServiceError
+     *  on a version mismatch. */
+    explicit Client(const std::string &socketPath);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** The server's hello frame (version, server name). */
+    const Json &serverHello() const { return hello_; }
+
+    // ---- raw frame interface ----
+    void send(const Json &msg);
+    /** @return false on clean EOF (server closed between frames). */
+    bool recv(Json *out);
+    /** send + recv; throws ServiceError if the reply is an error. */
+    Json request(const Json &msg);
+
+    // ---- typed conveniences ----
+    /** @return the accepted job id; throws ServiceError (queue_full,
+     *  budget_too_large, bad_request) on rejection. */
+    long submit(const JobSpec &spec);
+    Json status(long id);   //!< the job summary object
+    Json list();            //!< array of job summaries
+    void cancel(long id);
+    /** Terminal payload; ServiceError not_done while the job lives. */
+    Json result(long id);
+
+    /** Start streaming job @p id's events: after this, recv() yields
+     *  event frames; the stream ends with {"type":"end_of_stream"}. */
+    void subscribe(long id);
+
+  private:
+    int fd_ = -1;
+    Json hello_;
+};
+
+} // namespace cirfix::service

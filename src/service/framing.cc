@@ -1,0 +1,124 @@
+#include "service/framing.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cirfix::service {
+
+namespace {
+
+[[noreturn]] void
+ioError(const char *what)
+{
+    throw std::runtime_error(std::string("frame ") + what + ": " +
+                             std::strerror(errno));
+}
+
+/** send() with MSG_NOSIGNAL, falling back to write() for non-socket
+ *  fds (pipes in tests); loops over EINTR. Returns bytes written or
+ *  -1. */
+ssize_t
+sendSome(int fd, const char *buf, size_t n)
+{
+    while (true) {
+        ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
+        if (w < 0 && errno == ENOTSOCK)
+            w = ::write(fd, buf, n);
+        if (w < 0 && errno == EINTR)
+            continue;
+        return w;
+    }
+}
+
+void
+writeAll(int fd, const char *buf, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        ssize_t w = sendSome(fd, buf + off, n - off);
+        if (w <= 0)
+            ioError("write failed");
+        off += static_cast<size_t>(w);
+    }
+}
+
+/** @return bytes actually read (== n), or 0 on immediate EOF when
+ *  @p eof_ok; throws on mid-read EOF or error. */
+size_t
+readAll(int fd, char *buf, size_t n, bool eof_ok)
+{
+    size_t off = 0;
+    while (off < n) {
+        ssize_t r = ::read(fd, buf + off, n - off);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError("read failed");
+        }
+        if (r == 0) {
+            if (off == 0 && eof_ok)
+                return 0;
+            throw std::runtime_error(
+                "frame truncated: peer closed mid-frame after " +
+                std::to_string(off) + " of " + std::to_string(n) +
+                " bytes");
+        }
+        off += static_cast<size_t>(r);
+    }
+    return off;
+}
+
+} // namespace
+
+void
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        throw std::runtime_error("frame payload of " +
+                                 std::to_string(payload.size()) +
+                                 " bytes exceeds the " +
+                                 std::to_string(kMaxFrameBytes) +
+                                 "-byte limit");
+    uint32_t n = static_cast<uint32_t>(payload.size());
+    char prefix[4] = {static_cast<char>(n >> 24),
+                      static_cast<char>(n >> 16),
+                      static_cast<char>(n >> 8),
+                      static_cast<char>(n)};
+    writeAll(fd, prefix, sizeof prefix);
+    writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    char prefix[4];
+    if (readAll(fd, prefix, sizeof prefix, /*eof_ok=*/true) == 0)
+        return false;
+    uint32_t n = (static_cast<uint32_t>(
+                      static_cast<unsigned char>(prefix[0]))
+                  << 24) |
+                 (static_cast<uint32_t>(
+                      static_cast<unsigned char>(prefix[1]))
+                  << 16) |
+                 (static_cast<uint32_t>(
+                      static_cast<unsigned char>(prefix[2]))
+                  << 8) |
+                 static_cast<uint32_t>(
+                     static_cast<unsigned char>(prefix[3]));
+    if (n > kMaxFrameBytes)
+        throw std::runtime_error(
+            "frame length prefix of " + std::to_string(n) +
+            " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+            "-byte limit (corrupt stream?)");
+    payload.resize(n);
+    if (n > 0)
+        readAll(fd, payload.data(), n, /*eof_ok=*/false);
+    return true;
+}
+
+} // namespace cirfix::service

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * Frame layer of the repair-service wire protocol.
+ *
+ * Every protocol message travels as one frame on a stream socket:
+ * a 4-byte big-endian payload length followed by that many bytes of
+ * UTF-8 JSON. Length-prefixing makes message boundaries explicit (no
+ * sentinel scanning in payloads that embed whole Verilog sources) and
+ * lets the reader pre-size its buffer.
+ *
+ * Both directions handle the hard stream cases: writeFrame() loops
+ * over short writes and EINTR, readFrame() loops over short reads,
+ * distinguishes clean EOF (between frames — a peer hanging up) from
+ * truncation (mid-frame — an error), and rejects frames larger than
+ * kMaxFrameBytes so a corrupt or hostile length prefix cannot make
+ * the daemon allocate unbounded memory.
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace cirfix::service {
+
+/** Upper bound on one frame's payload (largest legitimate message is
+ *  a submit carrying a design + oracle; 64 MiB is orders of magnitude
+ *  above any benchmark and still a safe allocation). */
+inline constexpr size_t kMaxFrameBytes = 64ull << 20;
+
+/**
+ * Write one frame. Loops until the length prefix and full payload are
+ * on the wire (short writes, EINTR). Uses MSG_NOSIGNAL so a peer that
+ * hung up yields an error instead of SIGPIPE.
+ * @throws std::runtime_error on oversized payload or any send error.
+ */
+void writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one frame into @p payload.
+ * @return true on a complete frame; false on clean EOF at a frame
+ *         boundary (the peer closed between messages).
+ * @throws std::runtime_error on EOF mid-frame, oversized length
+ *         prefix, or any read error.
+ */
+bool readFrame(int fd, std::string &payload);
+
+} // namespace cirfix::service

@@ -1,0 +1,325 @@
+#include "service/jobqueue.h"
+
+#include <algorithm>
+
+namespace cirfix::service {
+
+std::variant<long, Rejection>
+JobQueue::submit(JobSpec spec)
+{
+    long evals = static_cast<long>(spec.params.popSize) *
+                 static_cast<long>(std::max(1, spec.params.maxGenerations));
+    if (evals > limits_.maxEvalBudget)
+        return Rejection{
+            errc::kBudgetTooLarge,
+            "requested evaluation budget (pop " +
+                std::to_string(spec.params.popSize) + " x gens " +
+                std::to_string(spec.params.maxGenerations) + " = " +
+                std::to_string(evals) + ") exceeds the per-job cap of " +
+                std::to_string(limits_.maxEvalBudget)};
+    if (spec.params.maxSeconds > limits_.maxBudgetSeconds)
+        return Rejection{
+            errc::kBudgetTooLarge,
+            "requested wall-clock budget of " +
+                std::to_string(spec.params.maxSeconds) +
+                "s exceeds the per-job cap of " +
+                std::to_string(limits_.maxBudgetSeconds) + "s"};
+
+    std::lock_guard<std::mutex> lock(mu_);
+    long queued = 0;
+    for (auto &[id, job] : jobs_)
+        if (job->state == JobState::Queued)
+            ++queued;
+    if (queued >= limits_.queueDepth)
+        return Rejection{
+            errc::kQueueFull,
+            "queue depth " + std::to_string(limits_.queueDepth) +
+                " reached (" + std::to_string(queued) +
+                " jobs waiting); retry after one drains"};
+
+    auto job = std::make_shared<Job>();
+    job->id = nextId_++;
+    job->seq = nextSeq_++;
+    job->spec = std::move(spec);
+    job->state = JobState::Queued;
+    Json ev = Json::object();
+    ev["type"] = "event";
+    ev["event"] = "state";
+    ev["id"] = job->id;
+    ev["state"] = jobStateName(job->state);
+    job->events.push_back(std::move(ev));
+    jobs_.emplace(job->id, job);
+    readyCv_.notify_one();
+    eventsCv_.notify_all();
+    return job->id;
+}
+
+void
+JobQueue::restore(std::shared_ptr<Job> job)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    nextId_ = std::max(nextId_, job->id + 1);
+    nextSeq_ = std::max(nextSeq_, job->seq + 1);
+    if (!isTerminal(job->state))
+        job->state = JobState::Queued;  // running jobs resume
+    if (job->events.empty()) {
+        Json ev = Json::object();
+        ev["type"] = "event";
+        ev["event"] = "state";
+        ev["id"] = job->id;
+        ev["state"] = jobStateName(job->state);
+        job->events.push_back(std::move(ev));
+    }
+    jobs_[job->id] = job;
+    readyCv_.notify_one();
+    eventsCv_.notify_all();
+}
+
+std::shared_ptr<Job>
+JobQueue::nextReadyLocked()
+{
+    std::shared_ptr<Job> best;
+    for (auto &[id, job] : jobs_) {
+        if (job->state != JobState::Queued)
+            continue;
+        if (!best || job->spec.priority > best->spec.priority ||
+            (job->spec.priority == best->spec.priority &&
+             job->seq < best->seq))
+            best = job;
+    }
+    return best;
+}
+
+std::shared_ptr<Job>
+JobQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        if (std::shared_ptr<Job> job = nextReadyLocked()) {
+            job->state = JobState::Running;
+            Json ev = Json::object();
+            ev["type"] = "event";
+            ev["event"] = "state";
+            ev["id"] = job->id;
+            ev["state"] = jobStateName(job->state);
+            job->events.push_back(std::move(ev));
+            eventsCv_.notify_all();
+            return job;
+        }
+        if (closed_)
+            return nullptr;
+        readyCv_.wait(lock);
+    }
+}
+
+void
+JobQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    readyCv_.notify_all();
+    eventsCv_.notify_all();
+}
+
+bool
+JobQueue::cancel(long id, std::string *why)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        if (why)
+            *why = "no job with id " + std::to_string(id);
+        return false;
+    }
+    Job &job = *it->second;
+    if (isTerminal(job.state)) {
+        if (why)
+            *why = "job " + std::to_string(id) + " is already " +
+                   jobStateName(job.state);
+        return false;
+    }
+    job.cancelRequested.store(true, std::memory_order_relaxed);
+    if (job.state == JobState::Queued) {
+        // Never reached a worker: goes terminal right here.
+        job.state = JobState::Canceled;
+        Json ev = Json::object();
+        ev["type"] = "event";
+        ev["event"] = "state";
+        ev["id"] = job.id;
+        ev["state"] = jobStateName(job.state);
+        job.events.push_back(std::move(ev));
+        eventsCv_.notify_all();
+    }
+    // Running: the engine's shouldStop poll picks the flag up and the
+    // worker publishes the terminal state.
+    return true;
+}
+
+std::shared_ptr<Job>
+JobQueue::find(long id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Job>>
+JobQueue::list()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<Job>> out;
+    out.reserve(jobs_.size());
+    for (auto &[id, job] : jobs_)
+        out.push_back(job);
+    return out;
+}
+
+size_t
+JobQueue::queuedCount()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (auto &[id, job] : jobs_)
+        if (job->state == JobState::Queued)
+            ++n;
+    return n;
+}
+
+void
+JobQueue::publish(Job &job, Json event)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    job.events.push_back(std::move(event));
+    eventsCv_.notify_all();
+}
+
+void
+JobQueue::setState(Job &job, JobState state, const std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    job.state = state;
+    job.error = error;
+    Json ev = Json::object();
+    ev["type"] = "event";
+    ev["event"] = "state";
+    ev["id"] = job.id;
+    ev["state"] = jobStateName(state);
+    if (!error.empty())
+        ev["error"] = error;
+    job.events.push_back(std::move(ev));
+    eventsCv_.notify_all();
+}
+
+void
+JobQueue::publishGeneration(Job &job, const core::GenerationStats &gs)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    job.generation = gs.generation;
+    job.bestFitness = gs.bestFitness;
+    job.fitnessEvals = gs.fitnessEvals;
+    Json ev = Json::object();
+    ev["type"] = "event";
+    ev["event"] = "generation";
+    ev["id"] = job.id;
+    ev["generation"] = gs.generation;
+    ev["best_fitness"] = gs.bestFitness;
+    ev["fitness_evals"] = gs.fitnessEvals;
+    ev["invalid_mutants"] = gs.invalidMutants;
+    ev["total_mutants"] = gs.totalMutants;
+    ev["quarantined"] = static_cast<long long>(gs.quarantined);
+    Json cache = Json::object();
+    cache["hits"] = gs.cache.hits;
+    cache["misses"] = gs.cache.misses;
+    cache["evictions"] = gs.cache.evictions;
+    ev["cache"] = std::move(cache);
+    Json outcomes = Json::object();
+    for (int i = 0; i < core::kEvalOutcomeCount; ++i)
+        outcomes[core::evalOutcomeName(
+            static_cast<core::EvalOutcome>(i))] =
+            gs.outcomes.counts[static_cast<size_t>(i)];
+    outcomes["quarantine_hits"] = gs.outcomes.quarantineHits;
+    ev["outcomes"] = std::move(outcomes);
+    job.events.push_back(std::move(ev));
+    eventsCv_.notify_all();
+}
+
+bool
+JobQueue::waitEvent(long id, size_t have, Json *out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return false;
+        Job &job = *it->second;
+        if (job.events.size() > have) {
+            *out = job.events[have];
+            return true;
+        }
+        // All delivered: a terminal job publishes nothing further.
+        if (isTerminal(job.state) || closed_)
+            return false;
+        eventsCv_.wait(lock);
+    }
+}
+
+void
+JobQueue::setResult(Job &job, Json result)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    job.result = std::move(result);
+}
+
+bool
+JobQueue::resultFor(long id, JobState *state, Json *result,
+                    std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    Job &job = *it->second;
+    *state = job.state;
+    if (isTerminal(job.state)) {
+        *result = job.result;
+        *error = job.error;
+    }
+    return true;
+}
+
+Json
+JobQueue::summaryFor(long id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? Json() : jobSummary(*it->second);
+}
+
+std::vector<Json>
+JobQueue::summaries()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Json> out;
+    out.reserve(jobs_.size());
+    for (auto &[id, job] : jobs_)
+        out.push_back(jobSummary(*job));
+    return out;
+}
+
+Json
+jobSummary(const Job &job)
+{
+    Json j = Json::object();
+    j["id"] = job.id;
+    j["state"] = jobStateName(job.state);
+    j["priority"] = job.spec.priority;
+    j["dut"] = job.spec.dutModule;
+    j["generation"] = job.generation;
+    j["best_fitness"] = job.bestFitness;
+    j["fitness_evals"] = job.fitnessEvals;
+    if (!job.error.empty())
+        j["error"] = job.error;
+    return j;
+}
+
+} // namespace cirfix::service

@@ -1,0 +1,170 @@
+#pragma once
+
+/**
+ * @file
+ * The daemon's job table and scheduler queue.
+ *
+ * One JobQueue instance holds every job the daemon knows about —
+ * waiting, running, and terminal — behind a single mutex. Scheduling
+ * order is priority-then-FIFO: a higher priority value always runs
+ * first, ties run in submission order. Workers block in pop() until a
+ * job is ready (or the queue is closed at shutdown).
+ *
+ * Admission control happens inside submit(), under the same lock the
+ * accept loop's dispatch uses, so the decision is deterministic and
+ * immediate: a submission beyond the configured queue depth or beyond
+ * the per-job budget caps is rejected with a structured reason
+ * (Rejection{code, message}); it is never silently dropped and never
+ * blocks the caller.
+ *
+ * Progress streaming: every state change and every finished generation
+ * is appended to the job's event log and broadcast. Subscribers drain
+ * the log with waitEvent(), which returns false once a terminal event
+ * has been delivered (or the queue closed), so a subscriber sees the
+ * complete, ordered event history regardless of when it attached.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/protocol.h"
+
+namespace cirfix::service {
+
+/** Admission-control policy knobs. */
+struct AdmissionLimits
+{
+    /** Max jobs waiting to run (running/terminal jobs don't count).
+     *  Submissions beyond this are rejected with queue_full. */
+    int queueDepth = 64;
+    /** Cap on popSize * maxGenerations (the job's evaluation budget);
+     *  larger requests are rejected with budget_too_large. */
+    long maxEvalBudget = 2'000'000;
+    /** Cap on a job's wall-clock budget in seconds. */
+    double maxBudgetSeconds = 3600.0;
+};
+
+/** Why a submission was refused (wire error code + human message). */
+struct Rejection
+{
+    std::string code;
+    std::string message;
+};
+
+/** One job, owned by the queue. Every field is guarded by the queue's
+ *  mutex except cancelRequested, which the engine's shouldStop hook
+ *  polls lock-free from the worker thread. */
+struct Job
+{
+    long id = 0;
+    long seq = 0;  //!< global submission order (FIFO tiebreak)
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    std::atomic<bool> cancelRequested{false};
+
+    // Progress mirror of the engine's GenerationStats, for status.
+    int generation = 0;
+    double bestFitness = -1.0;
+    long fitnessEvals = 0;
+
+    Json result;        //!< terminal payload (Done/Canceled)
+    std::string error;  //!< diagnostic for Failed
+    std::vector<Json> events;  //!< ordered progress stream
+};
+
+class JobQueue
+{
+  public:
+    explicit JobQueue(AdmissionLimits limits) : limits_(limits) {}
+
+    /** Admission-checked submission: returns the new job id, or the
+     *  structured rejection. Never blocks. */
+    std::variant<long, Rejection> submit(JobSpec spec);
+
+    /** Re-insert a job recovered from the state dir (restart path):
+     *  keeps its id and submission order; terminal jobs are stored
+     *  for status/result queries, live ones are re-queued. */
+    void restore(std::shared_ptr<Job> job);
+
+    /** Block until a queued job is ready and claim it as Running;
+     *  nullptr once close() has been called and nothing is ready. */
+    std::shared_ptr<Job> pop();
+
+    /** Wake every pop()per and waitEvent()er; pop() returns nullptr
+     *  from now on. */
+    void close();
+
+    /**
+     * Cancel a job. Queued jobs go terminal immediately; running jobs
+     * get their flag set and stop mid-generation (the worker publishes
+     * the terminal state). @return false with @p why filled when the
+     * job is unknown or already terminal.
+     */
+    bool cancel(long id, std::string *why);
+
+    std::shared_ptr<Job> find(long id);
+    std::vector<std::shared_ptr<Job>> list();
+    size_t queuedCount();
+
+    /** Append @p event to the job's log and wake subscribers. */
+    void publish(Job &job, Json event);
+
+    /** Move @p job to @p state and publish the state-change event.
+     *  For Failed, @p error carries the diagnostic. */
+    void setState(Job &job, JobState state,
+                  const std::string &error = "");
+
+    /** Update the progress mirror and publish a generation event. */
+    void publishGeneration(Job &job,
+                           const core::GenerationStats &gs);
+
+    /**
+     * Deliver the next event after index @p have to a subscriber.
+     * Blocks until one exists. @return false when no further event
+     * will come (terminal event already delivered, or queue closed).
+     */
+    bool waitEvent(long id, size_t have, Json *out);
+
+    /** Store the terminal payload (call before setState()). */
+    void setResult(Job &job, Json result);
+
+    /** Snapshot a job's terminal payload. @return false when the job
+     *  is unknown; otherwise fills state and, when terminal, result
+     *  and error. */
+    bool resultFor(long id, JobState *state, Json *result,
+                   std::string *error);
+
+    /** Locked wire summary; Null JSON when the job is unknown. */
+    Json summaryFor(long id);
+    /** Locked wire summaries of every job, in id order. */
+    std::vector<Json> summaries();
+
+    const AdmissionLimits &limits() const { return limits_; }
+
+  private:
+    /** Highest-priority, earliest-seq queued job (lock held). */
+    std::shared_ptr<Job> nextReadyLocked();
+
+    AdmissionLimits limits_;
+    std::mutex mu_;
+    std::condition_variable readyCv_;   //!< workers wait here
+    std::condition_variable eventsCv_;  //!< subscribers wait here
+    std::map<long, std::shared_ptr<Job>> jobs_;
+    long nextId_ = 1;
+    long nextSeq_ = 0;
+    bool closed_ = false;
+};
+
+/** Build the wire summary object for one job (status/list replies).
+ *  The caller must hold the queue lock (or own the job exclusively);
+ *  prefer JobQueue::summaryFor() / summaries(). */
+Json jobSummary(const Job &job);
+
+} // namespace cirfix::service

@@ -1,0 +1,111 @@
+#pragma once
+
+/**
+ * @file
+ * Message layer of the repair-service wire protocol (version 1).
+ *
+ * Every frame (framing.h) carries one JSON object with a "type"
+ * member. A connection opens with a versioned handshake — the client
+ * sends {"type":"hello","version":1} and the server answers with its
+ * own hello (or a version_mismatch error and a close) — after which
+ * the client issues requests:
+ *
+ *   type        direction  payload
+ *   ----------  ---------  ------------------------------------------
+ *   hello       both       version, server name (server side)
+ *   submit      c -> s     job: JobSpec (design, tb, dut, oracle/golden,
+ *                          params, priority)
+ *   submitted   s -> c     id of the accepted job
+ *   status      c -> s     id -> job: summary (state, progress)
+ *   list        c -> s     -> jobs: array of summaries
+ *   cancel      c -> s     id -> ok (queued jobs cancel immediately;
+ *                          running jobs stop mid-generation)
+ *   result      c -> s     id -> result: terminal payload (error
+ *                          not_done while the job is still live)
+ *   subscribe   c -> s     id -> stream of event frames, ending with
+ *                          the terminal state event
+ *   event       s -> c     generation progress or a state change
+ *   ok          s -> c     generic success
+ *   error       s -> c     code (stable identifier) + message (human)
+ *
+ * Admission control is part of the contract: a submit beyond the
+ * queue depth or the per-job budget caps is answered with a structured
+ * error (code queue_full / budget_too_large) — never silently dropped
+ * and never blocking the accept loop.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "service/json.h"
+
+namespace cirfix::service {
+
+inline constexpr int kProtocolVersion = 1;
+inline constexpr const char *kServerName = "cirfix-repaird";
+
+/** Stable error codes carried in the "code" member of error frames. */
+namespace errc {
+inline constexpr const char *kQueueFull = "queue_full";
+inline constexpr const char *kBudgetTooLarge = "budget_too_large";
+inline constexpr const char *kBadRequest = "bad_request";
+inline constexpr const char *kUnknownJob = "unknown_job";
+inline constexpr const char *kNotDone = "not_done";
+inline constexpr const char *kVersionMismatch = "version_mismatch";
+inline constexpr const char *kInternal = "internal";
+} // namespace errc
+
+/** Job lifecycle. Queued -> Running -> {Done, Canceled, Failed};
+ *  Queued -> Canceled directly; a daemon restart moves a Running job
+ *  back to Queued (it resumes from its generation snapshot). */
+enum class JobState { Queued, Running, Done, Canceled, Failed };
+
+const char *jobStateName(JobState s);
+JobState jobStateFromName(const std::string &name); //!< throws
+inline bool
+isTerminal(JobState s)
+{
+    return s == JobState::Done || s == JobState::Canceled ||
+           s == JobState::Failed;
+}
+
+/** Engine knobs a submission may set (mirrors EngineConfig fields the
+ *  service exposes; everything else keeps the engine default). */
+struct JobParams
+{
+    int popSize = 40;
+    int maxGenerations = 8;
+    double maxSeconds = 600.0;
+    uint64_t seed = 1;
+    int numThreads = 1;  //!< per-job; the daemon multiplexes jobs
+    double phi = 2.0;
+    double evalDeadlineSeconds = 30.0;
+    uint64_t evalMemoryBudget = 64ull << 20;
+};
+
+/** One repair request: a faulty design + expected behavior. Exactly
+ *  one of oracleCsv / goldenSource must be set. */
+struct JobSpec
+{
+    std::string designSource;  //!< faulty DUT + testbench (+ extras)
+    std::string tbModule;
+    std::string dutModule;
+    std::string oracleCsv;     //!< recorded expected-behavior trace
+    std::string goldenSource;  //!< or: golden DUT re-simulated server-side
+    JobParams params;
+    int priority = 0;          //!< higher runs first; FIFO within a level
+};
+
+Json toJson(const JobSpec &spec);
+/** @throws std::runtime_error on missing/invalid members. */
+JobSpec jobSpecFromJson(const Json &j);
+
+// ---- frame builders ----
+Json makeHello();
+Json makeError(const std::string &code, const std::string &message);
+
+/** Check an incoming hello; returns false (and fills @p why) on a
+ *  version or shape mismatch. */
+bool checkHello(const Json &msg, std::string *why);
+
+} // namespace cirfix::service

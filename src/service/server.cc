@@ -1,0 +1,532 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/framing.h"
+#include "service/session.h"
+
+namespace cirfix::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void
+sysError(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &data)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("cannot write " + tmp);
+        os.write(data.data(),
+                 static_cast<std::streamsize>(data.size()));
+        os.flush();
+        if (!os)
+            throw std::runtime_error("short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename " + tmp + " to " +
+                                 path);
+    }
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), queue_(cfg_.limits)
+{}
+
+Server::~Server()
+{
+    stop();
+}
+
+std::string
+Server::jobFile(long id) const
+{
+    return cfg_.stateDir + "/job-" + std::to_string(id) + ".json";
+}
+
+std::string
+Server::snapshotFile(long id) const
+{
+    return cfg_.stateDir + "/job-" + std::to_string(id) + ".snap";
+}
+
+std::string
+Server::resultFile(long id) const
+{
+    return cfg_.stateDir + "/job-" + std::to_string(id) +
+           ".result.json";
+}
+
+void
+Server::persistJob(const Job &job)
+{
+    Json j = Json::object();
+    j["id"] = job.id;
+    j["seq"] = job.seq;
+    j["spec"] = toJson(job.spec);
+    writeFileAtomic(jobFile(job.id), j.dump());
+}
+
+void
+Server::persistResult(const Job &job)
+{
+    JobState state = JobState::Failed;
+    Json result;
+    std::string error;
+    if (!queue_.resultFor(job.id, &state, &result, &error))
+        return;
+    Json j = Json::object();
+    j["id"] = job.id;
+    j["state"] = jobStateName(state);
+    j["result"] = std::move(result);
+    j["error"] = error;
+    writeFileAtomic(resultFile(job.id), j.dump());
+}
+
+void
+Server::recoverStateDir()
+{
+    if (!fs::exists(cfg_.stateDir))
+        return;
+    std::vector<fs::path> jobFiles;
+    for (const auto &entry : fs::directory_iterator(cfg_.stateDir)) {
+        std::string name = entry.path().filename().string();
+        if (name.rfind("job-", 0) == 0 &&
+            name.size() > 9 &&
+            name.compare(name.size() - 5, 5, ".json") == 0 &&
+            name.find(".result.") == std::string::npos)
+            jobFiles.push_back(entry.path());
+    }
+    for (const fs::path &path : jobFiles) {
+        try {
+            Json j = Json::parse(slurpFile(path.string()));
+            auto job = std::make_shared<Job>();
+            job->id = j.num("id", -1);
+            job->seq = j.num("seq", 0);
+            if (job->id < 0)
+                continue;
+            const Json *spec = j.find("spec");
+            if (!spec)
+                continue;
+            job->spec = jobSpecFromJson(*spec);
+            std::string rf = resultFile(job->id);
+            if (fs::exists(rf)) {
+                Json r = Json::parse(slurpFile(rf));
+                job->state = jobStateFromName(r.str("state", "failed"));
+                if (const Json *res = r.find("result"))
+                    job->result = *res;
+                job->error = r.str("error");
+            } else {
+                job->state = JobState::Queued;  // resumes via .snap
+            }
+            queue_.restore(std::move(job));
+        } catch (const std::exception &) {
+            // A torn/corrupt record (e.g. killed mid-first-write) is
+            // skipped rather than wedging the daemon; its atomic-write
+            // temp file never replaced a good one.
+        }
+    }
+}
+
+void
+Server::start()
+{
+    if (started_)
+        return;
+    if (cfg_.socketPath.empty() || cfg_.stateDir.empty())
+        throw std::runtime_error(
+            "server needs a socket path and a state dir");
+    fs::create_directories(cfg_.stateDir);
+    recoverStateDir();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.size() >= sizeof addr.sun_path)
+        throw std::runtime_error("socket path too long: " +
+                                 cfg_.socketPath);
+    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        sysError("socket");
+    ::unlink(cfg_.socketPath.c_str());  // stale socket from a kill
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        sysError("bind " + cfg_.socketPath);
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        sysError("listen");
+    }
+    if (::pipe(stopPipe_) != 0)
+        sysError("pipe");
+
+    stopping_.store(false);
+    started_ = true;
+    acceptThread_ = std::thread(&Server::acceptLoop, this);
+    for (int i = 0; i < cfg_.workers; ++i)
+        workerThreads_.emplace_back(&Server::workerLoop, this);
+}
+
+void
+Server::requestStop()
+{
+    if (stopPipe_[1] >= 0) {
+        char b = 'q';
+        [[maybe_unused]] ssize_t w = ::write(stopPipe_[1], &b, 1);
+    }
+}
+
+void
+Server::wait()
+{
+    std::unique_lock<std::mutex> lock(stopMu_);
+    stopCv_.wait(lock, [&] { return stopRequested_; });
+}
+
+void
+Server::stop()
+{
+    if (!started_)
+        return;
+    stopping_.store(true);
+    requestStop();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::unlink(cfg_.socketPath.c_str());
+
+    // Wake workers (idle ones return nullptr from pop) and ask running
+    // engines to stop at their next shouldStop poll; their jobs stay
+    // resumable — shutdown is not a cancel.
+    queue_.close();
+    for (std::thread &t : workerThreads_)
+        t.join();
+    workerThreads_.clear();
+
+    // Unblock any connection thread parked in a read or a subscribe.
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (int fd : connFds_)
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &t : connThreads_)
+        t.join();
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        connThreads_.clear();
+        connFds_.clear();
+    }
+
+    for (int i = 0; i < 2; ++i)
+        if (stopPipe_[i] >= 0) {
+            ::close(stopPipe_[i]);
+            stopPipe_[i] = -1;
+        }
+    started_ = false;
+    {
+        std::lock_guard<std::mutex> lock(stopMu_);
+        stopRequested_ = true;
+    }
+    stopCv_.notify_all();
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {stopPipe_[0], POLLIN, 0}};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents) {
+            // Stop requested: wake wait()ers and stop accepting.
+            {
+                std::lock_guard<std::mutex> lock(stopMu_);
+                stopRequested_ = true;
+            }
+            stopCv_.notify_all();
+            break;
+        }
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(connMu_);
+        size_t slot = connFds_.size();
+        connFds_.push_back(fd);
+        connThreads_.emplace_back([this, fd, slot] {
+            handleConnection(fd);
+            std::lock_guard<std::mutex> l(connMu_);
+            connFds_[slot] = -1;  // closed: never shutdown a reused fd
+        });
+    }
+}
+
+void
+Server::workerLoop()
+{
+    while (std::shared_ptr<Job> job = queue_.pop())
+        runJob(job);
+}
+
+void
+Server::runJob(const std::shared_ptr<Job> &job)
+{
+    auto on_gen = [this, job](const core::GenerationStats &gs) {
+        queue_.publishGeneration(*job, gs);
+    };
+    auto should_stop = [this, job] {
+        return job->cancelRequested.load(std::memory_order_relaxed) ||
+               stopping_.load(std::memory_order_relaxed);
+    };
+    SessionOutcome out = runRepairJob(job->spec, snapshotFile(job->id),
+                                      on_gen, should_stop);
+    if (out.state == JobState::Canceled &&
+        !job->cancelRequested.load(std::memory_order_relaxed)) {
+        // The engine stopped because the daemon is shutting down, not
+        // because a client asked: the job stays resumable. Its state
+        // file still says queued and its snapshot is durable.
+        return;
+    }
+    queue_.setResult(*job, std::move(out.result));
+    queue_.setState(*job, out.state, out.error);
+    try {
+        persistResult(*job);
+    } catch (const std::exception &) {
+        // The result stays queryable in-process; a restart will re-run
+        // the job from its snapshot instead of replaying the result.
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::string payload;
+    try {
+        if (!readFrame(fd, payload)) {
+            ::close(fd);
+            return;
+        }
+        std::string why;
+        Json hello;
+        try {
+            hello = Json::parse(payload);
+        } catch (const std::exception &e) {
+            writeFrame(fd,
+                       makeError(errc::kBadRequest, e.what()).dump());
+            ::close(fd);
+            return;
+        }
+        if (!checkHello(hello, &why)) {
+            writeFrame(
+                fd, makeError(errc::kVersionMismatch, why).dump());
+            ::close(fd);
+            return;
+        }
+        Json reply = makeHello();
+        reply["server"] = kServerName;
+        writeFrame(fd, reply.dump());
+
+        while (readFrame(fd, payload)) {
+            Json msg;
+            try {
+                msg = Json::parse(payload);
+            } catch (const std::exception &e) {
+                writeFrame(
+                    fd,
+                    makeError(errc::kBadRequest, e.what()).dump());
+                continue;
+            }
+            bool keep_open = true;
+            Json resp = dispatch(msg, fd, keep_open);
+            if (!resp.isNull())
+                writeFrame(fd, resp.dump());
+            if (!keep_open)
+                break;
+        }
+    } catch (const std::exception &) {
+        // Connection-level failure (peer vanished mid-frame, write
+        // error): drop the connection; jobs are unaffected.
+    }
+    ::close(fd);
+}
+
+Json
+Server::dispatch(const Json &msg, int fd, bool &keep_open)
+{
+    std::string type = msg.str("type");
+
+    if (type == "submit") {
+        JobSpec spec;
+        try {
+            const Json *body = msg.find("job");
+            if (!body)
+                throw std::runtime_error("submit needs a 'job' member");
+            spec = jobSpecFromJson(*body);
+        } catch (const std::exception &e) {
+            return makeError(errc::kBadRequest, e.what());
+        }
+        auto admitted = queue_.submit(std::move(spec));
+        if (const Rejection *rej = std::get_if<Rejection>(&admitted))
+            return makeError(rej->code, rej->message);
+        long id = std::get<long>(admitted);
+        if (std::shared_ptr<Job> job = queue_.find(id)) {
+            try {
+                persistJob(*job);
+            } catch (const std::exception &e) {
+                // Not durable: admit it anyway but tell the client.
+                Json resp = Json::object();
+                resp["type"] = "submitted";
+                resp["id"] = id;
+                resp["durable"] = false;
+                resp["warning"] = e.what();
+                return resp;
+            }
+        }
+        Json resp = Json::object();
+        resp["type"] = "submitted";
+        resp["id"] = id;
+        resp["durable"] = true;
+        return resp;
+    }
+
+    if (type == "status") {
+        Json summary = queue_.summaryFor(msg.num("id", -1));
+        if (summary.isNull())
+            return makeError(errc::kUnknownJob,
+                             "no job with id " +
+                                 std::to_string(msg.num("id", -1)));
+        Json resp = Json::object();
+        resp["type"] = "status";
+        resp["job"] = std::move(summary);
+        return resp;
+    }
+
+    if (type == "list") {
+        Json resp = Json::object();
+        resp["type"] = "list";
+        Json jobs = Json::array();
+        for (Json &s : queue_.summaries())
+            jobs.push(std::move(s));
+        resp["jobs"] = std::move(jobs);
+        return resp;
+    }
+
+    if (type == "cancel") {
+        long id = msg.num("id", -1);
+        std::string why;
+        bool existed = queue_.find(id) != nullptr;
+        if (!queue_.cancel(id, &why))
+            return makeError(existed ? errc::kBadRequest
+                                     : errc::kUnknownJob,
+                             why);
+        if (std::shared_ptr<Job> job = queue_.find(id)) {
+            JobState state = JobState::Queued;
+            Json result;
+            std::string error;
+            queue_.resultFor(id, &state, &result, &error);
+            if (isTerminal(state)) {
+                try {
+                    persistResult(*job);
+                } catch (const std::exception &) {
+                }
+            }
+        }
+        Json resp = Json::object();
+        resp["type"] = "ok";
+        resp["id"] = id;
+        return resp;
+    }
+
+    if (type == "result") {
+        long id = msg.num("id", -1);
+        JobState state = JobState::Queued;
+        Json result;
+        std::string error;
+        if (!queue_.resultFor(id, &state, &result, &error))
+            return makeError(errc::kUnknownJob,
+                             "no job with id " + std::to_string(id));
+        if (!isTerminal(state))
+            return makeError(errc::kNotDone,
+                             "job " + std::to_string(id) + " is " +
+                                 jobStateName(state));
+        Json resp = Json::object();
+        resp["type"] = "result";
+        resp["id"] = id;
+        resp["state"] = jobStateName(state);
+        resp["result"] = std::move(result);
+        if (!error.empty())
+            resp["error"] = error;
+        return resp;
+    }
+
+    if (type == "subscribe") {
+        long id = msg.num("id", -1);
+        if (!queue_.find(id))
+            return makeError(errc::kUnknownJob,
+                             "no job with id " + std::to_string(id));
+        // Stream the job's full ordered event history, then live
+        // events, ending after the terminal state event.
+        size_t have = 0;
+        Json ev;
+        while (queue_.waitEvent(id, have, &ev)) {
+            writeFrame(fd, ev.dump());
+            ++have;
+        }
+        Json done = Json::object();
+        done["type"] = "end_of_stream";
+        done["id"] = id;
+        return done;
+    }
+
+    (void)keep_open;
+    return makeError(errc::kBadRequest,
+                     "unknown message type '" + type + "'");
+}
+
+} // namespace cirfix::service

@@ -1,0 +1,108 @@
+#pragma once
+
+/**
+ * @file
+ * The repair daemon: a Unix-domain-socket server multiplexing many
+ * repair jobs over one process ("cirfix serve").
+ *
+ * Thread model:
+ *  - an accept thread poll()s the listening socket plus an internal
+ *    stop pipe, so shutdown never races an accept();
+ *  - one thread per client connection runs the handshake and request
+ *    dispatch (a subscribe parks the connection on the job's event
+ *    stream until the terminal event);
+ *  - N worker threads pop jobs off the JobQueue and run repair
+ *    sessions; admission control has already bounded what they see.
+ *
+ * Durability: a job is persisted to the state dir at admission
+ * (<dir>/job-<id>.json, atomic tmp+rename), checkpointed by the engine
+ * every generation (<dir>/job-<id>.snap), and sealed with a result
+ * file at terminal state (<dir>/job-<id>.result.json). start() replays
+ * the directory: terminal jobs come back queryable, live jobs re-queue
+ * in their original submission order and resume from their snapshot —
+ * so a SIGKILLed daemon restarts with at most one generation of work
+ * lost per job, and the resumed search is bit-identical to one that
+ * never died.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/jobqueue.h"
+
+namespace cirfix::service {
+
+struct ServerConfig
+{
+    std::string socketPath;
+    std::string stateDir;
+    /** Concurrent repair sessions. 0 is admit-only (jobs queue but
+     *  never run — used by the admission tests). */
+    int workers = 1;
+    AdmissionLimits limits;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind the socket, recover the state dir, launch the accept and
+     *  worker threads. @throws std::runtime_error on bind failures. */
+    void start();
+
+    /** Graceful shutdown: stop accepting, unblock every connection,
+     *  ask running engines to stop at the next poll, join everything.
+     *  Running jobs stay re-queueable (they are not canceled) and
+     *  resume on the next start(). Idempotent. */
+    void stop();
+
+    /** Block until requestStop() is called (signal handlers use it). */
+    void wait();
+
+    /** Async-signal-safe stop trigger (writes one byte to the stop
+     *  pipe); the accept thread then drives the actual stop(). */
+    void requestStop();
+
+    JobQueue &queue() { return queue_; }
+    const ServerConfig &config() const { return cfg_; }
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void handleConnection(int fd);
+    Json dispatch(const Json &msg, int fd, bool &keep_open);
+    void runJob(const std::shared_ptr<Job> &job);
+
+    // ---- persistence ----
+    std::string jobFile(long id) const;
+    std::string snapshotFile(long id) const;
+    std::string resultFile(long id) const;
+    void persistJob(const Job &job);
+    void persistResult(const Job &job);
+    void recoverStateDir();
+
+    ServerConfig cfg_;
+    JobQueue queue_;
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    std::thread acceptThread_;
+    std::vector<std::thread> workerThreads_;
+
+    std::mutex connMu_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+
+    std::mutex stopMu_;
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+};
+
+} // namespace cirfix::service

@@ -1,0 +1,160 @@
+#include "service/session.h"
+
+#include <filesystem>
+
+#include "core/snapshot.h"
+#include "sim/elaborate.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace cirfix::service {
+
+using namespace cirfix;
+
+core::EngineConfig
+engineConfigFromSpec(const JobSpec &spec)
+{
+    core::EngineConfig cfg;
+    cfg.popSize = spec.params.popSize;
+    cfg.maxGenerations = spec.params.maxGenerations;
+    cfg.maxSeconds = spec.params.maxSeconds;
+    cfg.seed = spec.params.seed;
+    cfg.numThreads = spec.params.numThreads;
+    cfg.fitness.phi = spec.params.phi;
+    cfg.evalDeadlineSeconds = spec.params.evalDeadlineSeconds;
+    cfg.evalMemoryBudget = spec.params.evalMemoryBudget;
+    return cfg;
+}
+
+namespace {
+
+/** The submitted golden file holds replacement DUT module(s); reuse
+ *  the testbench from the design source by keeping only the modules
+ *  the golden file does not redefine (the CLI's --golden behavior). */
+std::string
+testbenchOnlySource(const verilog::SourceFile &design,
+                    const verilog::SourceFile &golden)
+{
+    std::string out;
+    for (auto &m : design.modules)
+        if (!golden.findModule(m->name))
+            out += verilog::print(*m) + "\n";
+    return out;
+}
+
+} // namespace
+
+JobInputs
+buildJobInputs(const JobSpec &spec)
+{
+    JobInputs in;
+    in.faulty = verilog::parse(spec.designSource);
+    if (!in.faulty->findModule(spec.tbModule))
+        throw std::runtime_error("testbench module '" + spec.tbModule +
+                                 "' not found in the design source");
+    if (!in.faulty->findModule(spec.dutModule))
+        throw std::runtime_error("DUT module '" + spec.dutModule +
+                                 "' not found in the design source");
+    in.probe = sim::deriveProbeConfig(*in.faulty, spec.tbModule);
+    if (!spec.oracleCsv.empty()) {
+        in.oracle = sim::Trace::fromCsv(spec.oracleCsv);
+    } else {
+        auto golden_only = verilog::parse(spec.goldenSource);
+        std::string golden_src =
+            spec.goldenSource + "\n" +
+            testbenchOnlySource(*in.faulty, *golden_only);
+        std::shared_ptr<const verilog::SourceFile> golden =
+            verilog::parse(golden_src);
+        auto design = sim::elaborate(golden, spec.tbModule);
+        sim::TraceRecorder rec(*design, in.probe);
+        design->run();
+        in.oracle = rec.takeTrace();
+    }
+    return in;
+}
+
+Json
+resultToJson(const core::RepairResult &res)
+{
+    Json j = Json::object();
+    j["found"] = res.found;
+    j["stopped"] = res.stopped;
+    j["generations"] = res.generations;
+    j["fitness_evals"] = res.fitnessEvals;
+    j["invalid_mutants"] = res.invalidMutants;
+    j["total_mutants"] = res.totalMutants;
+    j["seconds"] = res.seconds;
+    if (res.found) {
+        j["patch"] = res.patch.describe();
+        j["repaired_source"] = res.repairedSource;
+    }
+    Json fit = Json::object();
+    fit["fitness"] = res.finalFitness.fitness;
+    fit["sum"] = res.finalFitness.sum;
+    fit["total"] = res.finalFitness.total;
+    j["final_fitness"] = std::move(fit);
+    Json traj = Json::array();
+    for (const auto &[at, best] : res.fitnessTrajectory) {
+        Json point = Json::array();
+        point.push(at);
+        point.push(best);
+        traj.push(std::move(point));
+    }
+    j["trajectory"] = std::move(traj);
+    Json cache = Json::object();
+    cache["hits"] = res.cache.hits;
+    cache["misses"] = res.cache.misses;
+    cache["evictions"] = res.cache.evictions;
+    j["cache"] = std::move(cache);
+    Json outcomes = Json::object();
+    for (int i = 0; i < core::kEvalOutcomeCount; ++i)
+        outcomes[core::evalOutcomeName(
+            static_cast<core::EvalOutcome>(i))] =
+            res.outcomes.counts[static_cast<size_t>(i)];
+    outcomes["quarantine_hits"] = res.outcomes.quarantineHits;
+    j["outcomes"] = std::move(outcomes);
+    return j;
+}
+
+SessionOutcome
+runRepairJob(const JobSpec &spec, const std::string &snapshotPath,
+             const std::function<void(const core::GenerationStats &)>
+                 &onGeneration,
+             const std::function<bool()> &shouldStop)
+{
+    SessionOutcome out;
+    try {
+        JobInputs in = buildJobInputs(spec);
+        core::EngineConfig cfg = engineConfigFromSpec(spec);
+        cfg.snapshotPath = snapshotPath;
+        cfg.snapshotEvery = 1;
+        cfg.onGeneration = onGeneration;
+        cfg.shouldStop = shouldStop;
+        core::RepairEngine engine(in.faulty, spec.tbModule,
+                                  spec.dutModule, in.probe,
+                                  std::move(in.oracle), cfg);
+        core::RepairResult res;
+        if (!snapshotPath.empty() &&
+            std::filesystem::exists(snapshotPath)) {
+            // Daemon restart: continue the interrupted run exactly
+            // where its last durable generation left it.
+            core::EngineState state = core::loadSnapshot(snapshotPath);
+            res = engine.resume(state);
+        } else {
+            res = engine.run();
+        }
+        out.result = resultToJson(res);
+        // A stop that the cancel flag (or daemon shutdown) requested is
+        // a cancel, not a completed search.
+        out.state = res.stopped ? JobState::Canceled : JobState::Done;
+    } catch (const std::exception &e) {
+        out.state = JobState::Failed;
+        out.error = e.what();
+    } catch (...) {
+        out.state = JobState::Failed;
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+} // namespace cirfix::service

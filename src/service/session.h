@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * One repair session: everything between "a JobSpec popped off the
+ * queue" and "a terminal state with a result payload".
+ *
+ * The session layer owns the deterministic mapping from wire-level
+ * job descriptions to engine runs:
+ *
+ *  - engineConfigFromSpec() is the single place a JobSpec becomes an
+ *    EngineConfig, so a daemon run and a direct in-process run of the
+ *    same spec are bit-identical (the restart acceptance test compares
+ *    exactly these two).
+ *  - buildJobInputs() parses the design, derives the probe config and
+ *    materializes the expected-behavior oracle (from the submitted CSV
+ *    or by re-simulating the golden source under the design's own
+ *    testbench, mirroring the CLI's --golden path).
+ *  - runRepairJob() wires checkpointing to the job's snapshot path:
+ *    if the snapshot exists the engine resume()s (daemon restart),
+ *    otherwise it run()s fresh; each generation is durable before its
+ *    progress event is published.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "service/jobqueue.h"
+#include "service/protocol.h"
+
+namespace cirfix::service {
+
+/** Parsed, simulation-ready inputs for one job. */
+struct JobInputs
+{
+    std::shared_ptr<const verilog::SourceFile> faulty;
+    sim::ProbeConfig probe;
+    core::Trace oracle;
+};
+
+/** The one JobSpec -> EngineConfig mapping (no snapshot path, no
+ *  callbacks; callers attach those). */
+core::EngineConfig engineConfigFromSpec(const JobSpec &spec);
+
+/** Parse + oracle materialization. @throws std::runtime_error on a
+ *  design that does not parse, a missing module, or a bad oracle. */
+JobInputs buildJobInputs(const JobSpec &spec);
+
+/** Map a finished engine run to the wire result payload. */
+Json resultToJson(const core::RepairResult &res);
+
+/** How runRepairJob() ended. */
+struct SessionOutcome
+{
+    JobState state = JobState::Failed;
+    Json result;        //!< payload for Done/Canceled
+    std::string error;  //!< diagnostic for Failed
+};
+
+/**
+ * Execute (or resume) one job. @p snapshotPath receives a checkpoint
+ * every generation; when the file already exists the run resumes from
+ * it bit-identically. @p onGeneration fires after each generation's
+ * checkpoint is durable; @p shouldStop is polled mid-generation. A
+ * true @p shouldStop ending maps to Canceled (with the partial-run
+ * counters as payload); every exception maps to Failed. Never throws.
+ */
+SessionOutcome
+runRepairJob(const JobSpec &spec, const std::string &snapshotPath,
+             const std::function<void(const core::GenerationStats &)>
+                 &onGeneration,
+             const std::function<bool()> &shouldStop);
+
+} // namespace cirfix::service

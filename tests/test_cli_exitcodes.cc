@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Exit-code contract of the cirfix CLI, asserted against the real
+ * binary (CIRFIX_CLI_BIN is injected by CMake):
+ *
+ *   0  repair found / command succeeded
+ *   2  no repair within the resource budget
+ *   3  usage error (bad flags, unknown subcommand, unknown job)
+ *   4  internal error (unreadable files, malformed designs)
+ *
+ * Scripts and the CI harness depend on these staying stable.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef CIRFIX_CLI_BIN
+#error "CIRFIX_CLI_BIN must point at the cirfix binary"
+#endif
+
+std::string
+tmpFile(const std::string &name, const std::string &content)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::ofstream os(path);
+    os << content;
+    return path;
+}
+
+/** Run the CLI with @p args, discarding output; returns the exit
+ *  code (or -1 if the process died on a signal). */
+int
+runCli(const std::string &args)
+{
+    std::string cmd = std::string(CIRFIX_CLI_BIN) + " " + args +
+                      " > /dev/null 2>&1";
+    int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+const char *kGolden = R"(
+module dut (clk, rst, q);
+    input clk, rst;
+    output q;
+    reg q;
+    always @(posedge clk) begin
+        if (rst == 1'b1) begin
+            q <= 1'b0;
+        end
+        else begin
+            q <= !q;
+        end
+    end
+endmodule
+)";
+
+const char *kTestbench = R"(
+module tb;
+    reg clk, rst;
+    wire q;
+    dut d (.clk(clk), .rst(rst), .q(q));
+    initial begin
+        clk = 0;
+        rst = 1;
+        #12 rst = 0;
+        #100 $finish;
+    end
+    always #5 clk = !clk;
+endmodule
+)";
+
+std::string
+faultyDesign()
+{
+    std::string s = std::string(kGolden) + kTestbench;
+    s.replace(s.find("rst == 1'b1"), 11, "rst != 1'b1");
+    return s;
+}
+
+TEST(CliExitCodes, HelpSucceeds)
+{
+    EXPECT_EQ(runCli("--help"), 0);
+    EXPECT_EQ(runCli("help"), 0);
+}
+
+TEST(CliExitCodes, UsageErrorsExitThree)
+{
+    EXPECT_EQ(runCli(""), 3);                       // no subcommand
+    EXPECT_EQ(runCli("frobnicate"), 3);             // unknown command
+    EXPECT_EQ(runCli("repair"), 3);                 // missing flags
+    EXPECT_EQ(runCli("repair --design"), 3);        // flag needs value
+    EXPECT_EQ(runCli("serve --socket s --state-dir d "
+                     "--workers banana"),
+              3);                                   // non-numeric flag
+    // Missing oracle/golden choice is a usage error, not an I/O one.
+    std::string design = tmpFile("cli_u.v", faultyDesign());
+    EXPECT_EQ(
+        runCli("repair --design " + design + " --tb tb --dut dut"), 3);
+}
+
+TEST(CliExitCodes, InternalErrorsExitFour)
+{
+    // Unreadable input file.
+    EXPECT_EQ(runCli("repair --design /nonexistent/x.v --tb tb "
+                     "--dut dut --golden /nonexistent/g.v"),
+              4);
+    // Design that does not parse.
+    std::string bad = tmpFile("cli_bad.v", "module; endmodule garbage");
+    std::string golden = tmpFile("cli_g1.v", kGolden);
+    EXPECT_EQ(runCli("repair --design " + bad + " --tb tb --dut dut "
+                     "--golden " + golden),
+              4);
+    // Client commands against a daemon that is not there.
+    EXPECT_EQ(runCli("status --socket /nonexistent/sock --id 1"), 4);
+}
+
+TEST(CliExitCodes, RepairFoundExitsZero)
+{
+    std::string design = tmpFile("cli_f.v", faultyDesign());
+    std::string golden = tmpFile("cli_g2.v", kGolden);
+    std::string out = ::testing::TempDir() + "cli_repaired.v";
+    EXPECT_EQ(runCli("repair --design " + design + " --tb tb "
+                     "--dut dut --golden " + golden +
+                     " --pop 20 --gens 6 --seed 42 --trials 1 "
+                     "--out " + out),
+              0);
+    std::ifstream repaired(out);
+    EXPECT_TRUE(repaired.good());
+}
+
+TEST(CliExitCodes, BudgetExhaustedExitsTwo)
+{
+    // A starved search (population 2, one generation, one trial)
+    // cannot repair the double-defect design: budget exhaustion.
+    std::string s = faultyDesign();
+    s.replace(s.find("q <= !q"), 7, "q <= q");
+    std::string design = tmpFile("cli_hard.v", s);
+    std::string golden = tmpFile("cli_g3.v", kGolden);
+    EXPECT_EQ(runCli("repair --design " + design + " --tb tb "
+                     "--dut dut --golden " + golden +
+                     " --pop 2 --gens 1 --seed 1 --trials 1"),
+              2);
+}
+
+} // namespace

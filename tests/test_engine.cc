@@ -245,9 +245,9 @@ TEST(Engine, GenerationHookReportsProgress)
     cfg.maxGenerations = 3;
     cfg.maxSeconds = 30.0;
     cfg.seed = 99991;  // a seed that does not repair during seeding
-    std::vector<std::tuple<int, double, long>> log;
-    cfg.onGeneration = [&](int gen, double best, long evals) {
-        log.emplace_back(gen, best, evals);
+    std::vector<GenerationStats> log;
+    cfg.onGeneration = [&](const GenerationStats &gs) {
+        log.push_back(gs);
     };
     auto engine = sc.engine("tb", "dut", cfg);
     RepairResult res = engine.run();
@@ -256,21 +256,66 @@ TEST(Engine, GenerationHookReportsProgress)
         // with increasing indices and evaluation counts.
         ASSERT_EQ(log.size(), 3u);
         for (size_t i = 0; i < log.size(); ++i) {
-            EXPECT_EQ(std::get<0>(log[i]), static_cast<int>(i) + 1);
-            EXPECT_GE(std::get<1>(log[i]), 0.0);
-            EXPECT_LE(std::get<1>(log[i]), 1.0);
+            EXPECT_EQ(log[i].generation, static_cast<int>(i) + 1);
+            EXPECT_GE(log[i].bestFitness, 0.0);
+            EXPECT_LE(log[i].bestFitness, 1.0);
             if (i > 0) {
-                EXPECT_GT(std::get<2>(log[i]),
-                          std::get<2>(log[i - 1]));
+                EXPECT_GT(log[i].fitnessEvals,
+                          log[i - 1].fitnessEvals);
+                EXPECT_GE(log[i].totalMutants,
+                          log[i - 1].totalMutants);
             }
         }
+        // The hook reports the same cumulative accounting the final
+        // result does.
+        EXPECT_EQ(log.back().fitnessEvals, res.fitnessEvals);
+        EXPECT_EQ(log.back().totalMutants, res.totalMutants);
+        EXPECT_EQ(log.back().outcomes.counts, res.outcomes.counts);
+        EXPECT_EQ(log.back().cache.hits, res.cache.hits);
+        EXPECT_EQ(log.back().cache.misses, res.cache.misses);
     }
     // When the repair lands mid-generation the hook may fire fewer
     // times; either way it must never report out-of-range fitness.
-    for (auto &[gen, best, evals] : log) {
-        EXPECT_GE(best, 0.0);
-        EXPECT_LE(best, 1.0);
+    for (auto &gs : log) {
+        EXPECT_GE(gs.bestFitness, 0.0);
+        EXPECT_LE(gs.bestFitness, 1.0);
+        EXPECT_GE(gs.elapsedSeconds, 0.0);
+        EXPECT_LE(gs.outcomes.of(EvalOutcome::Ok),
+                  gs.totalMutants + 1);
     }
+}
+
+TEST(Engine, ShouldStopCancelsMidGeneration)
+{
+    MiniScenario sc(kGoldenToggle, faultyToggle(), "tb");
+    EngineConfig cfg;
+    cfg.popSize = 15;
+    cfg.maxGenerations = 50;
+    cfg.maxSeconds = 120.0;
+    cfg.seed = 99991;
+    int hooks = 0;
+    bool cancel = false;
+    // Request the stop after generation 2's hook has fired: the engine
+    // must end the run before generation 3 is evaluated.
+    cfg.onGeneration = [&](const GenerationStats &) {
+        if (++hooks == 2)
+            cancel = true;
+    };
+    cfg.shouldStop = [&] { return cancel; };
+    auto engine = sc.engine("tb", "dut", cfg);
+    RepairResult res = engine.run();
+    if (!res.found) {
+        EXPECT_TRUE(res.stopped);
+        EXPECT_EQ(hooks, 2);
+        EXPECT_EQ(res.generations, 2);
+    }
+    // A fresh run with shouldStop never firing is unaffected.
+    EngineConfig plain = cfg;
+    plain.maxGenerations = 2;
+    plain.onGeneration = nullptr;
+    plain.shouldStop = [] { return false; };
+    auto engine2 = sc.engine("tb", "dut", plain);
+    EXPECT_FALSE(engine2.run().stopped);
 }
 
 TEST(Engine, UniformIndexIsUnbiased)

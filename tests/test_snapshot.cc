@@ -184,7 +184,7 @@ TEST(Snapshot, RejectsGarbageAndWrongVersion)
     auto engine = sc.engine(cfg);
     engine.run();
     std::string bytes = slurp(cfg.snapshotPath);
-    ASSERT_EQ(bytes.rfind("CIRFIX-SNAPSHOT 1\n", 0), 0u);
+    ASSERT_EQ(bytes.rfind("CIRFIX-SNAPSHOT 2\n", 0), 0u);
     std::string wrong = bytes;
     wrong.replace(0, 18, "CIRFIX-SNAPSHOT 99\n");
     try {
@@ -195,8 +195,81 @@ TEST(Snapshot, RejectsGarbageAndWrongVersion)
                   std::string::npos)
             << e.what();
     }
+    // A version-1 file (no checksum seal) is likewise rejected by
+    // version, not misparsed.
+    std::string v1 = bytes;
+    v1.replace(0, 18, "CIRFIX-SNAPSHOT 1\n");
+    EXPECT_THROW(decodeSnapshot(v1), std::runtime_error);
     // Truncation anywhere must throw, never misparse.
     EXPECT_THROW(decodeSnapshot(bytes.substr(0, bytes.size() / 2)),
+                 std::runtime_error);
+    std::remove(cfg.snapshotPath.c_str());
+}
+
+TEST(Snapshot, RejectsTruncationAtEveryRecordBoundary)
+{
+    MiniScenario sc;
+    EngineConfig cfg = baseConfig();
+    cfg.maxGenerations = 1;
+    cfg.snapshotPath = tmpPath("truncate.snap");
+    auto engine = sc.engine(cfg);
+    engine.run();
+    std::string bytes = slurp(cfg.snapshotPath);
+    ASSERT_GT(bytes.size(), 64u);
+
+    // Cut the file at every line boundary (mid-record for multi-line
+    // records like variants): each prefix must be rejected with a
+    // diagnostic, never silently decoded to partial state.
+    size_t boundaries = 0;
+    for (size_t nl = bytes.find('\n'); nl != std::string::npos;
+         nl = bytes.find('\n', nl + 1)) {
+        if (nl + 1 >= bytes.size())
+            break;  // the full file decodes, of course
+        ++boundaries;
+        EXPECT_THROW(decodeSnapshot(bytes.substr(0, nl + 1)),
+                     std::runtime_error)
+            << "prefix of " << nl + 1 << " bytes decoded";
+    }
+    EXPECT_GT(boundaries, 10u);
+
+    // And a cut in the *middle* of a blob payload (the population's
+    // trace CSV) as well as mid-line.
+    size_t blob = bytes.find("trace blob ");
+    ASSERT_NE(blob, std::string::npos);
+    EXPECT_THROW(decodeSnapshot(bytes.substr(0, blob + 20)),
+                 std::runtime_error);
+    std::remove(cfg.snapshotPath.c_str());
+}
+
+TEST(Snapshot, RejectsBitFlipsAndTrailingGarbage)
+{
+    MiniScenario sc;
+    EngineConfig cfg = baseConfig();
+    cfg.maxGenerations = 1;
+    cfg.snapshotPath = tmpPath("bitflip.snap");
+    auto engine = sc.engine(cfg);
+    engine.run();
+    std::string bytes = slurp(cfg.snapshotPath);
+
+    // Flip one character inside a blob payload: the record lengths all
+    // still parse, so only the checksum can catch it.
+    size_t blob = bytes.find("trace blob ");
+    ASSERT_NE(blob, std::string::npos);
+    size_t payload = bytes.find('\n', blob) + 2;
+    ASSERT_LT(payload, bytes.size());
+    std::string flipped = bytes;
+    flipped[payload] = flipped[payload] == '0' ? '1' : '0';
+    try {
+        decodeSnapshot(flipped);
+        FAIL() << "expected checksum rejection";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Bytes appended after the end marker are rejected too.
+    EXPECT_THROW(decodeSnapshot(bytes + "stray\n"),
                  std::runtime_error);
     std::remove(cfg.snapshotPath.c_str());
 }
@@ -294,8 +367,8 @@ TEST(Snapshot, KilledMidRunResumesToSameRepair)
         // 2 is written before the callback runs, so it is durable.
         EngineConfig child_cfg = cfg;
         child_cfg.snapshotPath = snap;
-        child_cfg.onGeneration = [](int gen, double, long) {
-            if (gen == 2)
+        child_cfg.onGeneration = [](const GenerationStats &gs) {
+            if (gs.generation == 2)
                 raise(SIGKILL);
         };
         auto engine = sc.engine(child_cfg);

@@ -1,9 +1,10 @@
 /**
  * @file
  * Command-line front end — the analogue of the original artifact's
- * prototype/repair.py driven by repair.conf.
+ * prototype/repair.py driven by repair.conf, plus the client and
+ * daemon sides of the repair service.
  *
- * Subcommands:
+ * Local subcommands:
  *
  *   cirfix repair   --design faulty.v --tb <tb_module> --dut <module>
  *                   (--golden golden.v | --oracle trace.csv)
@@ -16,10 +17,30 @@
  *   cirfix localize --design faulty.v --tb <tb_module> --dut <module>
  *                   (--golden golden.v | --oracle trace.csv)
  *
+ * Service subcommands (see src/service/):
+ *
+ *   cirfix serve    --socket PATH --state-dir DIR [--workers N]
+ *                   [--queue-depth N] [--max-eval-budget N]
+ *                   [--max-budget-seconds S]
+ *
+ *   cirfix submit   --socket PATH <repair inputs> [--priority N]
+ *   cirfix status   --socket PATH --id N
+ *   cirfix list     --socket PATH
+ *   cirfix cancel   --socket PATH --id N
+ *   cirfix result   --socket PATH --id N [--out repaired.v]
+ *   cirfix watch    --socket PATH --id N
+ *
  * Design files may contain the testbench module inline, or pass an
  * extra file with --extra (repeatable) — all files are concatenated.
+ *
+ * Exit codes (stable; scripts rely on them):
+ *   0  repair found (repair/result), or the command succeeded
+ *   2  no repair within the resource budget (or job canceled first)
+ *   3  usage error: bad flags, bad request, unknown job
+ *   4  internal error: I/O failure, malformed design, server fault
  */
 
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +51,8 @@
 #include "core/faultloc.h"
 #include "core/scenario.h"
 #include "core/snapshot.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "sim/elaborate.h"
 #include "sim/probe.h"
 #include "sim/vcd.h"
@@ -39,6 +62,18 @@
 namespace {
 
 using namespace cirfix;
+
+constexpr int kExitRepairFound = 0;
+constexpr int kExitNoRepair = 2;
+constexpr int kExitUsage = 3;
+constexpr int kExitInternal = 4;
+
+/** Bad flags / bad invocation — exits with kExitUsage. */
+class UsageError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 struct Args
 {
@@ -51,7 +86,7 @@ struct Args
     {
         auto it = flags.find(key);
         if (it == flags.end())
-            throw std::runtime_error("missing required flag --" + key);
+            throw UsageError("missing required flag --" + key);
         return it->second;
     }
 
@@ -66,14 +101,29 @@ struct Args
     getLong(const std::string &key, long fallback) const
     {
         auto it = flags.find(key);
-        return it == flags.end() ? fallback : std::stol(it->second);
+        if (it == flags.end())
+            return fallback;
+        try {
+            return std::stol(it->second);
+        } catch (const std::exception &) {
+            throw UsageError("flag --" + key +
+                             " wants an integer, got '" + it->second +
+                             "'");
+        }
     }
 
     double
     getDouble(const std::string &key, double fallback) const
     {
         auto it = flags.find(key);
-        return it == flags.end() ? fallback : std::stod(it->second);
+        if (it == flags.end())
+            return fallback;
+        try {
+            return std::stod(it->second);
+        } catch (const std::exception &) {
+            throw UsageError("flag --" + key + " wants a number, got '" +
+                             it->second + "'");
+        }
     }
 };
 
@@ -82,15 +132,15 @@ parseArgs(int argc, char **argv)
 {
     Args args;
     if (argc < 2)
-        throw std::runtime_error("no subcommand");
+        throw UsageError("no subcommand");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
         if (a.rfind("--", 0) != 0)
-            throw std::runtime_error("unexpected argument: " + a);
+            throw UsageError("unexpected argument: " + a);
         std::string key = a.substr(2);
         if (i + 1 >= argc)
-            throw std::runtime_error("flag --" + key + " needs a value");
+            throw UsageError("flag --" + key + " needs a value");
         std::string value = argv[++i];
         if (key == "extra")
             args.extras.push_back(value);
@@ -137,8 +187,7 @@ loadOracle(const Args &args, const sim::ProbeConfig &probe,
     if (args.flags.count("oracle"))
         return sim::Trace::fromCsv(readFile(args.get("oracle")));
     if (!args.flags.count("golden"))
-        throw std::runtime_error("need --golden <file> or --oracle "
-                                 "<csv>");
+        throw UsageError("need --golden <file> or --oracle <csv>");
     std::string golden_src = readFile(args.get("golden"));
     golden_src += "\n" + extra_tb_src;
     std::shared_ptr<const verilog::SourceFile> golden =
@@ -283,7 +332,7 @@ cmdRepair(const Args &args)
                   << "s\n"
                   << "  outcomes: " << res.outcomes.summary() << "\n";
         if (!res.found)
-            return 2;
+            return kExitNoRepair;
         std::cout << "repair found: " << res.patch.describe() << "\n";
         if (args.flags.count("out")) {
             writeFile(args.get("out"), res.repairedSource);
@@ -292,7 +341,7 @@ cmdRepair(const Args &args)
         } else {
             std::cout << res.repairedSource;
         }
-        return 0;
+        return kExitRepairFound;
     };
 
     // --resume <snapshot>: continue an interrupted run bit-identically
@@ -302,10 +351,12 @@ cmdRepair(const Args &args)
             core::loadSnapshot(args.get("resume"));
         cfg.seed = state.seed;
         if (log) {
-            cfg.onGeneration = [&log](int gen, double best,
-                                      long evals) {
-                *log << "trial 1 gen " << gen << " best " << best
-                     << " evals " << evals << "\n";
+            cfg.onGeneration = [&log](const core::GenerationStats &g) {
+                *log << "trial 1 gen " << g.generation << " best "
+                     << g.bestFitness << " evals " << g.fitnessEvals
+                     << " cache " << g.cache.hits << "/"
+                     << g.cache.misses << " " << g.outcomes.summary()
+                     << "\n";
                 log->flush();
             };
         }
@@ -319,11 +370,13 @@ cmdRepair(const Args &args)
     for (int trial = 0; trial < trials; ++trial) {
         cfg.seed = seed0 + static_cast<uint64_t>(trial) * 7919;
         if (log) {
-            cfg.onGeneration = [&log, trial](int gen, double best,
-                                             long evals) {
-                *log << "trial " << trial + 1 << " gen " << gen
-                     << " best " << best << " evals " << evals
-                     << "\n";
+            cfg.onGeneration = [&log,
+                                trial](const core::GenerationStats &g) {
+                *log << "trial " << trial + 1 << " gen "
+                     << g.generation << " best " << g.bestFitness
+                     << " evals " << g.fitnessEvals << " cache "
+                     << g.cache.hits << "/" << g.cache.misses << " "
+                     << g.outcomes.summary() << "\n";
                 log->flush();
             };
         }
@@ -331,18 +384,204 @@ cmdRepair(const Args &args)
         std::cout << "trial " << trial + 1 << "/" << trials
                   << " (seed " << cfg.seed << ")...\n";
         core::RepairResult res = engine.run();
-        if (report(res) == 0)
-            return 0;
+        if (report(res) == kExitRepairFound)
+            return kExitRepairFound;
     }
     std::cout << "no repair found within resource bounds\n";
-    return 2;
+    return kExitNoRepair;
+}
+
+// ---------------------------------------------------------------
+// Service subcommands
+// ---------------------------------------------------------------
+
+service::Server *g_server = nullptr;
+
+void
+onStopSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();  // async-signal-safe (one write())
+}
+
+int
+cmdServe(const Args &args)
+{
+    service::ServerConfig cfg;
+    cfg.socketPath = args.need("socket");
+    cfg.stateDir = args.need("state-dir");
+    cfg.workers = static_cast<int>(args.getLong("workers", 1));
+    cfg.limits.queueDepth = static_cast<int>(
+        args.getLong("queue-depth", cfg.limits.queueDepth));
+    cfg.limits.maxEvalBudget =
+        args.getLong("max-eval-budget", cfg.limits.maxEvalBudget);
+    cfg.limits.maxBudgetSeconds = args.getDouble(
+        "max-budget-seconds", cfg.limits.maxBudgetSeconds);
+
+    service::Server server(cfg);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    std::cout << "cirfix-repaird listening on " << cfg.socketPath
+              << " (state dir " << cfg.stateDir << ", " << cfg.workers
+              << " worker" << (cfg.workers == 1 ? "" : "s") << ")\n"
+              << std::flush;
+    server.wait();
+    server.stop();
+    g_server = nullptr;
+    std::cout << "daemon stopped; interrupted jobs resume on restart\n";
+    return 0;
+}
+
+/** Shared by submit: the same repair inputs the local repair command
+ *  takes, shipped over the wire as a JobSpec. */
+service::JobSpec
+specFromArgs(const Args &args)
+{
+    service::JobSpec spec;
+    spec.designSource = gatherSources(args);
+    spec.tbModule = args.need("tb");
+    spec.dutModule = args.need("dut");
+    if (args.flags.count("oracle"))
+        spec.oracleCsv = readFile(args.get("oracle"));
+    else if (args.flags.count("golden"))
+        spec.goldenSource = readFile(args.get("golden"));
+    else
+        throw UsageError("need --golden <file> or --oracle <csv>");
+    spec.params.popSize = static_cast<int>(
+        args.getLong("pop", spec.params.popSize));
+    spec.params.maxGenerations = static_cast<int>(
+        args.getLong("gens", spec.params.maxGenerations));
+    spec.params.maxSeconds =
+        args.getDouble("budget", spec.params.maxSeconds);
+    spec.params.seed = static_cast<uint64_t>(
+        args.getLong("seed", static_cast<long>(spec.params.seed)));
+    spec.params.numThreads = static_cast<int>(
+        args.getLong("threads", spec.params.numThreads));
+    spec.params.phi = args.getDouble("phi", spec.params.phi);
+    spec.params.evalDeadlineSeconds =
+        args.getDouble("deadline", spec.params.evalDeadlineSeconds);
+    spec.params.evalMemoryBudget = static_cast<uint64_t>(args.getLong(
+        "mem-budget",
+        static_cast<long>(spec.params.evalMemoryBudget)));
+    spec.priority = static_cast<int>(args.getLong("priority", 0));
+    return spec;
+}
+
+int
+cmdSubmit(const Args &args)
+{
+    service::Client client(args.need("socket"));
+    long id = client.submit(specFromArgs(args));
+    std::cout << "submitted job " << id << "\n";
+    return 0;
+}
+
+int
+cmdStatus(const Args &args)
+{
+    service::Client client(args.need("socket"));
+    std::cout << client.status(args.getLong("id", -1)).dump() << "\n";
+    return 0;
+}
+
+int
+cmdList(const Args &args)
+{
+    service::Client client(args.need("socket"));
+    service::Json jobs = client.list();
+    for (const service::Json &job : jobs.items())
+        std::cout << job.dump() << "\n";
+    return 0;
+}
+
+int
+cmdCancel(const Args &args)
+{
+    service::Client client(args.need("socket"));
+    long id = args.getLong("id", -1);
+    client.cancel(id);
+    std::cout << "cancel requested for job " << id << "\n";
+    return 0;
+}
+
+int
+cmdResult(const Args &args)
+{
+    service::Client client(args.need("socket"));
+    long id = args.getLong("id", -1);
+    service::Json reply = client.result(id);
+    std::string state = reply.str("state");
+    if (state == "failed") {
+        std::cerr << "job " << id << " failed: " << reply.str("error")
+                  << "\n";
+        return kExitInternal;
+    }
+    const service::Json *res = reply.find("result");
+    if (!res || !res->isObject()) {
+        std::cerr << "job " << id << " is " << state
+                  << " but carries no result payload\n";
+        return kExitInternal;
+    }
+    std::cout << "job " << id << " " << state << ": "
+              << res->num("fitness_evals") << " fitness probes, "
+              << res->num("generations") << " generations\n";
+    if (!res->flag("found")) {
+        std::cout << (state == "canceled"
+                          ? "canceled before a repair was found\n"
+                          : "no repair found within resource bounds\n");
+        return kExitNoRepair;
+    }
+    std::cout << "repair found: " << res->str("patch") << "\n";
+    if (args.flags.count("out")) {
+        writeFile(args.get("out"), res->str("repaired_source"));
+        std::cout << "repaired design written to " << args.get("out")
+                  << "\n";
+    } else {
+        std::cout << res->str("repaired_source");
+    }
+    return kExitRepairFound;
+}
+
+int
+cmdWatch(const Args &args)
+{
+    service::Client client(args.need("socket"));
+    long id = args.getLong("id", -1);
+    client.subscribe(id);
+    service::Json ev;
+    while (client.recv(&ev)) {
+        std::string type = ev.str("type");
+        if (type == "end_of_stream")
+            return 0;
+        if (type == "error")
+            throw service::ServiceError(ev.str("code", "internal"),
+                                        ev.str("message"));
+        std::string kind = ev.str("event");
+        if (kind == "generation") {
+            std::cout << "job " << id << " gen "
+                      << ev.num("generation") << " best "
+                      << ev.real("best_fitness") << " evals "
+                      << ev.num("fitness_evals") << "\n"
+                      << std::flush;
+        } else if (kind == "state") {
+            std::cout << "job " << id << " " << ev.str("state");
+            if (ev.has("error"))
+                std::cout << " (" << ev.str("error") << ")";
+            std::cout << "\n" << std::flush;
+        }
+    }
+    throw std::runtime_error("server closed the event stream early");
 }
 
 void
-usage()
+usage(std::ostream &os)
 {
-    std::cerr <<
-        "usage: cirfix <repair|simulate|localize> [flags]\n"
+    os <<
+        "usage: cirfix <command> [flags]\n"
+        "\n"
+        "local commands:\n"
         "  repair   --design f.v --tb TB --dut MOD "
         "(--golden g.v | --oracle t.csv)\n"
         "           [--pop N] [--gens N] [--budget S] [--seed N] "
@@ -354,7 +593,25 @@ usage()
         "[--trace o.csv]\n"
         "  localize --design f.v --tb TB --dut MOD "
         "(--golden g.v | --oracle t.csv)\n"
-        "  (--extra file.v may be repeated to add source files)\n";
+        "  (--extra file.v may be repeated to add source files)\n"
+        "\n"
+        "service commands:\n"
+        "  serve    --socket S --state-dir D [--workers N] "
+        "[--queue-depth N]\n"
+        "           [--max-eval-budget N] [--max-budget-seconds S]\n"
+        "  submit   --socket S <repair inputs> [--priority N]\n"
+        "  status   --socket S --id N\n"
+        "  list     --socket S\n"
+        "  cancel   --socket S --id N\n"
+        "  result   --socket S --id N [--out r.v]\n"
+        "  watch    --socket S --id N\n"
+        "\n"
+        "exit codes:\n"
+        "  0  repair found / command succeeded\n"
+        "  2  no repair within the resource budget (or job canceled)\n"
+        "  3  usage error (bad flags, bad request, unknown job)\n"
+        "  4  internal error (I/O failure, malformed design, server "
+        "fault)\n";
 }
 
 } // namespace
@@ -364,17 +621,44 @@ main(int argc, char **argv)
 {
     try {
         Args args = parseArgs(argc, argv);
+        if (args.command == "--help" || args.command == "-h" ||
+            args.command == "help") {
+            usage(std::cout);
+            return 0;
+        }
         if (args.command == "repair")
             return cmdRepair(args);
         if (args.command == "simulate")
             return cmdSimulate(args);
         if (args.command == "localize")
             return cmdLocalize(args);
-        usage();
-        return 1;
+        if (args.command == "serve")
+            return cmdServe(args);
+        if (args.command == "submit")
+            return cmdSubmit(args);
+        if (args.command == "status")
+            return cmdStatus(args);
+        if (args.command == "list")
+            return cmdList(args);
+        if (args.command == "cancel")
+            return cmdCancel(args);
+        if (args.command == "result")
+            return cmdResult(args);
+        if (args.command == "watch")
+            return cmdWatch(args);
+        throw UsageError("unknown subcommand '" + args.command + "'");
+    } catch (const UsageError &e) {
+        std::cerr << "usage error: " << e.what() << "\n";
+        usage(std::cerr);
+        return kExitUsage;
+    } catch (const service::ServiceError &e) {
+        std::cerr << "service error (" << e.code()
+                  << "): " << e.what() << "\n";
+        bool server_side = e.code() == service::errc::kInternal ||
+                           e.code() == service::errc::kVersionMismatch;
+        return server_side ? kExitInternal : kExitUsage;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
-        usage();
-        return 1;
+        return kExitInternal;
     }
 }
