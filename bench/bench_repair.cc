@@ -1,0 +1,220 @@
+/**
+ * @file
+ * End-to-end repair benchmark for the CI regression gate.
+ *
+ * Runs one committed defect scenario through the repair engine twice —
+ * early abort off, then on, same seed — and emits a machine-readable
+ * BENCH_repair.json with three metric groups:
+ *
+ *  - counters: deterministic per-seed quantities (fitness evals, early
+ *    aborts, oracle rows scored/skipped, simulator allocation counts
+ *    per candidate simulation). bench_compare.py gates these hard: a
+ *    regression here is a behavior change, not noise.
+ *  - timing: wall-clock throughput (evals/sec with and without the
+ *    cutoff). Machine-dependent, so the gate only warns on these.
+ *  - fingerprint_match: whether both runs produced semantically
+ *    identical repairs — the soundness contract of the cutoff
+ *    (DESIGN.md, "Streaming fitness & early abort") checked on every
+ *    CI run, not just in the unit suite.
+ *
+ * Usage: bench_repair [output.json]   (default: BENCH_repair.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "benchmarks/registry.h"
+#include "core/engine.h"
+#include "core/scenario.h"
+#include "sim/elaborate.h"
+#include "sim/logic.h"
+#include "sim/probe.h"
+#include "sim/scheduler.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Everything that must be identical between the two runs. */
+std::string
+semanticFingerprint(const core::RepairResult &r)
+{
+    std::ostringstream os;
+    os << r.found << '|' << r.patch.key() << '|' << r.repairedSource
+       << '|' << r.finalFitness.sum << '/' << r.finalFitness.total
+       << '|' << r.generations << '|' << r.totalMutants << '|'
+       << r.invalidMutants;
+    for (const auto &[evals, fit] : r.fitnessTrajectory)
+        os << '|' << evals << ':' << fit;
+    return os.str();
+}
+
+struct AllocProfile
+{
+    uint64_t logicHeapAllocs = 0;
+    uint64_t eventHeapAllocs = 0;
+    uint64_t slotsAllocated = 0;
+    uint64_t slotsRecycled = 0;
+    uint64_t eventsScheduled = 0;
+    double simSeconds = 0.0;
+    int sims = 0;
+};
+
+/**
+ * Allocation cost of one candidate simulation: elaborate + probe + run
+ * the counter testbench and read back the thread-local allocation
+ * counters. Deterministic — the same design schedules the same events
+ * and allocates the same words every time.
+ */
+AllocProfile
+profileSimulatorAllocations()
+{
+    const core::ProjectSpec &p = bench::getProject("counter");
+    std::shared_ptr<const verilog::SourceFile> file =
+        verilog::parse(p.goldenSource + "\n" + p.testbenchSource);
+    sim::ProbeConfig probe = sim::deriveProbeConfig(*file, p.tbModule);
+
+    AllocProfile prof;
+    prof.sims = 32;
+    // Warm-up run so one-time lazy setup is not billed to the loop.
+    {
+        auto design = sim::elaborate(file, p.tbModule);
+        sim::TraceRecorder rec(*design, probe);
+        design->run();
+    }
+    uint64_t logic0 = sim::logicHeapAllocs();
+    uint64_t event0 = sim::EventFn::heapAllocs();
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < prof.sims; ++i) {
+        auto design = sim::elaborate(file, p.tbModule);
+        sim::TraceRecorder rec(*design, probe);
+        design->run();
+        const sim::Scheduler::AllocStats &st =
+            design->scheduler().allocStats();
+        prof.slotsAllocated += st.slotsAllocated;
+        prof.slotsRecycled += st.slotsRecycled;
+        prof.eventsScheduled += st.eventsScheduled;
+    }
+    prof.simSeconds = secondsSince(t0);
+    prof.logicHeapAllocs = sim::logicHeapAllocs() - logic0;
+    prof.eventHeapAllocs = sim::EventFn::heapAllocs() - event0;
+    return prof;
+}
+
+core::EngineConfig
+trialConfig(bool early_abort)
+{
+    core::EngineConfig cfg;
+    cfg.popSize = 20;
+    cfg.maxGenerations = 6;
+    // Lambda > popSize so truncation selection — and therefore the
+    // cutoff — has real work to do each generation.
+    cfg.offspringPerGen = 40;
+    cfg.seed = 7;
+    cfg.numThreads = 4;
+    // The wall clock must not influence the search or the two runs
+    // could diverge for non-semantic reasons.
+    cfg.maxSeconds = 1e9;
+    cfg.earlyAbort = early_abort;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_repair.json";
+    const std::string defect_id = "counter_incorrect_reset";
+
+    AllocProfile alloc = profileSimulatorAllocations();
+
+    const core::ProjectSpec &p = bench::getProject("counter");
+    const core::DefectSpec &d = bench::getDefect(defect_id);
+    core::Scenario sc = core::buildScenario(p, d);
+
+    core::RepairEngine full = sc.makeEngine(trialConfig(false));
+    Clock::time_point t0 = Clock::now();
+    core::RepairResult full_res = full.run();
+    double full_seconds = secondsSince(t0);
+
+    core::RepairEngine abort_on = sc.makeEngine(trialConfig(true));
+    t0 = Clock::now();
+    core::RepairResult abort_res = abort_on.run();
+    double abort_seconds = secondsSince(t0);
+
+    bool fingerprint_match =
+        semanticFingerprint(full_res) == semanticFingerprint(abort_res);
+
+    uint64_t rows_total = abort_res.rowsScored + abort_res.rowsSkipped;
+    double samples_aborted_pct =
+        rows_total ? 100.0 * static_cast<double>(abort_res.rowsSkipped) /
+                         static_cast<double>(rows_total)
+                   : 0.0;
+    double full_eps =
+        full_seconds > 0 ? full_res.fitnessEvals / full_seconds : 0.0;
+    double abort_eps =
+        abort_seconds > 0 ? abort_res.fitnessEvals / abort_seconds : 0.0;
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"schema\": 1,\n"
+       << "  \"scenario\": \"" << defect_id << "\",\n"
+       << "  \"counters\": {\n"
+       << "    \"fitness_evals\": " << abort_res.fitnessEvals << ",\n"
+       << "    \"generations\": " << abort_res.generations << ",\n"
+       << "    \"early_aborts\": " << abort_res.earlyAborts << ",\n"
+       << "    \"rows_scored\": " << abort_res.rowsScored << ",\n"
+       << "    \"rows_skipped\": " << abort_res.rowsSkipped << ",\n"
+       << "    \"logic_heap_allocs_per_sim\": "
+       << alloc.logicHeapAllocs / alloc.sims << ",\n"
+       << "    \"eventfn_heap_allocs_per_sim\": "
+       << alloc.eventHeapAllocs / alloc.sims << ",\n"
+       << "    \"slots_allocated_per_sim\": "
+       << alloc.slotsAllocated / alloc.sims << ",\n"
+       << "    \"slots_recycled_per_sim\": "
+       << alloc.slotsRecycled / alloc.sims << ",\n"
+       << "    \"events_scheduled_per_sim\": "
+       << alloc.eventsScheduled / alloc.sims << "\n"
+       << "  },\n"
+       << "  \"fingerprint_match\": "
+       << (fingerprint_match ? "true" : "false") << ",\n"
+       << "  \"repair_found\": "
+       << (abort_res.found ? "true" : "false") << ",\n"
+       << "  \"samples_aborted_pct\": " << samples_aborted_pct << ",\n"
+       << "  \"timing\": {\n"
+       << "    \"full_eval_seconds\": " << full_seconds << ",\n"
+       << "    \"abort_eval_seconds\": " << abort_seconds << ",\n"
+       << "    \"evals_per_sec_full\": " << full_eps << ",\n"
+       << "    \"evals_per_sec_abort\": " << abort_eps << ",\n"
+       << "    \"sim_seconds_per_candidate\": "
+       << alloc.simSeconds / alloc.sims << "\n"
+       << "  }\n"
+       << "}\n";
+
+    std::ofstream out(out_path);
+    out << js.str();
+    out.close();
+    std::cout << js.str();
+    std::cerr << "bench_repair: wrote " << out_path
+              << (fingerprint_match ? " (fingerprint match)"
+                                    : " (FINGERPRINT MISMATCH)")
+              << "\n";
+    // A fingerprint mismatch means the cutoff changed repair results —
+    // fail loudly so CI cannot miss it.
+    return fingerprint_match ? 0 : 1;
+}

@@ -143,6 +143,54 @@ BM_FitnessComparisonOnly(benchmark::State &state)
 BENCHMARK(BM_FitnessComparisonOnly);
 
 void
+BM_StreamingFitnessOnly(benchmark::State &state)
+{
+    // The streaming scorer fed the recorded trace row by row — must
+    // track BM_FitnessComparisonOnly closely; the delta is the cost of
+    // per-sample dispatch plus the upper-bound bookkeeping.
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+    core::Variant v = engine.evaluate(core::Patch{});
+    core::OracleProfile profile =
+        core::OracleProfile::build(sc.oracle);
+    for (auto _ : state) {
+        core::StreamingFitness scorer(sc.oracle, v.trace.vars(), {},
+                                      &profile);
+        for (const auto &row : v.trace.rows())
+            scorer.onSample(row.time, row.values);
+        benchmark::DoNotOptimize(scorer.finish().fitness);
+    }
+}
+BENCHMARK(BM_StreamingFitnessOnly);
+
+void
+BM_FullFitnessProbeStreaming(benchmark::State &state)
+{
+    // A full candidate evaluation scored online (no abort threshold):
+    // the configuration every generation-loop child runs with. Should
+    // match BM_FullFitnessProbe — streaming replaces the batch pass at
+    // the end with per-sample work during the simulation.
+    const core::ProjectSpec &p = counterProject();
+    const core::DefectSpec &d =
+        bench::getDefect("counter_sensitivity");
+    core::Scenario sc = core::buildScenario(p, d);
+    core::EngineConfig cfg;
+    core::RepairEngine engine = sc.makeEngine(cfg);
+    core::RepairEngine::EvalHints hints;
+    hints.streaming = true;
+    for (auto _ : state) {
+        core::Variant v =
+            engine.evaluateUncached(core::Patch{}, hints);
+        benchmark::DoNotOptimize(v.fit.fitness);
+    }
+}
+BENCHMARK(BM_FullFitnessProbeStreaming);
+
+void
 BM_FaultLocalization(benchmark::State &state)
 {
     const core::ProjectSpec &p = counterProject();

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -29,8 +30,9 @@ RepairEngine::RepairEngine(std::shared_ptr<const SourceFile> faulty,
                            EngineConfig config)
     : faulty_(std::move(faulty)), tbModule_(std::move(tb_module)),
       dutModule_(std::move(dut_module)), probe_(std::move(probe)),
-      oracle_(std::move(oracle)), config_(config), rng_(config.seed),
-      cache_(config.fitnessCacheSize)
+      oracle_(std::move(oracle)), config_(config),
+      oracleProfile_(OracleProfile::build(oracle_, config.fitness)),
+      rng_(config.seed), cache_(config.fitnessCacheSize)
 {}
 
 EvalPool &
@@ -49,6 +51,13 @@ RepairEngine::pool()
 
 Variant
 RepairEngine::evaluateUncached(const Patch &patch) const
+{
+    return evaluateUncached(patch, EvalHints{});
+}
+
+Variant
+RepairEngine::evaluateUncached(const Patch &patch,
+                               const EvalHints &hints) const
 {
     using SimStatus = sim::Scheduler::Status;
 
@@ -78,6 +87,24 @@ RepairEngine::evaluateUncached(const Patch &patch) const
             std::shared_ptr<const SourceFile>(patched), tbModule_,
             guards);
         TraceRecorder rec(*design, probe_);
+        std::optional<StreamingFitness> scorer;
+        if (hints.streaming) {
+            scorer.emplace(oracle_, probe_.signals, config_.fitness,
+                           &oracleProfile_);
+            const double cutoff = hints.abortThreshold;
+            rec.setSampleCallback(
+                [&scorer, cutoff](sim::SimTime t,
+                                  const std::vector<sim::LogicVec>
+                                      &values) {
+                    scorer->onSample(t, values);
+                    // Strictly below: a candidate that can still TIE
+                    // the survival threshold must finish (ties can
+                    // survive the truncation merge).
+                    return scorer->upperBound() < cutoff
+                               ? TraceRecorder::SampleAction::Stop
+                               : TraceRecorder::SampleAction::Continue;
+                });
+        }
         sim::RunLimits limits = config_.simLimits;
         if (limits.maxWallSeconds <= 0)
             limits.maxWallSeconds = config_.evalDeadlineSeconds;
@@ -92,12 +119,32 @@ RepairEngine::evaluateUncached(const Patch &patch) const
           case SimStatus::Crashed:
             v.outcome = EvalOutcome::Crashed;
             break;
+          case SimStatus::EarlyStop:
+            v.outcome = EvalOutcome::EarlyAbort;
+            break;
           default:
             break;  // Finished / Idle / MaxTime: a real result
         }
         if (v.outcome == EvalOutcome::Ok) {
             v.trace = rec.takeTrace();
-            v.fit = evaluateFitness(v.trace, oracle_, config_.fitness);
+            if (scorer) {
+                v.fit = scorer->finish();
+                v.rowsScored = scorer->rowsReached();
+            } else {
+                v.fit =
+                    evaluateFitness(v.trace, oracle_, config_.fitness);
+            }
+        } else if (v.outcome == EvalOutcome::EarlyAbort) {
+            // A deliberate cutoff, not a failure: the candidate stays
+            // valid and keeps its partial score (remaining oracle rows
+            // read as missing, exactly as a short trace would in the
+            // batch path). The partial fitness is <= the upper bound
+            // that triggered the stop, so the candidate cannot survive
+            // selection, win the trial, or advance the trajectory.
+            v.trace = rec.takeTrace();
+            v.fit = scorer->finish();
+            v.rowsScored = scorer->rowsReached();
+            v.error = design->scheduler().abortReason();
         } else {
             v.valid = false;
             v.error = design->scheduler().abortReason();
@@ -113,12 +160,18 @@ RepairEngine::evaluateUncached(const Patch &patch) const
     } catch (const sim::SimAbort &e) {
         // A budget/deadline abort thrown outside a process (continuous
         // assignment or function evaluation) unwinds through run();
-        // the scheduler's latch knows which kind fired first.
+        // the scheduler's latch knows which kind fired first. On
+        // elab-throw paths no Design (and no latch) exists yet, so
+        // classify by the cause carried on the exception instead of
+        // defaulting to Runaway.
         v.valid = false;
-        v.outcome = design && design->scheduler().abortStatus() ==
-                                  SimStatus::Deadline
-                        ? EvalOutcome::Deadline
-                        : EvalOutcome::Runaway;
+        bool deadline =
+            design && design->scheduler().aborted()
+                ? design->scheduler().abortStatus() ==
+                      SimStatus::Deadline
+                : e.cause == sim::SimAbort::Cause::Deadline;
+        v.outcome = deadline ? EvalOutcome::Deadline
+                             : EvalOutcome::Runaway;
         v.error = e.what();
     } catch (const std::exception &e) {
         v.valid = false;
@@ -179,7 +232,8 @@ RepairEngine::evaluate(const Patch &patch)
 
 std::vector<Variant>
 RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
-                            std::vector<bool> &simulated_out)
+                            std::vector<bool> &simulated_out,
+                            const std::vector<double> *elite_fitness)
 {
     const size_t n = patches.size();
     enum class Source { Fresh, Cached, Duplicate, Quarantined };
@@ -188,7 +242,18 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
     std::vector<Source> source(n, Source::Fresh);
     std::vector<size_t> dup_of(n, 0);
     std::unordered_map<std::string, size_t> first_occurrence;
-    std::vector<std::function<void()>> jobs;
+    std::vector<size_t> fresh;  //!< child indices that must simulate
+
+    // Early-abort survival tracker, seeded with the merge-pool members
+    // already decided (the elites) and fed every resolved child in
+    // child order. Any snapshot of its threshold is a lower bound on
+    // the generation's final survival cutoff, so aborting strictly
+    // below it is sound (see DESIGN.md).
+    const bool abort_armed = elite_fitness && config_.earlyAbort;
+    SurvivalTracker tracker(static_cast<size_t>(config_.popSize));
+    if (abort_armed)
+        for (double f : *elite_fitness)
+            tracker.submit(f);
 
     // Quarantine + cache lookups and in-batch dedup in child order, on
     // this thread (so all accounting and LRU order are
@@ -201,6 +266,8 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
             source[i] = Source::Quarantined;
             ++outcomes_.quarantineHits;
             out[i] = quarantinedVariant(patches[i], q->second);
+            if (abort_armed)
+                tracker.submit(out[i].fit.fitness);
             continue;
         }
         auto dup = first_occurrence.find(keys[i]);
@@ -208,6 +275,9 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
             source[i] = Source::Duplicate;
             dup_of[i] = dup->second;
             cache_.noteDuplicateHit();
+            // Duplicates resolve after simulation; not submitting them
+            // keeps the threshold conservative (sound, merely fewer
+            // aborts).
             continue;
         }
         if (const FitnessCache::Entry *hit = cache_.find(keys[i])) {
@@ -219,15 +289,39 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
             out[i].trace = hit->trace;
             out[i].outcome = hit->outcome;
             out[i].error = hit->error;
+            if (abort_armed)
+                tracker.submit(out[i].fit.fitness);
             continue;
         }
         first_occurrence.emplace(keys[i], i);
-        jobs.push_back([this, &patches, &out, i] {
-            out[i] = evaluateUncached(patches[i]);
-        });
+        fresh.push_back(i);
     }
 
-    pool().run(jobs);
+    // Fresh simulations run in fixed-size chunks. Each chunk's jobs
+    // carry the threshold snapshotted at dispatch (by value), and the
+    // tracker is updated only at chunk boundaries, in child order, on
+    // this thread — so the aborted set depends on the seed alone, not
+    // on the thread count or scheduling.
+    constexpr size_t kAbortChunk = 16;
+    for (size_t c = 0; c < fresh.size(); c += kAbortChunk) {
+        const size_t end = std::min(fresh.size(), c + kAbortChunk);
+        EvalHints hints;
+        hints.streaming = true;
+        if (abort_armed)
+            hints.abortThreshold = tracker.threshold();
+        std::vector<std::function<void()>> jobs;
+        jobs.reserve(end - c);
+        for (size_t j = c; j < end; ++j) {
+            const size_t i = fresh[j];
+            jobs.push_back([this, &patches, &out, i, hints] {
+                out[i] = evaluateUncached(patches[i], hints);
+            });
+        }
+        pool().run(jobs);
+        if (abort_armed)
+            for (size_t j = c; j < end; ++j)
+                tracker.submit(out[fresh[j]].fit.fitness);
+    }
 
     // Merge in child order; only this thread touches the cache, the
     // quarantine and the outcome counters.
@@ -237,16 +331,29 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
           case Source::Fresh:
             simulated_out[i] = out[i].valid;
             outcomes_.add(out[i].outcome);
-            if (isQuarantineOutcome(out[i].outcome))
+            if (out[i].valid) {
+                rowsScored_ += out[i].rowsScored;
+                rowsSkipped_ += oracle_.rows().size() -
+                                std::min<size_t>(oracle_.rows().size(),
+                                                 out[i].rowsScored);
+            }
+            if (out[i].outcome == EvalOutcome::EarlyAbort) {
+                // Never cached: the partial score is only meaningful
+                // against this generation's threshold. A later
+                // encounter (possibly under a lower cutoff, or during
+                // minimization) must re-simulate in full.
+                ++earlyAborts_;
+            } else if (isQuarantineOutcome(out[i].outcome)) {
                 quarantine_.emplace(
                     keys[i],
                     QuarantineEntry{out[i].outcome, out[i].error});
-            else
+            } else {
                 cache_.insert(keys[i],
                               FitnessCache::Entry{
                                   out[i].valid, out[i].fit,
                                   out[i].trace, out[i].outcome,
                                   out[i].error});
+            }
             break;
           case Source::Duplicate:
             out[i] = out[dup_of[i]];
@@ -319,6 +426,9 @@ RepairEngine::captureState(
     st.evals = evals_;
     st.invalid = invalid_;
     st.mutants = mutants_;
+    st.earlyAborts = earlyAborts_;
+    st.rowsScored = rowsScored_;
+    st.rowsSkipped = rowsSkipped_;
     st.elapsedSeconds = elapsed_seconds;
     st.bestSeen = best_seen;
     st.trajectory = trajectory;
@@ -390,6 +500,9 @@ RepairEngine::runInternal(const EngineState *restore)
         }
         result.cache = cache_.stats();
         result.outcomes = outcomes_;
+        result.earlyAborts = earlyAborts_;
+        result.rowsScored = rowsScored_;
+        result.rowsSkipped = rowsSkipped_;
         return result;
     };
 
@@ -435,6 +548,9 @@ RepairEngine::runInternal(const EngineState *restore)
         evals_ = restore->evals;
         invalid_ = restore->invalid;
         mutants_ = restore->mutants;
+        earlyAborts_ = restore->earlyAborts;
+        rowsScored_ = restore->rowsScored;
+        rowsSkipped_ = restore->rowsSkipped;
         outcomes_ = restore->outcomes;
         best_seen = restore->bestSeen;
         result.fitnessTrajectory = restore->trajectory;
@@ -519,10 +635,13 @@ RepairEngine::runInternal(const EngineState *restore)
         // (a) Pre-draw every stochastic decision for the generation on
         // this thread: parent picks, operator choices, edit sites. The
         // RNG stream therefore never depends on evaluation scheduling.
+        const int offspring = config_.offspringPerGen > 0
+                                  ? config_.offspringPerGen
+                                  : config_.popSize;
         std::vector<Patch> planned;
         int attempts = 0;
-        const int max_attempts = config_.popSize * 16 + 16;
-        while (static_cast<int>(planned.size()) < config_.popSize &&
+        const int max_attempts = offspring * 16 + 16;
+        while (static_cast<int>(planned.size()) < offspring &&
                attempts++ < max_attempts) {
             if (elapsed() >= config_.maxSeconds || stopRequested())
                 break;
@@ -571,9 +690,25 @@ RepairEngine::runInternal(const EngineState *restore)
         }
 
         // (b) Fan the children out to the pool, (c) merge in child
-        // order.
+        // order. The elites' fitness values seed the early-abort
+        // survival tracker: they are the only merge-pool members known
+        // before the offspring evaluate, and they match what the merge
+        // below will actually carry over.
+        std::vector<double> elite_fitness;
+        {
+            elite_fitness.reserve(popn.size());
+            for (const Variant &v : popn)
+                elite_fitness.push_back(v.fit.fitness);
+            std::sort(elite_fitness.begin(), elite_fitness.end(),
+                      std::greater<double>());
+            const size_t elites = static_cast<size_t>(std::max(
+                1, static_cast<int>(config_.elitism *
+                                    static_cast<double>(popn.size()))));
+            if (elite_fitness.size() > elites)
+                elite_fitness.resize(elites);
+        }
         std::vector<bool> simulated;
-        auto vs = evaluateBatch(planned, simulated);
+        auto vs = evaluateBatch(planned, simulated, &elite_fitness);
         std::vector<Variant> children;
         if (const Variant *w = absorb(vs, simulated, children))
             return finish(w);

@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <random>
 #include <string>
@@ -66,6 +67,26 @@ struct EngineConfig
     int numThreads = 0;
     /** LRU bound of the patch-keyed fitness cache (0 disables it). */
     size_t fitnessCacheSize = 512;
+    /**
+     * Streaming-fitness early abort: stop simulating a candidate once
+     * the upper bound on its final fitness falls strictly below the
+     * generation's survival threshold (the popSize-th best fitness
+     * among elites and offspring evaluated so far). Sound by
+     * construction — an aborted candidate is guaranteed to be dropped
+     * by the popSize-truncation merge, so final repair results are
+     * bit-identical to full evaluation (see DESIGN.md, "Streaming
+     * fitness & early abort"). Cache accounting may differ: aborted
+     * evaluations are never cached.
+     */
+    bool earlyAbort = true;
+    /**
+     * Children produced per generation (lambda). 0 keeps the classic
+     * popSize offspring. With the default merge (elites + popSize
+     * children truncated to popSize) the cutoff rarely fires; raising
+     * lambda above popSize makes selection pressure — and the abort —
+     * do real work per generation.
+     */
+    int offspringPerGen = 0;
     /**
      * Wall-clock deadline per candidate evaluation in seconds, layered
      * on the statement/callback budgets (0 disables). Reaps candidates
@@ -123,10 +144,16 @@ struct Variant
     sim::Trace trace;     //!< instrumented-testbench output (cached)
     bool valid = false;   //!< structurally valid ("compiles")
     bool evaluated = false;
-    /** How the evaluation ended; anything but Ok means worst fitness. */
+    /** How the evaluation ended; anything but Ok means worst fitness.
+     *  EarlyAbort is the exception: the candidate simulated normally
+     *  until the streaming cutoff fired, and fit holds the partial
+     *  score (remaining oracle rows read as missing). */
     EvalOutcome outcome = EvalOutcome::Ok;
     /** Diagnostic message for non-Ok outcomes. */
     std::string error;
+    /** Oracle rows actually scored against simulation output when the
+     *  evaluation used the streaming scorer (0 otherwise). */
+    uint64_t rowsScored = 0;
 };
 
 /** Why a quarantined patch key is never re-simulated. */
@@ -157,6 +184,12 @@ struct RepairResult
     CacheStats cache;
     /** Per-outcome evaluation counts (failure containment report). */
     OutcomeCounts outcomes;
+    /** Candidates stopped by the streaming-fitness cutoff. */
+    long earlyAborts = 0;
+    /** Oracle rows scored against simulation output (streaming evals). */
+    uint64_t rowsScored = 0;
+    /** Oracle rows the cutoff skipped (work saved by early abort). */
+    uint64_t rowsSkipped = 0;
 };
 
 /**
@@ -194,12 +227,31 @@ class RepairEngine
     Variant evaluate(const Patch &patch);
 
     /**
+     * Per-evaluation knobs for the streaming scorer. Defaults
+     * reproduce classic batch scoring exactly.
+     */
+    struct EvalHints
+    {
+        /** Score online as samples arrive (bit-identical results). */
+        bool streaming = false;
+        /** Stop the simulation once the fitness upper bound falls
+         *  strictly below this (-inf never aborts). Requires
+         *  streaming. */
+        double abortThreshold =
+            -std::numeric_limits<double>::infinity();
+    };
+
+    /**
      * Cache-free, counter-free evaluation. Thread-safe: touches only
      * immutable engine state (the faulty AST, probe, oracle, config)
      * and objects owned by the call, so any number of invocations may
      * run concurrently. This is what run() fans out to worker threads.
      */
     Variant evaluateUncached(const Patch &patch) const;
+
+    /** As above, with streaming/early-abort control. */
+    Variant evaluateUncached(const Patch &patch,
+                             const EvalHints &hints) const;
 
     const EngineConfig &config() const { return config_; }
     const Trace &oracle() const { return oracle_; }
@@ -232,10 +284,19 @@ class RepairEngine
      * fanned out to the pool, results merged (and the cache updated)
      * in child order. @p simulated_out receives, per child, whether a
      * real simulation ran (the caller charges evals_ in order).
+     *
+     * @p elite_fitness, when non-null, arms the early-abort cutoff:
+     * the values seed a SurvivalTracker (they are the merge-pool
+     * members already known — the generation's elites), offspring
+     * results feed it in child order at fixed-size chunk boundaries,
+     * and each chunk's jobs run with the threshold snapshotted at
+     * dispatch. Chunk size is a constant, so the aborted set is
+     * deterministic for a seed at any thread count.
      */
     std::vector<Variant>
     evaluateBatch(const std::vector<Patch> &patches,
-                  std::vector<bool> &simulated_out);
+                  std::vector<bool> &simulated_out,
+                  const std::vector<double> *elite_fitness = nullptr);
     EvalPool &pool();
     const Variant &tournament(const std::vector<Variant> &popn);
     FaultLocResult localize(const Variant &v,
@@ -246,12 +307,18 @@ class RepairEngine
     sim::ProbeConfig probe_;
     Trace oracle_;
     EngineConfig config_;
+    /** Shared per-oracle-row weights for upper-bound computation;
+     *  immutable after construction (worker threads read it). */
+    OracleProfile oracleProfile_;
     std::mt19937_64 rng_;
     FitnessCache cache_;
     std::unique_ptr<EvalPool> pool_;  //!< created lazily by run()
     long evals_ = 0;
     long invalid_ = 0;
     long mutants_ = 0;
+    long earlyAborts_ = 0;
+    uint64_t rowsScored_ = 0;
+    uint64_t rowsSkipped_ = 0;
     OutcomeCounts outcomes_;
     /** Patch keys that crashed/ran away once: never re-simulated.
      *  Main thread only, like the cache. */

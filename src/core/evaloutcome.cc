@@ -16,6 +16,7 @@ evalOutcomeName(EvalOutcome o)
       case EvalOutcome::Deadline: return "deadline";
       case EvalOutcome::Oom: return "oom";
       case EvalOutcome::Crashed: return "crashed";
+      case EvalOutcome::EarlyAbort: return "early-abort";
     }
     return "?";
 }

@@ -26,9 +26,15 @@ enum class EvalOutcome {
     Deadline,   //!< per-candidate wall-clock watchdog fired
     Oom,        //!< per-candidate memory budget exhausted
     Crashed,    //!< any other exception escaping the evaluation
+    EarlyAbort, //!< streaming-fitness cutoff stopped the simulation:
+                //!< the candidate provably cannot reach the survival
+                //!< threshold. Deliberate and benign — never
+                //!< quarantined and never cached (a later generation
+                //!< with a lower threshold must be able to re-score
+                //!< the same patch fully).
 };
 
-inline constexpr int kEvalOutcomeCount = 7;
+inline constexpr int kEvalOutcomeCount = 8;
 
 const char *evalOutcomeName(EvalOutcome o);
 

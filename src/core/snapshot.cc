@@ -292,6 +292,12 @@ encodeSnapshot(const EngineState &state)
            << doubleToken(state.bestSeen);
         w.line(os.str());
     }
+    {
+        std::ostringstream os;
+        os << "stream " << state.earlyAborts << " " << state.rowsScored
+           << " " << state.rowsSkipped;
+        w.line(os.str());
+    }
     w.line("trajectory " + std::to_string(state.trajectory.size()));
     for (const auto &[at, best] : state.trajectory)
         w.line("point " + std::to_string(at) + " " + doubleToken(best));
@@ -403,6 +409,12 @@ decodeSnapshot(const std::string &text)
         st.mutants = r.parseLong(p[4]);
         st.elapsedSeconds = tokenToDouble(p[5]);
         st.bestSeen = tokenToDouble(p[6]);
+    }
+    {
+        auto s = r.tokens("stream", 4);
+        st.earlyAborts = r.parseLong(s[1]);
+        st.rowsScored = r.parseU64(s[2]);
+        st.rowsSkipped = r.parseU64(s[3]);
     }
     size_t npoints = r.parseSize(r.tokens("trajectory", 2)[1]);
     for (size_t i = 0; i < npoints; ++i) {

@@ -61,8 +61,9 @@ struct EngineState
 {
     /** Bump when the on-disk layout changes; readers reject other
      *  versions rather than misparse. Version 2 added the sealing
-     *  checksum record. */
-    static constexpr int kVersion = 2;
+     *  checksum record; version 3 widened the outcome-count line for
+     *  EvalOutcome::EarlyAbort. */
+    static constexpr int kVersion = 3;
 
     uint64_t seed = 0;
     /** FNV-1a of the printed faulty design; resume refuses to continue
@@ -74,6 +75,9 @@ struct EngineState
     long evals = 0;
     long invalid = 0;
     long mutants = 0;
+    long earlyAborts = 0;
+    uint64_t rowsScored = 0;
+    uint64_t rowsSkipped = 0;
     double elapsedSeconds = 0.0;
     double bestSeen = -1.0;
     std::vector<std::pair<long, double>> trajectory;

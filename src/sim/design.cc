@@ -150,7 +150,8 @@ Design::checkDeadline()
     // Flag the scheduler first so the run status reads Deadline, then
     // unwind the executing process via the usual SimAbort path.
     sched_.noteDeadline("wall-clock deadline exceeded");
-    throw SimAbort("wall-clock deadline exceeded");
+    throw SimAbort("wall-clock deadline exceeded",
+                   SimAbort::Cause::Deadline);
 }
 
 void

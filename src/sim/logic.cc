@@ -6,6 +6,76 @@
 
 namespace cirfix::sim {
 
+namespace {
+thread_local uint64_t g_logic_heap_allocs = 0;
+} // namespace
+
+uint64_t
+logicHeapAllocs()
+{
+    return g_logic_heap_allocs;
+}
+
+void
+WordStore::assign(size_t n, uint64_t fill)
+{
+    if (n > 1 && n != n_) {
+        release();
+        heap_ = new uint64_t[n];
+        ++g_logic_heap_allocs;
+    } else if (n <= 1 && heap_) {
+        release();
+    }
+    n_ = n;
+    uint64_t *d = data();
+    for (size_t i = 0; i < n; ++i)
+        d[i] = fill;
+}
+
+bool
+WordStore::operator==(const WordStore &o) const
+{
+    if (n_ != o.n_)
+        return false;
+    const uint64_t *a = data(), *b = o.data();
+    for (size_t i = 0; i < n_; ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+void
+WordStore::copyFrom(const WordStore &o)
+{
+    n_ = o.n_;
+    if (o.heap_) {
+        heap_ = new uint64_t[n_];
+        ++g_logic_heap_allocs;
+        for (size_t i = 0; i < n_; ++i)
+            heap_[i] = o.heap_[i];
+    } else {
+        heap_ = nullptr;
+        inline0_ = o.inline0_;
+    }
+}
+
+void
+WordStore::moveFrom(WordStore &o) noexcept
+{
+    n_ = o.n_;
+    heap_ = o.heap_;
+    inline0_ = o.inline0_;
+    o.heap_ = nullptr;
+    o.n_ = 0;
+}
+
+void
+WordStore::release()
+{
+    delete[] heap_;
+    heap_ = nullptr;
+}
+
 char
 bitChar(Bit b)
 {
@@ -154,7 +224,7 @@ LogicVec::toDecimalString() const
     if (hasUnknown())
         return toString();
     // Repeated division by 10 over the word array.
-    std::vector<uint64_t> w = aval_;
+    std::vector<uint64_t> w(aval_.begin(), aval_.end());
     std::string digits;
     auto all_zero = [&] {
         return std::all_of(w.begin(), w.end(),

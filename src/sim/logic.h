@@ -17,11 +17,88 @@
  * x/z-propagation semantics.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace cirfix::sim {
+
+/**
+ * Word storage for one plane of a LogicVec with a one-word inline
+ * buffer: vectors of width <= 64 — the overwhelming majority of
+ * signals, ports and interpreter temporaries in the benchmark suite —
+ * never touch the heap. The simulator hot path allocates LogicVec
+ * temporaries for every expression evaluation and every recorded
+ * sample, so this removes two global-allocator round trips per
+ * temporary (see DESIGN.md, "Streaming fitness & early abort").
+ *
+ * The interface is the subset of std::vector<uint64_t> the logic
+ * implementation uses; growth semantics are assign-only (a LogicVec
+ * never resizes its planes in place).
+ */
+class WordStore
+{
+  public:
+    WordStore() = default;
+    WordStore(const WordStore &o) { copyFrom(o); }
+    WordStore(WordStore &&o) noexcept { moveFrom(o); }
+    ~WordStore() { release(); }
+
+    WordStore &
+    operator=(const WordStore &o)
+    {
+        if (this != &o) {
+            release();
+            copyFrom(o);
+        }
+        return *this;
+    }
+
+    WordStore &
+    operator=(WordStore &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    /** Discard contents and hold @p n copies of @p fill. */
+    void assign(size_t n, uint64_t fill);
+
+    size_t size() const { return n_; }
+    uint64_t *data() { return heap_ ? heap_ : &inline0_; }
+    const uint64_t *data() const { return heap_ ? heap_ : &inline0_; }
+
+    uint64_t &operator[](size_t i) { return data()[i]; }
+    uint64_t operator[](size_t i) const { return data()[i]; }
+    uint64_t &back() { return data()[n_ - 1]; }
+    uint64_t back() const { return data()[n_ - 1]; }
+
+    const uint64_t *begin() const { return data(); }
+    const uint64_t *end() const { return data() + n_; }
+
+    bool operator==(const WordStore &o) const;
+
+  private:
+    void copyFrom(const WordStore &o);
+    void moveFrom(WordStore &o) noexcept;
+    void release();
+
+    size_t n_ = 0;
+    uint64_t inline0_ = 0;
+    uint64_t *heap_ = nullptr;
+};
+
+/**
+ * Number of heap allocations WordStore has performed on this thread
+ * (wide vectors only). Deterministic for a deterministic workload, so
+ * the benchmark-regression gate can alarm on allocation regressions
+ * without timing noise.
+ */
+uint64_t logicHeapAllocs();
 
 /** One four-state logic bit. Values chosen to match the (a, b) planes. */
 enum class Bit : uint8_t {
@@ -169,8 +246,8 @@ class LogicVec
 
   private:
     int width_;
-    std::vector<uint64_t> aval_;
-    std::vector<uint64_t> bval_;
+    WordStore aval_;
+    WordStore bval_;
 
     int words() const { return static_cast<int>(aval_.size()); }
     void maskTop();

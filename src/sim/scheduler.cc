@@ -4,40 +4,112 @@
 
 namespace cirfix::sim {
 
+namespace {
+/// Thread-local so concurrent candidate evaluations (one Design per
+/// worker) never contend; deterministic for a deterministic workload.
+thread_local uint64_t g_event_heap_allocs = 0;
+} // namespace
+
+uint64_t
+EventFn::heapAllocs()
+{
+    return g_event_heap_allocs;
+}
+
+void
+EventFn::noteHeapAlloc()
+{
+    ++g_event_heap_allocs;
+}
+
+Scheduler::~Scheduler()
+{
+    for (TimeSlot *list : {head_, free_}) {
+        while (list) {
+            TimeSlot *next = list->next;
+            delete list;
+            list = next;
+        }
+    }
+}
+
+Scheduler::TimeSlot &
+Scheduler::slotAt(SimTime t)
+{
+    // The pending list is short (current slot plus a handful of future
+    // delays), and the common case — scheduling into the current slot —
+    // hits the head node immediately, so a linear walk beats the old
+    // std::map both on lookup and on allocator traffic.
+    TimeSlot **link = &head_;
+    while (*link && (*link)->time < t)
+        link = &(*link)->next;
+    if (*link && (*link)->time == t)
+        return **link;
+    TimeSlot *s;
+    if (free_) {
+        s = free_;
+        free_ = s->next;
+        ++allocStats_.slotsRecycled;
+    } else {
+        s = new TimeSlot;
+        ++allocStats_.slotsAllocated;
+    }
+    s->time = t;
+    s->next = *link;
+    *link = s;
+    return *s;
+}
+
+void
+Scheduler::retireHead()
+{
+    TimeSlot *s = head_;
+    head_ = s->next;
+    s->clear(); // destroys callbacks, keeps each region's capacity
+    s->next = free_;
+    free_ = s;
+}
+
 void
 Scheduler::scheduleActive(Callback cb)
 {
-    slotAt(now_).active.push_back(std::move(cb));
+    ++allocStats_.eventsScheduled;
+    slotAt(now_).active.push(std::move(cb));
 }
 
 void
 Scheduler::scheduleInactive(Callback cb)
 {
-    slotAt(now_).inactive.push_back(std::move(cb));
+    ++allocStats_.eventsScheduled;
+    slotAt(now_).inactive.push(std::move(cb));
 }
 
 void
 Scheduler::scheduleAt(SimTime t, Callback cb)
 {
-    slotAt(t < now_ ? now_ : t).active.push_back(std::move(cb));
+    ++allocStats_.eventsScheduled;
+    slotAt(t < now_ ? now_ : t).active.push(std::move(cb));
 }
 
 void
 Scheduler::scheduleNba(Callback cb)
 {
-    slotAt(now_).nba.push_back(std::move(cb));
+    ++allocStats_.eventsScheduled;
+    slotAt(now_).nba.push(std::move(cb));
 }
 
 void
 Scheduler::scheduleNbaAt(SimTime t, Callback cb)
 {
-    slotAt(t < now_ ? now_ : t).nba.push_back(std::move(cb));
+    ++allocStats_.eventsScheduled;
+    slotAt(t < now_ ? now_ : t).nba.push(std::move(cb));
 }
 
 void
 Scheduler::schedulePostponed(Callback cb)
 {
-    slotAt(now_).postponed.push_back(std::move(cb));
+    ++allocStats_.eventsScheduled;
+    slotAt(now_).postponed.push(std::move(cb));
 }
 
 void
@@ -70,6 +142,12 @@ Scheduler::noteCrash(const std::string &reason)
     note(reason, AbortKind::Crash);
 }
 
+void
+Scheduler::noteEarlyStop(const std::string &reason)
+{
+    note(reason, AbortKind::Early);
+}
+
 Scheduler::RunResult
 Scheduler::run(SimTime max_time, uint64_t max_callbacks,
                double max_wall_seconds)
@@ -89,9 +167,8 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks,
                 noteDeadline("wall-clock deadline exceeded");
         }
     };
-    while (!queue_.empty()) {
-        auto it = queue_.begin();
-        now_ = it->first;
+    while (head_) {
+        now_ = head_->time;
         if (now_ > max_time) {
             res.status = Status::MaxTime;
             res.endTime = now_;
@@ -99,11 +176,13 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks,
         }
         // Drain the slot: active, then promote inactive, then NBA.
         // NBA updates may refill active (edge wakeups), so loop.
+        // Scheduling from inside callbacks can only target now_ or
+        // later (scheduleAt clamps), so head_ stays this node until we
+        // retire it below.
+        TimeSlot &slot = *head_;
         for (;;) {
-            TimeSlot &slot = queue_[now_];
             if (!slot.active.empty()) {
-                Callback cb = std::move(slot.active.front());
-                slot.active.pop_front();
+                Callback cb = slot.active.pop();
                 cb();
                 tick();
                 if (finish_ || aborted_ || res.callbacks > max_callbacks)
@@ -111,36 +190,47 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks,
                 continue;
             }
             if (!slot.inactive.empty()) {
-                slot.active.swap(slot.inactive);
+                // Promote #0 events; active is drained (empty buffer),
+                // so this is a pure buffer exchange.
+                std::swap(slot.active.items, slot.inactive.items);
+                std::swap(slot.active.head, slot.inactive.head);
                 continue;
             }
             if (!slot.nba.empty()) {
                 // NBA updates execute in scheduling order; each may wake
                 // processes into the (currently empty) active region.
-                std::deque<Callback> updates;
-                updates.swap(slot.nba);
-                for (Callback &cb : updates) {
-                    cb();
+                // Swap into the scratch buffer so both vectors keep
+                // their capacity across slots.
+                nbaScratch_.clear();
+                nbaScratch_.swap(slot.nba.items);
+                size_t first = slot.nba.head;
+                slot.nba.head = 0;
+                for (size_t i = first; i < nbaScratch_.size(); ++i) {
+                    nbaScratch_[i]();
                     tick();
                     if (finish_ || aborted_ ||
                         res.callbacks > max_callbacks)
                         break;
                 }
+                nbaScratch_.clear();
                 if (finish_ || aborted_ || res.callbacks > max_callbacks)
                     break;
                 continue;
             }
             // Slot quiescent: run postponed (read-only) callbacks.
             if (!slot.postponed.empty()) {
-                std::deque<Callback> sampled;
-                sampled.swap(slot.postponed);
-                for (Callback &cb : sampled) {
-                    cb();
+                postScratch_.clear();
+                postScratch_.swap(slot.postponed.items);
+                size_t first = slot.postponed.head;
+                slot.postponed.head = 0;
+                for (size_t i = first; i < postScratch_.size(); ++i) {
+                    postScratch_[i]();
                     tick();
                 }
+                postScratch_.clear();
                 // Sampling must not create same-slot activity, but be
                 // defensive: loop again if it somehow did.
-                if (queue_.count(now_) && queue_[now_].busy())
+                if (slot.busy())
                     continue;
             }
             break;
@@ -161,7 +251,7 @@ Scheduler::run(SimTime max_time, uint64_t max_callbacks,
             res.endTime = now_;
             return res;
         }
-        queue_.erase(now_);
+        retireHead();
     }
     res.status = Status::Idle;
     res.endTime = now_;

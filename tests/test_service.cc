@@ -149,10 +149,19 @@ unrepairableSpec(int gens)
     return spec;
 }
 
+/** This file builds into both cirfix_tests and cirfix_fault_tests,
+ *  and ctest runs the two binaries concurrently — paths must be
+ *  per-process or the twins delete each other's state mid-test. */
+std::string
+uniqueName(const std::string &name)
+{
+    return name + "." + std::to_string(::getpid());
+}
+
 std::string
 tmpDir(const std::string &name)
 {
-    std::string d = ::testing::TempDir() + name;
+    std::string d = ::testing::TempDir() + uniqueName(name);
     std::filesystem::remove_all(d);
     std::filesystem::create_directories(d);
     return d;
@@ -162,7 +171,7 @@ tmpDir(const std::string &name)
 std::string
 sockPath(const std::string &name)
 {
-    return ::testing::TempDir() + name + ".sock";
+    return ::testing::TempDir() + uniqueName(name) + ".sock";
 }
 
 /** Strip wall-clock fields before comparing results bit-for-bit. */

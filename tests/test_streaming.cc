@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for streaming fitness scoring and the early-abort cutoff:
+ * bit-identity between the streaming and batch scorers, soundness of
+ * the fitness upper bound, SurvivalTracker semantics, and the headline
+ * contract — a repair run with the cutoff enabled produces the same
+ * repair as full evaluation at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "core/engine.h"
+#include "core/evaloutcome.h"
+#include "core/fitness.h"
+#include "core/scenario.h"
+
+using namespace cirfix::core;
+using cirfix::sim::LogicVec;
+using cirfix::sim::Trace;
+
+namespace {
+
+Trace
+traceOf(const std::vector<std::string> &vars,
+        const std::vector<std::pair<uint64_t, std::vector<std::string>>>
+            &rows)
+{
+    Trace t{std::vector<std::string>(vars)};
+    for (auto &[time, vals] : rows) {
+        std::vector<LogicVec> vv;
+        for (auto &s : vals)
+            vv.push_back(LogicVec::fromString(s));
+        t.addRow(time, std::move(vv));
+    }
+    return t;
+}
+
+/** Feed every row of @p sim to a StreamingFitness over @p oracle. */
+FitnessResult
+streamScore(const Trace &sim, const Trace &oracle,
+            const FitnessParams &params = {})
+{
+    StreamingFitness scorer(oracle, sim.vars(), params);
+    for (const auto &row : sim.rows())
+        scorer.onSample(row.time, row.values);
+    return scorer.finish();
+}
+
+void
+expectSameResult(const FitnessResult &a, const FitnessResult &b)
+{
+    // Bit-identical, not approximately equal: both paths must run the
+    // same additions in the same order.
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.fitness, b.fitness);
+    EXPECT_EQ(a.bitMatches, b.bitMatches);
+    EXPECT_EQ(a.bitMismatches, b.bitMismatches);
+    EXPECT_EQ(a.unknownMatches, b.unknownMatches);
+    EXPECT_EQ(a.unknownMismatches, b.unknownMismatches);
+}
+
+TEST(StreamingFitness, MatchesBatchOnHandPickedShapes)
+{
+    struct Case
+    {
+        const char *name;
+        Trace oracle;
+        Trace sim;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"perfect",
+                     traceOf({"q"}, {{5, {"0101"}}, {15, {"0110"}}}),
+                     traceOf({"q"}, {{5, {"0101"}}, {15, {"0110"}}})});
+    cases.push_back({"sim ended early",
+                     traceOf({"q"}, {{5, {"01"}}, {15, {"10"}}}),
+                     traceOf({"q"}, {{5, {"01"}}})});
+    cases.push_back({"sim rows between oracle rows",
+                     traceOf({"q"}, {{10, {"1"}}, {30, {"0"}}}),
+                     traceOf({"q"}, {{5, {"0"}},
+                                     {10, {"1"}},
+                                     {20, {"x"}},
+                                     {30, {"0"}},
+                                     {40, {"1"}}})});
+    cases.push_back({"missing column",
+                     traceOf({"q", "r"}, {{5, {"1", "0"}}}),
+                     traceOf({"q"}, {{5, {"1"}}})});
+    cases.push_back({"swapped columns",
+                     traceOf({"a", "b"}, {{5, {"1", "0"}}}),
+                     traceOf({"b", "a"}, {{5, {"0", "1"}}})});
+    cases.push_back({"width mismatch",
+                     traceOf({"q"}, {{5, {"0011"}}}),
+                     traceOf({"q"}, {{5, {"11"}}})});
+    cases.push_back({"x and z everywhere",
+                     traceOf({"q"}, {{5, {"xz01"}}, {15, {"zzxx"}}}),
+                     traceOf({"q"}, {{5, {"x001"}}, {15, {"10zx"}}})});
+    cases.push_back({"empty sim",
+                     traceOf({"q"}, {{5, {"1"}}, {15, {"0"}}}),
+                     Trace{std::vector<std::string>{"q"}}});
+    cases.push_back({"empty oracle",
+                     Trace{std::vector<std::string>{"q"}},
+                     traceOf({"q"}, {{5, {"1"}}})});
+
+    for (double phi : {1.0, 2.0, 3.5}) {
+        FitnessParams params;
+        params.phi = phi;
+        for (const Case &c : cases) {
+            SCOPED_TRACE(std::string(c.name) +
+                         " phi=" + std::to_string(phi));
+            expectSameResult(streamScore(c.sim, c.oracle, params),
+                             evaluateFitness(c.sim, c.oracle, params));
+        }
+    }
+}
+
+TEST(StreamingFitness, ResampleAtSameInstantReplacesPending)
+{
+    // Trace::addRow keeps the latest row per timestamp; the streaming
+    // scorer must honor the same replace-on-equal-time semantics.
+    Trace oracle = traceOf({"q"}, {{5, {"1"}}, {15, {"0"}}});
+    StreamingFitness scorer(oracle, {"q"});
+    scorer.onSample(5, {LogicVec::fromString("0")});  // replaced below
+    scorer.onSample(5, {LogicVec::fromString("1")});
+    scorer.onSample(15, {LogicVec::fromString("0")});
+    FitnessResult batch = evaluateFitness(
+        traceOf({"q"}, {{5, {"1"}}, {15, {"0"}}}), oracle);
+    expectSameResult(scorer.finish(), batch);
+}
+
+TEST(StreamingFitness, RandomizedEquivalence)
+{
+    std::mt19937_64 rng(2024);
+    for (int trial = 0; trial < 200; ++trial) {
+        int width = 1 + static_cast<int>(rng() % 7);
+        auto random_trace = [&](int rows, uint64_t step) {
+            Trace t({"v", "w"});
+            for (int i = 0; i < rows; ++i) {
+                auto bits = [&] {
+                    std::string s;
+                    for (int b = 0; b < width; ++b)
+                        s.push_back("01xz"[rng() % 4]);
+                    return LogicVec::fromString(s);
+                };
+                t.addRow(static_cast<uint64_t>(i) * step,
+                         {bits(), bits()});
+            }
+            return t;
+        };
+        // Different row counts and steps so sim/oracle timestamps
+        // align only sometimes.
+        Trace oracle = random_trace(1 + static_cast<int>(rng() % 10),
+                                    5 + rng() % 3);
+        Trace sim = random_trace(1 + static_cast<int>(rng() % 10),
+                                 5 + rng() % 3);
+        FitnessParams params;
+        params.phi = 0.5 + static_cast<double>(rng() % 8) / 2.0;
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        expectSameResult(streamScore(sim, oracle, params),
+                         evaluateFitness(sim, oracle, params));
+    }
+}
+
+TEST(StreamingFitness, UpperBoundDominatesEveryCompletion)
+{
+    // At every prefix of the sample stream, upperBound() must be >=
+    // the fitness the candidate finally achieves.
+    std::mt19937_64 rng(99);
+    for (int trial = 0; trial < 100; ++trial) {
+        auto random_trace = [&](int rows) {
+            Trace t({"v"});
+            for (int i = 0; i < rows; ++i) {
+                std::string s;
+                for (int b = 0; b < 4; ++b)
+                    s.push_back("01xz"[rng() % 4]);
+                t.addRow(static_cast<uint64_t>(i) * 10,
+                         {LogicVec::fromString(s)});
+            }
+            return t;
+        };
+        Trace oracle = random_trace(8);
+        Trace sim = random_trace(1 + static_cast<int>(rng() % 8));
+        double final_fitness =
+            evaluateFitness(sim, oracle).fitness;
+        StreamingFitness scorer(oracle, sim.vars());
+        EXPECT_GE(scorer.upperBound(), final_fitness);
+        for (const auto &row : sim.rows()) {
+            scorer.onSample(row.time, row.values);
+            EXPECT_GE(scorer.upperBound() + 1e-12, final_fitness)
+                << "trial " << trial;
+        }
+        EXPECT_EQ(scorer.finish().fitness, final_fitness);
+    }
+}
+
+TEST(StreamingFitness, PerfectCandidateUpperBoundStaysOne)
+{
+    // A candidate with no mismatches keeps ub = 1 at every prefix, so
+    // it can never be aborted by any threshold <= 1 (plausible repairs
+    // are never lost to the cutoff).
+    Trace oracle = traceOf({"q"}, {{5, {"0101"}}, {15, {"0110"}},
+                                   {25, {"1111"}}});
+    StreamingFitness scorer(oracle, {"q"});
+    for (const auto &row : oracle.rows()) {
+        EXPECT_DOUBLE_EQ(scorer.upperBound(), 1.0);
+        scorer.onSample(row.time, row.values);
+    }
+    EXPECT_DOUBLE_EQ(scorer.finish().fitness, 1.0);
+}
+
+TEST(SurvivalTracker, ThresholdIsKthBest)
+{
+    SurvivalTracker t(3);
+    EXPECT_FALSE(t.armed());
+    EXPECT_EQ(t.threshold(),
+              -std::numeric_limits<double>::infinity());
+    t.submit(0.5);
+    t.submit(0.9);
+    EXPECT_FALSE(t.armed());
+    t.submit(0.2);
+    EXPECT_TRUE(t.armed());
+    EXPECT_DOUBLE_EQ(t.threshold(), 0.2);  // 3rd best of {.9,.5,.2}
+    t.submit(0.7);
+    EXPECT_DOUBLE_EQ(t.threshold(), 0.5);  // {.9,.7,.5}
+    t.submit(0.1);  // below threshold: no change
+    EXPECT_DOUBLE_EQ(t.threshold(), 0.5);
+    t.submit(1.0);
+    EXPECT_DOUBLE_EQ(t.threshold(), 0.7);  // {1,.9,.7}
+}
+
+TEST(SurvivalTracker, ZeroCapacityNeverArms)
+{
+    SurvivalTracker t(0);
+    t.submit(0.5);
+    EXPECT_FALSE(t.armed());
+    EXPECT_EQ(t.threshold(),
+              -std::numeric_limits<double>::infinity());
+}
+
+TEST(EvalOutcome, NamesRoundTripAndAreDistinct)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < kEvalOutcomeCount; ++i) {
+        auto o = static_cast<EvalOutcome>(i);
+        std::string name = evalOutcomeName(o);
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate outcome name " << name;
+        EXPECT_EQ(evalOutcomeFromName(name), o);
+    }
+    EXPECT_EQ(evalOutcomeName(EvalOutcome::EarlyAbort),
+              std::string("early-abort"));
+    EXPECT_FALSE(isQuarantineOutcome(EvalOutcome::EarlyAbort));
+    EXPECT_THROW(evalOutcomeFromName("no-such-outcome"),
+                 std::runtime_error);
+}
+
+/** The semantic fields that must not depend on the cutoff. */
+std::string
+semanticFingerprint(const RepairResult &r)
+{
+    std::ostringstream os;
+    os << r.found << '|' << r.patch.key() << '|' << r.repairedSource
+       << '|' << r.finalFitness.sum << '/' << r.finalFitness.total
+       << '|' << r.generations << '|' << r.totalMutants << '|'
+       << r.invalidMutants;
+    for (const auto &[evals, fit] : r.fitnessTrajectory)
+        os << '|' << evals << ':' << fit;
+    return os.str();
+}
+
+RepairResult
+runTrial(const Scenario &sc, bool early_abort, int threads)
+{
+    EngineConfig cfg;
+    cfg.popSize = 20;
+    cfg.maxGenerations = 5;
+    // Lambda > popSize so truncation actually drops candidates and the
+    // cutoff has something to prune.
+    cfg.offspringPerGen = 40;
+    cfg.seed = 7;
+    cfg.numThreads = threads;
+    cfg.maxSeconds = 1e9;  // the clock must not shape the search
+    cfg.earlyAbort = early_abort;
+    RepairEngine engine = sc.makeEngine(cfg);
+    return engine.run();
+}
+
+TEST(EarlyAbort, RepairResultsBitIdenticalAcrossThreadCounts)
+{
+    const ProjectSpec &p = cirfix::bench::getProject("counter");
+    const DefectSpec &d =
+        cirfix::bench::getDefect("counter_incorrect_reset");
+    Scenario sc = buildScenario(p, d);
+
+    RepairResult reference = runTrial(sc, false, 1);
+    EXPECT_EQ(reference.earlyAborts, 0);
+    std::string want = semanticFingerprint(reference);
+
+    bool any_aborts = false;
+    for (int threads : {1, 4, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        RepairResult full = runTrial(sc, false, threads);
+        EXPECT_EQ(semanticFingerprint(full), want);
+        RepairResult aborted = runTrial(sc, true, threads);
+        EXPECT_EQ(semanticFingerprint(aborted), want);
+        // The aborted set itself is deterministic per seed, so every
+        // thread count saves exactly the same work.
+        EXPECT_EQ(aborted.earlyAborts,
+                  runTrial(sc, true, 2).earlyAborts);
+        EXPECT_EQ(aborted.rowsSkipped,
+                  runTrial(sc, true, 2).rowsSkipped);
+        any_aborts = any_aborts || aborted.earlyAborts > 0;
+    }
+    // The configuration is chosen so the cutoff really fires; if this
+    // fails the test is vacuous, not the engine wrong.
+    EXPECT_TRUE(any_aborts);
+}
+
+TEST(EarlyAbort, AbortedVariantHoldsPartialScore)
+{
+    // Drive evaluateUncached directly with an impossible threshold:
+    // the simulation must stop early, classify as EarlyAbort, and
+    // report a partial (not worst) fitness plus the rows it reached.
+    const ProjectSpec &p = cirfix::bench::getProject("counter");
+    const DefectSpec &d =
+        cirfix::bench::getDefect("counter_incorrect_reset");
+    Scenario sc = buildScenario(p, d);
+    EngineConfig cfg;
+    RepairEngine engine = sc.makeEngine(cfg);
+
+    RepairEngine::EvalHints hints;
+    hints.streaming = true;
+    hints.abortThreshold = 2.0;  // unreachable: ub <= 1 always
+    Variant v = engine.evaluateUncached(Patch{}, hints);
+    EXPECT_EQ(v.outcome, EvalOutcome::EarlyAbort);
+    EXPECT_TRUE(v.valid);
+    EXPECT_FALSE(v.error.empty());
+    EXPECT_LT(v.rowsScored, sc.oracle.rows().size());
+
+    // Threshold -inf never aborts and reproduces batch scoring.
+    RepairEngine::EvalHints no_abort;
+    no_abort.streaming = true;
+    Variant full = engine.evaluateUncached(Patch{}, no_abort);
+    EXPECT_EQ(full.outcome, EvalOutcome::Ok);
+    Variant batch = engine.evaluateUncached(Patch{});
+    EXPECT_EQ(full.fit.sum, batch.fit.sum);
+    EXPECT_EQ(full.fit.total, batch.fit.total);
+    EXPECT_EQ(full.fit.fitness, batch.fit.fitness);
+    EXPECT_EQ(full.rowsScored, sc.oracle.rows().size());
+}
+
+} // namespace

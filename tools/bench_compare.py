@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for CI.
+
+Compares a freshly produced BENCH_repair.json (and, optionally, a
+google-benchmark ``--benchmark_format=json`` dump from perf_micro)
+against the committed baseline:
+
+* **Gated counters** (deterministic per seed/toolchain — allocator
+  counts, fitness evals, rows skipped, the fingerprint-match bit) fail
+  the build when they regress by more than the threshold (default 15%).
+* **Timing metrics** (evals/sec, per-benchmark real_time) are machine-
+  dependent; regressions only warn, so a noisy runner cannot produce a
+  flaky gate.
+
+Usage:
+    tools/bench_compare.py --baseline BENCH_baseline.json \
+        --current BENCH_repair.json \
+        [--micro-baseline BENCH_micro_baseline.json] \
+        [--micro-current micro.json] [--threshold 0.15]
+
+Exit status: 0 = pass (possibly with warnings), 1 = gated regression.
+"""
+
+import argparse
+import json
+import sys
+
+# Gated counters from BENCH_repair.json "counters", with the direction
+# that counts as a regression. These are deterministic: any drift means
+# the code changed behavior, not that the runner was busy.
+GATED = {
+    "fitness_evals": "lower",           # more simulations = more work
+    "rows_scored": "lower",             # rows the cutoff failed to save
+    "rows_skipped": "higher",           # work saved by early abort
+    "early_aborts": "higher",           # candidates pruned
+    "logic_heap_allocs_per_sim": "lower",
+    "eventfn_heap_allocs_per_sim": "lower",
+    "slots_allocated_per_sim": "lower",
+    "events_scheduled_per_sim": "lower",
+}
+
+# Timing metrics from BENCH_repair.json "timing" (warn-only).
+TIMING = {
+    "evals_per_sec_full": "higher",
+    "evals_per_sec_abort": "higher",
+    "sim_seconds_per_candidate": "lower",
+}
+
+
+def regression(baseline, current, direction):
+    """Fractional regression of current vs baseline (>0 = worse)."""
+    if baseline == 0:
+        return 1.0 if (direction == "lower" and current > 0) else 0.0
+    if direction == "lower":
+        return (current - baseline) / baseline
+    return (baseline - current) / baseline
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_repair(baseline, current, threshold):
+    failures, warnings = [], []
+
+    if not current.get("fingerprint_match", False):
+        failures.append(
+            "fingerprint_match is false: the early-abort run produced a "
+            "different repair than full evaluation (soundness bug)")
+
+    base_counters = baseline.get("counters", {})
+    cur_counters = current.get("counters", {})
+    for name, direction in GATED.items():
+        if name not in base_counters or name not in cur_counters:
+            warnings.append(f"counter {name} missing; skipped")
+            continue
+        reg = regression(base_counters[name], cur_counters[name],
+                         direction)
+        line = (f"{name}: baseline={base_counters[name]} "
+                f"current={cur_counters[name]} ({reg:+.1%})")
+        if reg > threshold:
+            failures.append("gated counter regressed " + line)
+        elif reg > 0:
+            warnings.append(line)
+
+    base_timing = baseline.get("timing", {})
+    cur_timing = current.get("timing", {})
+    for name, direction in TIMING.items():
+        if name not in base_timing or name not in cur_timing:
+            continue
+        reg = regression(base_timing[name], cur_timing[name], direction)
+        if reg > threshold:
+            warnings.append(
+                f"timing {name}: baseline={base_timing[name]:.4g} "
+                f"current={cur_timing[name]:.4g} ({reg:+.1%}) "
+                "[warn-only: machine-dependent]")
+
+    return failures, warnings
+
+
+def compare_micro(baseline, current, threshold):
+    """google-benchmark JSON: match by name, warn on real_time."""
+    warnings = []
+    base = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    for b in current.get("benchmarks", []):
+        ref = base.get(b["name"])
+        if ref is None or "real_time" not in ref:
+            continue
+        reg = regression(ref["real_time"], b["real_time"], "lower")
+        if reg > threshold:
+            warnings.append(
+                f"micro {b['name']}: baseline={ref['real_time']:.0f}"
+                f"{ref.get('time_unit', 'ns')} "
+                f"current={b['real_time']:.0f}"
+                f"{b.get('time_unit', 'ns')} ({reg:+.1%}) "
+                "[warn-only: machine-dependent]")
+    return warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--micro-baseline")
+    ap.add_argument("--micro-current")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    args = ap.parse_args()
+
+    failures, warnings = compare_repair(
+        load(args.baseline), load(args.current), args.threshold)
+
+    if args.micro_baseline and args.micro_current:
+        warnings += compare_micro(
+            load(args.micro_baseline), load(args.micro_current),
+            args.threshold)
+
+    for w in warnings:
+        print(f"WARN  {w}")
+    for f in failures:
+        print(f"FAIL  {f}")
+    if failures:
+        print(f"bench_compare: {len(failures)} gated regression(s)")
+        return 1
+    print(f"bench_compare: pass ({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

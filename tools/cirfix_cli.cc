@@ -315,6 +315,9 @@ cmdRepair(const Args &args)
         args.getDouble("deadline", cfg.evalDeadlineSeconds);
     cfg.evalMemoryBudget = static_cast<uint64_t>(args.getLong(
         "mem-budget", static_cast<long>(cfg.evalMemoryBudget)));
+    cfg.earlyAbort = args.getLong("early-abort", 1) != 0;
+    cfg.offspringPerGen =
+        static_cast<int>(args.getLong("offspring", 0));
     cfg.snapshotPath = args.get("snapshot");
     cfg.snapshotEvery =
         static_cast<int>(args.getLong("snapshot-every", 1));
@@ -331,6 +334,12 @@ cmdRepair(const Args &args)
                   << res.generations << " generations, " << res.seconds
                   << "s\n"
                   << "  outcomes: " << res.outcomes.summary() << "\n";
+        if (res.earlyAborts > 0) {
+            uint64_t rows = res.rowsScored + res.rowsSkipped;
+            std::cout << "  early aborts: " << res.earlyAborts << " ("
+                      << res.rowsSkipped << "/" << rows
+                      << " oracle rows skipped)\n";
+        }
         if (!res.found)
             return kExitNoRepair;
         std::cout << "repair found: " << res.patch.describe() << "\n";
@@ -586,7 +595,8 @@ usage(std::ostream &os)
         "(--golden g.v | --oracle t.csv)\n"
         "           [--pop N] [--gens N] [--budget S] [--seed N] "
         "[--phi F] [--trials N] [--threads N] [--out r.v]\n"
-        "           [--deadline S] [--mem-budget BYTES]\n"
+        "           [--deadline S] [--mem-budget BYTES] "
+        "[--early-abort 0|1] [--offspring N]\n"
         "           [--snapshot f.snap] [--snapshot-every N] "
         "[--resume f.snap]\n"
         "  simulate --design f.v --tb TB [--vcd o.vcd] "
