@@ -17,6 +17,12 @@
  *    (DESIGN.md, "Streaming fitness & early abort") checked on every
  *    CI run, not just in the unit suite.
  *
+ * A second scenario (the flip-flop defect) runs with the lint
+ * pre-screen on and off: the gated run must report nonzero
+ * lint_rejects (mutants that manufacture zero-delay loops) while
+ * producing the exact same repair as the ungated run
+ * (prescreen_fingerprint_match).
+ *
  * Usage: bench_repair [output.json]   (default: BENCH_repair.json)
  */
 
@@ -59,6 +65,26 @@ semanticFingerprint(const core::RepairResult &r)
        << r.invalidMutants;
     for (const auto &[evals, fit] : r.fitnessTrajectory)
         os << '|' << evals << ':' << fit;
+    return os.str();
+}
+
+/**
+ * Narrow fingerprint for the pre-screen soundness check. The lint gate
+ * changes how many candidates are *simulated* (rejects are never
+ * charged a fitness eval), so eval counts and trajectory x-coordinates
+ * legitimately shift; everything about the repair itself — what was
+ * found, the patch, the printed source, the fitness values climbed
+ * through — must be identical.
+ */
+std::string
+prescreenFingerprint(const core::RepairResult &r)
+{
+    std::ostringstream os;
+    os << r.found << '|' << r.patch.key() << '|' << r.repairedSource
+       << '|' << r.finalFitness.sum << '/' << r.finalFitness.total
+       << '|' << r.generations;
+    for (const auto &[evals, fit] : r.fitnessTrajectory)
+        os << '|' << fit;
     return os.str();
 }
 
@@ -160,6 +186,30 @@ main(int argc, char **argv)
     bool fingerprint_match =
         semanticFingerprint(full_res) == semanticFingerprint(abort_res);
 
+    // Pre-screen soundness on a second defect: the flip-flop's mutants
+    // readily produce `always @*` blocks that feed a signal back into
+    // itself, which the lint gate rejects without simulating. The gate
+    // must change only *what gets simulated*, never the repair.
+    const core::ProjectSpec &pf = bench::getProject("flip_flop");
+    const core::DefectSpec &df = bench::getDefect("flipflop_conditional");
+    core::Scenario scf = core::buildScenario(pf, df);
+
+    core::EngineConfig lint_off_cfg = trialConfig(true);
+    lint_off_cfg.lintPrescreen = false;
+    core::RepairEngine lint_off = scf.makeEngine(lint_off_cfg);
+    t0 = Clock::now();
+    core::RepairResult lint_off_res = lint_off.run();
+    double lint_off_seconds = secondsSince(t0);
+
+    core::RepairEngine lint_on = scf.makeEngine(trialConfig(true));
+    t0 = Clock::now();
+    core::RepairResult lint_on_res = lint_on.run();
+    double lint_on_seconds = secondsSince(t0);
+
+    bool prescreen_fingerprint_match =
+        prescreenFingerprint(lint_on_res) ==
+        prescreenFingerprint(lint_off_res);
+
     uint64_t rows_total = abort_res.rowsScored + abort_res.rowsSkipped;
     double samples_aborted_pct =
         rows_total ? 100.0 * static_cast<double>(abort_res.rowsSkipped) /
@@ -189,10 +239,13 @@ main(int argc, char **argv)
        << "    \"slots_recycled_per_sim\": "
        << alloc.slotsRecycled / alloc.sims << ",\n"
        << "    \"events_scheduled_per_sim\": "
-       << alloc.eventsScheduled / alloc.sims << "\n"
+       << alloc.eventsScheduled / alloc.sims << ",\n"
+       << "    \"lint_rejects\": " << lint_on_res.lintRejects << "\n"
        << "  },\n"
        << "  \"fingerprint_match\": "
        << (fingerprint_match ? "true" : "false") << ",\n"
+       << "  \"prescreen_fingerprint_match\": "
+       << (prescreen_fingerprint_match ? "true" : "false") << ",\n"
        << "  \"repair_found\": "
        << (abort_res.found ? "true" : "false") << ",\n"
        << "  \"samples_aborted_pct\": " << samples_aborted_pct << ",\n"
@@ -201,6 +254,9 @@ main(int argc, char **argv)
        << "    \"abort_eval_seconds\": " << abort_seconds << ",\n"
        << "    \"evals_per_sec_full\": " << full_eps << ",\n"
        << "    \"evals_per_sec_abort\": " << abort_eps << ",\n"
+       << "    \"prescreen_off_seconds\": " << lint_off_seconds
+       << ",\n"
+       << "    \"prescreen_on_seconds\": " << lint_on_seconds << ",\n"
        << "    \"sim_seconds_per_candidate\": "
        << alloc.simSeconds / alloc.sims << "\n"
        << "  }\n"
@@ -213,8 +269,11 @@ main(int argc, char **argv)
     std::cerr << "bench_repair: wrote " << out_path
               << (fingerprint_match ? " (fingerprint match)"
                                     : " (FINGERPRINT MISMATCH)")
+              << (prescreen_fingerprint_match
+                      ? ""
+                      : " (PRESCREEN FINGERPRINT MISMATCH)")
               << "\n";
-    // A fingerprint mismatch means the cutoff changed repair results —
-    // fail loudly so CI cannot miss it.
-    return fingerprint_match ? 0 : 1;
+    // A fingerprint mismatch means the cutoff (or the lint gate)
+    // changed repair results — fail loudly so CI cannot miss it.
+    return fingerprint_match && prescreen_fingerprint_match ? 0 : 1;
 }

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lint microbenchmark for the CI regression gate.
+ *
+ * Sweeps the whole benchmark registry through the lint subsystem —
+ * every golden project and every seeded defect, each with its repair
+ * testbench — and emits BENCH_lint.json with two metric groups:
+ *
+ *  - counters: deterministic golden-lint quantities. The total
+ *    diagnostic counts over the suite pin the analyzers' behavior:
+ *    a check that suddenly fires more (new false positives) or less
+ *    (lost coverage) moves these. golden_errors_total must stay 0 —
+ *    the golden designs lint clean by construction.
+ *  - timing: lint throughput (designs/sec over repeated sweeps). The
+ *    pre-screen runs this pass once per mutant, so a slowdown here
+ *    multiplies across the whole repair search. Machine-dependent;
+ *    the gate only warns.
+ *
+ * Usage: lint_micro [output.json]   (default: BENCH_lint.json)
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "core/scenario.h"
+#include "lint/lint.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using Clock = std::chrono::steady_clock;
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_lint.json";
+
+    // Parse every suite design once up front so the timing loop
+    // measures lint alone, not the parser.
+    std::vector<std::shared_ptr<const verilog::SourceFile>> designs;
+    long golden_errors = 0, golden_warnings = 0;
+    long defect_errors = 0, defect_warnings = 0;
+    std::map<std::string, long> by_check;
+
+    for (const core::ProjectSpec &p : bench::allProjects()) {
+        auto file =
+            verilog::parse(p.goldenSource + "\n" + p.testbenchSource);
+        lint::Result r = lint::run(*file);
+        golden_errors += r.errors;
+        golden_warnings += r.warnings;
+        for (const lint::Diagnostic &d : r.diags)
+            if (!d.waived)
+                ++by_check[d.check];
+        designs.push_back(std::move(file));
+    }
+    for (const core::DefectSpec &d : bench::allDefects()) {
+        const core::ProjectSpec &p = bench::getProject(d.project);
+        auto file = verilog::parse(
+            core::applyRewrites(p.goldenSource, d.rewrites) + "\n" +
+            p.testbenchSource);
+        lint::Result r = lint::run(*file);
+        defect_errors += r.errors;
+        defect_warnings += r.warnings;
+        for (const lint::Diagnostic &dg : r.diags)
+            if (!dg.waived)
+                ++by_check[dg.check];
+        designs.push_back(std::move(file));
+    }
+
+    // Throughput: repeated full-suite sweeps (the pre-screen's unit of
+    // work is one lint::run per mutant).
+    const int kSweeps = 10;
+    Clock::time_point t0 = Clock::now();
+    long sink = 0;
+    for (int i = 0; i < kSweeps; ++i)
+        for (const auto &file : designs)
+            sink += static_cast<long>(lint::run(*file).diags.size());
+    double sweep_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    double lints = static_cast<double>(kSweeps) *
+                   static_cast<double>(designs.size());
+    double lints_per_sec =
+        sweep_seconds > 0 ? lints / sweep_seconds : 0.0;
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"schema\": 1,\n"
+       << "  \"designs\": " << designs.size() << ",\n"
+       << "  \"counters\": {\n"
+       << "    \"golden_errors_total\": " << golden_errors << ",\n"
+       << "    \"golden_warnings_total\": " << golden_warnings << ",\n"
+       << "    \"defect_errors_total\": " << defect_errors << ",\n"
+       << "    \"defect_warnings_total\": " << defect_warnings;
+    for (const auto &[check, count] : by_check)
+        js << ",\n    \"diags_" << check << "\": " << count;
+    js << "\n  },\n"
+       << "  \"timing\": {\n"
+       << "    \"sweep_seconds\": " << sweep_seconds << ",\n"
+       << "    \"lints_per_sec\": " << lints_per_sec << "\n"
+       << "  }\n"
+       << "}\n";
+
+    std::ofstream out(out_path);
+    out << js.str();
+    out.close();
+    std::cout << js.str();
+    std::cerr << "lint_micro: wrote " << out_path << " ("
+              << static_cast<long>(lints) << " lints, sink " << sink
+              << ")\n";
+    // The golden designs must lint clean: an error here means an
+    // analyzer regression (or a broken golden design), not noise.
+    return golden_errors == 0 ? 0 : 1;
+}

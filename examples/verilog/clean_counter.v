@@ -1,0 +1,10 @@
+// A small, lint-clean design: CI runs `cirfix lint --Werror` over it
+// and expects a zero exit status with no findings.
+module clean_counter(input clk, input rst, output reg [3:0] count);
+    always @(posedge clk) begin
+        if (rst)
+            count <= 4'd0;
+        else
+            count <= count + 4'd1;
+    end
+endmodule

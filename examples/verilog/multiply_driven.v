@@ -1,0 +1,8 @@
+// Deliberately broken: `y` has two continuous drivers, so real
+// hardware would resolve it to X whenever a != b. `cirfix lint` flags
+// this as the error-severity check "multi-driven-net"; CI asserts the
+// nonzero exit status on this file.
+module mult_driven(input a, input b, output y);
+    assign y = a;
+    assign y = b;
+endmodule

@@ -33,7 +33,16 @@ RepairEngine::RepairEngine(std::shared_ptr<const SourceFile> faulty,
       oracle_(std::move(oracle)), config_(config),
       oracleProfile_(OracleProfile::build(oracle_, config.fitness)),
       rng_(config.seed), cache_(config.fitnessCacheSize)
-{}
+{
+    // The pre-screen diffs every candidate against the *baseline*
+    // design's lint fingerprint: only findings the mutation introduced
+    // can reject, never warts the defective design already had.
+    // Computed once here and immutable afterwards — worker threads
+    // read it concurrently.
+    if (config_.lintPrescreen)
+        baselineLintFp_ = lint::fingerprint(
+            lint::run(*faulty_, config_.lintOptions));
+}
 
 EvalPool &
 RepairEngine::pool()
@@ -74,6 +83,21 @@ RepairEngine::evaluateUncached(const Patch &patch,
         return v;
     }
     v.valid = true;
+
+    if (config_.lintPrescreen) {
+        lint::Result lr = lint::run(*patched, config_.lintOptions);
+        std::string msg;
+        if (lint::newErrorCount(baselineLintFp_, lr, &msg) > 0) {
+            // A new error-severity finding the baseline did not have:
+            // the mutation manufactured something doomed (a zero-delay
+            // loop, a second driver on a net). Worst fitness, no
+            // simulation.
+            v.valid = false;
+            v.outcome = EvalOutcome::LintReject;
+            v.error = msg;
+            return v;
+        }
+    }
 
     // Total containment: no failure mode of a candidate may escape
     // this function. Every escape hatch degrades to a worst-fitness
@@ -222,7 +246,11 @@ RepairEngine::evaluate(const Patch &patch)
     if (v.valid)
         ++evals_;
     outcomes_.add(v.outcome);
-    if (isQuarantineOutcome(v.outcome))
+    if (v.outcome == EvalOutcome::LintReject)
+        // Never cached or quarantined: the decision is a pure function
+        // of the patch and recomputing it is cheaper than a cache slot.
+        ++lintRejects_;
+    else if (isQuarantineOutcome(v.outcome))
         quarantine_.emplace(key, QuarantineEntry{v.outcome, v.error});
     else
         cache_.insert(key, FitnessCache::Entry{v.valid, v.fit, v.trace,
@@ -343,6 +371,11 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
                 // encounter (possibly under a lower cutoff, or during
                 // minimization) must re-simulate in full.
                 ++earlyAborts_;
+            } else if (out[i].outcome == EvalOutcome::LintReject) {
+                // Never cached (pure function of the patch) and never
+                // quarantined (the patch never simulated, so it earned
+                // no pathology verdict).
+                ++lintRejects_;
             } else if (isQuarantineOutcome(out[i].outcome)) {
                 quarantine_.emplace(
                     keys[i],
@@ -429,6 +462,7 @@ RepairEngine::captureState(
     st.earlyAborts = earlyAborts_;
     st.rowsScored = rowsScored_;
     st.rowsSkipped = rowsSkipped_;
+    st.lintRejects = lintRejects_;
     st.elapsedSeconds = elapsed_seconds;
     st.bestSeen = best_seen;
     st.trajectory = trajectory;
@@ -503,6 +537,7 @@ RepairEngine::runInternal(const EngineState *restore)
         result.earlyAborts = earlyAborts_;
         result.rowsScored = rowsScored_;
         result.rowsSkipped = rowsSkipped_;
+        result.lintRejects = lintRejects_;
         return result;
     };
 
@@ -551,6 +586,7 @@ RepairEngine::runInternal(const EngineState *restore)
         earlyAborts_ = restore->earlyAborts;
         rowsScored_ = restore->rowsScored;
         rowsSkipped_ = restore->rowsSkipped;
+        lintRejects_ = restore->lintRejects;
         outcomes_ = restore->outcomes;
         best_seen = restore->bestSeen;
         result.fitnessTrajectory = restore->trajectory;
@@ -754,6 +790,7 @@ RepairEngine::runInternal(const EngineState *restore)
             gs.outcomes = outcomes_;
             gs.cache = cache_.stats();
             gs.quarantined = quarantine_.size();
+            gs.lintRejects = lintRejects_;
             gs.elapsedSeconds = elapsed();
             config_.onGeneration(gs);
         }

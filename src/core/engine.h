@@ -27,6 +27,7 @@
 
 #include "core/evaloutcome.h"
 #include "core/evalpool.h"
+#include "lint/lint.h"
 #include "core/faultloc.h"
 #include "core/fitness.h"
 #include "core/minimize.h"
@@ -101,6 +102,21 @@ struct EngineConfig
     /** Fault plan compiled into every candidate simulation; used by
      *  the fault-injection tests, all-zero (inert) in production. */
     sim::FaultPlan faultPlan;
+    /**
+     * Static lint pre-screen: after a mutant passes validation but
+     * before any simulation, lint it and compare its error-severity
+     * fingerprint against the baseline (faulty) design's. A candidate
+     * with a *new* error — a fresh zero-delay combinational loop, a
+     * fresh multiply-driven net — is assigned worst fitness with
+     * EvalOutcome::LintReject and never simulated. Pre-existing warts
+     * of the defective design never reject anything (the diff is
+     * against the baseline fingerprint, not zero). The decision is a
+     * pure function of the patch, so results stay bit-identical per
+     * seed at any thread count.
+     */
+    bool lintPrescreen = true;
+    /** Severity overrides / waivers applied by the pre-screen. */
+    lint::Options lintOptions;
     /** Snapshot file path; non-empty enables checkpointing. */
     std::string snapshotPath;
     /** Generations between snapshots (>= 1). */
@@ -133,6 +149,7 @@ struct GenerationStats
     OutcomeCounts outcomes;   //!< cumulative per-outcome counts
     CacheStats cache;         //!< fitness-cache accounting so far
     size_t quarantined = 0;   //!< condemned patch keys so far
+    long lintRejects = 0;     //!< candidates rejected by the pre-screen
     double elapsedSeconds = 0.0;
 };
 
@@ -190,6 +207,8 @@ struct RepairResult
     uint64_t rowsScored = 0;
     /** Oracle rows the cutoff skipped (work saved by early abort). */
     uint64_t rowsSkipped = 0;
+    /** Candidates rejected by the lint pre-screen (not simulated). */
+    long lintRejects = 0;
 };
 
 /**
@@ -319,6 +338,10 @@ class RepairEngine
     long earlyAborts_ = 0;
     uint64_t rowsScored_ = 0;
     uint64_t rowsSkipped_ = 0;
+    long lintRejects_ = 0;
+    /** Baseline design's error-severity lint fingerprint; immutable
+     *  after construction (worker threads read it). */
+    lint::Fingerprint baselineLintFp_;
     OutcomeCounts outcomes_;
     /** Patch keys that crashed/ran away once: never re-simulated.
      *  Main thread only, like the cache. */

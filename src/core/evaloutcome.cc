@@ -17,6 +17,7 @@ evalOutcomeName(EvalOutcome o)
       case EvalOutcome::Oom: return "oom";
       case EvalOutcome::Crashed: return "crashed";
       case EvalOutcome::EarlyAbort: return "early-abort";
+      case EvalOutcome::LintReject: return "lint-reject";
     }
     return "?";
 }

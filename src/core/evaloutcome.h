@@ -32,9 +32,16 @@ enum class EvalOutcome {
                 //!< quarantined and never cached (a later generation
                 //!< with a lower threshold must be able to re-score
                 //!< the same patch fully).
+    LintReject, //!< the static lint pre-screen found a *new*
+                //!< error-severity diagnostic relative to the baseline
+                //!< design's fingerprint (e.g. a fresh zero-delay
+                //!< combinational loop): worst fitness without a
+                //!< simulation. Never quarantined and never cached —
+                //!< the decision is a pure function of the patch and
+                //!< recomputing it is cheaper than a cache slot.
 };
 
-inline constexpr int kEvalOutcomeCount = 8;
+inline constexpr int kEvalOutcomeCount = 9;
 
 const char *evalOutcomeName(EvalOutcome o);
 

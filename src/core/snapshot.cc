@@ -295,7 +295,7 @@ encodeSnapshot(const EngineState &state)
     {
         std::ostringstream os;
         os << "stream " << state.earlyAborts << " " << state.rowsScored
-           << " " << state.rowsSkipped;
+           << " " << state.rowsSkipped << " " << state.lintRejects;
         w.line(os.str());
     }
     w.line("trajectory " + std::to_string(state.trajectory.size()));
@@ -411,10 +411,11 @@ decodeSnapshot(const std::string &text)
         st.bestSeen = tokenToDouble(p[6]);
     }
     {
-        auto s = r.tokens("stream", 4);
+        auto s = r.tokens("stream", 5);
         st.earlyAborts = r.parseLong(s[1]);
         st.rowsScored = r.parseU64(s[2]);
         st.rowsSkipped = r.parseU64(s[3]);
+        st.lintRejects = r.parseLong(s[4]);
     }
     size_t npoints = r.parseSize(r.tokens("trajectory", 2)[1]);
     for (size_t i = 0; i < npoints; ++i) {

@@ -62,8 +62,10 @@ struct EngineState
     /** Bump when the on-disk layout changes; readers reject other
      *  versions rather than misparse. Version 2 added the sealing
      *  checksum record; version 3 widened the outcome-count line for
-     *  EvalOutcome::EarlyAbort. */
-    static constexpr int kVersion = 3;
+     *  EvalOutcome::EarlyAbort; version 4 widened it again for
+     *  EvalOutcome::LintReject and added lintRejects to the "stream"
+     *  line. */
+    static constexpr int kVersion = 4;
 
     uint64_t seed = 0;
     /** FNV-1a of the printed faulty design; resume refuses to continue
@@ -78,6 +80,7 @@ struct EngineState
     long earlyAborts = 0;
     uint64_t rowsScored = 0;
     uint64_t rowsSkipped = 0;
+    long lintRejects = 0;
     double elapsedSeconds = 0.0;
     double bestSeen = -1.0;
     std::vector<std::pair<long, double>> trajectory;

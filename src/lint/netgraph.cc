@@ -1,0 +1,632 @@
+#include "lint/netgraph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cirfix::lint {
+
+using namespace verilog;
+
+// --------------------------------------------------------------------
+// Expression helpers
+// --------------------------------------------------------------------
+
+void
+collectReads(const Expr &e, std::vector<std::string> &out)
+{
+    switch (e.kind) {
+      case NodeKind::Ident:
+        out.push_back(e.as<Ident>()->name);
+        break;
+      case NodeKind::Index: {
+        auto *ix = e.as<Index>();
+        out.push_back(ix->name);
+        collectReads(*ix->index, out);
+        break;
+      }
+      case NodeKind::RangeSel: {
+        auto *r = e.as<RangeSel>();
+        out.push_back(r->name);
+        collectReads(*r->msb, out);
+        collectReads(*r->lsb, out);
+        break;
+      }
+      default:
+        const_cast<Expr &>(e).forEachChild([&](Node *c) {
+            if (c)
+                collectReads(*static_cast<Expr *>(c), out);
+        });
+        break;
+    }
+}
+
+void
+collectTargets(const Expr &e, std::vector<std::string> &out)
+{
+    switch (e.kind) {
+      case NodeKind::Ident:
+        out.push_back(e.as<Ident>()->name);
+        break;
+      case NodeKind::Index:
+        out.push_back(e.as<Index>()->name);
+        break;
+      case NodeKind::RangeSel:
+        out.push_back(e.as<RangeSel>()->name);
+        break;
+      case NodeKind::Concat:
+        for (auto &p : e.as<Concat>()->parts)
+            if (p)
+                collectTargets(*p, out);
+        break;
+      default:
+        break;
+    }
+}
+
+std::optional<long>
+constEval(const Expr &e, const std::map<std::string, long> &params)
+{
+    switch (e.kind) {
+      case NodeKind::Number: {
+        const LogicVec &v = e.as<Number>()->value;
+        if (v.hasUnknown() || v.width() > 63)
+            return std::nullopt;
+        return static_cast<long>(v.toUint64());
+      }
+      case NodeKind::Ident: {
+        auto it = params.find(e.as<Ident>()->name);
+        if (it == params.end())
+            return std::nullopt;
+        return it->second;
+      }
+      case NodeKind::Unary: {
+        auto *u = e.as<Unary>();
+        auto v = constEval(*u->operand, params);
+        if (!v)
+            return std::nullopt;
+        switch (u->op) {
+          case UnaryOp::Plus: return *v;
+          case UnaryOp::Minus: return -*v;
+          case UnaryOp::Not: return *v == 0 ? 1 : 0;
+          default: return std::nullopt;
+        }
+      }
+      case NodeKind::Binary: {
+        auto *b = e.as<Binary>();
+        auto l = constEval(*b->lhs, params);
+        auto r = constEval(*b->rhs, params);
+        if (!l || !r)
+            return std::nullopt;
+        switch (b->op) {
+          case BinaryOp::Add: return *l + *r;
+          case BinaryOp::Sub: return *l - *r;
+          case BinaryOp::Mul: return *l * *r;
+          case BinaryOp::Div: return *r == 0 ? std::optional<long>()
+                                             : *l / *r;
+          case BinaryOp::Mod: return *r == 0 ? std::optional<long>()
+                                             : *l % *r;
+          case BinaryOp::Shl:
+            return (*r < 0 || *r > 62) ? std::optional<long>()
+                                       : *l << *r;
+          case BinaryOp::Shr:
+            return (*r < 0 || *r > 62) ? std::optional<long>()
+                                       : *l >> *r;
+          default: return std::nullopt;
+        }
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+// --------------------------------------------------------------------
+// Driver map
+// --------------------------------------------------------------------
+
+bool
+DriverSite::overlaps(const DriverSite &o) const
+{
+    if (wholeSignal || o.wholeSignal)
+        return true;
+    long lo = std::min(msb, lsb), hi = std::max(msb, lsb);
+    long olo = std::min(o.msb, o.lsb), ohi = std::max(o.msb, o.lsb);
+    return lo <= ohi && olo <= hi;
+}
+
+bool
+ModuleInfo::isArray(const std::string &name) const
+{
+    auto it = decls.find(name);
+    return it != decls.end() && it->second->arrayFirst != nullptr;
+}
+
+bool
+ModuleInfo::isReg(const std::string &name) const
+{
+    auto it = decls.find(name);
+    if (it == decls.end())
+        return false;
+    return it->second->varKind == VarKind::Reg ||
+           it->second->varKind == VarKind::Integer;
+}
+
+std::optional<int>
+ModuleInfo::width(const std::string &name) const
+{
+    auto it = decls.find(name);
+    if (it == decls.end())
+        return std::nullopt;
+    const VarDecl *d = it->second;
+    if (d->varKind == VarKind::Integer)
+        return 32;
+    if (!d->msb || !d->lsb)
+        return 1;
+    auto m = constEval(*d->msb, params);
+    auto l = constEval(*d->lsb, params);
+    if (!m || !l)
+        return std::nullopt;
+    long w = (*m > *l ? *m - *l : *l - *m) + 1;
+    if (w < 1 || w > 100000)
+        return std::nullopt;
+    return static_cast<int>(w);
+}
+
+namespace {
+
+/** Record one lvalue's drive, splitting concats into per-name sites. */
+void
+addDrive(ModuleInfo &info, const Expr &lhs, DriverSite proto)
+{
+    switch (lhs.kind) {
+      case NodeKind::Ident:
+        info.drivers[lhs.as<Ident>()->name].push_back(proto);
+        break;
+      case NodeKind::Index: {
+        auto *ix = lhs.as<Index>();
+        if (auto v = constEval(*ix->index, info.params)) {
+            proto.wholeSignal = false;
+            proto.msb = proto.lsb = *v;
+        }
+        info.drivers[ix->name].push_back(proto);
+        break;
+      }
+      case NodeKind::RangeSel: {
+        auto *r = lhs.as<RangeSel>();
+        auto m = constEval(*r->msb, info.params);
+        auto l = constEval(*r->lsb, info.params);
+        if (m && l) {
+            proto.wholeSignal = false;
+            proto.msb = *m;
+            proto.lsb = *l;
+        }
+        info.drivers[r->name].push_back(proto);
+        break;
+      }
+      case NodeKind::Concat:
+        for (auto &p : lhs.as<Concat>()->parts)
+            if (p)
+                addDrive(info, *p, proto);
+        break;
+      default:
+        break;
+    }
+}
+
+/** Walk a process body recording every Assign as a driver site. */
+void
+walkDrives(ModuleInfo &info, const Stmt &s, const Item &container,
+           bool initial, bool under_delay)
+{
+    if (s.kind == NodeKind::Assign) {
+        auto *a = s.as<Assign>();
+        DriverSite proto;
+        proto.kind = initial ? DriverSite::Kind::Initial
+                   : a->blocking ? DriverSite::Kind::Blocking
+                                 : DriverSite::Kind::NonBlocking;
+        proto.node = a;
+        proto.container = &container;
+        proto.delayed = under_delay || a->delay != nullptr;
+        addDrive(info, *a->lhs, proto);
+        return;
+    }
+    bool delayed = under_delay || s.kind == NodeKind::DelayStmt ||
+                   s.kind == NodeKind::EventCtrl ||
+                   s.kind == NodeKind::Wait;
+    const_cast<Stmt &>(s).forEachChild([&](Node *c) {
+        if (!c)
+            return;
+        // Only descend into statements; expressions cannot assign.
+        switch (c->kind) {
+          case NodeKind::SeqBlock: case NodeKind::If: case NodeKind::Case:
+          case NodeKind::For: case NodeKind::While: case NodeKind::Repeat:
+          case NodeKind::Forever: case NodeKind::Assign:
+          case NodeKind::DelayStmt: case NodeKind::EventCtrl:
+          case NodeKind::Wait: case NodeKind::TriggerEvent:
+          case NodeKind::SysTask: case NodeKind::NullStmt:
+            walkDrives(info, *static_cast<Stmt *>(c), container, initial,
+                       delayed);
+            break;
+          default:
+            break;
+        }
+    });
+}
+
+} // namespace
+
+ModuleInfo
+analyzeModule(const Module &mod, const SourceFile &file)
+{
+    ModuleInfo info;
+    info.mod = &mod;
+
+    // Declarations first: drives and widths resolve against them.
+    for (auto &it : mod.items) {
+        if (it->kind != NodeKind::VarDecl)
+            continue;
+        auto *d = it->as<VarDecl>();
+        if (d->varKind == VarKind::Event) {
+            info.events.emplace(d->name, d);
+            continue;
+        }
+        if (d->varKind == VarKind::Parameter ||
+            d->varKind == VarKind::Localparam) {
+            if (d->init)
+                if (auto v = constEval(*d->init, info.params))
+                    info.params[d->name] = *v;
+            info.decls.emplace(d->name, d);
+            continue;
+        }
+        auto ex = info.decls.find(d->name);
+        if (ex == info.decls.end()) {
+            info.decls.emplace(d->name, d);
+        } else {
+            // "output q;" then "reg q;": the refinement wins, but keep
+            // whichever declaration carries the vector range.
+            const VarDecl *old = ex->second;
+            bool new_kind = old->varKind == VarKind::Wire &&
+                            d->varKind != VarKind::Wire;
+            bool new_range = !old->msb && d->msb;
+            if (new_kind || new_range)
+                ex->second = d;
+        }
+    }
+
+    for (auto &it : mod.items) {
+        switch (it->kind) {
+          case NodeKind::ContAssign: {
+            auto *a = it->as<ContAssign>();
+            DriverSite proto;
+            proto.kind = DriverSite::Kind::Continuous;
+            proto.node = a;
+            proto.container = it.get();
+            addDrive(info, *a->lhs, proto);
+            break;
+          }
+          case NodeKind::AlwaysBlock: {
+            auto *b = it->as<AlwaysBlock>();
+            if (b->body)
+                walkDrives(info, *b->body, *it, false, false);
+            break;
+          }
+          case NodeKind::InitialBlock: {
+            auto *b = it->as<InitialBlock>();
+            if (b->body)
+                walkDrives(info, *b->body, *it, true, false);
+            break;
+          }
+          case NodeKind::Instance: {
+            auto *in = it->as<Instance>();
+            const Module *target = file.findModule(in->moduleName);
+            if (!target)
+                break;
+            for (size_t i = 0; i < in->conns.size(); ++i) {
+                const PortConn &c = in->conns[i];
+                if (!c.expr)
+                    continue;
+                std::string port = c.port;
+                if (port.empty() && i < target->ports.size())
+                    port = target->ports[i].name;
+                auto dir = target->portDir(port);
+                if (!dir || *dir == PortDir::Input)
+                    continue;
+                DriverSite proto;
+                proto.kind = DriverSite::Kind::InstanceOutput;
+                proto.node = c.expr.get();
+                proto.container = it.get();
+                addDrive(info, *c.expr, proto);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return info;
+}
+
+// --------------------------------------------------------------------
+// Combinational graph
+// --------------------------------------------------------------------
+
+bool
+isCombAlways(const AlwaysBlock &b)
+{
+    if (!b.body || b.body->kind != NodeKind::EventCtrl)
+        return false;
+    auto *ec = b.body->as<EventCtrl>();
+    if (ec->star)
+        return true;
+    if (ec->events.empty())
+        return false;
+    for (auto &ev : ec->events)
+        if (ev.edge != Edge::Level)
+            return false;
+    return true;
+}
+
+namespace {
+
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(CombGraph &g) : g_(g) {}
+
+    int
+    node(const std::string &name)
+    {
+        auto it = g_.index.find(name);
+        if (it != g_.index.end())
+            return it->second;
+        int id = static_cast<int>(g_.signals.size());
+        g_.index.emplace(name, id);
+        g_.signals.push_back(name);
+        g_.out.emplace_back();
+        g_.site.push_back(nullptr);
+        return id;
+    }
+
+    void
+    edge(const std::string &from, const std::string &to,
+         const Node *where)
+    {
+        int f = node(from), t = node(to);
+        if (seen_.insert({f, t}).second)
+            g_.out[f].push_back(t);
+        if (!g_.site[t])
+            g_.site[t] = where;
+    }
+
+    /** Drive of @p lhs from @p reads plus the dominating conditions. */
+    void
+    assignEdges(const Expr &lhs, const Expr &rhs, const Node *where)
+    {
+        std::vector<std::string> targets;
+        collectTargets(lhs, targets);
+        if (targets.empty())
+            return;
+
+        std::vector<std::string> reads;
+        collectReads(rhs, reads);
+        // A pure copy (q <= q;) can never change the value, so it
+        // cannot sustain a zero-delay oscillation: drop the self read.
+        bool pure_copy = rhs.kind == NodeKind::Ident &&
+                         lhs.kind == NodeKind::Ident &&
+                         targets.size() == 1 && reads.size() == 1 &&
+                         reads[0] == targets[0];
+        if (pure_copy)
+            reads.clear();
+        for (auto &c : conds_)
+            reads.insert(reads.end(), c.begin(), c.end());
+
+        for (auto &t : targets)
+            for (auto &r : reads)
+                edge(r, t, where);
+    }
+
+    void
+    pushCond(const Expr &e)
+    {
+        conds_.emplace_back();
+        collectReads(e, conds_.back());
+    }
+    void popCond() { conds_.pop_back(); }
+
+    void
+    walk(const Stmt &s)
+    {
+        switch (s.kind) {
+          case NodeKind::Assign: {
+            auto *a = s.as<Assign>();
+            if (!a->delay)  // "<= #1 v" breaks the zero-delay path
+                assignEdges(*a->lhs, *a->rhs, a);
+            break;
+          }
+          case NodeKind::SeqBlock:
+            for (auto &c : s.as<SeqBlock>()->stmts)
+                if (c)
+                    walk(*c);
+            break;
+          case NodeKind::If: {
+            auto *i = s.as<If>();
+            pushCond(*i->cond);
+            if (i->thenStmt)
+                walk(*i->thenStmt);
+            if (i->elseStmt)
+                walk(*i->elseStmt);
+            popCond();
+            break;
+          }
+          case NodeKind::Case: {
+            auto *c = s.as<Case>();
+            pushCond(*c->subject);
+            for (auto &item : c->items)
+                if (item.body)
+                    walk(*item.body);
+            popCond();
+            break;
+          }
+          case NodeKind::For: {
+            auto *f = s.as<For>();
+            // The init and step assignments are loop control: the
+            // body runs a bounded number of times within one delta
+            // cycle, so a counter's self-increment (i = i + 1) cannot
+            // sustain an oscillation through the event queue. (A
+            // non-terminating loop shows up as Runaway in simulation,
+            // not as a comb loop.)
+            pushCond(*f->cond);
+            if (f->body)
+                walk(*f->body);
+            popCond();
+            break;
+          }
+          case NodeKind::While: {
+            auto *w = s.as<While>();
+            pushCond(*w->cond);
+            if (w->body)
+                walk(*w->body);
+            popCond();
+            break;
+          }
+          case NodeKind::Repeat: {
+            auto *r = s.as<Repeat>();
+            pushCond(*r->count);
+            if (r->body)
+                walk(*r->body);
+            popCond();
+            break;
+          }
+          case NodeKind::Forever:
+            if (s.as<Forever>()->body)
+                walk(*s.as<Forever>()->body);
+            break;
+          // Timing controls suspend the process: whatever runs after
+          // them is no longer in the same delta cycle, so their
+          // subtrees cannot form a zero-delay loop.
+          case NodeKind::DelayStmt:
+          case NodeKind::EventCtrl:
+          case NodeKind::Wait:
+          default:
+            break;
+        }
+    }
+
+  private:
+    CombGraph &g_;
+    std::set<std::pair<int, int>> seen_;
+    std::vector<std::vector<std::string>> conds_;
+};
+
+/** Iterative Tarjan SCC (stack-safe for degenerate chain graphs). */
+struct Tarjan
+{
+    const CombGraph &g;
+    std::vector<int> idx, low, comp;
+    std::vector<bool> on_stack;
+    std::vector<int> stack;
+    int counter = 0, ncomp = 0;
+
+    explicit Tarjan(const CombGraph &graph)
+        : g(graph), idx(graph.signals.size(), -1),
+          low(graph.signals.size(), 0), comp(graph.signals.size(), -1),
+          on_stack(graph.signals.size(), false)
+    {
+        for (size_t v = 0; v < g.signals.size(); ++v)
+            if (idx[v] < 0)
+                visit(static_cast<int>(v));
+    }
+
+    void
+    visit(int root)
+    {
+        // Explicit DFS frame: node + position in its adjacency list.
+        std::vector<std::pair<int, size_t>> frames{{root, 0}};
+        while (!frames.empty()) {
+            auto &[v, pos] = frames.back();
+            if (pos == 0) {
+                idx[v] = low[v] = counter++;
+                stack.push_back(v);
+                on_stack[v] = true;
+            }
+            bool descended = false;
+            while (pos < g.out[v].size()) {
+                int w = g.out[v][pos++];
+                if (idx[w] < 0) {
+                    frames.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w])
+                    low[v] = std::min(low[v], idx[w]);
+            }
+            if (descended)
+                continue;
+            if (low[v] == idx[v]) {
+                for (;;) {
+                    int w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    comp[w] = ncomp;
+                    if (w == v)
+                        break;
+                }
+                ++ncomp;
+            }
+            int finished = v;
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().first] =
+                    std::min(low[frames.back().first], low[finished]);
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::vector<int>>
+CombGraph::cycles() const
+{
+    Tarjan t(*this);
+    std::vector<std::vector<int>> members(t.ncomp);
+    for (size_t v = 0; v < signals.size(); ++v)
+        members[t.comp[v]].push_back(static_cast<int>(v));
+
+    std::vector<std::vector<int>> result;
+    for (auto &m : members) {
+        bool cyclic = m.size() > 1;
+        if (m.size() == 1) {
+            for (int w : out[m[0]])
+                cyclic |= (w == m[0]);
+        }
+        if (!cyclic)
+            continue;
+        std::sort(m.begin(), m.end());
+        result.push_back(m);
+    }
+    std::sort(result.begin(), result.end(),
+              [](const auto &a, const auto &b) { return a[0] < b[0]; });
+    return result;
+}
+
+CombGraph
+buildCombGraph(const Module &mod)
+{
+    CombGraph g;
+    GraphBuilder b(g);
+    for (auto &it : mod.items) {
+        if (it->kind == NodeKind::ContAssign) {
+            auto *a = it->as<ContAssign>();
+            b.assignEdges(*a->lhs, *a->rhs, a);
+        } else if (it->kind == NodeKind::AlwaysBlock) {
+            auto *blk = it->as<AlwaysBlock>();
+            if (!isCombAlways(*blk))
+                continue;
+            auto *ec = blk->body->as<EventCtrl>();
+            if (ec->stmt)
+                b.walk(*ec->stmt);
+        }
+    }
+    return g;
+}
+
+} // namespace cirfix::lint

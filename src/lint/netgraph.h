@@ -1,0 +1,126 @@
+#pragma once
+
+/**
+ * @file
+ * Structural analyses shared by the lint checks: per-module driver
+ * maps and the zero-delay combinational dependency graph.
+ *
+ * Everything here is computed from the AST alone (no elaboration, no
+ * instance flattening): each module is analyzed against its own
+ * declarations, and instance connections are resolved against the
+ * instantiated module's port list when it exists in the same source
+ * file.
+ */
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verilog/ast.h"
+
+namespace cirfix::lint {
+
+/** One place a signal is driven from. */
+struct DriverSite
+{
+    enum class Kind {
+        Continuous,      //!< assign lhs = ...
+        Blocking,        //!< lhs = ... inside an always block
+        NonBlocking,     //!< lhs <= ... inside an always block
+        InstanceOutput,  //!< connected to an instance output port
+        Initial,         //!< assigned inside an initial block
+    };
+
+    Kind kind = Kind::Continuous;
+    /** The assignment / connection expression (for spans). */
+    const verilog::Node *node = nullptr;
+    /** The module item containing the drive (always/initial/...). */
+    const verilog::Item *container = nullptr;
+    /** True when the assignment carries a #delay. */
+    bool delayed = false;
+    /** Bit range driven; wholeSignal when not a constant part select. */
+    bool wholeSignal = true;
+    long msb = 0;
+    long lsb = 0;
+
+    bool overlaps(const DriverSite &o) const;
+};
+
+/** Per-module symbol/driver summary used by every check. */
+struct ModuleInfo
+{
+    const verilog::Module *mod = nullptr;
+    /**
+     * Declarations by name. Later declarations refine earlier ones
+     * ("output q;" then "reg q;"), matching validate()'s scope rules.
+     */
+    std::map<std::string, const verilog::VarDecl *> decls;
+    /** Parameter/localparam values that fold to constants. */
+    std::map<std::string, long> params;
+    /** Declared names of kind Event. */
+    std::map<std::string, const verilog::VarDecl *> events;
+    /** Function declarations by name. */
+    std::map<std::string, const verilog::FunctionDecl *> functions;
+    /** Driver sites per signal name, in source order. */
+    std::map<std::string, std::vector<DriverSite>> drivers;
+
+    bool isReg(const std::string &name) const;
+    /** True for 1-D memories ("reg [7:0] mem [0:15]"). */
+    bool isArray(const std::string &name) const;
+    /** Resolved bit width of a declared name (nullopt if unknown);
+     *  for arrays this is the element width. */
+    std::optional<int> width(const std::string &name) const;
+};
+
+ModuleInfo analyzeModule(const verilog::Module &mod,
+                         const verilog::SourceFile &file);
+
+/**
+ * Fold @p e to a constant using @p params for identifier values.
+ * Handles the operators that appear in declarations and part selects.
+ */
+std::optional<long> constEval(const verilog::Expr &e,
+                              const std::map<std::string, long> &params);
+
+/**
+ * True when @p b is a combinational process: its outermost event
+ * control is @* or an all-Level sensitivity list. Edge-triggered and
+ * delay-paced processes are sequential and excluded from the
+ * zero-delay graph.
+ */
+bool isCombAlways(const verilog::AlwaysBlock &b);
+
+/**
+ * Zero-delay dependency graph of one module: an edge a -> b means a
+ * same-timestep change of `a` can re-evaluate an undelayed drive of
+ * `b` (continuous assignments plus undelayed assignments inside
+ * combinational always blocks, including their dominating branch
+ * conditions). Pure copies (`q <= q;`) contribute no edge — they can
+ * never change a value, hence never sustain an oscillation.
+ */
+struct CombGraph
+{
+    std::vector<std::string> signals;       //!< index -> name
+    std::map<std::string, int> index;       //!< name -> index
+    std::vector<std::vector<int>> out;      //!< adjacency (deduped)
+    /** Representative drive site per signal (first in source order). */
+    std::vector<const verilog::Node *> site;
+
+    /**
+     * Strongly connected components that can oscillate: size > 1, or
+     * a single node with a self edge. Components and their members
+     * are in deterministic (index) order.
+     */
+    std::vector<std::vector<int>> cycles() const;
+};
+
+CombGraph buildCombGraph(const verilog::Module &mod);
+
+/** All identifier names read by @p e (no deduplication). */
+void collectReads(const verilog::Expr &e, std::vector<std::string> &out);
+
+/** All signal names assigned by lvalue @p e (handles concats). */
+void collectTargets(const verilog::Expr &e, std::vector<std::string> &out);
+
+} // namespace cirfix::lint

@@ -43,6 +43,15 @@ nodeKindName(NodeKind k)
     return "?";
 }
 
+std::string
+Span::str() const
+{
+    if (!valid())
+        return "?";
+    return std::to_string(line) + ":" + std::to_string(col) + "-" +
+           std::to_string(endLine) + ":" + std::to_string(endCol);
+}
+
 namespace {
 
 /** Copy the id/line bookkeeping from @p src onto @p dst and return it. */
@@ -52,6 +61,7 @@ finishClone(const Node &src, std::unique_ptr<T> dst)
 {
     dst->id = src.id;
     dst->line = src.line;
+    dst->span = src.span;
     return dst;
 }
 

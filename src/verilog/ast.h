@@ -54,6 +54,22 @@ const char *nodeKindName(NodeKind k);
 struct Node;
 using NodePtr = std::unique_ptr<Node>;
 
+/**
+ * Half-open source range: [line:col, endLine:endCol), both 1-based.
+ * All-zero when the node was synthesized by a repair operator rather
+ * than parsed from source.
+ */
+struct Span
+{
+    int line = 0;
+    int col = 0;
+    int endLine = 0;
+    int endCol = 0;
+
+    bool valid() const { return line > 0; }
+    std::string str() const;  //!< "3:5-3:12" (or "?" when invalid)
+};
+
 /** Base class for all AST nodes. */
 struct Node
 {
@@ -62,6 +78,8 @@ struct Node
     NodeKind kind;
     /** 1-based source line (0 if synthesized by a repair operator). */
     int line = 0;
+    /** Full begin-end source range (invalid if synthesized). */
+    Span span;
 
     explicit Node(NodeKind k) : kind(k) {}
     virtual ~Node() = default;

@@ -26,11 +26,16 @@ class Cursor
     {
         char c = peek();
         ++pos_;
-        if (c == '\n')
+        if (c == '\n') {
             ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
         return c;
     }
     int line() const { return line_; }
+    int col() const { return col_; }
 
     [[noreturn]] void
     fail(const std::string &msg) const
@@ -42,6 +47,7 @@ class Cursor
     const std::string &src_;
     size_t pos_ = 0;
     int line_ = 1;
+    int col_ = 1;
 };
 
 bool
@@ -146,17 +152,22 @@ lex(const std::string &source)
     std::vector<Token> out;
     Cursor cur(source);
 
+    int col = 1;
     auto push = [&](Tok k, std::string text, int line) {
         Token t;
         t.kind = k;
         t.text = std::move(text);
         t.line = line;
+        t.col = col;
+        t.endLine = cur.line();
+        t.endCol = cur.col();
         out.push_back(std::move(t));
     };
 
     while (!cur.done()) {
         char c = cur.peek();
         int line = cur.line();
+        col = cur.col();
 
         if (std::isspace(static_cast<unsigned char>(c))) {
             cur.take();
@@ -231,6 +242,9 @@ lex(const std::string &source)
             t.kind = Tok::String;
             t.text = std::move(text);
             t.line = line;
+            t.col = col;
+            t.endLine = cur.line();
+            t.endCol = cur.col();
             out.push_back(std::move(t));
             continue;
         }
@@ -239,6 +253,7 @@ lex(const std::string &source)
             Token t;
             t.kind = Tok::Number;
             t.line = line;
+            t.col = col;
             int width = 32;
             bool have_size = false;
             if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -259,6 +274,8 @@ lex(const std::string &source)
                     t.value = LogicVec(32, dec);
                     t.sized = false;
                     t.base = 'd';
+                    t.endLine = cur.line();
+                    t.endCol = cur.col();
                     out.push_back(std::move(t));
                     continue;
                 }
@@ -294,6 +311,8 @@ lex(const std::string &source)
             }
             t.sized = have_size || true;  // based literals print sized
             t.base = base;
+            t.endLine = cur.line();
+            t.endCol = cur.col();
             out.push_back(std::move(t));
             continue;
         }
@@ -342,6 +361,7 @@ lex(const std::string &source)
         cur.fail(std::string("unexpected character '") + c + "'");
     }
 
+    col = cur.col();
     push(Tok::End, "", cur.line());
     return out;
 }

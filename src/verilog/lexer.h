@@ -40,6 +40,9 @@ struct Token
     bool sized = false;
     char base = 'd';
     int line = 0;
+    int col = 0;      //!< 1-based column of the first character
+    int endLine = 0;  //!< line of one-past-the-last character
+    int endCol = 0;   //!< 1-based column of one-past-the-last character
 
     bool
     is(Tok k, const std::string &t = "") const

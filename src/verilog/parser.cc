@@ -31,6 +31,8 @@ class Parser
             expectKeyword("module");
             file->modules.push_back(parseModule());
         }
+        for (auto &mod : file->modules)
+            fillSpans(*mod);
         numberNodes(*file);
         return file;
     }
@@ -56,8 +58,9 @@ class Parser
     [[noreturn]] void
     fail(const std::string &msg) const
     {
-        throw ParseError("line " + std::to_string(peek().line) + ": " +
-                         msg + " (got '" + peek().text + "')");
+        throw ParseError("line " + std::to_string(peek().line) + ":" +
+                         std::to_string(peek().col) + ": " + msg +
+                         " (got '" + peek().text + "')");
     }
 
     void
@@ -110,6 +113,25 @@ class Parser
     {
         auto n = std::make_unique<T>();
         n->line = peek().line;
+        n->span.line = peek().line;
+        n->span.col = peek().col;
+        return n;
+    }
+
+    /** Stamp @p n's span end from the most recently consumed token. */
+    void
+    closeSpanRef(Node &n)
+    {
+        const Token &prev = toks_[pos_ > 0 ? pos_ - 1 : 0];
+        n.span.endLine = prev.endLine;
+        n.span.endCol = prev.endCol;
+    }
+
+    template <typename T>
+    std::unique_ptr<T>
+    closeSpan(std::unique_ptr<T> n)
+    {
+        closeSpanRef(*n);
         return n;
     }
 
@@ -131,9 +153,43 @@ class Parser
         while (!acceptKeyword("endmodule")) {
             if (at(Tok::End))
                 fail("unexpected end of file in module body");
+            size_t before = mod->items.size();
             parseItem(*mod);
+            // Multi-declarator items share the span of the whole item.
+            for (size_t i = before; i < mod->items.size(); ++i)
+                closeSpanRef(*mod->items[i]);
         }
-        return mod;
+        return closeSpan(std::move(mod));
+    }
+
+    /**
+     * Post-parse pass: nodes built without explicit span bookkeeping
+     * inherit a begin from Node::line and an end from their children,
+     * so every parsed node ends up with a usable (if sometimes
+     * conservative) range.
+     */
+    static void
+    fillSpans(Node &n)
+    {
+        n.forEachChild([&](Node *c) {
+            if (!c)
+                return;
+            fillSpans(*c);
+            if (c->span.endLine > n.span.endLine ||
+                (c->span.endLine == n.span.endLine &&
+                 c->span.endCol > n.span.endCol)) {
+                n.span.endLine = c->span.endLine;
+                n.span.endCol = c->span.endCol;
+            }
+        });
+        if (n.span.line == 0 && n.line > 0) {
+            n.span.line = n.line;
+            n.span.col = 1;
+        }
+        if (n.span.endLine == 0) {
+            n.span.endLine = n.span.line;
+            n.span.endCol = n.span.col;
+        }
     }
 
     static PortDir
@@ -431,6 +487,12 @@ class Parser
     StmtPtr
     parseStmt()
     {
+        return closeSpan(parseStmtInner());
+    }
+
+    StmtPtr
+    parseStmtInner()
+    {
         if (atKeyword("begin"))
             return parseSeqBlock();
         if (atKeyword("if"))
@@ -457,9 +519,12 @@ class Parser
             return parseWait();
         if (atPunct("->")) {
             auto line = peek().line;
+            auto col = peek().col;
             take();
             auto s = std::make_unique<TriggerEvent>(expectIdent());
             s->line = line;
+            s->span.line = line;
+            s->span.col = col;
             expectPunct(";");
             return s;
         }
@@ -716,37 +781,37 @@ class Parser
     ExprPtr
     parseLValue()
     {
+        int line = peek().line;
+        int col = peek().col;
+        auto begin = [&](auto node) {
+            node->line = line;
+            node->span.line = line;
+            node->span.col = col;
+            return closeSpan(std::move(node));
+        };
         if (acceptPunct("{")) {
             auto c = std::make_unique<Concat>();
-            c->line = peek().line;
             for (;;) {
                 c->parts.push_back(parseLValue());
                 if (!acceptPunct(","))
                     break;
             }
             expectPunct("}");
-            return c;
+            return begin(std::move(c));
         }
-        int line = peek().line;
         std::string name = expectIdent();
         if (acceptPunct("[")) {
             ExprPtr first = parseExpr();
             if (acceptPunct(":")) {
                 ExprPtr second = parseExpr();
                 expectPunct("]");
-                auto r = std::make_unique<RangeSel>(
-                    name, std::move(first), std::move(second));
-                r->line = line;
-                return r;
+                return begin(std::make_unique<RangeSel>(
+                    name, std::move(first), std::move(second)));
             }
             expectPunct("]");
-            auto ix = std::make_unique<Index>(name, std::move(first));
-            ix->line = line;
-            return ix;
+            return begin(std::make_unique<Index>(name, std::move(first)));
         }
-        auto id = std::make_unique<Ident>(name);
-        id->line = line;
-        return id;
+        return begin(std::make_unique<Ident>(name));
     }
 
     // ----------------------------------------------------------------
@@ -767,9 +832,14 @@ class Parser
             ExprPtr t = parseTernary();
             expectPunct(":");
             ExprPtr e = parseTernary();
+            Span first = cond->span;
+            int line = cond->line;
             auto n = std::make_unique<Ternary>(std::move(cond),
                                                std::move(t), std::move(e));
-            return n;
+            n->line = line;
+            n->span.line = first.line;
+            n->span.col = first.col;
+            return closeSpan(std::move(n));
         }
         return cond;
     }
@@ -838,10 +908,13 @@ class Parser
             int line = peek().line;
             take();
             ExprPtr rhs = parseBinary(info.prec + 1);
+            Span first = lhs->span;
             auto n = std::make_unique<Binary>(info.op, std::move(lhs),
                                               std::move(rhs));
             n->line = line;
-            lhs = std::move(n);
+            n->span.line = first.line;
+            n->span.col = first.col;
+            lhs = closeSpan(std::move(n));
         }
         return lhs;
     }
@@ -866,10 +939,13 @@ class Parser
             for (const auto &e : table) {
                 if (peek().text == e.text) {
                     int line = peek().line;
+                    int col = peek().col;
                     take();
                     auto n = std::make_unique<Unary>(e.op, parseUnary());
                     n->line = line;
-                    return n;
+                    n->span.line = line;
+                    n->span.col = col;
+                    return closeSpan(std::move(n));
                 }
             }
         }
@@ -880,16 +956,21 @@ class Parser
     parsePrimary()
     {
         int line = peek().line;
+        int col = peek().col;
+        auto begin = [&](auto node) -> ExprPtr {
+            node->line = line;
+            node->span.line = line;
+            node->span.col = col;
+            return closeSpan(std::move(node));
+        };
         if (at(Tok::Number)) {
             const Token &t = take();
             auto n = std::make_unique<Number>(t.value, t.base);
             n->sized = t.sized;
-            n->line = line;
-            return n;
+            return begin(std::move(n));
         }
         if (at(Tok::SysIdent)) {
             auto n = std::make_unique<SysFuncCall>(take().text);
-            n->line = line;
             if (acceptPunct("(")) {
                 if (!atPunct(")")) {
                     for (;;) {
@@ -900,7 +981,7 @@ class Parser
                 }
                 expectPunct(")");
             }
-            return n;
+            return begin(std::move(n));
         }
         if (acceptPunct("(")) {
             ExprPtr e = parseExpr();
@@ -915,18 +996,15 @@ class Parser
                 ExprPtr value = parseExpr();
                 expectPunct("}");
                 expectPunct("}");
-                auto r = std::make_unique<Repl>(std::move(first),
-                                                std::move(value));
-                r->line = line;
-                return r;
+                return begin(std::make_unique<Repl>(std::move(first),
+                                                    std::move(value)));
             }
             auto c = std::make_unique<Concat>();
-            c->line = line;
             c->parts.push_back(std::move(first));
             while (acceptPunct(","))
                 c->parts.push_back(parseExpr());
             expectPunct("}");
-            return c;
+            return begin(std::move(c));
         }
         if (at(Tok::Ident) && !kKeywords.count(peek().text)) {
             std::string name = take().text;
@@ -934,7 +1012,6 @@ class Parser
                 // User-defined function call.
                 take();
                 auto call = std::make_unique<FuncCall>(name);
-                call->line = line;
                 if (!atPunct(")")) {
                     for (;;) {
                         call->args.push_back(parseExpr());
@@ -943,26 +1020,21 @@ class Parser
                     }
                 }
                 expectPunct(")");
-                return call;
+                return begin(std::move(call));
             }
             if (acceptPunct("[")) {
                 ExprPtr first = parseExpr();
                 if (acceptPunct(":")) {
                     ExprPtr second = parseExpr();
                     expectPunct("]");
-                    auto r = std::make_unique<RangeSel>(
-                        name, std::move(first), std::move(second));
-                    r->line = line;
-                    return r;
+                    return begin(std::make_unique<RangeSel>(
+                        name, std::move(first), std::move(second)));
                 }
                 expectPunct("]");
-                auto ix = std::make_unique<Index>(name, std::move(first));
-                ix->line = line;
-                return ix;
+                return begin(
+                    std::make_unique<Index>(name, std::move(first)));
             }
-            auto id = std::make_unique<Ident>(name);
-            id->line = line;
-            return id;
+            return begin(std::make_unique<Ident>(name));
         }
         fail("expected expression");
     }

@@ -64,11 +64,31 @@ class Validator
     std::vector<ValidationError> errors_;
     const Module *cur_ = nullptr;
     ModuleScope scope_;
+    const Node *loc_ = nullptr;  //!< innermost node being checked
+
+    /** Scoped tracker so diagnostics carry the nearest node's span. */
+    struct LocGuard
+    {
+        Validator &v;
+        const Node *saved;
+        LocGuard(Validator &v_, const Node &n) : v(v_), saved(v_.loc_)
+        {
+            v.loc_ = &n;
+        }
+        ~LocGuard() { v.loc_ = saved; }
+    };
 
     void
     error(const std::string &msg)
     {
-        errors_.push_back({cur_ ? cur_->name : "", msg});
+        ValidationError e;
+        e.module = cur_ ? cur_->name : "";
+        e.message = msg;
+        if (loc_) {
+            e.line = loc_->line;
+            e.span = loc_->span;
+        }
+        errors_.push_back(std::move(e));
     }
 
     void
@@ -87,6 +107,7 @@ class Validator
     void
     checkItem(const Item &it)
     {
+        LocGuard loc(*this, it);
         switch (it.kind) {
           case NodeKind::VarDecl: {
             auto *d = it.as<VarDecl>();
@@ -189,6 +210,7 @@ class Validator
     void
     checkStmt(const Stmt &s)
     {
+        LocGuard loc(*this, s);
         switch (s.kind) {
           case NodeKind::SeqBlock:
             for (auto &child : s.as<SeqBlock>()->stmts) {
@@ -278,8 +300,9 @@ class Validator
                     error("edge event on a non-signal expression");
                 }
             }
-            if (!e->star && e->events.empty())
-                error("event control with empty sensitivity list");
+            // Empty sensitivity lists are legal (if useless) Verilog;
+            // the lint subsystem reports them (check "empty-sens")
+            // rather than validate rejecting the design outright.
             if (e->stmt)
                 checkStmt(*e->stmt);
             break;
@@ -360,6 +383,7 @@ class Validator
     void
     checkExpr(const Expr &e)
     {
+        LocGuard loc(*this, e);
         switch (e.kind) {
           case NodeKind::Number:
             break;

@@ -26,6 +26,10 @@ struct ValidationError
 {
     std::string module;
     std::string message;
+    /** Source line of the nearest enclosing node (0 if unknown). */
+    int line = 0;
+    /** Full source range of that node (invalid if unknown). */
+    Span span;
 };
 
 /**

@@ -4,6 +4,7 @@
  * binary (CIRFIX_CLI_BIN is injected by CMake):
  *
  *   0  repair found / command succeeded
+ *   1  lint found errors (or warnings under --Werror)
  *   2  no repair within the resource budget
  *   3  usage error (bad flags, unknown subcommand, unknown job)
  *   4  internal error (unreadable files, malformed designs)
@@ -135,6 +136,50 @@ TEST(CliExitCodes, RepairFoundExitsZero)
               0);
     std::ifstream repaired(out);
     EXPECT_TRUE(repaired.good());
+}
+
+TEST(CliExitCodes, LintCleanExitsZero)
+{
+    std::string clean = tmpFile(
+        "cli_lint_clean.v",
+        "module m(input a, output y); assign y = a; endmodule\n");
+    EXPECT_EQ(runCli("lint " + clean), 0);
+    EXPECT_EQ(runCli("lint --Werror " + clean), 0);
+    EXPECT_EQ(runCli("lint --json " + clean), 0);
+}
+
+TEST(CliExitCodes, LintErrorsExitOne)
+{
+    std::string broken = tmpFile(
+        "cli_lint_broken.v",
+        "module m(input a, input b, output y);\n"
+        "assign y = a;\nassign y = b;\nendmodule\n");
+    EXPECT_EQ(runCli("lint " + broken), 1);
+    EXPECT_EQ(runCli("lint --json " + broken), 1);
+
+    // Warning-only designs pass by default, fail under --Werror, and
+    // pass again when the finding is waived.
+    std::string warn = tmpFile(
+        "cli_lint_warn.v",
+        "module m(input [7:0] a, output y); assign y = a; endmodule\n");
+    EXPECT_EQ(runCli("lint " + warn), 0);
+    EXPECT_EQ(runCli("lint --Werror " + warn), 1);
+    std::string waivers =
+        tmpFile("cli_lint.waivers", "width-mismatch m y\n");
+    EXPECT_EQ(runCli("lint --Werror --waivers " + waivers + " " + warn),
+              0);
+}
+
+TEST(CliExitCodes, LintUsageErrorsExitThree)
+{
+    EXPECT_EQ(runCli("lint"), 3);                    // no input files
+    std::string clean = tmpFile(
+        "cli_lint_u.v",
+        "module m(input a, output y); assign y = a; endmodule\n");
+    EXPECT_EQ(runCli("lint --check nope=error " + clean), 3);
+    EXPECT_EQ(runCli("lint --check width-mismatch=loud " + clean), 3);
+    // Unreadable input is an internal error, not usage.
+    EXPECT_EQ(runCli("lint /nonexistent/x.v"), 4);
 }
 
 TEST(CliExitCodes, BudgetExhaustedExitsTwo)

@@ -144,10 +144,12 @@ endmodule
     ASSERT_FALSE(errs.empty());  // b is a wire
 }
 
-TEST(Validate, EmptySensitivityRejected)
+TEST(Validate, EmptySensitivityAccepted)
 {
-    // Built programmatically: an event control with no events and no
-    // star is structurally invalid.
+    // An event control with no events and no star is legal (if
+    // useless) Verilog: the process suspends forever, exactly like
+    // @* with no reads. The lint subsystem reports it ("empty-sens",
+    // see test_lint.cc); validate no longer rejects the design.
     auto file = parse(
         "module m; reg q; always @(q) q <= !q; endmodule");
     Module *m = file->modules[0].get();
@@ -157,7 +159,7 @@ TEST(Validate, EmptySensitivityRejected)
             ec->events.clear();
         }
     }
-    EXPECT_FALSE(validate(*file).empty());
+    EXPECT_TRUE(validate(*file).empty());
 }
 
 TEST(Validate, IsValidWrapper)

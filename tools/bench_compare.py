@@ -16,7 +16,9 @@ Usage:
     tools/bench_compare.py --baseline BENCH_baseline.json \
         --current BENCH_repair.json \
         [--micro-baseline BENCH_micro_baseline.json] \
-        [--micro-current micro.json] [--threshold 0.15]
+        [--micro-current micro.json] \
+        [--lint-baseline BENCH_lint_baseline.json] \
+        [--lint-current BENCH_lint.json] [--threshold 0.15]
 
 Exit status: 0 = pass (possibly with warnings), 1 = gated regression.
 """
@@ -37,6 +39,7 @@ GATED = {
     "eventfn_heap_allocs_per_sim": "lower",
     "slots_allocated_per_sim": "lower",
     "events_scheduled_per_sim": "lower",
+    "lint_rejects": "higher",           # doomed mutants pruned pre-sim
 }
 
 # Timing metrics from BENCH_repair.json "timing" (warn-only).
@@ -69,6 +72,12 @@ def compare_repair(baseline, current, threshold):
             "fingerprint_match is false: the early-abort run produced a "
             "different repair than full evaluation (soundness bug)")
 
+    if not current.get("prescreen_fingerprint_match", False):
+        failures.append(
+            "prescreen_fingerprint_match is false: the lint pre-screen "
+            "changed the repair result instead of only what gets "
+            "simulated (soundness bug)")
+
     base_counters = baseline.get("counters", {})
     cur_counters = current.get("counters", {})
     for name, direction in GATED.items():
@@ -99,6 +108,51 @@ def compare_repair(baseline, current, threshold):
     return failures, warnings
 
 
+def compare_lint(baseline, current, threshold):
+    """BENCH_lint.json: per-check diagnostic counts are deterministic —
+    any drift is an analyzer behavior change, so they gate exactly, not
+    by threshold. Throughput warns only."""
+    failures, warnings = [], []
+
+    cur_counters = current.get("counters", {})
+    base_counters = baseline.get("counters", {})
+
+    # The golden designs lint clean by construction; a nonzero count
+    # means a new false positive, failed outright regardless of what
+    # the baseline says.
+    if cur_counters.get("golden_errors_total", 0) != 0:
+        failures.append(
+            "golden_errors_total="
+            f"{cur_counters['golden_errors_total']}: a golden design "
+            "now lints with error severity (analyzer false positive or "
+            "broken golden)")
+
+    for name in sorted(set(base_counters) | set(cur_counters)):
+        if name not in base_counters or name not in cur_counters:
+            warnings.append(f"lint counter {name} missing; skipped")
+            continue
+        if base_counters[name] != cur_counters[name]:
+            failures.append(
+                f"lint counter {name} changed: "
+                f"baseline={base_counters[name]} "
+                f"current={cur_counters[name]} (deterministic — "
+                "regenerate BENCH_lint_baseline.json if intentional)")
+
+    base_timing = baseline.get("timing", {})
+    cur_timing = current.get("timing", {})
+    if "lints_per_sec" in base_timing and "lints_per_sec" in cur_timing:
+        reg = regression(base_timing["lints_per_sec"],
+                         cur_timing["lints_per_sec"], "higher")
+        if reg > threshold:
+            warnings.append(
+                f"timing lints_per_sec: "
+                f"baseline={base_timing['lints_per_sec']:.4g} "
+                f"current={cur_timing['lints_per_sec']:.4g} "
+                f"({reg:+.1%}) [warn-only: machine-dependent]")
+
+    return failures, warnings
+
+
 def compare_micro(baseline, current, threshold):
     """google-benchmark JSON: match by name, warn on real_time."""
     warnings = []
@@ -124,6 +178,8 @@ def main():
     ap.add_argument("--current", required=True)
     ap.add_argument("--micro-baseline")
     ap.add_argument("--micro-current")
+    ap.add_argument("--lint-baseline")
+    ap.add_argument("--lint-current")
     ap.add_argument("--threshold", type=float, default=0.15)
     args = ap.parse_args()
 
@@ -134,6 +190,13 @@ def main():
         warnings += compare_micro(
             load(args.micro_baseline), load(args.micro_current),
             args.threshold)
+
+    if args.lint_baseline and args.lint_current:
+        lint_failures, lint_warnings = compare_lint(
+            load(args.lint_baseline), load(args.lint_current),
+            args.threshold)
+        failures += lint_failures
+        warnings += lint_warnings
 
     for w in warnings:
         print(f"WARN  {w}")

@@ -17,6 +17,13 @@
  *   cirfix localize --design faulty.v --tb <tb_module> --dut <module>
  *                   (--golden golden.v | --oracle trace.csv)
  *
+ *   cirfix lint     <file.v>... [--json] [--Werror]
+ *                   [--waivers FILE] [--check id=severity]
+ *
+ *   cirfix lint-bench  [--Werror] [--waivers FILE]
+ *                   [--check id=severity]
+ *                   (lints every seed benchmark design)
+ *
  * Service subcommands (see src/service/):
  *
  *   cirfix serve    --socket PATH --state-dir DIR [--workers N]
@@ -35,6 +42,7 @@
  *
  * Exit codes (stable; scripts rely on them):
  *   0  repair found (repair/result), or the command succeeded
+ *   1  lint found error-severity diagnostics (lint/lint-bench only)
  *   2  no repair within the resource budget (or job canceled first)
  *   3  usage error: bad flags, bad request, unknown job
  *   4  internal error: I/O failure, malformed design, server fault
@@ -47,10 +55,12 @@
 #include <map>
 #include <sstream>
 
+#include "benchmarks/registry.h"
 #include "core/engine.h"
 #include "core/faultloc.h"
 #include "core/scenario.h"
 #include "core/snapshot.h"
+#include "lint/lint.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "sim/elaborate.h"
@@ -64,6 +74,7 @@ namespace {
 using namespace cirfix;
 
 constexpr int kExitRepairFound = 0;
+constexpr int kExitLintErrors = 1;
 constexpr int kExitNoRepair = 2;
 constexpr int kExitUsage = 3;
 constexpr int kExitInternal = 4;
@@ -80,6 +91,10 @@ struct Args
     std::string command;
     std::map<std::string, std::string> flags;
     std::vector<std::string> extras;
+    /** Bare (non-flag) arguments; only the lint commands take any. */
+    std::vector<std::string> positional;
+    /** Repeatable --check id=severity overrides, in order. */
+    std::vector<std::string> checkOverrides;
 
     const std::string &
     need(const std::string &key) const
@@ -134,16 +149,31 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         throw UsageError("no subcommand");
     args.command = argv[1];
+    const bool lint_cmd =
+        args.command == "lint" || args.command == "lint-bench";
     for (int i = 2; i < argc; ++i) {
         std::string a = argv[i];
-        if (a.rfind("--", 0) != 0)
-            throw UsageError("unexpected argument: " + a);
+        if (a.rfind("--", 0) != 0) {
+            // Only the lint commands take bare file operands; for
+            // everything else a stray word is a usage error.
+            if (!lint_cmd)
+                throw UsageError("unexpected argument: " + a);
+            args.positional.push_back(a);
+            continue;
+        }
         std::string key = a.substr(2);
+        // Boolean lint switches take no value.
+        if (lint_cmd && (key == "json" || key == "Werror")) {
+            args.flags[key] = "1";
+            continue;
+        }
         if (i + 1 >= argc)
             throw UsageError("flag --" + key + " needs a value");
         std::string value = argv[++i];
         if (key == "extra")
             args.extras.push_back(value);
+        else if (key == "check")
+            args.checkOverrides.push_back(value);
         else
             args.flags[key] = value;
     }
@@ -289,6 +319,121 @@ cmdLocalize(const Args &args)
     return 0;
 }
 
+// ---------------------------------------------------------------
+// Lint subcommands
+// ---------------------------------------------------------------
+
+lint::Severity
+parseSeverity(const std::string &name)
+{
+    if (name == "off")
+        return lint::Severity::Off;
+    if (name == "warning")
+        return lint::Severity::Warning;
+    if (name == "error")
+        return lint::Severity::Error;
+    throw UsageError("unknown severity '" + name +
+                     "' (want off|warning|error)");
+}
+
+/** Shared by lint and lint-bench: --check / --waivers -> Options. */
+lint::Options
+lintOptionsFromArgs(const Args &args)
+{
+    lint::Options opts;
+    for (const std::string &ov : args.checkOverrides) {
+        size_t eq = ov.find('=');
+        if (eq == std::string::npos)
+            throw UsageError("--check wants id=severity, got '" + ov +
+                             "'");
+        std::string id = ov.substr(0, eq);
+        bool known = false;
+        for (const lint::CheckInfo &c : lint::checkRegistry())
+            known = known || id == c.id;
+        if (!known)
+            throw UsageError("unknown lint check '" + id + "'");
+        opts.overrides[id] = parseSeverity(ov.substr(eq + 1));
+    }
+    if (args.flags.count("waivers")) {
+        try {
+            opts.waivers =
+                lint::parseWaivers(readFile(args.get("waivers")));
+        } catch (const std::runtime_error &e) {
+            throw UsageError(std::string("bad waiver file: ") +
+                             e.what());
+        }
+    }
+    return opts;
+}
+
+/** Exit status shared by lint and lint-bench: --Werror promotes
+ *  unwaived warnings to failures. */
+int
+lintExitCode(int errors, int warnings, bool werror)
+{
+    return errors + (werror ? warnings : 0) > 0 ? kExitLintErrors
+                                                : kExitRepairFound;
+}
+
+int
+cmdLint(const Args &args)
+{
+    std::vector<std::string> files = args.positional;
+    if (args.flags.count("design"))
+        files.push_back(args.get("design"));
+    for (const std::string &e : args.extras)
+        files.push_back(e);
+    if (files.empty())
+        throw UsageError("lint wants at least one Verilog file");
+    std::string src;
+    for (const std::string &f : files)
+        src += readFile(f) + "\n";
+    std::shared_ptr<const verilog::SourceFile> file =
+        verilog::parse(src);
+    lint::Result res = lint::run(*file, lintOptionsFromArgs(args));
+    if (args.flags.count("json"))
+        std::cout << lint::renderJson(res);
+    else
+        std::cout << lint::renderText(res);
+    return lintExitCode(res.errors, res.warnings,
+                        args.flags.count("Werror") > 0);
+}
+
+int
+cmdLintBench(const Args &args)
+{
+    // Lint every seed design in the benchmark registry: each
+    // project's golden source and each defect's faulty source, both
+    // together with the repair testbench (cross-module port-width
+    // checks want the instantiating side present). No simulation —
+    // this is the static sweep CI gates on.
+    const lint::Options opts = lintOptionsFromArgs(args);
+    const bool werror = args.flags.count("Werror") > 0;
+    int errors = 0;
+    int warnings = 0;
+    auto sweep = [&](const std::string &name, const std::string &src) {
+        auto file = verilog::parse(src);
+        lint::Result res = lint::run(*file, opts);
+        errors += res.errors;
+        warnings += res.warnings;
+        std::cout << name << ": " << res.errors << " error(s), "
+                  << res.warnings << " warning(s)\n";
+        if (res.errors + (werror ? res.warnings : 0) > 0)
+            std::cout << lint::renderText(res);
+    };
+    for (const core::ProjectSpec &p : bench::allProjects())
+        sweep(p.name,
+              p.goldenSource + "\n" + p.testbenchSource);
+    for (const core::DefectSpec &d : bench::allDefects()) {
+        const core::ProjectSpec &p = bench::getProject(d.project);
+        sweep(d.id, core::applyRewrites(p.goldenSource, d.rewrites) +
+                        "\n" + p.testbenchSource);
+    }
+    std::cout << "lint-bench total: " << errors << " error(s), "
+              << warnings << " warning(s)\n";
+    return lintExitCode(errors, warnings, werror);
+}
+
 int
 cmdRepair(const Args &args)
 {
@@ -316,6 +461,7 @@ cmdRepair(const Args &args)
     cfg.evalMemoryBudget = static_cast<uint64_t>(args.getLong(
         "mem-budget", static_cast<long>(cfg.evalMemoryBudget)));
     cfg.earlyAbort = args.getLong("early-abort", 1) != 0;
+    cfg.lintPrescreen = args.getLong("lint", 1) != 0;
     cfg.offspringPerGen =
         static_cast<int>(args.getLong("offspring", 0));
     cfg.snapshotPath = args.get("snapshot");
@@ -340,6 +486,9 @@ cmdRepair(const Args &args)
                       << res.rowsSkipped << "/" << rows
                       << " oracle rows skipped)\n";
         }
+        if (res.lintRejects > 0)
+            std::cout << "  lint rejects: " << res.lintRejects
+                      << " (candidates never simulated)\n";
         if (!res.found)
             return kExitNoRepair;
         std::cout << "repair found: " << res.patch.describe() << "\n";
@@ -596,13 +745,17 @@ usage(std::ostream &os)
         "           [--pop N] [--gens N] [--budget S] [--seed N] "
         "[--phi F] [--trials N] [--threads N] [--out r.v]\n"
         "           [--deadline S] [--mem-budget BYTES] "
-        "[--early-abort 0|1] [--offspring N]\n"
+        "[--early-abort 0|1] [--offspring N] [--lint 0|1]\n"
         "           [--snapshot f.snap] [--snapshot-every N] "
         "[--resume f.snap]\n"
         "  simulate --design f.v --tb TB [--vcd o.vcd] "
         "[--trace o.csv]\n"
         "  localize --design f.v --tb TB --dut MOD "
         "(--golden g.v | --oracle t.csv)\n"
+        "  lint     <file.v>... [--json] [--Werror] "
+        "[--waivers FILE] [--check id=severity]\n"
+        "  lint-bench  [--Werror] [--waivers FILE] "
+        "[--check id=severity]   (lint the benchmark suite)\n"
         "  (--extra file.v may be repeated to add source files)\n"
         "\n"
         "service commands:\n"
@@ -618,6 +771,7 @@ usage(std::ostream &os)
         "\n"
         "exit codes:\n"
         "  0  repair found / command succeeded\n"
+        "  1  lint found error-severity diagnostics\n"
         "  2  no repair within the resource budget (or job canceled)\n"
         "  3  usage error (bad flags, bad request, unknown job)\n"
         "  4  internal error (I/O failure, malformed design, server "
@@ -642,6 +796,10 @@ main(int argc, char **argv)
             return cmdSimulate(args);
         if (args.command == "localize")
             return cmdLocalize(args);
+        if (args.command == "lint")
+            return cmdLint(args);
+        if (args.command == "lint-bench")
+            return cmdLintBench(args);
         if (args.command == "serve")
             return cmdServe(args);
         if (args.command == "submit")
