@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Witness-hardening benchmark for the CI regression gate.
+ *
+ * For each covered Table-3 scenario this harness seeds a guaranteed
+ * overfit starting point (the oracle is weakened to the rows the
+ * faulty design already matches, so the empty patch is instantly
+ * plausible-but-wrong), then runs the full hardened repair loop and
+ * emits BENCH_witness.json with two metric groups:
+ *
+ *  - counters: deterministic hardening quantities. overfit_kills_total
+ *    pins the loop's ability to demote seeded overfits with generated
+ *    witnesses; correct_total pins end-to-end recovery (final patch
+ *    passes the held-out bench); golden_kills_total re-simulates the
+ *    golden design under every installed witness bench and MUST stay
+ *    0 — a witness that rejects the correct design would poison every
+ *    future repair, so that is a hard failure (nonzero exit), not a
+ *    regression warning.
+ *  - timing: wall-clock of the hardened sweep. Machine-dependent; the
+ *    gate only warns.
+ *
+ * Determinism: engine and witness search are pure functions of their
+ * seeds, and the generation budget (not wall-clock) is the binding
+ * stop condition at these sizes, so the counters are exact-comparable
+ * across machines.
+ *
+ * Usage: witness_bench [output.json]   (default: BENCH_witness.json)
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "core/oracle.h"
+#include "core/scenario.h"
+#include "core/witness.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Case
+{
+    const char *defect;
+    uint64_t seed;
+};
+
+/** Scenarios where the weakened-oracle overfit is reliably killed and
+ *  re-repaired at the chosen seed (mirrors test_witness.cc). */
+const Case kCases[] = {
+    {"counter_sensitivity", 7},
+    {"lshift_sensitivity", 42},
+    {"lshift_conditional", 42},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_witness.json";
+
+    long overfit_seeded = 0;
+    long overfit_kills = 0;
+    long witnesses_installed = 0;
+    long golden_kills = 0;
+    long resumed = 0;
+    long correct = 0;
+    long witness_tries = 0;
+    long witness_cycles = 0;
+
+    Clock::time_point t0 = Clock::now();
+    for (const Case &c : kCases) {
+        const DefectSpec &d = bench::getDefect(c.defect);
+        const ProjectSpec &p = bench::getProject(d.project);
+        Scenario sc = buildScenario(p, d);
+
+        EngineConfig cfg;
+        cfg.popSize = 100;
+        cfg.maxGenerations = 12;
+        // Generous: the generation budget must bind, not wall-clock,
+        // or the counters stop being machine-independent.
+        cfg.maxSeconds = 120.0;
+        cfg.seed = c.seed;
+        cfg.snapshotPath = out_path + "." + c.defect + ".snap";
+
+        // Seed the overfit: weaken the oracle to agreement rows.
+        {
+            RepairEngine probe = sc.makeEngine(cfg);
+            sc.oracle =
+                agreementRows(sc.oracle, probe.evaluate(Patch{}).trace);
+        }
+        if (sc.baselineFitness(cfg).plausible() &&
+            !checkCorrectness(sc, Patch{}))
+            ++overfit_seeded;
+
+        WitnessOptions wo;
+        wo.seed = c.seed;
+        wo.maxTries = 4000;
+        wo.maxRounds = 3;
+        HardenedRepairResult hr = hardenedRepair(sc, cfg, wo);
+
+        overfit_kills += hr.overfitKills;
+        witnesses_installed += static_cast<long>(hr.witnesses.size());
+        resumed += hr.resumedFromSnapshot;
+        witness_tries += hr.witnessTries;
+        if (hr.correct)
+            ++correct;
+        for (const OracleBench &b : hr.witnesses) {
+            witness_cycles += static_cast<long>(b.oracle.size());
+            // Golden invariance, re-checked the expensive way: the
+            // correct design simulated under the installed bench.
+            Trace golden_t = runWitnessBench(p.goldenSource, b);
+            if (!evaluateFitness(golden_t, b.oracle).plausible()) {
+                ++golden_kills;
+                std::cerr << "witness_bench: GOLDEN KILL by "
+                          << b.provenance << "\n";
+            }
+        }
+        std::remove(cfg.snapshotPath.c_str());
+    }
+    double sweep_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    const long cases = static_cast<long>(std::size(kCases));
+    // Integer percent so the value stays exact-comparable.
+    long kill_rate_pct =
+        overfit_seeded > 0 ? 100 * overfit_kills / overfit_seeded : 0;
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"schema\": 1,\n"
+       << "  \"scenarios\": " << cases << ",\n"
+       << "  \"counters\": {\n"
+       << "    \"overfit_seeded_total\": " << overfit_seeded << ",\n"
+       << "    \"overfit_kills_total\": " << overfit_kills << ",\n"
+       << "    \"overfit_kill_rate_pct\": " << kill_rate_pct << ",\n"
+       << "    \"witnesses_installed_total\": " << witnesses_installed
+       << ",\n"
+       << "    \"golden_kills_total\": " << golden_kills << ",\n"
+       << "    \"resumed_total\": " << resumed << ",\n"
+       << "    \"correct_total\": " << correct << ",\n"
+       << "    \"witness_tries_total\": " << witness_tries << ",\n"
+       << "    \"witness_cycles_total\": " << witness_cycles << "\n"
+       << "  },\n"
+       << "  \"timing\": {\n"
+       << "    \"sweep_seconds\": " << sweep_seconds << "\n"
+       << "  }\n"
+       << "}\n";
+
+    std::ofstream out(out_path);
+    out << js.str();
+    out.close();
+    std::cout << js.str();
+    std::cerr << "witness_bench: wrote " << out_path << " (" << cases
+              << " scenarios)\n";
+    // A witness must never reject the golden design.
+    return golden_kills == 0 ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -8,6 +9,7 @@
 
 #include "core/snapshot.h"
 #include "sim/elaborate.h"
+#include "verilog/parser.h"
 #include "verilog/printer.h"
 #include "verilog/validate.h"
 
@@ -42,6 +44,21 @@ RepairEngine::RepairEngine(std::shared_ptr<const SourceFile> faulty,
     if (config_.lintPrescreen)
         baselineLintFp_ = lint::fingerprint(
             lint::run(*faulty_, config_.lintOptions));
+
+    // Witness benches: parse each generated testbench once and
+    // precompute the score an absent trace earns against its oracle
+    // (the worst case an early-aborted candidate is charged). Both are
+    // immutable after construction — worker threads read them.
+    witnessRt_.reserve(config_.witnessBenches.size());
+    for (const OracleBench &b : config_.witnessBenches) {
+        WitnessRuntime rt;
+        rt.bench = &b;
+        rt.file = std::shared_ptr<const SourceFile>(
+            verilog::parse(b.source));
+        rt.missing = evaluateFitness(Trace{}, b.oracle, config_.fitness);
+        witnessTotal_ += rt.missing.total;
+        witnessRt_.push_back(std::move(rt));
+    }
 }
 
 EvalPool &
@@ -115,7 +132,24 @@ RepairEngine::evaluateUncached(const Patch &patch,
         if (hints.streaming) {
             scorer.emplace(oracle_, probe_.signals, config_.fitness,
                            &oracleProfile_);
-            const double cutoff = hints.abortThreshold;
+            // With witness benches installed the survival threshold is
+            // a COMBINED fitness, but the streaming scorer only bounds
+            // the main bench. combined_ub <= (main_ub*Tm + Tw)/(Tm+Tw)
+            // (every witness bit assumed to match), so aborting when
+            // main_ub < (cutoff*(Tm+Tw) - Tw)/Tm is sound: even a
+            // perfect witness score could not lift the candidate back
+            // to the cutoff.
+            double cutoff = hints.abortThreshold;
+            if (witnessTotal_ > 0 && std::isfinite(cutoff)) {
+                const double tm = oracleProfile_.suffixWeight.empty()
+                                      ? 0.0
+                                      : oracleProfile_.suffixWeight[0];
+                cutoff = tm > 0
+                             ? (cutoff * (tm + witnessTotal_) -
+                                witnessTotal_) /
+                                   tm
+                             : -std::numeric_limits<double>::infinity();
+            }
             rec.setSampleCallback(
                 [&scorer, cutoff](sim::SimTime t,
                                   const std::vector<sim::LogicVec>
@@ -158,6 +192,8 @@ RepairEngine::evaluateUncached(const Patch &patch,
                 v.fit =
                     evaluateFitness(v.trace, oracle_, config_.fitness);
             }
+            if (!witnessRt_.empty())
+                scoreWitnessBenches(*patched, v);
         } else if (v.outcome == EvalOutcome::EarlyAbort) {
             // A deliberate cutoff, not a failure: the candidate stays
             // valid and keeps its partial score (remaining oracle rows
@@ -169,6 +205,12 @@ RepairEngine::evaluateUncached(const Patch &patch,
             v.fit = scorer->finish();
             v.rowsScored = scorer->rowsReached();
             v.error = design->scheduler().abortReason();
+            // Witness benches are never simulated for an aborted
+            // candidate; their rows read as missing (worst case), which
+            // keeps the combined score under the upper bound that
+            // triggered the stop.
+            for (const WitnessRuntime &w : witnessRt_)
+                v.fit = combineFitness(v.fit, w.missing);
         } else {
             v.valid = false;
             v.error = design->scheduler().abortReason();
@@ -207,6 +249,60 @@ RepairEngine::evaluateUncached(const Patch &patch,
         v.error = "unknown exception";
     }
     return v;
+}
+
+bool
+RepairEngine::scoreWitnessBenches(const SourceFile &patched,
+                                  Variant &v) const
+{
+    using SimStatus = sim::Scheduler::Status;
+
+    for (const WitnessRuntime &w : witnessRt_) {
+        // Pair the patched DUT modules with the witness testbench in a
+        // fresh file. Node ids are irrelevant here: the combined file
+        // is only elaborated, never mutated.
+        auto combined = std::make_shared<SourceFile>();
+        for (const auto &m : patched.modules)
+            if (!w.file->findModule(m->name))
+                combined->modules.push_back(m->cloneModule());
+        for (const auto &m : w.file->modules)
+            combined->modules.push_back(m->cloneModule());
+
+        sim::SimGuards guards;
+        guards.memBudgetBytes = config_.evalMemoryBudget;
+        guards.faultPlan = config_.faultPlan;
+        auto design = sim::elaborate(
+            std::shared_ptr<const SourceFile>(std::move(combined)),
+            w.bench->module, guards);
+        TraceRecorder rec(*design, w.bench->probe);
+        sim::RunLimits limits = config_.simLimits;
+        if (limits.maxWallSeconds <= 0)
+            limits.maxWallSeconds = config_.evalDeadlineSeconds;
+        auto rr = design->run(limits);
+        switch (rr.status) {
+          case SimStatus::Runaway:
+            v.outcome = EvalOutcome::Runaway;
+            break;
+          case SimStatus::Deadline:
+            v.outcome = EvalOutcome::Deadline;
+            break;
+          case SimStatus::Crashed:
+            v.outcome = EvalOutcome::Crashed;
+            break;
+          default:
+            break;  // Finished / Idle / MaxTime: a real result
+        }
+        if (v.outcome != EvalOutcome::Ok) {
+            v.valid = false;
+            v.error = "witness bench '" + w.bench->module +
+                      "': " + design->scheduler().abortReason();
+            return false;
+        }
+        v.fit = combineFitness(
+            v.fit, evaluateFitness(rec.takeTrace(), w.bench->oracle,
+                                   config_.fitness));
+    }
+    return true;
 }
 
 Variant
@@ -438,6 +534,28 @@ RepairEngine::resume(const EngineState &state)
             "snapshot does not match this design "
             "(fingerprint mismatch: snapshot was taken against a "
             "different faulty source)");
+    // The oracle the snapshot's fitness values were scored under must
+    // be the oracle this engine will keep scoring under; otherwise the
+    // restored population and cache are silently wrong. Hardening
+    // migrates a snapshot to a new witness set with rehardenSnapshot()
+    // (witness.h), which re-scores before resume.
+    if (state.witnesses.size() != config_.witnessBenches.size())
+        throw std::runtime_error(
+            "snapshot witness benches do not match the engine "
+            "configuration (got " +
+            std::to_string(state.witnesses.size()) + ", engine has " +
+            std::to_string(config_.witnessBenches.size()) +
+            "); migrate the snapshot with rehardenSnapshot() first");
+    for (size_t i = 0; i < state.witnesses.size(); ++i) {
+        const OracleBench &a = state.witnesses[i];
+        const OracleBench &b = config_.witnessBenches[i];
+        if (a.module != b.module || a.source != b.source ||
+            a.oracle.toCsv() != b.oracle.toCsv())
+            throw std::runtime_error(
+                "snapshot witness bench '" + a.module +
+                "' differs from the engine configuration; migrate the "
+                "snapshot with rehardenSnapshot() first");
+    }
     return runInternal(&state);
 }
 
@@ -456,6 +574,7 @@ RepairEngine::captureState(
         st.rngState = os.str();
     }
     st.generationsDone = generations_done;
+    st.witnesses = config_.witnessBenches;
     st.evals = evals_;
     st.invalid = invalid_;
     st.mutants = mutants_;
@@ -510,37 +629,6 @@ RepairEngine::runInternal(const EngineState *restore)
         }
     };
 
-    auto finish = [&](const Variant *winner) {
-        result.fitnessEvals = evals_;
-        result.invalidMutants = invalid_;
-        result.totalMutants = mutants_;
-        result.seconds = elapsed();
-        if (winner) {
-            result.found = true;
-            // Post-process: minimize with delta debugging, then print.
-            Patch minimized = minimizePatch(
-                winner->patch,
-                [&](const Patch &p) {
-                    Variant t = evaluate(p);
-                    return t.valid && t.fit.plausible();
-                });
-            result.patch = minimized;
-            Variant final_v = evaluate(minimized);
-            result.finalFitness = final_v.fit;
-            auto repaired = applyPatch(*faulty_, minimized);
-            result.repairedSource = print(*repaired);
-            result.fitnessEvals = evals_;
-            result.seconds = elapsed();
-        }
-        result.cache = cache_.stats();
-        result.outcomes = outcomes_;
-        result.earlyAborts = earlyAborts_;
-        result.rowsScored = rowsScored_;
-        result.rowsSkipped = rowsSkipped_;
-        result.lintRejects = lintRejects_;
-        return result;
-    };
-
     /**
      * Charge a batch of evaluated children against the engine
      * counters, append them to @p into, and record trajectory
@@ -569,6 +657,48 @@ RepairEngine::runInternal(const EngineState *restore)
 
     std::vector<Variant> popn;
     int start_gen = 0;
+
+    auto finish = [&](const Variant *winner) {
+        result.fitnessEvals = evals_;
+        result.invalidMutants = invalid_;
+        result.totalMutants = mutants_;
+        result.witnessBenches = static_cast<int>(witnessRt_.size());
+        result.seconds = elapsed();
+        if (winner) {
+            result.found = true;
+            // Discovery-point snapshot: capture the search state the
+            // moment a plausible candidate appears, before minimization
+            // perturbs the cache/counters. Hardened repair resumes from
+            // here after extending the oracle with a witness, so even a
+            // win before the first generation boundary stays resumable.
+            if (config_.snapshotOnWin && !config_.snapshotPath.empty())
+                saveSnapshot(config_.snapshotPath,
+                             captureState(result.generations, popn,
+                                          elapsed(), best_seen,
+                                          result.fitnessTrajectory));
+            // Post-process: minimize with delta debugging, then print.
+            Patch minimized = minimizePatch(
+                winner->patch,
+                [&](const Patch &p) {
+                    Variant t = evaluate(p);
+                    return t.valid && t.fit.plausible();
+                });
+            result.patch = minimized;
+            Variant final_v = evaluate(minimized);
+            result.finalFitness = final_v.fit;
+            auto repaired = applyPatch(*faulty_, minimized);
+            result.repairedSource = print(*repaired);
+            result.fitnessEvals = evals_;
+            result.seconds = elapsed();
+        }
+        result.cache = cache_.stats();
+        result.outcomes = outcomes_;
+        result.earlyAborts = earlyAborts_;
+        result.rowsScored = rowsScored_;
+        result.rowsSkipped = rowsSkipped_;
+        result.lintRejects = lintRejects_;
+        return result;
+    };
 
     if (restore) {
         // Rebuild the complete search state: the continuation is
@@ -791,6 +921,7 @@ RepairEngine::runInternal(const EngineState *restore)
             gs.cache = cache_.stats();
             gs.quarantined = quarantine_.size();
             gs.lintRejects = lintRejects_;
+            gs.witnessBenches = static_cast<int>(witnessRt_.size());
             gs.elapsedSeconds = elapsed();
             config_.onGeneration(gs);
         }

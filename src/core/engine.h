@@ -32,6 +32,7 @@
 #include "core/fitness.h"
 #include "core/minimize.h"
 #include "core/mutation.h"
+#include "core/oracle.h"
 #include "core/patch.h"
 #include "sim/design.h"
 #include "sim/probe.h"
@@ -122,6 +123,27 @@ struct EngineConfig
     /** Generations between snapshots (>= 1). */
     int snapshotEvery = 1;
     /**
+     * Also snapshot the search state the moment a plausible winner is
+     * found (before minimization). Off by default: generation-boundary
+     * snapshots keep their bit-identical-resume contract. The hardened
+     * repair loop (witness.h) turns this on so that, when the winner
+     * turns out to overfit the held-out bench, the run can resume from
+     * the exact discovery point — RNG stream, population, quarantine
+     * and counters intact — under the hardened oracle.
+     */
+    bool snapshotOnWin = false;
+    /**
+     * Auxiliary witness benches (see witness.h). Every candidate that
+     * passes the main-bench simulation is also simulated under each of
+     * these, and the per-bench fitness results fold into one combined
+     * score (combineFitness) — so plausibility requires matching the
+     * main oracle AND every witness. Streaming early abort stays sound:
+     * the main-bench cutoff is transformed so a candidate aborts only
+     * when even a perfect witness score could not reach the survival
+     * threshold.
+     */
+    std::vector<OracleBench> witnessBenches;
+    /**
      * Optional progress hook, called after each generation with a
      * GenerationStats snapshot (the artifact's repair_logs analogue).
      * Fired after the generation's checkpoint is durable, so a
@@ -150,6 +172,7 @@ struct GenerationStats
     CacheStats cache;         //!< fitness-cache accounting so far
     size_t quarantined = 0;   //!< condemned patch keys so far
     long lintRejects = 0;     //!< candidates rejected by the pre-screen
+    int witnessBenches = 0;   //!< witness benches active this run
     double elapsedSeconds = 0.0;
 };
 
@@ -209,6 +232,11 @@ struct RepairResult
     uint64_t rowsSkipped = 0;
     /** Candidates rejected by the lint pre-screen (not simulated). */
     long lintRejects = 0;
+    /** Witness benches the run's oracle was hardened with. */
+    int witnessBenches = 0;
+    /** Overfit patches demoted by a witness before this result (only
+     *  set by the hardened repair loop; 0 for plain runs). */
+    int overfitKills = 0;
 };
 
 /**
@@ -321,6 +349,25 @@ class RepairEngine
     FaultLocResult localize(const Variant &v,
                             const verilog::SourceFile &ast) const;
 
+    /**
+     * Simulate @p patched under every configured witness bench and fold
+     * the per-bench scores into v.fit. Returns false (and marks @p v
+     * failed with the offending bench named in v.error) when a witness
+     * simulation ends in a pathology instead of a result. Thread-safe
+     * like evaluateUncached: reads only immutable engine state.
+     */
+    bool scoreWitnessBenches(const verilog::SourceFile &patched,
+                             Variant &v) const;
+
+    /** Per-witness-bench immutable runtime state (parsed TB source,
+     *  worst-case score of a missing trace). */
+    struct WitnessRuntime
+    {
+        const OracleBench *bench = nullptr;  //!< into config_'s vector
+        std::shared_ptr<const verilog::SourceFile> file;
+        FitnessResult missing;  //!< empty trace scored vs the oracle
+    };
+
     std::shared_ptr<const verilog::SourceFile> faulty_;
     std::string tbModule_, dutModule_;
     sim::ProbeConfig probe_;
@@ -329,6 +376,12 @@ class RepairEngine
     /** Shared per-oracle-row weights for upper-bound computation;
      *  immutable after construction (worker threads read it). */
     OracleProfile oracleProfile_;
+    /** Witness benches parsed and profiled once at construction;
+     *  immutable afterwards (worker threads read them). */
+    std::vector<WitnessRuntime> witnessRt_;
+    /** Total achievable fitness sum over all witness benches (the T_w
+     *  of the early-abort threshold transform). */
+    double witnessTotal_ = 0.0;
     std::mt19937_64 rng_;
     FitnessCache cache_;
     std::unique_ptr<EvalPool> pool_;  //!< created lazily by run()

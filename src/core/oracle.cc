@@ -35,4 +35,40 @@ thinOracle(const Trace &oracle, double fraction)
     return out;
 }
 
+FitnessResult
+combineFitness(const FitnessResult &a, const FitnessResult &b)
+{
+    FitnessResult r;
+    r.sum = a.sum + b.sum;
+    r.total = a.total + b.total;
+    r.bitMatches = a.bitMatches + b.bitMatches;
+    r.bitMismatches = a.bitMismatches + b.bitMismatches;
+    r.unknownMatches = a.unknownMatches + b.unknownMatches;
+    r.unknownMismatches = a.unknownMismatches + b.unknownMismatches;
+    r.fitness = r.total > 0 ? std::max(0.0, r.sum) / r.total : 0.0;
+    return r;
+}
+
+Trace
+agreementRows(const Trace &oracle, const Trace &sim)
+{
+    Trace out{std::vector<std::string>(oracle.vars())};
+    for (const Trace::Row &row : oracle.rows()) {
+        const Trace::Row *srow = sim.rowAt(row.time);
+        if (!srow)
+            continue;
+        bool agree = true;
+        for (size_t c = 0; agree && c < oracle.vars().size(); ++c) {
+            int sc = sim.varIndex(oracle.vars()[c]);
+            agree = sc >= 0 &&
+                    static_cast<size_t>(sc) < srow->values.size() &&
+                    row.values[c].identical(
+                        srow->values[static_cast<size_t>(sc)]);
+        }
+        if (agree)
+            out.addRow(row.time, row.values);
+    }
+    return out;
+}
+
 } // namespace cirfix::core

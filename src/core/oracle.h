@@ -10,8 +10,17 @@
  * as the oracle is thinned: thinOracle() keeps only a fraction of the
  * annotation rows (evenly spaced), modeling a developer who annotates
  * expected values only at certain time intervals.
+ *
+ * Witness-driven hardening (see witness.h) extends a run's oracle with
+ * auxiliary OracleBench records: each carries its own testbench source,
+ * probe configuration and golden-recorded expected trace, and every
+ * candidate must match all of them to count as plausible.
  */
 
+#include <string>
+
+#include "core/fitness.h"
+#include "sim/probe.h"
 #include "sim/trace.h"
 
 namespace cirfix::core {
@@ -24,5 +33,45 @@ using sim::Trace;
  * are always retained so the observation window is preserved.
  */
 Trace thinOracle(const Trace &oracle, double fraction);
+
+/**
+ * A self-contained auxiliary oracle: a generated testbench plus the
+ * expected behavior the golden design exhibits under it. The repair
+ * engine simulates every candidate under each installed bench and
+ * folds the per-bench scores into one fitness (see combineFitness), so
+ * a candidate is plausible only when it matches the main oracle AND
+ * every witness bench. Because the expected trace is recorded from the
+ * golden design under this exact bench, the correct design passes by
+ * construction — a witness can only ever kill wrong behavior.
+ */
+struct OracleBench
+{
+    std::string module;      //!< testbench top module name
+    std::string source;      //!< testbench Verilog (TB modules only)
+    std::string provenance;  //!< where the bench came from (diagnostics)
+    sim::ProbeConfig probe;  //!< what to sample under this bench
+    Trace oracle;            //!< golden behavior under this bench
+};
+
+/**
+ * Fold two per-bench fitness results into one: raw sums, totals and
+ * bit counts add, and the normalized fitness is recomputed over the
+ * combined total. plausible() of the combination therefore requires
+ * every contributing bench to be individually perfect — any mismatch
+ * anywhere keeps the combined sum strictly below the combined total.
+ */
+FitnessResult combineFitness(const FitnessResult &a,
+                             const FitnessResult &b);
+
+/**
+ * Keep only the oracle rows on which @p sim agrees with the oracle
+ * exactly (same timestamp, identical values for every oracle column).
+ * This deliberately weakens the oracle until the simulated design —
+ * typically the unrepaired faulty one — scores a perfect fitness
+ * against it: the seeded "plausible but overfit" starting point the
+ * witness tests and benches harden away from. Rows whose timestamp
+ * @p sim never reached are dropped too.
+ */
+Trace agreementRows(const Trace &oracle, const Trace &sim);
 
 } // namespace cirfix::core

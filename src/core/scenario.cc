@@ -109,12 +109,12 @@ recordGoldenTrace(const ProjectSpec &project, bool verify_bench,
 }
 
 Scenario
-buildScenario(const ProjectSpec &project, const DefectSpec &defect,
-              const RunLimits &limits)
+buildScenarioFromSources(const ProjectSpec &project,
+                         const std::string &faulty_dut_src,
+                         const RunLimits &limits)
 {
     Scenario sc;
     sc.project = &project;
-    sc.defect = &defect;
 
     // Expected behavior: record from the previously-functioning design
     // (paper Section 4.1.2).
@@ -124,10 +124,7 @@ buildScenario(const ProjectSpec &project, const DefectSpec &defect,
     sc.oracle =
         simulateAndRecord(golden, project.tbModule, sc.probe, limits);
 
-    // Transplant the defect.
-    std::string faulty_src =
-        applyRewrites(project.goldenSource, defect.rewrites);
-    sc.faulty = parseCombined(faulty_src, project.testbenchSource);
+    sc.faulty = parseCombined(faulty_dut_src, project.testbenchSource);
 
     // Held-out verification data.
     sc.verifySource = project.verifySource;
@@ -140,6 +137,30 @@ buildScenario(const ProjectSpec &project, const DefectSpec &defect,
         verify_golden, project.verifyModule, sc.verifyProbe, limits);
 
     return sc;
+}
+
+Scenario
+buildScenario(const ProjectSpec &project, const DefectSpec &defect,
+              const RunLimits &limits)
+{
+    // Transplant the defect, then assemble as for any faulty source.
+    Scenario sc = buildScenarioFromSources(
+        project, applyRewrites(project.goldenSource, defect.rewrites),
+        limits);
+    sc.defect = &defect;
+    return sc;
+}
+
+std::string
+patchedDutSource(const Scenario &scenario, const Patch &patch)
+{
+    auto patched = applyPatch(*scenario.faulty, patch);
+    auto tb_file = parse(scenario.project->testbenchSource);
+    std::string dut_src;
+    for (const auto &m : patched->modules)
+        if (!tb_file->findModule(m->name))
+            dut_src += print(*m) + "\n";
+    return dut_src;
 }
 
 RepairEngine

@@ -112,6 +112,25 @@ Scenario buildScenario(const ProjectSpec &project,
                        const sim::RunLimits &limits = {});
 
 /**
+ * Assemble a scenario around an arbitrary faulty DUT source instead of
+ * a registered defect transplant (Scenario::defect stays null). This is
+ * the entry point for `cirfix witness` and the hardening tests, where
+ * the "faulty" design is whatever the caller provides — e.g. a patched
+ * design suspected of overfitting.
+ */
+Scenario buildScenarioFromSources(const ProjectSpec &project,
+                                  const std::string &faulty_dut_src,
+                                  const sim::RunLimits &limits = {});
+
+/**
+ * Apply @p patch to the scenario's faulty design and print only the
+ * DUT module(s) — every module not defined by the repair testbench.
+ * This is the design text witness generation discriminates against.
+ */
+std::string patchedDutSource(const Scenario &scenario,
+                             const Patch &patch);
+
+/**
  * Simulate the golden project under its repair testbench and return
  * the recorded oracle trace (also used to sanity-check projects).
  */

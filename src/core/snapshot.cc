@@ -298,6 +298,18 @@ encodeSnapshot(const EngineState &state)
            << " " << state.rowsSkipped << " " << state.lintRejects;
         w.line(os.str());
     }
+    w.line("witnesses " + std::to_string(state.witnesses.size()));
+    for (const OracleBench &b : state.witnesses) {
+        w.blob("wmodule", b.module);
+        w.blob("wprovenance", b.provenance);
+        w.blob("wsource", b.source);
+        w.blob("wclock", b.probe.clock);
+        w.line("wstart " + std::to_string(b.probe.startTime));
+        w.line("wsignals " + std::to_string(b.probe.signals.size()));
+        for (const std::string &s : b.probe.signals)
+            w.blob("wsignal", s);
+        w.blob("woracle", b.oracle.toCsv());
+    }
     w.line("trajectory " + std::to_string(state.trajectory.size()));
     for (const auto &[at, best] : state.trajectory)
         w.line("point " + std::to_string(at) + " " + doubleToken(best));
@@ -416,6 +428,23 @@ decodeSnapshot(const std::string &text)
         st.rowsScored = r.parseU64(s[2]);
         st.rowsSkipped = r.parseU64(s[3]);
         st.lintRejects = r.parseLong(s[4]);
+    }
+    size_t nwit = r.parseSize(r.tokens("witnesses", 2)[1]);
+    for (size_t i = 0; i < nwit; ++i) {
+        OracleBench b;
+        b.module = r.blob("wmodule");
+        b.provenance = r.blob("wprovenance");
+        b.source = r.blob("wsource");
+        b.probe.clock = r.blob("wclock");
+        b.probe.startTime = static_cast<sim::SimTime>(
+            r.parseU64(r.tokens("wstart", 2)[1]));
+        size_t nsig = r.parseSize(r.tokens("wsignals", 2)[1]);
+        for (size_t s = 0; s < nsig; ++s)
+            b.probe.signals.push_back(r.blob("wsignal"));
+        std::string csv = r.blob("woracle");
+        if (!csv.empty())
+            b.oracle = sim::Trace::fromCsv(csv);
+        st.witnesses.push_back(std::move(b));
     }
     size_t npoints = r.parseSize(r.tokens("trajectory", 2)[1]);
     for (size_t i = 0; i < npoints; ++i) {

@@ -64,8 +64,10 @@ struct EngineState
      *  checksum record; version 3 widened the outcome-count line for
      *  EvalOutcome::EarlyAbort; version 4 widened it again for
      *  EvalOutcome::LintReject and added lintRejects to the "stream"
-     *  line. */
-    static constexpr int kVersion = 4;
+     *  line; version 5 added the witness-bench section (oracle
+     *  provenance: which hardening benches the recorded fitness values
+     *  were scored under). */
+    static constexpr int kVersion = 5;
 
     uint64_t seed = 0;
     /** FNV-1a of the printed faulty design; resume refuses to continue
@@ -83,6 +85,11 @@ struct EngineState
     long lintRejects = 0;
     double elapsedSeconds = 0.0;
     double bestSeen = -1.0;
+    /** Witness benches installed when the snapshot was taken. Every
+     *  fitness value in the population and cache was scored under the
+     *  main oracle PLUS these benches; resume() refuses a config whose
+     *  witness set differs (see rehardenSnapshot for migration). */
+    std::vector<OracleBench> witnesses;
     std::vector<std::pair<long, double>> trajectory;
     OutcomeCounts outcomes;
     std::vector<Variant> population;

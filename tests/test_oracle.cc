@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/oracle.h"
 
 using namespace cirfix::core;
@@ -87,6 +89,147 @@ TEST(Oracle, ZeroFractionDegradesGracefully)
     Trace out = thinOracle(rampTrace(20), 0.0);
     EXPECT_GE(out.size(), 2u);
     EXPECT_LT(out.size(), 20u);
+}
+
+TEST(Oracle, NegativeFractionBehavesLikeZero)
+{
+    Trace t = rampTrace(20);
+    Trace neg = thinOracle(t, -0.5);
+    Trace zero = thinOracle(t, 0.0);
+    EXPECT_EQ(neg.size(), zero.size());
+    EXPECT_GE(neg.size(), 2u);
+    EXPECT_EQ(neg.rows().front().time, t.rows().front().time);
+    EXPECT_EQ(neg.rows().back().time, t.rows().back().time);
+}
+
+TEST(Oracle, FractionAboveOneIsIdentity)
+{
+    Trace t = rampTrace(13);
+    for (double frac : {1.0, 1.5, 100.0}) {
+        Trace out = thinOracle(t, frac);
+        ASSERT_EQ(out.size(), t.size());
+        for (size_t i = 0; i < t.size(); ++i) {
+            EXPECT_EQ(out.rows()[i].time, t.rows()[i].time);
+            EXPECT_TRUE(out.rows()[i].values[0].identical(
+                t.rows()[i].values[0]));
+        }
+    }
+}
+
+TEST(Oracle, SingleRowSurvivesAnyFraction)
+{
+    Trace one = rampTrace(1);
+    for (double frac : {-1.0, 0.0, 0.01, 0.5, 1.0, 2.0}) {
+        Trace out = thinOracle(one, frac);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out.rows()[0].time, one.rows()[0].time);
+    }
+}
+
+TEST(Oracle, TwoRowsKeepBothEndpoints)
+{
+    Trace two = rampTrace(2);
+    for (double frac : {-1.0, 0.0, 0.01, 0.5, 1.0}) {
+        Trace out = thinOracle(two, frac);
+        ASSERT_EQ(out.size(), 2u);
+        EXPECT_EQ(out.rows().front().time, two.rows().front().time);
+        EXPECT_EQ(out.rows().back().time, two.rows().back().time);
+    }
+}
+
+// ------------------------------------------------------------------
+// combineFitness: multi-bench score folding
+// ------------------------------------------------------------------
+
+FitnessResult
+makeFit(double sum, double total, uint64_t matches,
+        uint64_t mismatches)
+{
+    FitnessResult f;
+    f.sum = sum;
+    f.total = total;
+    f.fitness = total > 0 ? std::max(0.0, sum) / total : 0.0;
+    f.bitMatches = matches;
+    f.bitMismatches = mismatches;
+    return f;
+}
+
+TEST(CombineFitness, SumsTotalsAndBitCountsAdd)
+{
+    FitnessResult c =
+        combineFitness(makeFit(3.0, 4.0, 30, 10), makeFit(1.0, 2.0, 8, 8));
+    EXPECT_DOUBLE_EQ(c.sum, 4.0);
+    EXPECT_DOUBLE_EQ(c.total, 6.0);
+    EXPECT_DOUBLE_EQ(c.fitness, 4.0 / 6.0);
+    EXPECT_EQ(c.bitMatches, 38u);
+    EXPECT_EQ(c.bitMismatches, 18u);
+}
+
+TEST(CombineFitness, PlausibleOnlyWhenBothPerfect)
+{
+    FitnessResult perfect = makeFit(4.0, 4.0, 32, 0);
+    FitnessResult imperfect = makeFit(3.0, 4.0, 24, 8);
+    EXPECT_TRUE(combineFitness(perfect, perfect).plausible());
+    EXPECT_FALSE(combineFitness(perfect, imperfect).plausible());
+    EXPECT_FALSE(combineFitness(imperfect, perfect).plausible());
+}
+
+TEST(CombineFitness, EmptyBenchIsIdentity)
+{
+    FitnessResult a = makeFit(3.0, 4.0, 30, 10);
+    FitnessResult c = combineFitness(a, FitnessResult{});
+    EXPECT_DOUBLE_EQ(c.sum, a.sum);
+    EXPECT_DOUBLE_EQ(c.total, a.total);
+    EXPECT_DOUBLE_EQ(c.fitness, a.fitness);
+}
+
+// ------------------------------------------------------------------
+// agreementRows: the seeded-overfit oracle weakening
+// ------------------------------------------------------------------
+
+TEST(AgreementRows, KeepsExactlyTheMatchingRows)
+{
+    Trace oracle = rampTrace(6);
+    Trace sim({"v"});
+    for (int i = 0; i < 6; ++i) {
+        // Disagree on rows 2 and 4.
+        uint64_t v = (i == 2 || i == 4) ? 99u : static_cast<uint64_t>(i);
+        sim.addRow(static_cast<uint64_t>(5 + 10 * i), {LogicVec(8, v)});
+    }
+    Trace weak = agreementRows(oracle, sim);
+    ASSERT_EQ(weak.size(), 4u);
+    for (auto &row : weak.rows()) {
+        const Trace::Row *orig = oracle.rowAt(row.time);
+        ASSERT_NE(orig, nullptr);
+        EXPECT_TRUE(row.values[0].identical(orig->values[0]));
+    }
+    // The weakened oracle now scores the "faulty" sim as perfect.
+    EXPECT_TRUE(evaluateFitness(sim, weak).plausible());
+}
+
+TEST(AgreementRows, DropsRowsTheSimNeverReached)
+{
+    Trace oracle = rampTrace(10);
+    Trace sim = rampTrace(4);  // truncated run: rows 4..9 unreachable
+    Trace weak = agreementRows(oracle, sim);
+    EXPECT_EQ(weak.size(), 4u);
+}
+
+TEST(AgreementRows, SelfAgreementIsIdentity)
+{
+    Trace oracle = rampTrace(8);
+    Trace weak = agreementRows(oracle, oracle);
+    EXPECT_EQ(weak.size(), oracle.size());
+}
+
+TEST(AgreementRows, TotalDisagreementYieldsEmptyTrace)
+{
+    Trace oracle = rampTrace(5);
+    Trace sim({"v"});
+    for (int i = 0; i < 5; ++i)
+        sim.addRow(static_cast<uint64_t>(5 + 10 * i),
+                   {LogicVec(8, 200u + i)});
+    EXPECT_TRUE(agreementRows(oracle, sim).empty());
 }
 
 } // namespace

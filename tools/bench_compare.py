@@ -18,7 +18,9 @@ Usage:
         [--micro-baseline BENCH_micro_baseline.json] \
         [--micro-current micro.json] \
         [--lint-baseline BENCH_lint_baseline.json] \
-        [--lint-current BENCH_lint.json] [--threshold 0.15]
+        [--lint-current BENCH_lint.json] \
+        [--witness-baseline BENCH_witness_baseline.json] \
+        [--witness-current BENCH_witness.json] [--threshold 0.15]
 
 Exit status: 0 = pass (possibly with warnings), 1 = gated regression.
 """
@@ -153,6 +155,50 @@ def compare_lint(baseline, current, threshold):
     return failures, warnings
 
 
+def compare_witness(baseline, current, threshold):
+    """BENCH_witness.json: hardening counters are pure functions of the
+    benchmark seeds, so they gate exactly. golden_kills_total is a hard
+    invariant — a witness bench that rejects the golden design would
+    poison every future repair — and fails outright regardless of the
+    baseline. Sweep timing warns only."""
+    failures, warnings = [], []
+
+    cur_counters = current.get("counters", {})
+    base_counters = baseline.get("counters", {})
+
+    if cur_counters.get("golden_kills_total", 0) != 0:
+        failures.append(
+            "golden_kills_total="
+            f"{cur_counters['golden_kills_total']}: a generated witness "
+            "bench rejects the golden design (golden-invariance "
+            "violation — witnesses may only kill wrong behavior)")
+
+    for name in sorted(set(base_counters) | set(cur_counters)):
+        if name not in base_counters or name not in cur_counters:
+            warnings.append(f"witness counter {name} missing; skipped")
+            continue
+        if base_counters[name] != cur_counters[name]:
+            failures.append(
+                f"witness counter {name} changed: "
+                f"baseline={base_counters[name]} "
+                f"current={cur_counters[name]} (deterministic — "
+                "regenerate BENCH_witness_baseline.json if intentional)")
+
+    base_timing = baseline.get("timing", {})
+    cur_timing = current.get("timing", {})
+    if "sweep_seconds" in base_timing and "sweep_seconds" in cur_timing:
+        reg = regression(base_timing["sweep_seconds"],
+                         cur_timing["sweep_seconds"], "lower")
+        if reg > threshold:
+            warnings.append(
+                f"timing sweep_seconds: "
+                f"baseline={base_timing['sweep_seconds']:.4g} "
+                f"current={cur_timing['sweep_seconds']:.4g} "
+                f"({reg:+.1%}) [warn-only: machine-dependent]")
+
+    return failures, warnings
+
+
 def compare_micro(baseline, current, threshold):
     """google-benchmark JSON: match by name, warn on real_time."""
     warnings = []
@@ -180,6 +226,8 @@ def main():
     ap.add_argument("--micro-current")
     ap.add_argument("--lint-baseline")
     ap.add_argument("--lint-current")
+    ap.add_argument("--witness-baseline")
+    ap.add_argument("--witness-current")
     ap.add_argument("--threshold", type=float, default=0.15)
     args = ap.parse_args()
 
@@ -197,6 +245,13 @@ def main():
             args.threshold)
         failures += lint_failures
         warnings += lint_warnings
+
+    if args.witness_baseline and args.witness_current:
+        witness_failures, witness_warnings = compare_witness(
+            load(args.witness_baseline), load(args.witness_current),
+            args.threshold)
+        failures += witness_failures
+        warnings += witness_warnings
 
     for w in warnings:
         print(f"WARN  {w}")

@@ -24,6 +24,19 @@
  *                   [--check id=severity]
  *                   (lints every seed benchmark design)
  *
+ *   cirfix witness  --golden g.v --patched p.v --dut <module>
+ *                   [--seed N] [--tries N] [--cycles N]
+ *                   [--out bench.v] [--json]
+ *                   (search for a minimal stimulus separating the two)
+ *
+ * Witness-driven hardening: `repair --harden 1` additionally needs
+ * --golden (for witness generation) plus --verify-tb/--verify-module
+ * (the held-out bench that exposes overfitting); when a found patch
+ * fails the held-out bench, a discriminating witness bench is
+ * generated, installed into the oracle, and the run resumes from its
+ * discovery-point snapshot (pass --snapshot to enable resume; without
+ * it each hardening round restarts).
+ *
  * Service subcommands (see src/service/):
  *
  *   cirfix serve    --socket PATH --state-dir DIR [--workers N]
@@ -60,6 +73,7 @@
 #include "core/faultloc.h"
 #include "core/scenario.h"
 #include "core/snapshot.h"
+#include "core/witness.h"
 #include "lint/lint.h"
 #include "service/client.h"
 #include "service/server.h"
@@ -162,8 +176,9 @@ parseArgs(int argc, char **argv)
             continue;
         }
         std::string key = a.substr(2);
-        // Boolean lint switches take no value.
-        if (lint_cmd && (key == "json" || key == "Werror")) {
+        // Boolean switches take no value.
+        if ((lint_cmd && (key == "json" || key == "Werror")) ||
+            (args.command == "witness" && key == "json")) {
             args.flags[key] = "1";
             continue;
         }
@@ -434,6 +449,111 @@ cmdLintBench(const Args &args)
     return lintExitCode(errors, warnings, werror);
 }
 
+// ---------------------------------------------------------------
+// Witness generation
+// ---------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Witness search knobs shared by `witness` and `repair --harden`. */
+core::WitnessOptions
+witnessOptionsFromArgs(const Args &args)
+{
+    core::WitnessOptions wo;
+    wo.seed = static_cast<uint64_t>(
+        args.getLong("wseed", static_cast<long>(wo.seed)));
+    wo.maxTries =
+        static_cast<int>(args.getLong("tries", wo.maxTries));
+    wo.maxCycles =
+        static_cast<int>(args.getLong("cycles", wo.maxCycles));
+    wo.maxRounds =
+        static_cast<int>(args.getLong("rounds", wo.maxRounds));
+    return wo;
+}
+
+int
+cmdWitness(const Args &args)
+{
+    std::string golden_src = readFile(args.need("golden"));
+    std::string patched_src = readFile(args.need("patched"));
+    std::string dut = args.need("dut");
+    core::WitnessOptions wo = witnessOptionsFromArgs(args);
+    wo.seed = static_cast<uint64_t>(
+        args.getLong("seed", static_cast<long>(wo.seed)));
+
+    core::WitnessSearchResult ws = core::findWitness(
+        golden_src, patched_src, dut, wo, "__cirfix_witness0",
+        "cirfix witness: " + args.get("golden") + " vs " +
+            args.get("patched"));
+
+    if (args.flags.count("json")) {
+        std::ostringstream os;
+        os << "{\"found\": " << (ws.found ? "true" : "false")
+           << ", \"tries\": " << ws.tries
+           << ", \"coverage_pool\": " << ws.coveragePool;
+        if (ws.found) {
+            os << ", \"steps\": " << ws.steps.size()
+               << ", \"steps_before_min\": " << ws.stepsBeforeMin
+               << ", \"minimize_tests\": " << ws.minimizeTests
+               << ", \"module\": \"" << jsonEscape(ws.bench.module)
+               << "\", \"clock\": \"" << jsonEscape(ws.bench.probe.clock)
+               << "\", \"signals\": [";
+            for (size_t i = 0; i < ws.bench.probe.signals.size(); ++i)
+                os << (i ? ", " : "") << "\""
+                   << jsonEscape(ws.bench.probe.signals[i]) << "\"";
+            os << "], \"oracle_rows\": " << ws.bench.oracle.rows().size()
+               << ", \"bench_source\": \"" << jsonEscape(ws.bench.source)
+               << "\", \"oracle_csv\": \""
+               << jsonEscape(ws.bench.oracle.toCsv()) << "\"";
+        }
+        os << "}\n";
+        std::cout << os.str();
+    } else if (ws.found) {
+        std::cout << "witness found after " << ws.tries
+                  << " stimuli: " << ws.stepsBeforeMin
+                  << " cycle(s) minimized to " << ws.steps.size()
+                  << " (" << ws.minimizeTests << " minimizer tests, "
+                  << ws.coveragePool << " novel behaviors pooled)\n";
+    } else {
+        std::cout << "no witness found after " << ws.tries
+                  << " stimuli (the designs may be equivalent under "
+                  << "short bounded stimuli)\n";
+    }
+    if (ws.found) {
+        if (args.flags.count("out")) {
+            writeFile(args.get("out"), ws.bench.source);
+            std::cout << "witness bench written to " << args.get("out")
+                      << "\n";
+        } else if (!args.flags.count("json")) {
+            std::cout << ws.bench.source;
+        }
+    }
+    return ws.found ? kExitRepairFound : kExitNoRepair;
+}
+
 int
 cmdRepair(const Args &args)
 {
@@ -501,6 +621,62 @@ cmdRepair(const Args &args)
         }
         return kExitRepairFound;
     };
+
+    // --harden 1: witness-driven oracle hardening. Needs the full
+    // scenario — the golden design (witness generation compares
+    // against it) and a held-out verification bench (which exposes
+    // overfitting in the first place).
+    if (args.getLong("harden", 0) != 0) {
+        if (!args.flags.count("golden"))
+            throw UsageError("--harden 1 needs --golden <file>");
+        std::string golden_src = readFile(args.get("golden"));
+        core::ProjectSpec proj;
+        proj.name = "cli";
+        proj.description = "cirfix repair --harden";
+        proj.goldenSource = golden_src;
+        proj.testbenchSource = testbenchOnlySource(src, golden_src);
+        proj.verifySource = readFile(args.need("verify-tb"));
+        proj.dutModule = dut;
+        proj.tbModule = tb;
+        proj.verifyModule = args.need("verify-module");
+        // The faulty DUT is every module of --design that the golden
+        // file also defines (the rest is the repair testbench).
+        std::string faulty_dut;
+        {
+            auto dfile = verilog::parse(src);
+            auto gfile = verilog::parse(golden_src);
+            for (auto &m : dfile->modules)
+                if (gfile->findModule(m->name))
+                    faulty_dut += verilog::print(*m) + "\n";
+        }
+        core::Scenario sc = core::buildScenarioFromSources(
+            proj, faulty_dut, cfg.simLimits);
+        core::WitnessOptions wo = witnessOptionsFromArgs(args);
+        for (int trial = 0; trial < trials; ++trial) {
+            cfg.seed = seed0 + static_cast<uint64_t>(trial) * 7919;
+            wo.seed = cfg.seed;
+            std::cout << "trial " << trial + 1 << "/" << trials
+                      << " (seed " << cfg.seed << ", hardened)...\n";
+            core::HardenedRepairResult hr =
+                core::hardenedRepair(sc, cfg, wo);
+            if (hr.overfitKills > 0)
+                std::cout << "  oracle hardening: " << hr.overfitKills
+                          << " overfit patch(es) killed by witnesses ("
+                          << hr.rounds << " round(s), "
+                          << hr.witnessTries << " stimuli tried, "
+                          << hr.resumedFromSnapshot
+                          << " snapshot resume(s))\n";
+            if (hr.result.found)
+                std::cout << "  held-out verification: "
+                          << (hr.correct ? "PASS"
+                                         : "FAIL (plausible-only)")
+                          << "\n";
+            if (report(hr.result) == kExitRepairFound)
+                return kExitRepairFound;
+        }
+        std::cout << "no repair found within resource bounds\n";
+        return kExitNoRepair;
+    }
 
     // --resume <snapshot>: continue an interrupted run bit-identically
     // (one trial; the snapshot pins the seed and progress).
@@ -748,6 +924,8 @@ usage(std::ostream &os)
         "[--early-abort 0|1] [--offspring N] [--lint 0|1]\n"
         "           [--snapshot f.snap] [--snapshot-every N] "
         "[--resume f.snap]\n"
+        "           [--harden 0|1 --verify-tb v.v --verify-module MOD "
+        "[--tries N] [--cycles N] [--rounds N]]\n"
         "  simulate --design f.v --tb TB [--vcd o.vcd] "
         "[--trace o.csv]\n"
         "  localize --design f.v --tb TB --dut MOD "
@@ -756,6 +934,10 @@ usage(std::ostream &os)
         "[--waivers FILE] [--check id=severity]\n"
         "  lint-bench  [--Werror] [--waivers FILE] "
         "[--check id=severity]   (lint the benchmark suite)\n"
+        "  witness  --golden g.v --patched p.v --dut MOD [--seed N]\n"
+        "           [--tries N] [--cycles N] [--out bench.v] [--json]\n"
+        "           (minimal stimulus separating two designs; exit 2 "
+        "when none found)\n"
         "  (--extra file.v may be repeated to add source files)\n"
         "\n"
         "service commands:\n"
@@ -800,6 +982,8 @@ main(int argc, char **argv)
             return cmdLint(args);
         if (args.command == "lint-bench")
             return cmdLintBench(args);
+        if (args.command == "witness")
+            return cmdWitness(args);
         if (args.command == "serve")
             return cmdServe(args);
         if (args.command == "submit")
