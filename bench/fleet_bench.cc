@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Fleet chaos benchmark for the CI regression gate.
+ *
+ * Spins up an in-process coordinator plus a three-worker fleet over a
+ * real listener, then measures the two properties the distributed
+ * layer promises:
+ *
+ *  1. Failover recovery: a long deterministic job is interrupted by
+ *     killing its worker mid-run; the harness times how long the
+ *     coordinator takes to re-lease the job to a surviving worker
+ *     (failover_recovery_seconds) and verifies the resumed run still
+ *     finishes.
+ *
+ *  2. Sustained chaos: with the NetFaultInjector dropping, stalling
+ *     and truncating frames for the whole phase, a batch of jobs is
+ *     submitted with idempotent request ids and driven to completion.
+ *
+ * The emitted BENCH_fleet.json has two hard invariants that fail the
+ * build outright (and this binary's exit code) regardless of what the
+ * baseline says:
+ *
+ *   jobs_lost_total == 0        every submitted job reached a
+ *                               terminal "done" state
+ *   jobs_duplicated_total == 0  no retried submit enqueued a second
+ *                               job, and no job committed twice
+ *
+ * Everything else — lease expirations, requeues, stale rejections,
+ * reconnects, chaos-event counts, recovery latency — depends on
+ * scheduling and machine speed, so the gate only warns on drift.
+ *
+ * Usage: fleet_bench [output.json]   (default: BENCH_fleet.json)
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/client.h"
+#include "service/fleet.h"
+#include "service/netfault.h"
+#include "service/server.h"
+#include "service/transport.h"
+#include "sim/elaborate.h"
+#include "sim/probe.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::service;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+const char *kGoldenToggle = R"(
+module dut (clk, rst, q);
+    input clk, rst;
+    output q;
+    reg q;
+    always @(posedge clk) begin
+        if (rst == 1'b1) begin
+            q <= 1'b0;
+        end
+        else begin
+            q <= !q;
+        end
+    end
+endmodule
+module tb;
+    reg clk, rst;
+    wire q;
+    dut d (.clk(clk), .rst(rst), .q(q));
+    initial begin
+        clk = 0;
+        rst = 1;
+        #12 rst = 0;
+        #100 $finish;
+    end
+    always #5 clk = !clk;
+endmodule
+)";
+
+std::string
+goldenTraceCsv(int finish_at)
+{
+    std::string src = kGoldenToggle;
+    src.replace(src.find("#100 $finish"), 12,
+                "#" + std::to_string(finish_at) + " $finish");
+    std::shared_ptr<const verilog::SourceFile> golden =
+        verilog::parse(src);
+    sim::ProbeConfig probe = sim::deriveProbeConfig(*golden, "tb");
+    auto design = sim::elaborate(golden, "tb");
+    sim::TraceRecorder rec(*design, probe);
+    design->run();
+    return rec.takeTrace().toCsv();
+}
+
+/** A job that always runs its full generation budget (golden design
+ *  vs a longer oracle: never plausible, never early-out), so the
+ *  interruption point is deterministic and machine-independent. */
+JobSpec
+fullBudgetSpec(int gens, uint64_t seed)
+{
+    JobSpec spec;
+    spec.designSource = kGoldenToggle;
+    spec.tbModule = "tb";
+    spec.dutModule = "dut";
+    spec.oracleCsv = goldenTraceCsv(200);
+    spec.params.popSize = 8;
+    spec.params.maxGenerations = gens;
+    spec.params.maxSeconds = 300.0;
+    spec.params.seed = seed;
+    return spec;
+}
+
+std::string
+scratchDir(const std::string &name)
+{
+    std::string d = std::filesystem::temp_directory_path().string() +
+                    "/fleet-bench-" + name + "." +
+                    std::to_string(::getpid());
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+struct WorkerThread
+{
+    Worker worker;
+    std::thread thread;
+
+    explicit WorkerThread(WorkerConfig cfg) : worker(std::move(cfg))
+    {
+        thread = std::thread([this] {
+            try {
+                worker.run({});
+            } catch (...) {
+            }
+        });
+    }
+    ~WorkerThread() { stop(); }
+    void
+    stop()
+    {
+        worker.requestStop();
+        if (thread.joinable())
+            thread.join();
+    }
+};
+
+WorkerConfig
+workerConfig(const std::string &coordinator, const std::string &name)
+{
+    WorkerConfig cfg;
+    cfg.coordinator = coordinator;
+    cfg.name = name;
+    cfg.workDir = scratchDir("wd-" + name);
+    cfg.claimWaitSeconds = 0.05;
+    return cfg;
+}
+
+bool
+eventually(const std::function<bool()> &pred, double seconds)
+{
+    auto deadline =
+        Clock::now() + std::chrono::duration<double>(seconds);
+    while (Clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+}
+
+Json
+statusWithRetry(const std::string &address, long id)
+{
+    for (int attempt = 0;; ++attempt) {
+        try {
+            Client c(address);
+            return c.status(id);
+        } catch (const std::exception &) {
+            if (attempt > 100)
+                throw;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    }
+}
+
+long
+submitWithRetry(const std::string &address, const JobSpec &spec)
+{
+    std::string requestId = Client::newRequestId();
+    for (int attempt = 0;; ++attempt) {
+        try {
+            Client c(address);
+            return c.submit(spec, requestId);
+        } catch (const ServiceError &) {
+            throw;  // structured rejection, not a transport fault
+        } catch (const std::exception &) {
+            if (attempt > 100)
+                throw;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+
+    ServerConfig cfg;
+    // TCP on an ephemeral port: the bench exercises the same transport
+    // a cross-host fleet uses, not the Unix-socket fast path.
+    cfg.listenAddress = "tcp:127.0.0.1:0";
+    cfg.stateDir = scratchDir("state");
+    cfg.workers = 0;  // coordinator: remote execution only
+    cfg.fleet.requireWorkers = true;
+    cfg.fleet.leaseSeconds = 0.5;
+    Server server(cfg);
+    server.start();
+    const std::string address = server.boundAddress();
+
+    std::vector<std::unique_ptr<WorkerThread>> workers;
+    for (int i = 0; i < 3; ++i)
+        workers.push_back(std::make_unique<WorkerThread>(
+            workerConfig(address, "bw" + std::to_string(i))));
+    if (!eventually([&] { return server.workerCount() == 3; }, 30.0)) {
+        std::cerr << "fleet_bench: workers never connected\n";
+        return 1;
+    }
+
+    long submitted = 0;
+    long completed = 0;
+    long failovers = 0;
+
+    // ---- phase 1: failover recovery latency --------------------------
+    double recovery_seconds = 0.0;
+    {
+        long id = submitWithRetry(address, fullBudgetSpec(40, 11));
+        ++submitted;
+        if (!eventually(
+                [&] {
+                    return statusWithRetry(address, id)
+                               .num("generation", 0) >= 2;
+                },
+                60.0)) {
+            std::cerr << "fleet_bench: job never progressed\n";
+            return 1;
+        }
+        // Kill whichever worker holds the lease; time until a second
+        // assignment lands (attempts flips to 2 when another worker
+        // claims the re-queued job and resumes from the snapshot).
+        std::string holder = statusWithRetry(address, id).str("worker");
+        Clock::time_point t0 = Clock::now();
+        bool killed = false;
+        for (auto &w : workers) {
+            std::string prefix = w->worker.config().name + "/";
+            if (holder.rfind(prefix, 0) == 0) {
+                w->stop();
+                killed = true;
+                break;
+            }
+        }
+        if (!killed) {
+            std::cerr << "fleet_bench: lease holder '" << holder
+                      << "' not found\n";
+            return 1;
+        }
+        if (!eventually(
+                [&] {
+                    return statusWithRetry(address, id)
+                               .num("attempts", 0) >= 2;
+                },
+                60.0)) {
+            std::cerr << "fleet_bench: failover never happened\n";
+            return 1;
+        }
+        recovery_seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        ++failovers;
+        if (!eventually(
+                [&] {
+                    return statusWithRetry(address, id).str("state") ==
+                           "done";
+                },
+                120.0)) {
+            std::cerr << "fleet_bench: failed-over job never "
+                         "finished\n";
+            return 1;
+        }
+        ++completed;
+    }
+
+    // ---- phase 2: sustained frame-level chaos ------------------------
+    double chaos_seconds = 0.0;
+    uint64_t chaos_events = 0;
+    {
+        NetFaultPlan plan;
+        plan.dropWriteAt = 13;
+        plan.dropReadAt = 23;
+        plan.stallWriteAt = 7;
+        plan.stallSeconds = 0.005;
+        plan.every = true;
+        NetFaultInjector::instance().arm(plan);
+
+        std::vector<long> ids;
+        Clock::time_point t0 = Clock::now();
+        for (int i = 0; i < 4; ++i) {
+            ids.push_back(submitWithRetry(
+                address, fullBudgetSpec(3 + i, 17 + 2 * i)));
+            ++submitted;
+        }
+        bool all_done = true;
+        for (long id : ids)
+            all_done = eventually(
+                           [&] {
+                               return statusWithRetry(address, id)
+                                          .str("state") == "done";
+                           },
+                           180.0) &&
+                       all_done;
+        chaos_seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        chaos_events = NetFaultInjector::instance().counters().total();
+        NetFaultInjector::instance().disarm();
+        if (!all_done) {
+            std::cerr << "fleet_bench: a job was lost under chaos\n";
+            // fall through: the json still records the loss
+        }
+        for (long id : ids)
+            if (statusWithRetry(address, id).str("state") == "done")
+                ++completed;
+    }
+
+    // ---- settle + measure --------------------------------------------
+    long listed = 0;
+    {
+        Client calm(address);
+        listed = static_cast<long>(calm.list().size());
+    }
+    LeaseStats leases = server.queue().leaseStats();
+    uint64_t reconnects = 0;
+    uint64_t worker_abandoned = 0;
+    for (auto &w : workers) {
+        WorkerStats ws = w->worker.stats();
+        reconnects += ws.reconnects;
+        worker_abandoned += ws.jobsAbandoned;
+    }
+    for (auto &w : workers)
+        w->stop();
+    server.stop();
+
+    const long lost = submitted - completed;
+    // Duplicates would show up as extra jobs in the table (an
+    // idempotent retry that enqueued twice); a double *commit* is
+    // structurally blocked by completeLeased() and surfaces here as a
+    // stale rejection instead.
+    const long duplicated = listed - submitted;
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"schema\": 1,\n"
+       << "  \"workers\": 3,\n"
+       << "  \"counters\": {\n"
+       << "    \"jobs_submitted_total\": " << submitted << ",\n"
+       << "    \"jobs_completed_total\": " << completed << ",\n"
+       << "    \"jobs_lost_total\": " << lost << ",\n"
+       << "    \"jobs_duplicated_total\": " << duplicated << ",\n"
+       << "    \"failovers_total\": " << failovers << ",\n"
+       << "    \"lease_assignments_total\": " << leases.assignments
+       << ",\n"
+       << "    \"lease_expirations_total\": " << leases.expirations
+       << ",\n"
+       << "    \"lease_requeues_total\": " << leases.requeues << ",\n"
+       << "    \"stale_rejections_total\": " << leases.staleRejections
+       << ",\n"
+       << "    \"worker_reconnects_total\": " << reconnects << ",\n"
+       << "    \"worker_abandons_total\": " << worker_abandoned << ",\n"
+       << "    \"chaos_events_total\": " << chaos_events << "\n"
+       << "  },\n"
+       << "  \"timing\": {\n"
+       << "    \"failover_recovery_seconds\": " << recovery_seconds
+       << ",\n"
+       << "    \"chaos_wall_seconds\": " << chaos_seconds << "\n"
+       << "  }\n"
+       << "}\n";
+
+    std::ofstream out(out_path);
+    out << js.str();
+    out.close();
+    std::cout << js.str();
+    std::cerr << "fleet_bench: wrote " << out_path << "\n";
+    // The hard invariants also bind this binary's exit code.
+    return (lost == 0 && duplicated == 0) ? 0 : 1;
+}

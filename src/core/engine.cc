@@ -568,6 +568,7 @@ RepairEngine::captureState(
     EngineState st;
     st.seed = config_.seed;
     st.designFingerprint = fingerprintSource(print(*faulty_));
+    st.provenance = config_.snapshotProvenance;
     {
         std::ostringstream os;
         os << rng_;

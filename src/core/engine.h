@@ -120,6 +120,9 @@ struct EngineConfig
     lint::Options lintOptions;
     /** Snapshot file path; non-empty enables checkpointing. */
     std::string snapshotPath;
+    /** Recorded as EngineState::provenance in every checkpoint (fleet
+     *  worker name); informational only — never affects the search. */
+    std::string snapshotProvenance;
     /** Generations between snapshots (>= 1). */
     int snapshotEvery = 1;
     /**

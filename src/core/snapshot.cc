@@ -283,6 +283,7 @@ encodeSnapshot(const EngineState &state)
     w.line("CIRFIX-SNAPSHOT " + std::to_string(EngineState::kVersion));
     w.line("seed " + std::to_string(state.seed));
     w.line("fingerprint " + std::to_string(state.designFingerprint));
+    w.blob("provenance", state.provenance);
     w.blob("rng", state.rngState);
     {
         std::ostringstream os;
@@ -412,6 +413,7 @@ decodeSnapshot(const std::string &text)
     verifySeal(text);
     st.seed = r.parseU64(r.tokens("seed", 2)[1]);
     st.designFingerprint = r.parseU64(r.tokens("fingerprint", 2)[1]);
+    st.provenance = r.blob("provenance");
     st.rngState = r.blob("rng");
     {
         auto p = r.tokens("progress", 7);

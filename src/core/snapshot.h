@@ -66,13 +66,21 @@ struct EngineState
      *  EvalOutcome::LintReject and added lintRejects to the "stream"
      *  line; version 5 added the witness-bench section (oracle
      *  provenance: which hardening benches the recorded fitness values
-     *  were scored under). */
-    static constexpr int kVersion = 5;
+     *  were scored under); version 6 added the writer-provenance blob
+     *  (which fleet worker checkpointed the run). */
+    static constexpr int kVersion = 6;
 
     uint64_t seed = 0;
     /** FNV-1a of the printed faulty design; resume refuses to continue
      *  a snapshot against a different design. */
     uint64_t designFingerprint = 0;
+    /** Who wrote this checkpoint (fleet worker name, or empty for a
+     *  local run). Purely informational: it never enters the design
+     *  fingerprint, the RNG stream, or any resume validation, so a job
+     *  that fails over between workers stays bit-identical in every
+     *  search-visible way while each checkpoint still records which
+     *  host produced it. */
+    std::string provenance;
     /** mt19937_64 stream state (operator<< text form). */
     std::string rngState;
     int generationsDone = 0;

@@ -1,10 +1,9 @@
 #include "service/client.h"
 
-#include <cerrno>
-#include <cstring>
+#include <atomic>
+#include <random>
+#include <sstream>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "service/framing.h"
@@ -22,27 +21,18 @@ throwErrorFrame(const Json &msg)
 
 } // namespace
 
-Client::Client(const std::string &socketPath)
+Client::Client(const std::string &address, const ClientOptions &opts)
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socketPath.size() >= sizeof addr.sun_path)
-        throw std::runtime_error("socket path too long: " + socketPath);
-    std::strncpy(addr.sun_path, socketPath.c_str(),
-                 sizeof addr.sun_path - 1);
-
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        throw std::runtime_error(std::string("socket: ") +
-                                 std::strerror(errno));
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        int err = errno;
-        ::close(fd_);
-        fd_ = -1;
-        throw std::runtime_error("cannot connect to " + socketPath +
-                                 ": " + std::strerror(err));
+    Address addr = Address::parse(address);
+    if (opts.connectAttempts > 1) {
+        RetryPolicy policy;
+        policy.maxAttempts = opts.connectAttempts;
+        policy.connectTimeout = opts.connectTimeout;
+        conn_ = dialRetry(addr, policy);
+    } else {
+        conn_ = dial(addr, opts.connectTimeout);
     }
+    conn_->setIoDeadline(opts.ioTimeout);
     try {
         send(makeHello());
         if (!recv(&hello_))
@@ -54,29 +44,24 @@ Client::Client(const std::string &socketPath)
             throw std::runtime_error("unexpected handshake reply '" +
                                      hello_.str("type") + "'");
     } catch (...) {
-        ::close(fd_);
-        fd_ = -1;
+        conn_.reset();
         throw;
     }
 }
 
-Client::~Client()
-{
-    if (fd_ >= 0)
-        ::close(fd_);
-}
+Client::~Client() = default;
 
 void
 Client::send(const Json &msg)
 {
-    writeFrame(fd_, msg.dump());
+    conn_->writeFrame(msg.dump());
 }
 
 bool
 Client::recv(Json *out)
 {
     std::string payload;
-    if (!readFrame(fd_, payload))
+    if (!conn_->readFrame(&payload))
         return false;
     *out = Json::parse(payload);
     return true;
@@ -96,11 +81,13 @@ Client::request(const Json &msg)
 }
 
 long
-Client::submit(const JobSpec &spec)
+Client::submit(const JobSpec &spec, const std::string &requestId)
 {
     Json msg = Json::object();
     msg["type"] = "submit";
     msg["job"] = toJson(spec);
+    if (!requestId.empty())
+        msg["request_id"] = requestId;
     Json reply = request(msg);
     return reply.num("id", -1);
 }
@@ -153,6 +140,23 @@ Client::subscribe(long id)
     msg["type"] = "subscribe";
     msg["id"] = id;
     send(msg);
+}
+
+std::string
+Client::newRequestId()
+{
+    // pid + random + counter: unique across processes and across
+    // retries within one, without any coordination.
+    static std::atomic<uint64_t> counter{0};
+    static const uint64_t entropy = [] {
+        std::random_device rd;
+        return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    }();
+    std::ostringstream os;
+    os << std::hex << static_cast<unsigned long>(::getpid()) << "-"
+       << entropy << "-" << std::dec
+       << counter.fetch_add(1, std::memory_order_relaxed);
+    return os.str();
 }
 
 } // namespace cirfix::service

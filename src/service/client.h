@@ -4,22 +4,36 @@
  * @file
  * Client side of the repair service: connect, handshake, speak frames.
  *
- * Client wraps one connection to a `cirfix serve` daemon. The
- * constructor connects and completes the versioned hello exchange (so
- * a constructed Client is always protocol-compatible); the typed
- * helpers (submit/status/list/cancel/result) wrap one request/response
- * round trip each and convert error frames into ServiceError, which
+ * Client wraps one connection to a `cirfix serve` daemon or a fleet
+ * coordinator, over a Unix-domain or TCP address (transport.h). The
+ * constructor connects (bounded by a connect timeout, optionally with
+ * retry/backoff) and completes the versioned hello exchange, so a
+ * constructed Client is always protocol-compatible. The typed helpers
+ * (submit/status/list/cancel/result) wrap one request/response round
+ * trip each and convert error frames into ServiceError, which
  * preserves the wire error code — the CLI maps codes to exit codes.
+ *
+ * Timeouts: ClientOptions::ioTimeout bounds every frame read/write
+ * after the handshake; expiry surfaces as FrameTimeout (framing.h).
+ * The default of 0 blocks forever, which is what `cirfix watch`
+ * without --timeout wants; the CLI's --timeout flag sets it.
+ *
+ * Idempotent submits: submit() can attach a request id. Retrying the
+ * same id after a transport error (new connection, same id) returns
+ * the originally assigned job id instead of enqueueing a duplicate —
+ * the client-side half of the fleet's exactly-once submission story.
  *
  * subscribe() switches the connection into streaming mode: the caller
  * then recv()s event frames until the end_of_stream marker. The
  * connection stays usable for further requests afterwards.
  */
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "service/protocol.h"
+#include "service/transport.h"
 
 namespace cirfix::service {
 
@@ -36,13 +50,28 @@ class ServiceError : public std::runtime_error
     std::string code_;
 };
 
+/** Connection-behavior knobs. */
+struct ClientOptions
+{
+    /** Deadline for establishing the connection (per attempt). */
+    double connectTimeout = 10.0;
+    /** Per-frame I/O deadline after the handshake; 0 = block forever.
+     *  Expiry throws FrameTimeout and poisons the connection. */
+    double ioTimeout = 0.0;
+    /** Connect attempts (bounded exponential backoff between them);
+     *  1 = fail fast. */
+    int connectAttempts = 1;
+};
+
 class Client
 {
   public:
-    /** Connect to the daemon at @p socketPath and run the handshake.
+    /** Connect to the daemon at @p address ("unix:PATH", "tcp:h:p",
+     *  or a bare socket path) and run the handshake.
      *  @throws std::runtime_error on connect/IO failure, ServiceError
      *  on a version mismatch. */
-    explicit Client(const std::string &socketPath);
+    explicit Client(const std::string &address,
+                    const ClientOptions &opts = ClientOptions());
     ~Client();
 
     Client(const Client &) = delete;
@@ -60,8 +89,10 @@ class Client
 
     // ---- typed conveniences ----
     /** @return the accepted job id; throws ServiceError (queue_full,
-     *  budget_too_large, bad_request) on rejection. */
-    long submit(const JobSpec &spec);
+     *  budget_too_large, no_workers, degraded, bad_request) on
+     *  rejection. A non-empty @p requestId makes the submit
+     *  idempotent across retries/reconnects. */
+    long submit(const JobSpec &spec, const std::string &requestId = "");
     Json status(long id);   //!< the job summary object
     Json list();            //!< array of job summaries
     void cancel(long id);
@@ -72,8 +103,11 @@ class Client
      *  event frames; the stream ends with {"type":"end_of_stream"}. */
     void subscribe(long id);
 
+    /** A process-unique idempotency key for submit(). */
+    static std::string newRequestId();
+
   private:
-    int fd_ = -1;
+    std::unique_ptr<Conn> conn_;
     Json hello_;
 };
 

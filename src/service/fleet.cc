@@ -1,0 +1,333 @@
+#include "service/fleet.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "service/protocol.h"
+#include "service/session.h"
+
+namespace cirfix::service {
+
+namespace {
+
+void
+writeFileAtomic(const std::string &path, const std::string &data)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("cannot write " + tmp);
+        os.write(data.data(),
+                 static_cast<std::streamsize>(data.size()));
+        os.flush();
+        if (!os)
+            throw std::runtime_error("short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot rename " + tmp + " to " +
+                                 path);
+    }
+}
+
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return "";
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// FleetRegistry
+
+std::string
+FleetRegistry::workerConnected(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // The key embeds a connection serial so a reconnecting worker
+    // never aliases its previous (possibly still-leased) incarnation.
+    std::string key = (name.empty() ? "worker" : name) + "/" +
+                      std::to_string(nextKey_++);
+    workers_.insert(key);
+    return key;
+}
+
+void
+FleetRegistry::workerDisconnected(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.erase(key);
+}
+
+int
+FleetRegistry::workerCount()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(workers_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+Worker::Worker(WorkerConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::string
+Worker::snapshotPath(long id) const
+{
+    return cfg_.workDir + "/job-" + std::to_string(id) + ".snap";
+}
+
+WorkerStats
+Worker::stats()
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    return stats_;
+}
+
+bool
+Worker::claim(Conn &conn, Assignment *out)
+{
+    Json req = Json::object();
+    req["type"] = "claim";
+    req["wait_ms"] =
+        static_cast<long long>(cfg_.claimWaitSeconds * 1000.0);
+    conn.writeFrame(req.dump());
+    std::string payload;
+    if (!conn.readFrame(&payload))
+        throw ConnectionClosed("coordinator closed during claim");
+    Json reply = Json::parse(payload);
+    std::string type = reply.str("type");
+    if (type == "no_job")
+        return false;
+    if (type != "job")
+        throw FrameError("unexpected claim reply '" + type + "'");
+    out->id = reply.num("id", -1);
+    out->leaseId = static_cast<uint64_t>(reply.num("lease_id", 0));
+    out->leaseSeconds = reply.real("lease_seconds", 3.0);
+    const Json *spec = reply.find("spec");
+    if (out->id < 0 || out->leaseId == 0 || !spec)
+        throw FrameError("malformed job frame from coordinator");
+    out->specJson = spec->dump();
+    out->snapshot = reply.str("snapshot");
+    return true;
+}
+
+void
+Worker::execute(Conn &conn, const Assignment &a,
+                const std::function<bool()> &shouldExit)
+{
+    JobSpec spec = jobSpecFromJson(Json::parse(a.specJson));
+    std::string snapPath = snapshotPath(a.id);
+    if (!a.snapshot.empty())
+        writeFileAtomic(snapPath, a.snapshot);  // resume hand-off
+    else
+        std::remove(snapPath.c_str());  // never resume a stale attempt
+
+    // The engine thread (per-generation progress) and the heartbeat
+    // thread share the coordinator connection; each request/response
+    // exchange is atomic under this mutex, so replies cannot cross.
+    std::mutex connMu;
+    std::atomic<bool> abandoned{false};  //!< lease lost or link dead
+    std::atomic<bool> cancel{false};     //!< coordinator-relayed cancel
+    std::atomic<bool> jobDone{false};    //!< stops the heartbeat thread
+
+    auto exchange = [&](const Json &req, Json *reply) -> bool {
+        std::lock_guard<std::mutex> lock(connMu);
+        if (abandoned.load(std::memory_order_relaxed))
+            return false;
+        try {
+            conn.writeFrame(req.dump());
+            std::string payload;
+            if (!conn.readFrame(&payload))
+                throw ConnectionClosed(
+                    "coordinator closed mid-exchange");
+            *reply = Json::parse(payload);
+            return true;
+        } catch (const std::exception &) {
+            // Any transport damage mid-job: abandon the attempt and
+            // let the lease decide the job's fate. Never guess.
+            abandoned.store(true, std::memory_order_relaxed);
+            return false;
+        }
+    };
+
+    auto handleLeaseReply = [&](const Json &reply) {
+        if (reply.str("type") == "error") {
+            if (reply.str("code") == errc::kLeaseLost) {
+                std::lock_guard<std::mutex> lock(statsMu_);
+                ++stats_.leasesLost;
+            }
+            abandoned.store(true, std::memory_order_relaxed);
+            return;
+        }
+        if (reply.flag("cancel"))
+            cancel.store(true, std::memory_order_relaxed);
+    };
+
+    // Heartbeats keep the lease alive across generations that outlast
+    // it (a renewal every leaseSeconds/3 tolerates two lost beats).
+    std::mutex hbMu;
+    std::condition_variable hbCv;
+    std::thread heartbeat([&] {
+        auto period = std::chrono::duration<double>(
+            std::max(0.05, a.leaseSeconds / 3.0));
+        std::unique_lock<std::mutex> lock(hbMu);
+        while (!hbCv.wait_for(lock, period, [&] {
+            return jobDone.load(std::memory_order_relaxed);
+        })) {
+            lock.unlock();
+            Json req = Json::object();
+            req["type"] = "heartbeat";
+            req["id"] = a.id;
+            req["lease_id"] = static_cast<long long>(a.leaseId);
+            Json reply;
+            if (exchange(req, &reply))
+                handleLeaseReply(reply);
+            lock.lock();
+        }
+    });
+
+    auto onGeneration = [&](const core::GenerationStats &gs) {
+        Json req = Json::object();
+        req["type"] = "progress";
+        req["id"] = a.id;
+        req["lease_id"] = static_cast<long long>(a.leaseId);
+        req["generation"] = gs.generation;
+        req["best_fitness"] = gs.bestFitness;
+        req["fitness_evals"] = gs.fitnessEvals;
+        req["invalid_mutants"] = gs.invalidMutants;
+        req["total_mutants"] = gs.totalMutants;
+        // The checkpoint is durable before onGeneration fires; ship it
+        // so the coordinator can resume the job anywhere on failover.
+        req["snapshot"] = slurpFile(snapPath);
+        Json reply;
+        if (exchange(req, &reply))
+            handleLeaseReply(reply);
+    };
+
+    auto shouldStop = [&] {
+        return abandoned.load(std::memory_order_relaxed) ||
+               cancel.load(std::memory_order_relaxed) ||
+               (shouldExit && shouldExit()) || stopRequested();
+    };
+
+    SessionOutcome out = runRepairJob(spec, snapPath, onGeneration,
+                                      shouldStop, cfg_.name);
+
+    {
+        std::lock_guard<std::mutex> lock(hbMu);
+        jobDone.store(true, std::memory_order_relaxed);
+    }
+    hbCv.notify_all();
+    heartbeat.join();
+
+    std::remove(snapPath.c_str());
+
+    if (abandoned.load(std::memory_order_relaxed)) {
+        // Lease lost or link dead: this attempt must not commit. The
+        // coordinator already re-queued (or will, at lease expiry).
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.jobsAbandoned;
+        return;
+    }
+    if (out.state == JobState::Canceled &&
+        !cancel.load(std::memory_order_relaxed)) {
+        // Stopped because the *worker* is winding down, not because
+        // the client canceled: stay silent, keep the lease unrenewed,
+        // and let the coordinator re-queue from its snapshot copy.
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.jobsAbandoned;
+        return;
+    }
+
+    Json req = Json::object();
+    req["type"] = "done";
+    req["id"] = a.id;
+    req["lease_id"] = static_cast<long long>(a.leaseId);
+    req["state"] = jobStateName(out.state);
+    req["result"] = std::move(out.result);
+    if (!out.error.empty())
+        req["error"] = out.error;
+    Json reply;
+    if (!exchange(req, &reply))
+        return;  // commit lost in transit; lease arbitration decides
+    if (reply.str("type") == "error") {
+        handleLeaseReply(reply);
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.jobsAbandoned;
+        return;
+    }
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++stats_.jobsCompleted;
+}
+
+void
+Worker::run(const std::function<bool()> &shouldExit)
+{
+    namespace fs = std::filesystem;
+    if (cfg_.workDir.empty())
+        throw std::runtime_error("worker needs a work dir");
+    fs::create_directories(cfg_.workDir);
+    Address addr = Address::parse(cfg_.coordinator);
+
+    auto exiting = [&] {
+        return stopRequested() || (shouldExit && shouldExit());
+    };
+
+    bool everConnected = false;
+    while (!exiting()) {
+        std::unique_ptr<Conn> conn;
+        try {
+            // Bounded attempts per round so a dead coordinator never
+            // wedges the worker past its exit check.
+            RetryPolicy round = cfg_.retry;
+            round.maxAttempts = std::min(cfg_.retry.maxAttempts, 8);
+            conn = dialRetry(addr, round);
+        } catch (const TransportError &) {
+            continue;  // next round (exit check above)
+        }
+        conn->setIoDeadline(cfg_.ioTimeoutSeconds +
+                            cfg_.claimWaitSeconds);
+        try {
+            conn->writeFrame(makeWorkerHello(cfg_.name).dump());
+            std::string payload;
+            if (!conn->readFrame(&payload))
+                throw ConnectionClosed("coordinator closed at hello");
+            Json hello = Json::parse(payload);
+            if (hello.str("type") != "hello")
+                throw FrameError("coordinator refused worker hello: " +
+                                 hello.str("message"));
+            if (everConnected) {
+                std::lock_guard<std::mutex> lock(statsMu_);
+                ++stats_.reconnects;
+            }
+            everConnected = true;
+
+            while (!exiting()) {
+                Assignment a;
+                if (!claim(*conn, &a))
+                    continue;  // long-poll came back empty
+                execute(*conn, a, shouldExit);
+            }
+            return;
+        } catch (const std::exception &) {
+            // Transport failure anywhere in the loop: drop the link
+            // and re-dial. In-flight work was already abandoned by
+            // execute()'s own error handling.
+        }
+    }
+}
+
+} // namespace cirfix::service

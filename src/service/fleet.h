@@ -1,0 +1,153 @@
+#pragma once
+
+/**
+ * @file
+ * Fleet roles on top of the repair daemon: a *coordinator* owns the
+ * JobQueue and durable state dir and shards jobs to *workers* over the
+ * transport; workers execute repair sessions and stream progress (and
+ * engine snapshots) back.
+ *
+ * Failure model, in one paragraph: every assignment is a lease
+ * (jobqueue.h). A worker renews its lease with each progress frame and
+ * with periodic heartbeats; a worker that dies, hangs, or partitions
+ * misses its deadline and the coordinator re-queues the job, handing
+ * the *coordinator-side* copy of its last generation snapshot to the
+ * next claimant — which resumes bit-identically (the engine's existing
+ * restart guarantee). A presumed-dead worker that comes back and tries
+ * to commit gets lease_lost and discards the attempt. Net effect under
+ * any combination of crashes and partitions: no job lost, no job run
+ * to completion twice.
+ *
+ * The Worker here is the in-process implementation; `cirfix worker`
+ * wraps it in a process. Coordinator-side connection handling lives in
+ * Server (the coordinator *is* the daemon, with remote execution
+ * capacity registered in a FleetRegistry).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "service/transport.h"
+
+namespace cirfix::service {
+
+/** Coordinator-side fleet policy. */
+struct FleetConfig
+{
+    /** Lease duration handed to workers; renewed by every progress or
+     *  heartbeat frame. Shorter = faster failover, more chatter. */
+    double leaseSeconds = 3.0;
+    /** Worker count below which the coordinator degrades admission
+     *  (halved queue depth, rejections coded degraded). */
+    int minWorkers = 1;
+    /** true: jobs only run on remote workers (coordinator mode —
+     *  submits with zero live workers are rejected with no_workers).
+     *  false: the classic daemon; local worker threads execute jobs
+     *  and remote workers are extra capacity. */
+    bool requireWorkers = false;
+};
+
+/** Live remote-worker membership (one entry per worker *connection*;
+ *  a reconnecting worker gets a fresh key so the old connection's
+ *  leases can be requeued without touching the new one's). */
+class FleetRegistry
+{
+  public:
+    /** Register a connection; @return the unique worker key. */
+    std::string workerConnected(const std::string &name);
+    void workerDisconnected(const std::string &key);
+    int workerCount();
+
+  private:
+    std::mutex mu_;
+    std::unordered_set<std::string> workers_;
+    uint64_t nextKey_ = 1;
+};
+
+/** Worker-side knobs. */
+struct WorkerConfig
+{
+    std::string coordinator;  //!< address string ("unix:…"/"tcp:…")
+    std::string name = "worker";
+    /** Local scratch dir for per-job snapshots. */
+    std::string workDir;
+    /** Long-poll budget per claim request. */
+    double claimWaitSeconds = 0.5;
+    /** Per-frame I/O deadline on the coordinator connection (must
+     *  exceed claimWaitSeconds or claims would time out). */
+    double ioTimeoutSeconds = 10.0;
+    /** Reconnect policy after a transport failure. */
+    RetryPolicy retry{/*maxAttempts=*/0x7fffffff,
+                      /*connectTimeout=*/5.0,
+                      /*initialDelay=*/0.05,
+                      /*maxDelay=*/1.0,
+                      /*multiplier=*/2.0,
+                      /*jitterSeed=*/0x9e3779b97f4a7c15ull};
+};
+
+/** Worker-side observability (fleet_bench and the chaos tests). */
+struct WorkerStats
+{
+    uint64_t jobsCompleted = 0;  //!< done frames accepted
+    uint64_t jobsAbandoned = 0;  //!< lease lost / link died mid-job
+    uint64_t leasesLost = 0;     //!< lease_lost replies received
+    uint64_t reconnects = 0;     //!< successful re-dials after the 1st
+};
+
+/**
+ * A fleet worker: claims jobs from the coordinator, executes them with
+ * the same session layer the daemon uses, streams per-generation
+ * progress + snapshots, commits results under its lease. Transport
+ * failures abandon the in-flight attempt (the engine stops at the next
+ * generation boundary) and re-dial with backoff — the coordinator's
+ * lease machinery decides who finishes the job.
+ */
+class Worker
+{
+  public:
+    explicit Worker(WorkerConfig cfg);
+
+    /** Blocking claim-execute loop; returns when @p shouldExit goes
+     *  true (checked between frames and between generations). */
+    void run(const std::function<bool()> &shouldExit);
+
+    /** Ask a run() in another thread to wind down at the next check
+     *  (compose with the shouldExit callback). */
+    void requestStop() { stopRequested_.store(true); }
+    bool stopRequested() const { return stopRequested_.load(); }
+
+    WorkerStats stats();
+    const WorkerConfig &config() const { return cfg_; }
+
+  private:
+    struct Assignment
+    {
+        long id = 0;
+        uint64_t leaseId = 0;
+        double leaseSeconds = 3.0;
+        std::string specJson;
+        std::string snapshot;
+    };
+
+    /** One claim round-trip. @return false when no job was handed out
+     *  (keep polling). @throws on transport failure. */
+    bool claim(Conn &conn, Assignment *out);
+    /** Execute one assignment; returns normally whether the job
+     *  completed, was canceled, or the lease was lost. @throws only
+     *  on unexpected local failures (not transport ones). */
+    void execute(Conn &conn, const Assignment &a,
+                 const std::function<bool()> &shouldExit);
+
+    std::string snapshotPath(long id) const;
+
+    WorkerConfig cfg_;
+    std::atomic<bool> stopRequested_{false};
+    std::mutex statsMu_;
+    WorkerStats stats_;
+};
+
+} // namespace cirfix::service

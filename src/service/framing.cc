@@ -1,10 +1,11 @@
 #include "service/framing.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
-#include <stdexcept>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,48 +13,129 @@ namespace cirfix::service {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/** Absolute deadline for one whole frame; a zero budget never expires. */
+struct Deadline
+{
+    explicit Deadline(double seconds)
+    {
+        if (seconds > 0.0)
+            at = Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds));
+    }
+
+    bool armed() const { return at != Clock::time_point{}; }
+
+    /** Remaining budget in whole milliseconds for poll(); -1 when
+     *  unarmed (block forever), 0 when already expired. */
+    int
+    remainingMs() const
+    {
+        if (!armed())
+            return -1;
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at - Clock::now())
+                        .count();
+        if (left <= 0)
+            return 0;
+        // Round up so a 0.5 ms remainder polls for 1 ms instead of
+        // spinning on a zero timeout.
+        return static_cast<int>(left) + 1;
+    }
+
+    Clock::time_point at{};
+};
+
 [[noreturn]] void
 ioError(const char *what)
 {
-    throw std::runtime_error(std::string("frame ") + what + ": " +
-                             std::strerror(errno));
+    int err = errno;
+    std::string msg =
+        std::string("frame ") + what + ": " + std::strerror(err);
+    if (err == EPIPE || err == ECONNRESET || err == ESHUTDOWN)
+        throw ConnectionClosed(msg);
+    throw FrameError(msg);
+}
+
+/** Block until @p fd is ready for @p events or the deadline expires. */
+void
+waitReady(int fd, short events, const Deadline &deadline,
+          const char *what)
+{
+    while (true) {
+        pollfd pfd{fd, events, 0};
+        int timeout = deadline.remainingMs();
+        if (timeout == 0)
+            throw FrameTimeout(std::string("frame ") + what +
+                               " timed out");
+        int rc = ::poll(&pfd, 1, timeout);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            ioError(what);
+        }
+        if (rc == 0)
+            throw FrameTimeout(std::string("frame ") + what +
+                               " timed out");
+        // Readiness (or error/hangup — the read/send after us will
+        // surface the precise failure).
+        return;
+    }
 }
 
 /** send() with MSG_NOSIGNAL, falling back to write() for non-socket
- *  fds (pipes in tests); loops over EINTR. Returns bytes written or
- *  -1. */
+ *  fds (pipes in tests); loops over EINTR. When a deadline is armed
+ *  the send is non-blocking (poll supplied readiness) so a peer with
+ *  a full receive buffer cannot block us past the deadline. Returns
+ *  bytes written, -1 on error, -2 on EAGAIN (poll again). */
 ssize_t
-sendSome(int fd, const char *buf, size_t n)
+sendSome(int fd, const char *buf, size_t n, bool nonblock)
 {
+    int flags = MSG_NOSIGNAL | (nonblock ? MSG_DONTWAIT : 0);
     while (true) {
-        ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
+        ssize_t w = ::send(fd, buf, n, flags);
         if (w < 0 && errno == ENOTSOCK)
             w = ::write(fd, buf, n);
         if (w < 0 && errno == EINTR)
             continue;
+        if (w < 0 && nonblock &&
+            (errno == EAGAIN || errno == EWOULDBLOCK))
+            return -2;
         return w;
     }
 }
 
 void
-writeAll(int fd, const char *buf, size_t n)
+writeAll(int fd, const char *buf, size_t n, const Deadline &deadline)
 {
     size_t off = 0;
     while (off < n) {
-        ssize_t w = sendSome(fd, buf + off, n - off);
-        if (w <= 0)
+        if (deadline.armed())
+            waitReady(fd, POLLOUT, deadline, "write");
+        ssize_t w =
+            sendSome(fd, buf + off, n - off, deadline.armed());
+        if (w == -2)
+            continue;  // raced another writer to the buffer space
+        if (w < 0)
             ioError("write failed");
+        if (w == 0)
+            throw ConnectionClosed("frame write failed: peer gone");
         off += static_cast<size_t>(w);
     }
 }
 
 /** @return bytes actually read (== n), or 0 on immediate EOF when
- *  @p eof_ok; throws on mid-read EOF or error. */
+ *  @p eof_ok; throws on mid-read EOF, error, or deadline expiry. */
 size_t
-readAll(int fd, char *buf, size_t n, bool eof_ok)
+readAll(int fd, char *buf, size_t n, bool eof_ok,
+        const Deadline &deadline)
 {
     size_t off = 0;
     while (off < n) {
+        if (deadline.armed())
+            waitReady(fd, POLLIN, deadline, "read");
         ssize_t r = ::read(fd, buf + off, n - off);
         if (r < 0) {
             if (errno == EINTR)
@@ -63,7 +145,7 @@ readAll(int fd, char *buf, size_t n, bool eof_ok)
         if (r == 0) {
             if (off == 0 && eof_ok)
                 return 0;
-            throw std::runtime_error(
+            throw ConnectionClosed(
                 "frame truncated: peer closed mid-frame after " +
                 std::to_string(off) + " of " + std::to_string(n) +
                 " bytes");
@@ -76,28 +158,31 @@ readAll(int fd, char *buf, size_t n, bool eof_ok)
 } // namespace
 
 void
-writeFrame(int fd, const std::string &payload)
+writeFrame(int fd, const std::string &payload, double deadlineSeconds)
 {
     if (payload.size() > kMaxFrameBytes)
-        throw std::runtime_error("frame payload of " +
-                                 std::to_string(payload.size()) +
-                                 " bytes exceeds the " +
-                                 std::to_string(kMaxFrameBytes) +
-                                 "-byte limit");
+        throw FrameError("frame payload of " +
+                         std::to_string(payload.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFrameBytes) +
+                         "-byte limit");
+    Deadline deadline(deadlineSeconds);
     uint32_t n = static_cast<uint32_t>(payload.size());
     char prefix[4] = {static_cast<char>(n >> 24),
                       static_cast<char>(n >> 16),
                       static_cast<char>(n >> 8),
                       static_cast<char>(n)};
-    writeAll(fd, prefix, sizeof prefix);
-    writeAll(fd, payload.data(), payload.size());
+    writeAll(fd, prefix, sizeof prefix, deadline);
+    writeAll(fd, payload.data(), payload.size(), deadline);
 }
 
 bool
-readFrame(int fd, std::string &payload)
+readFrame(int fd, std::string &payload, double deadlineSeconds)
 {
+    Deadline deadline(deadlineSeconds);
     char prefix[4];
-    if (readAll(fd, prefix, sizeof prefix, /*eof_ok=*/true) == 0)
+    if (readAll(fd, prefix, sizeof prefix, /*eof_ok=*/true, deadline) ==
+        0)
         return false;
     uint32_t n = (static_cast<uint32_t>(
                       static_cast<unsigned char>(prefix[0]))
@@ -111,13 +196,13 @@ readFrame(int fd, std::string &payload)
                  static_cast<uint32_t>(
                      static_cast<unsigned char>(prefix[3]));
     if (n > kMaxFrameBytes)
-        throw std::runtime_error(
+        throw FrameError(
             "frame length prefix of " + std::to_string(n) +
             " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
             "-byte limit (corrupt stream?)");
     payload.resize(n);
     if (n > 0)
-        readAll(fd, payload.data(), n, /*eof_ok=*/false);
+        readAll(fd, payload.data(), n, /*eof_ok=*/false, deadline);
     return true;
 }
 

@@ -16,9 +16,26 @@
  * truncation (mid-frame — an error), and rejects frames larger than
  * kMaxFrameBytes so a corrupt or hostile length prefix cannot make
  * the daemon allocate unbounded memory.
+ *
+ * Failures are typed, because callers react differently to each:
+ *
+ *  - ConnectionClosed — the peer vanished (EPIPE/ECONNRESET on write,
+ *    EOF mid-frame on read). Writing to a disconnected peer uses
+ *    MSG_NOSIGNAL plus a short-write loop, so it surfaces here as an
+ *    exception and never as a process-killing SIGPIPE.
+ *  - FrameTimeout — the optional deadline expired with the frame
+ *    still incomplete. The fd is left mid-frame: the only safe
+ *    recovery is closing the connection.
+ *  - FrameError — protocol damage (oversized or corrupt length
+ *    prefix) and every other I/O failure; also the base class.
+ *
+ * Deadlines are per *frame*: a deadline of 5s bounds the whole
+ * read/write of one frame, not each syscall, so a peer that dribbles
+ * one byte every 4s cannot hold a connection hostage.
  */
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 
 namespace cirfix::service {
@@ -28,21 +45,52 @@ namespace cirfix::service {
  *  above any benchmark and still a safe allocation). */
 inline constexpr size_t kMaxFrameBytes = 64ull << 20;
 
+/** Base class of every framing failure (I/O errors, bad prefixes). */
+class FrameError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The peer disconnected: EPIPE/ECONNRESET on a write, or EOF arrived
+ *  mid-frame on a read. A clean EOF *between* frames is not an error
+ *  (readFrame returns false instead). */
+class ConnectionClosed : public FrameError
+{
+  public:
+    using FrameError::FrameError;
+};
+
+/** The per-frame deadline expired. The stream position is now
+ *  mid-frame and unrecoverable; close the connection. */
+class FrameTimeout : public FrameError
+{
+  public:
+    using FrameError::FrameError;
+};
+
 /**
  * Write one frame. Loops until the length prefix and full payload are
  * on the wire (short writes, EINTR). Uses MSG_NOSIGNAL so a peer that
- * hung up yields an error instead of SIGPIPE.
- * @throws std::runtime_error on oversized payload or any send error.
+ * hung up yields ConnectionClosed instead of SIGPIPE.
+ * @param deadlineSeconds whole-frame write budget; 0 blocks forever.
+ * @throws FrameError on oversized payload or I/O failure,
+ *         ConnectionClosed when the peer is gone, FrameTimeout on
+ *         deadline expiry.
  */
-void writeFrame(int fd, const std::string &payload);
+void writeFrame(int fd, const std::string &payload,
+                double deadlineSeconds = 0.0);
 
 /**
  * Read one frame into @p payload.
+ * @param deadlineSeconds whole-frame read budget; 0 blocks forever.
  * @return true on a complete frame; false on clean EOF at a frame
  *         boundary (the peer closed between messages).
- * @throws std::runtime_error on EOF mid-frame, oversized length
- *         prefix, or any read error.
+ * @throws ConnectionClosed on EOF mid-frame, FrameError on an
+ *         oversized length prefix or read error, FrameTimeout on
+ *         deadline expiry.
  */
-bool readFrame(int fd, std::string &payload);
+bool readFrame(int fd, std::string &payload,
+               double deadlineSeconds = 0.0);
 
 } // namespace cirfix::service

@@ -5,7 +5,7 @@
 namespace cirfix::service {
 
 std::variant<long, Rejection>
-JobQueue::submit(JobSpec spec)
+JobQueue::submit(JobSpec spec, const std::string &requestId)
 {
     long evals = static_cast<long>(spec.params.popSize) *
                  static_cast<long>(std::max(1, spec.params.maxGenerations));
@@ -26,32 +26,76 @@ JobQueue::submit(JobSpec spec)
                 std::to_string(limits_.maxBudgetSeconds) + "s"};
 
     std::lock_guard<std::mutex> lock(mu_);
+
+    // Idempotency wins over every other admission check: a retried
+    // submit refers to a job that was *already* admitted, so it must
+    // succeed even if the queue filled up in between.
+    if (!requestId.empty()) {
+        auto it = requestIds_.find(requestId);
+        if (it != requestIds_.end())
+            return it->second;
+    }
+
+    if (noWorkers_)
+        return Rejection{
+            errc::kNoWorkers,
+            "fleet has no live workers; submit again once one "
+            "connects"};
+
+    int depth = limits_.queueDepth;
+    const char *depthCode = errc::kQueueFull;
+    if (degraded_) {
+        // Shed load while short-handed: accept half the normal depth
+        // so the backlog stays drainable by the surviving workers.
+        depth = std::max(1, depth / 2);
+        depthCode = errc::kDegraded;
+    }
     long queued = 0;
     for (auto &[id, job] : jobs_)
         if (job->state == JobState::Queued)
             ++queued;
-    if (queued >= limits_.queueDepth)
+    if (queued >= depth)
         return Rejection{
-            errc::kQueueFull,
-            "queue depth " + std::to_string(limits_.queueDepth) +
-                " reached (" + std::to_string(queued) +
+            depthCode,
+            std::string(degraded_ ? "degraded " : "") + "queue depth " +
+                std::to_string(depth) + " reached (" +
+                std::to_string(queued) +
                 " jobs waiting); retry after one drains"};
 
     auto job = std::make_shared<Job>();
     job->id = nextId_++;
     job->seq = nextSeq_++;
     job->spec = std::move(spec);
+    job->requestId = requestId;
     job->state = JobState::Queued;
-    Json ev = Json::object();
-    ev["type"] = "event";
-    ev["event"] = "state";
-    ev["id"] = job->id;
-    ev["state"] = jobStateName(job->state);
-    job->events.push_back(std::move(ev));
+    pushStateEventLocked(*job);
     jobs_.emplace(job->id, job);
+    if (!requestId.empty())
+        requestIds_[requestId] = job->id;
     readyCv_.notify_one();
     eventsCv_.notify_all();
     return job->id;
+}
+
+void
+JobQueue::setFleetStatus(bool noWorkers, bool degraded)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    noWorkers_ = noWorkers;
+    degraded_ = degraded;
+}
+
+void
+JobQueue::pushStateEventLocked(Job &job)
+{
+    Json ev = Json::object();
+    ev["type"] = "event";
+    ev["event"] = "state";
+    ev["id"] = job.id;
+    ev["state"] = jobStateName(job.state);
+    if (!job.error.empty())
+        ev["error"] = job.error;
+    job.events.push_back(std::move(ev));
 }
 
 void
@@ -60,6 +104,9 @@ JobQueue::restore(std::shared_ptr<Job> job)
     std::lock_guard<std::mutex> lock(mu_);
     nextId_ = std::max(nextId_, job->id + 1);
     nextSeq_ = std::max(nextSeq_, job->seq + 1);
+    if (!job->requestId.empty())
+        requestIds_[job->requestId] = job->id;
+    job->leaseId = 0;  // leases don't survive a coordinator restart
     if (!isTerminal(job->state))
         job->state = JobState::Queued;  // running jobs resume
     if (job->events.empty()) {
@@ -306,6 +353,149 @@ JobQueue::summaries()
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Lease machinery
+
+std::shared_ptr<Job>
+JobQueue::tryClaim(const std::string &worker, double leaseSeconds,
+                   uint64_t *leaseIdOut)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_)
+        return nullptr;
+    std::shared_ptr<Job> job = nextReadyLocked();
+    if (!job)
+        return nullptr;
+    job->state = JobState::Running;
+    job->leaseId = nextLease_++;
+    job->leaseDeadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(leaseSeconds));
+    job->worker = worker;
+    ++job->attempts;
+    ++leaseStats_.assignments;
+    pushStateEventLocked(*job);
+    eventsCv_.notify_all();
+    if (leaseIdOut)
+        *leaseIdOut = job->leaseId;
+    return job;
+}
+
+bool
+JobQueue::renewLease(long id, uint64_t leaseId, double leaseSeconds,
+                     bool *cancelOut)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->leaseId != leaseId ||
+        it->second->state != JobState::Running) {
+        ++leaseStats_.staleRejections;
+        return false;
+    }
+    Job &job = *it->second;
+    job.leaseDeadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(leaseSeconds));
+    ++leaseStats_.renewals;
+    if (cancelOut)
+        *cancelOut =
+            job.cancelRequested.load(std::memory_order_relaxed);
+    return true;
+}
+
+std::shared_ptr<Job>
+JobQueue::completeLeased(long id, uint64_t leaseId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second->leaseId != leaseId ||
+        it->second->state != JobState::Running) {
+        ++leaseStats_.staleRejections;
+        return nullptr;
+    }
+    it->second->leaseId = 0;  // lease consumed by the terminal commit
+    return it->second;
+}
+
+void
+JobQueue::requeueLocked(Job &job)
+{
+    job.leaseId = 0;
+    ++leaseStats_.requeues;
+    if (job.cancelRequested.load(std::memory_order_relaxed)) {
+        // The submitter already gave up on it; don't re-run.
+        job.state = JobState::Canceled;
+    } else {
+        job.state = JobState::Queued;
+    }
+    pushStateEventLocked(job);
+}
+
+std::vector<long>
+JobQueue::requeueExpired()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto now = std::chrono::steady_clock::now();
+    std::vector<long> requeued;
+    for (auto &[id, job] : jobs_) {
+        if (job->state != JobState::Running || job->leaseId == 0)
+            continue;
+        if (job->leaseDeadline > now)
+            continue;
+        ++leaseStats_.expirations;
+        requeueLocked(*job);
+        requeued.push_back(id);
+    }
+    if (!requeued.empty()) {
+        readyCv_.notify_all();
+        eventsCv_.notify_all();
+    }
+    return requeued;
+}
+
+std::vector<long>
+JobQueue::requeueOwnedBy(const std::string &worker)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<long> requeued;
+    for (auto &[id, job] : jobs_) {
+        if (job->state != JobState::Running || job->leaseId == 0 ||
+            job->worker != worker)
+            continue;
+        requeueLocked(*job);
+        requeued.push_back(id);
+    }
+    if (!requeued.empty()) {
+        readyCv_.notify_all();
+        eventsCv_.notify_all();
+    }
+    return requeued;
+}
+
+std::chrono::steady_clock::time_point
+JobQueue::nextLeaseDeadline()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::chrono::steady_clock::time_point soonest{};
+    for (auto &[id, job] : jobs_) {
+        if (job->state != JobState::Running || job->leaseId == 0)
+            continue;
+        if (soonest == std::chrono::steady_clock::time_point{} ||
+            job->leaseDeadline < soonest)
+            soonest = job->leaseDeadline;
+    }
+    return soonest;
+}
+
+LeaseStats
+JobQueue::leaseStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return leaseStats_;
+}
+
 Json
 jobSummary(const Job &job)
 {
@@ -317,6 +507,10 @@ jobSummary(const Job &job)
     j["generation"] = job.generation;
     j["best_fitness"] = job.bestFitness;
     j["fitness_evals"] = job.fitnessEvals;
+    if (!job.worker.empty())
+        j["worker"] = job.worker;
+    if (job.attempts > 0)
+        j["attempts"] = job.attempts;
     if (!job.error.empty())
         j["error"] = job.error;
     return j;

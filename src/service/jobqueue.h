@@ -22,14 +22,32 @@
  * the log with waitEvent(), which returns false once a terminal event
  * has been delivered (or the queue closed), so a subscriber sees the
  * complete, ordered event history regardless of when it attached.
+ *
+ * Fleet mode adds two orthogonal mechanisms:
+ *
+ *  - Idempotent submits: a submission may carry a request id; retrying
+ *    the same id (a client re-sending after a transport error) returns
+ *    the originally assigned job instead of enqueueing a duplicate.
+ *
+ *  - Leases: a remote worker claims a job with tryClaim(), which mints
+ *    a monotonically increasing lease id and arms a deadline. The
+ *    worker renews by heartbeat/progress; a lease that misses its
+ *    deadline is swept by requeueExpired() and the job goes back to
+ *    Queued for any other worker. Every mutation quoting a lease id is
+ *    validated against the job's *current* lease, so a worker that was
+ *    presumed dead and kept computing gets a stale-lease rejection
+ *    instead of committing a duplicate result. That single check is
+ *    the fleet's zero-duplication guarantee.
  */
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -68,6 +86,13 @@ struct Job
     JobSpec spec;
     JobState state = JobState::Queued;
     std::atomic<bool> cancelRequested{false};
+    std::string requestId;  //!< idempotency key ("" = none)
+
+    // Lease bookkeeping (fleet mode; leaseId 0 = locally executed).
+    uint64_t leaseId = 0;
+    std::chrono::steady_clock::time_point leaseDeadline{};
+    std::string worker;  //!< current/last executor name (provenance)
+    int attempts = 0;    //!< assignment count (1 = never failed over)
 
     // Progress mirror of the engine's GenerationStats, for status.
     int generation = 0;
@@ -79,14 +104,34 @@ struct Job
     std::vector<Json> events;  //!< ordered progress stream
 };
 
+/** Lease-machinery totals since construction (fleet observability;
+ *  fleet_bench gates staleRejections == duplicates prevented). */
+struct LeaseStats
+{
+    uint64_t assignments = 0;     //!< tryClaim() grants
+    uint64_t renewals = 0;        //!< heartbeat/progress renewals
+    uint64_t expirations = 0;     //!< leases swept past their deadline
+    uint64_t requeues = 0;        //!< jobs returned to Queued
+    uint64_t staleRejections = 0; //!< mutations quoting a dead lease
+};
+
 class JobQueue
 {
   public:
     explicit JobQueue(AdmissionLimits limits) : limits_(limits) {}
 
     /** Admission-checked submission: returns the new job id, or the
-     *  structured rejection. Never blocks. */
-    std::variant<long, Rejection> submit(JobSpec spec);
+     *  structured rejection. Never blocks. A non-empty @p requestId
+     *  makes the submit idempotent: retrying the same id returns the
+     *  originally assigned job id without enqueueing again. */
+    std::variant<long, Rejection> submit(JobSpec spec,
+                                         const std::string &requestId =
+                                             "");
+
+    /** Fleet admission posture, consulted by submit(): @p noWorkers
+     *  rejects every submit with no_workers; @p degraded halves the
+     *  effective queue depth and codes overflow rejections degraded. */
+    void setFleetStatus(bool noWorkers, bool degraded);
 
     /** Re-insert a job recovered from the state dir (restart path):
      *  keeps its id and submission order; terminal jobs are stored
@@ -135,6 +180,45 @@ class JobQueue
     /** Store the terminal payload (call before setState()). */
     void setResult(Job &job, Json result);
 
+    // ---- lease machinery (fleet mode) ----
+
+    /** Non-blocking claim for a remote worker: picks the same
+     *  priority-then-FIFO job pop() would, marks it Running under a
+     *  fresh lease for @p worker, arms the deadline. nullptr when the
+     *  queue is empty or closed. @p leaseIdOut receives the lease. */
+    std::shared_ptr<Job> tryClaim(const std::string &worker,
+                                  double leaseSeconds,
+                                  uint64_t *leaseIdOut);
+
+    /** Renew a lease (heartbeat or progress frame). @return false when
+     *  the lease is stale — the job was re-assigned or went terminal;
+     *  the worker must abandon it. @p cancelOut (optional) reports a
+     *  pending cancel request the worker should honor. */
+    bool renewLease(long id, uint64_t leaseId, double leaseSeconds,
+                    bool *cancelOut);
+
+    /** Validate a lease for a terminal commit (done frame). On success
+     *  the lease is cleared and the job returned still in Running state
+     *  (caller publishes the terminal transition); nullptr on a stale
+     *  lease (the attempt must be discarded — duplication barrier). */
+    std::shared_ptr<Job> completeLeased(long id, uint64_t leaseId);
+
+    /** Sweep: requeue every leased Running job whose deadline passed.
+     *  Jobs with a pending cancel go terminal Canceled instead.
+     *  @return every swept id — re-queued AND cancel-terminated ones
+     *  (the server persists the terminal results among them). */
+    std::vector<long> requeueExpired();
+
+    /** A worker's connection died: immediately requeue every job it
+     *  holds a live lease on (faster than waiting for expiry). */
+    std::vector<long> requeueOwnedBy(const std::string &worker);
+
+    /** Soonest lease deadline among live leases; time_point{} when no
+     *  lease is armed (lets the sweep poll adaptively). */
+    std::chrono::steady_clock::time_point nextLeaseDeadline();
+
+    LeaseStats leaseStats();
+
     /** Snapshot a job's terminal payload. @return false when the job
      *  is unknown; otherwise fills state and, when terminal, result
      *  and error. */
@@ -151,15 +235,23 @@ class JobQueue
   private:
     /** Highest-priority, earliest-seq queued job (lock held). */
     std::shared_ptr<Job> nextReadyLocked();
+    /** Requeue (or cancel-terminate) a leased job; lock held. */
+    void requeueLocked(Job &job);
+    void pushStateEventLocked(Job &job);
 
     AdmissionLimits limits_;
     std::mutex mu_;
     std::condition_variable readyCv_;   //!< workers wait here
     std::condition_variable eventsCv_;  //!< subscribers wait here
     std::map<long, std::shared_ptr<Job>> jobs_;
+    std::unordered_map<std::string, long> requestIds_;
     long nextId_ = 1;
     long nextSeq_ = 0;
+    uint64_t nextLease_ = 1;
     bool closed_ = false;
+    bool noWorkers_ = false;
+    bool degraded_ = false;
+    LeaseStats leaseStats_;
 };
 
 /** Build the wire summary object for one job (status/list replies).

@@ -1,0 +1,112 @@
+#include "service/netfault.h"
+
+namespace cirfix::service {
+
+NetFaultInjector &
+NetFaultInjector::instance()
+{
+    static NetFaultInjector injector;
+    return injector;
+}
+
+void
+NetFaultInjector::arm(const NetFaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+    connects_ = writes_ = reads_ = 0;
+    hits_ = NetFaultCounters{};
+    armed_.store(plan.any(), std::memory_order_relaxed);
+}
+
+void
+NetFaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.store(false, std::memory_order_relaxed);
+    plan_ = NetFaultPlan{};
+}
+
+bool
+NetFaultInjector::fires(uint64_t at, uint64_t op) const
+{
+    if (at == 0)
+        return false;
+    return plan_.every ? (op % at) == 0 : op == at;
+}
+
+bool
+NetFaultInjector::onConnect()
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed))
+        return false;
+    ++connects_;
+    if (fires(plan_.refuseConnectAt, connects_)) {
+        ++hits_.connectsRefused;
+        return true;
+    }
+    return false;
+}
+
+NetFaultAction
+NetFaultInjector::onWriteFrame()
+{
+    if (!armed())
+        return NetFaultAction::None;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed))
+        return NetFaultAction::None;
+    ++writes_;
+    if (fires(plan_.dropWriteAt, writes_)) {
+        ++hits_.writesDropped;
+        return NetFaultAction::Drop;
+    }
+    if (fires(plan_.partialWriteAt, writes_)) {
+        ++hits_.writesTruncated;
+        return NetFaultAction::Partial;
+    }
+    if (fires(plan_.stallWriteAt, writes_)) {
+        ++hits_.writeStalls;
+        return NetFaultAction::Stall;
+    }
+    return NetFaultAction::None;
+}
+
+NetFaultAction
+NetFaultInjector::onReadFrame()
+{
+    if (!armed())
+        return NetFaultAction::None;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed))
+        return NetFaultAction::None;
+    ++reads_;
+    if (fires(plan_.dropReadAt, reads_)) {
+        ++hits_.readsDropped;
+        return NetFaultAction::Drop;
+    }
+    if (fires(plan_.stallReadAt, reads_)) {
+        ++hits_.readStalls;
+        return NetFaultAction::Stall;
+    }
+    return NetFaultAction::None;
+}
+
+double
+NetFaultInjector::stallSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_.stallSeconds;
+}
+
+NetFaultCounters
+NetFaultInjector::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+} // namespace cirfix::service

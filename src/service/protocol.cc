@@ -109,6 +109,15 @@ makeHello()
 }
 
 Json
+makeWorkerHello(const std::string &workerName)
+{
+    Json j = makeHello();
+    j["role"] = "worker";
+    j["name"] = workerName;
+    return j;
+}
+
+Json
 makeError(const std::string &code, const std::string &message)
 {
     Json j = Json::object();
@@ -119,7 +128,8 @@ makeError(const std::string &code, const std::string &message)
 }
 
 bool
-checkHello(const Json &msg, std::string *why)
+checkHello(const Json &msg, std::string *why, std::string *role,
+           std::string *workerName)
 {
     if (!msg.isObject() || msg.str("type") != "hello") {
         if (why)
@@ -134,6 +144,18 @@ checkHello(const Json &msg, std::string *why)
                    std::to_string(kProtocolVersion) + ")";
         return false;
     }
+    std::string r = msg.str("role");
+    if (r.empty())
+        r = "client";
+    if (r != "client" && r != "worker") {
+        if (why)
+            *why = "unknown hello role '" + r + "'";
+        return false;
+    }
+    if (role)
+        *role = r;
+    if (workerName)
+        *workerName = msg.str("name");
     return true;
 }
 

@@ -31,7 +31,34 @@
  * Admission control is part of the contract: a submit beyond the
  * queue depth or the per-job budget caps is answered with a structured
  * error (code queue_full / budget_too_large) — never silently dropped
- * and never blocking the accept loop.
+ * and never blocking the accept loop. A coordinator extends the
+ * taxonomy with no_workers (fleet mode with zero live executors) and
+ * degraded (worker capacity below the configured floor; queue depth is
+ * halved until workers return).
+ *
+ * Fleet extensions (same version, same framing). A worker's hello
+ * carries role:"worker" plus a worker name; the coordinator then
+ * speaks a strict request/response loop on that connection:
+ *
+ *   claim      w -> c     wait_ms -> job (spec + snapshot + lease) or
+ *                         no_job when the queue stayed empty
+ *   job        c -> w     id, spec, snapshot (may be empty), lease_id,
+ *                         lease_seconds
+ *   progress   w -> c     id, lease_id, generation stats, snapshot
+ *                         bytes -> ok (carries cancel flag) or
+ *                         error lease_lost
+ *   heartbeat  w -> c     id, lease_id -> ok (cancel flag) / lease_lost
+ *   done       w -> c     id, lease_id, state, result/error -> ok /
+ *                         lease_lost
+ *
+ * Leases are the duplication barrier: every assignment mints a fresh
+ * lease_id, and progress/done frames quoting a stale lease are
+ * rejected with lease_lost — a worker that was presumed dead and kept
+ * computing cannot commit a result the coordinator already re-queued.
+ *
+ * Idempotent submits: a client may attach a request_id to a submit and
+ * retry it verbatim after a transport error; the server replies with
+ * the originally assigned job id instead of enqueueing a duplicate.
  */
 
 #include <cstdint>
@@ -53,6 +80,13 @@ inline constexpr const char *kUnknownJob = "unknown_job";
 inline constexpr const char *kNotDone = "not_done";
 inline constexpr const char *kVersionMismatch = "version_mismatch";
 inline constexpr const char *kInternal = "internal";
+/** Fleet admission: coordinator requires workers and none are live. */
+inline constexpr const char *kNoWorkers = "no_workers";
+/** Fleet admission: capacity below the floor; depth halved. */
+inline constexpr const char *kDegraded = "degraded";
+/** The lease quoted by a progress/done/heartbeat frame is stale: the
+ *  job was re-assigned. The worker must abandon the attempt. */
+inline constexpr const char *kLeaseLost = "lease_lost";
 } // namespace errc
 
 /** Job lifecycle. Queued -> Running -> {Done, Canceled, Failed};
@@ -102,10 +136,15 @@ JobSpec jobSpecFromJson(const Json &j);
 
 // ---- frame builders ----
 Json makeHello();
+/** Hello announcing a fleet worker (role:"worker" + name). */
+Json makeWorkerHello(const std::string &workerName);
 Json makeError(const std::string &code, const std::string &message);
 
 /** Check an incoming hello; returns false (and fills @p why) on a
- *  version or shape mismatch. */
-bool checkHello(const Json &msg, std::string *why);
+ *  version or shape mismatch. Accepts both client and worker hellos;
+ *  @p role (optional) receives "client" or "worker". */
+bool checkHello(const Json &msg, std::string *why,
+                std::string *role = nullptr,
+                std::string *workerName = nullptr);
 
 } // namespace cirfix::service

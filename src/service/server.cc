@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -8,8 +9,6 @@
 #include <stdexcept>
 
 #include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "service/framing.h"
@@ -59,6 +58,22 @@ slurpFile(const std::string &path)
     return buf.str();
 }
 
+std::string
+slurpFileOrEmpty(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return "";
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+/** How often the accept loop wakes with nothing to accept: this is
+ *  the lease-expiry sweep tick, so failover latency is bounded by
+ *  leaseSeconds + this. */
+constexpr int kSweepTickMs = 100;
+
 } // namespace
 
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), queue_(cfg_.limits)
@@ -95,6 +110,12 @@ Server::persistJob(const Job &job)
     j["id"] = job.id;
     j["seq"] = job.seq;
     j["spec"] = toJson(job.spec);
+    if (!job.requestId.empty())
+        j["request_id"] = job.requestId;
+    if (!job.worker.empty())
+        j["worker"] = job.worker;
+    if (job.attempts > 0)
+        j["attempts"] = job.attempts;
     writeFileAtomic(jobFile(job.id), j.dump());
 }
 
@@ -140,6 +161,9 @@ Server::recoverStateDir()
             if (!spec)
                 continue;
             job->spec = jobSpecFromJson(*spec);
+            job->requestId = j.str("request_id");
+            job->worker = j.str("worker");
+            job->attempts = static_cast<int>(j.num("attempts", 0));
             std::string rf = resultFile(job->id);
             if (fs::exists(rf)) {
                 Json r = Json::parse(slurpFile(rf));
@@ -164,43 +188,34 @@ Server::start()
 {
     if (started_)
         return;
-    if (cfg_.socketPath.empty() || cfg_.stateDir.empty())
+    if ((cfg_.socketPath.empty() && cfg_.listenAddress.empty()) ||
+        cfg_.stateDir.empty())
         throw std::runtime_error(
-            "server needs a socket path and a state dir");
+            "server needs a listen address and a state dir");
     fs::create_directories(cfg_.stateDir);
     recoverStateDir();
 
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (cfg_.socketPath.size() >= sizeof addr.sun_path)
-        throw std::runtime_error("socket path too long: " +
-                                 cfg_.socketPath);
-    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
-                 sizeof addr.sun_path - 1);
-
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0)
-        sysError("socket");
-    ::unlink(cfg_.socketPath.c_str());  // stale socket from a kill
-    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof addr) != 0) {
-        ::close(listenFd_);
-        listenFd_ = -1;
-        sysError("bind " + cfg_.socketPath);
-    }
-    if (::listen(listenFd_, 64) != 0) {
-        ::close(listenFd_);
-        listenFd_ = -1;
-        sysError("listen");
-    }
-    if (::pipe(stopPipe_) != 0)
+    Address addr = Address::parse(cfg_.listenAddress.empty()
+                                      ? cfg_.socketPath
+                                      : cfg_.listenAddress);
+    listener_ = Listener::bind(addr);
+    if (::pipe(stopPipe_) != 0) {
+        listener_.close();
         sysError("pipe");
+    }
 
     stopping_.store(false);
+    updateFleetStatus();
     started_ = true;
     acceptThread_ = std::thread(&Server::acceptLoop, this);
     for (int i = 0; i < cfg_.workers; ++i)
         workerThreads_.emplace_back(&Server::workerLoop, this);
+}
+
+std::string
+Server::boundAddress() const
+{
+    return listener_.boundAddress().str();
 }
 
 void
@@ -228,11 +243,7 @@ Server::stop()
     requestStop();
     if (acceptThread_.joinable())
         acceptThread_.join();
-    if (listenFd_ >= 0) {
-        ::close(listenFd_);
-        listenFd_ = -1;
-    }
-    ::unlink(cfg_.socketPath.c_str());
+    listener_.close();
 
     // Wake workers (idle ones return nullptr from pop) and ask running
     // engines to stop at their next shouldStop poll; their jobs stay
@@ -243,18 +254,27 @@ Server::stop()
     workerThreads_.clear();
 
     // Unblock any connection thread parked in a read or a subscribe.
+    // Copy the live connections out under the lock: each copy keeps
+    // its Conn alive through the shutdown() call even if the owning
+    // thread clears its slot concurrently, and a cleared slot's fd may
+    // already be recycled — which is exactly why slots are cleared
+    // *before* the Conn closes (never shutdown a stranger's fd).
+    std::vector<std::shared_ptr<Conn>> live;
     {
         std::lock_guard<std::mutex> lock(connMu_);
-        for (int fd : connFds_)
-            if (fd >= 0)
-                ::shutdown(fd, SHUT_RDWR);
+        for (const std::shared_ptr<Conn> &c : conns_)
+            if (c)
+                live.push_back(c);
     }
+    for (const std::shared_ptr<Conn> &c : live)
+        c->shutdown();
+    live.clear();
     for (std::thread &t : connThreads_)
         t.join();
     {
         std::lock_guard<std::mutex> lock(connMu_);
         connThreads_.clear();
-        connFds_.clear();
+        conns_.clear();
     }
 
     for (int i = 0; i < 2; ++i)
@@ -271,16 +291,54 @@ Server::stop()
 }
 
 void
+Server::updateFleetStatus()
+{
+    int remote = fleet_.workerCount();
+    int capacity = cfg_.workers + remote;
+    bool noWorkers = cfg_.fleet.requireWorkers && capacity == 0;
+    bool degraded = cfg_.fleet.requireWorkers && !noWorkers &&
+                    remote < cfg_.fleet.minWorkers;
+    queue_.setFleetStatus(noWorkers, degraded);
+}
+
+void
+Server::sweepLeases()
+{
+    for (long id : queue_.requeueExpired()) {
+        // A requeue normally needs no persistence (the job file and
+        // snapshot are already durable), but a cancel-while-leased
+        // goes terminal here and must seal its result file.
+        std::shared_ptr<Job> job = queue_.find(id);
+        if (!job)
+            continue;
+        JobState state = JobState::Queued;
+        Json result;
+        std::string error;
+        queue_.resultFor(id, &state, &result, &error);
+        if (isTerminal(state)) {
+            try {
+                persistResult(*job);
+            } catch (const std::exception &) {
+            }
+        }
+    }
+}
+
+void
 Server::acceptLoop()
 {
     while (true) {
-        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+        pollfd fds[2] = {{listener_.fd(), POLLIN, 0},
                          {stopPipe_[0], POLLIN, 0}};
-        int rc = ::poll(fds, 2, -1);
+        int rc = ::poll(fds, 2, kSweepTickMs);
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
             break;
+        }
+        if (rc == 0) {
+            sweepLeases();
+            continue;
         }
         if (fds[1].revents) {
             // Stop requested: wake wait()ers and stop accepting.
@@ -293,16 +351,22 @@ Server::acceptLoop()
         }
         if (!(fds[0].revents & POLLIN))
             continue;
-        int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
+        std::unique_ptr<Conn> accepted;
+        try {
+            accepted = listener_.accept();
+        } catch (const std::exception &) {
             continue;
+        }
+        if (!accepted)
+            continue;  // raced away (non-blocking accept)
+        std::shared_ptr<Conn> conn(std::move(accepted));
         std::lock_guard<std::mutex> lock(connMu_);
-        size_t slot = connFds_.size();
-        connFds_.push_back(fd);
-        connThreads_.emplace_back([this, fd, slot] {
-            handleConnection(fd);
+        size_t slot = conns_.size();
+        conns_.push_back(conn);
+        connThreads_.emplace_back([this, conn, slot] {
+            handleConnection(conn);
             std::lock_guard<std::mutex> l(connMu_);
-            connFds_[slot] = -1;  // closed: never shutdown a reused fd
+            conns_[slot] = nullptr;  // last ref closes the fd
         });
     }
 }
@@ -344,48 +408,61 @@ Server::runJob(const std::shared_ptr<Job> &job)
 }
 
 void
-Server::handleConnection(int fd)
+Server::handleConnection(const std::shared_ptr<Conn> &conn)
 {
     std::string payload;
     try {
-        if (!readFrame(fd, payload)) {
-            ::close(fd);
+        if (!conn->readFrame(&payload))
             return;
-        }
         std::string why;
         Json hello;
         try {
             hello = Json::parse(payload);
         } catch (const std::exception &e) {
-            writeFrame(fd,
-                       makeError(errc::kBadRequest, e.what()).dump());
-            ::close(fd);
+            conn->writeFrame(
+                makeError(errc::kBadRequest, e.what()).dump());
             return;
         }
-        if (!checkHello(hello, &why)) {
-            writeFrame(
-                fd, makeError(errc::kVersionMismatch, why).dump());
-            ::close(fd);
+        std::string role, workerName;
+        if (!checkHello(hello, &why, &role, &workerName)) {
+            conn->writeFrame(
+                makeError(errc::kVersionMismatch, why).dump());
             return;
         }
         Json reply = makeHello();
         reply["server"] = kServerName;
-        writeFrame(fd, reply.dump());
+        conn->writeFrame(reply.dump());
 
-        while (readFrame(fd, payload)) {
+        if (role == "worker") {
+            std::string key = fleet_.workerConnected(workerName);
+            updateFleetStatus();
+            try {
+                handleWorkerConnection(*conn, key);
+            } catch (const std::exception &) {
+                // fall through to the unified cleanup below
+            }
+            fleet_.workerDisconnected(key);
+            updateFleetStatus();
+            // The link is the liveness signal: a vanished worker's
+            // leases requeue immediately, not at lease expiry.
+            for (long id : queue_.requeueOwnedBy(key))
+                (void)id;
+            return;
+        }
+
+        while (conn->readFrame(&payload)) {
             Json msg;
             try {
                 msg = Json::parse(payload);
             } catch (const std::exception &e) {
-                writeFrame(
-                    fd,
+                conn->writeFrame(
                     makeError(errc::kBadRequest, e.what()).dump());
                 continue;
             }
             bool keep_open = true;
-            Json resp = dispatch(msg, fd, keep_open);
+            Json resp = dispatch(msg, *conn, keep_open);
             if (!resp.isNull())
-                writeFrame(fd, resp.dump());
+                conn->writeFrame(resp.dump());
             if (!keep_open)
                 break;
         }
@@ -393,11 +470,160 @@ Server::handleConnection(int fd)
         // Connection-level failure (peer vanished mid-frame, write
         // error): drop the connection; jobs are unaffected.
     }
-    ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side of the fleet protocol
+
+void
+Server::handleWorkerConnection(Conn &conn, const std::string &key)
+{
+    std::string payload;
+    while (conn.readFrame(&payload)) {
+        Json msg;
+        try {
+            msg = Json::parse(payload);
+        } catch (const std::exception &e) {
+            conn.writeFrame(
+                makeError(errc::kBadRequest, e.what()).dump());
+            continue;
+        }
+        Json resp = dispatchWorker(msg, key);
+        conn.writeFrame(resp.dump());
+        if (stopping_.load(std::memory_order_relaxed))
+            break;
+    }
 }
 
 Json
-Server::dispatch(const Json &msg, int fd, bool &keep_open)
+Server::dispatchWorker(const Json &msg, const std::string &key)
+{
+    std::string type = msg.str("type");
+
+    if (type == "claim") {
+        long waitMs = msg.num("wait_ms", 0);
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(waitMs);
+        std::shared_ptr<Job> job;
+        uint64_t leaseId = 0;
+        while (true) {
+            job = queue_.tryClaim(key, cfg_.fleet.leaseSeconds,
+                                  &leaseId);
+            if (job || stopping_.load(std::memory_order_relaxed) ||
+                std::chrono::steady_clock::now() >= deadline)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        if (!job) {
+            Json resp = Json::object();
+            resp["type"] = "no_job";
+            return resp;
+        }
+        try {
+            persistJob(*job);  // records worker provenance + attempts
+        } catch (const std::exception &) {
+        }
+        Json resp = Json::object();
+        resp["type"] = "job";
+        resp["id"] = job->id;
+        resp["lease_id"] = static_cast<long long>(leaseId);
+        resp["lease_seconds"] = cfg_.fleet.leaseSeconds;
+        resp["spec"] = toJson(job->spec);
+        // Empty for a fresh job; the dead worker's last durable
+        // checkpoint on failover — the claimant resumes from it
+        // bit-identically.
+        resp["snapshot"] = slurpFileOrEmpty(snapshotFile(job->id));
+        return resp;
+    }
+
+    if (type == "progress") {
+        long id = msg.num("id", -1);
+        uint64_t leaseId = static_cast<uint64_t>(msg.num("lease_id", 0));
+        bool cancel = false;
+        if (!queue_.renewLease(id, leaseId, cfg_.fleet.leaseSeconds,
+                               &cancel))
+            return makeError(errc::kLeaseLost,
+                             "job " + std::to_string(id) +
+                                 " is no longer leased to you");
+        std::shared_ptr<Job> job = queue_.find(id);
+        if (!job)
+            return makeError(errc::kUnknownJob,
+                             "no job with id " + std::to_string(id));
+        std::string snapshot = msg.str("snapshot");
+        if (!snapshot.empty()) {
+            try {
+                writeFileAtomic(snapshotFile(id), snapshot);
+            } catch (const std::exception &) {
+                // Progress still counts; failover would just fall
+                // back to an older checkpoint.
+            }
+        }
+        core::GenerationStats gs;
+        gs.generation = static_cast<int>(msg.num("generation", 0));
+        gs.bestFitness = msg.real("best_fitness", -1.0);
+        gs.fitnessEvals = msg.num("fitness_evals", 0);
+        gs.invalidMutants = msg.num("invalid_mutants", 0);
+        gs.totalMutants = msg.num("total_mutants", 0);
+        queue_.publishGeneration(*job, gs);
+        Json resp = Json::object();
+        resp["type"] = "ok";
+        resp["cancel"] = cancel;
+        return resp;
+    }
+
+    if (type == "heartbeat") {
+        long id = msg.num("id", -1);
+        uint64_t leaseId = static_cast<uint64_t>(msg.num("lease_id", 0));
+        bool cancel = false;
+        if (!queue_.renewLease(id, leaseId, cfg_.fleet.leaseSeconds,
+                               &cancel))
+            return makeError(errc::kLeaseLost,
+                             "job " + std::to_string(id) +
+                                 " is no longer leased to you");
+        Json resp = Json::object();
+        resp["type"] = "ok";
+        resp["cancel"] = cancel;
+        return resp;
+    }
+
+    if (type == "done") {
+        long id = msg.num("id", -1);
+        uint64_t leaseId = static_cast<uint64_t>(msg.num("lease_id", 0));
+        std::shared_ptr<Job> job = queue_.completeLeased(id, leaseId);
+        if (!job)
+            // The duplication barrier: stale attempts never commit.
+            return makeError(errc::kLeaseLost,
+                             "job " + std::to_string(id) +
+                                 " is no longer leased to you");
+        JobState state = JobState::Failed;
+        try {
+            state = jobStateFromName(msg.str("state", "failed"));
+        } catch (const std::exception &) {
+        }
+        if (const Json *result = msg.find("result"))
+            queue_.setResult(*job, *result);
+        queue_.setState(*job, state, msg.str("error"));
+        try {
+            persistResult(*job);
+        } catch (const std::exception &) {
+        }
+        std::remove(snapshotFile(id).c_str());
+        Json resp = Json::object();
+        resp["type"] = "ok";
+        resp["id"] = id;
+        return resp;
+    }
+
+    return makeError(errc::kBadRequest,
+                     "unknown worker message type '" + type + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Client dispatch
+
+Json
+Server::dispatch(const Json &msg, Conn &conn, bool &keep_open)
 {
     std::string type = msg.str("type");
 
@@ -411,7 +637,8 @@ Server::dispatch(const Json &msg, int fd, bool &keep_open)
         } catch (const std::exception &e) {
             return makeError(errc::kBadRequest, e.what());
         }
-        auto admitted = queue_.submit(std::move(spec));
+        std::string requestId = msg.str("request_id");
+        auto admitted = queue_.submit(std::move(spec), requestId);
         if (const Rejection *rej = std::get_if<Rejection>(&admitted))
             return makeError(rej->code, rej->message);
         long id = std::get<long>(admitted);
@@ -515,7 +742,7 @@ Server::dispatch(const Json &msg, int fd, bool &keep_open)
         size_t have = 0;
         Json ev;
         while (queue_.waitEvent(id, have, &ev)) {
-            writeFrame(fd, ev.dump());
+            conn.writeFrame(ev.dump());
             ++have;
         }
         Json done = Json::object();

@@ -120,13 +120,15 @@ SessionOutcome
 runRepairJob(const JobSpec &spec, const std::string &snapshotPath,
              const std::function<void(const core::GenerationStats &)>
                  &onGeneration,
-             const std::function<bool()> &shouldStop)
+             const std::function<bool()> &shouldStop,
+             const std::string &provenance)
 {
     SessionOutcome out;
     try {
         JobInputs in = buildJobInputs(spec);
         core::EngineConfig cfg = engineConfigFromSpec(spec);
         cfg.snapshotPath = snapshotPath;
+        cfg.snapshotProvenance = provenance;
         cfg.snapshotEvery = 1;
         cfg.onGeneration = onGeneration;
         cfg.shouldStop = shouldStop;

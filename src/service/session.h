@@ -66,11 +66,14 @@ struct SessionOutcome
  * checkpoint is durable; @p shouldStop is polled mid-generation. A
  * true @p shouldStop ending maps to Canceled (with the partial-run
  * counters as payload); every exception maps to Failed. Never throws.
+ * @p provenance is stamped into each checkpoint (the fleet worker's
+ * name) — informational only, it never changes the search.
  */
 SessionOutcome
 runRepairJob(const JobSpec &spec, const std::string &snapshotPath,
              const std::function<void(const core::GenerationStats &)>
                  &onGeneration,
-             const std::function<bool()> &shouldStop);
+             const std::function<bool()> &shouldStop,
+             const std::string &provenance = "");
 
 } // namespace cirfix::service

@@ -1,0 +1,457 @@
+#include "service/transport.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/netfault.h"
+
+namespace cirfix::service {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fail("fcntl O_NONBLOCK");
+}
+
+void
+setCloexec(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+sockaddr_un
+unixSockaddr(const std::string &path)
+{
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa.sun_path))
+        throw TransportError("unix socket path too long: " + path);
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+    return sa;
+}
+
+/** Resolve a TCP host:port to the first usable IPv4/IPv6 address. */
+struct ResolvedAddr
+{
+    sockaddr_storage storage{};
+    socklen_t len = 0;
+    int family = AF_INET;
+};
+
+ResolvedAddr
+resolveTcp(const std::string &host, int port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    std::string service = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (rc != 0)
+        throw TransportError("cannot resolve tcp:" + host + ":" +
+                             service + ": " + ::gai_strerror(rc));
+    ResolvedAddr out;
+    out.family = res->ai_family;
+    out.len = static_cast<socklen_t>(res->ai_addrlen);
+    std::memcpy(&out.storage, res->ai_addr, res->ai_addrlen);
+    ::freeaddrinfo(res);
+    return out;
+}
+
+/** Apply one injected fault to a framed operation on @p fd.
+ *  @return true when the operation should proceed normally. */
+bool
+applyFault(int fd, NetFaultAction action, bool isWrite,
+           const std::string *payload)
+{
+    switch (action) {
+    case NetFaultAction::None:
+        return true;
+    case NetFaultAction::Stall:
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            NetFaultInjector::instance().stallSeconds()));
+        return true;
+    case NetFaultAction::Partial:
+        if (isWrite && payload) {
+            // Put the length prefix plus half the payload on the wire,
+            // then sever the connection: the reader must see a
+            // mid-frame truncation, never a clean frame boundary.
+            uint32_t n = static_cast<uint32_t>(payload->size());
+            char prefix[4] = {static_cast<char>(n >> 24),
+                              static_cast<char>(n >> 16),
+                              static_cast<char>(n >> 8),
+                              static_cast<char>(n)};
+            (void)::send(fd, prefix, sizeof prefix, MSG_NOSIGNAL);
+            if (n > 0)
+                (void)::send(fd, payload->data(), n / 2, MSG_NOSIGNAL);
+        }
+        ::shutdown(fd, SHUT_RDWR);
+        throw ConnectionClosed(
+            "injected fault: partial frame then disconnect");
+    case NetFaultAction::Drop:
+        ::shutdown(fd, SHUT_RDWR);
+        throw ConnectionClosed(isWrite
+                                   ? "injected fault: write dropped"
+                                   : "injected fault: read dropped");
+    }
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Address
+
+Address
+Address::parse(const std::string &text)
+{
+    if (text.empty())
+        throw TransportError("empty address");
+    Address a;
+    if (text.rfind("unix:", 0) == 0) {
+        a.kind = Kind::Unix;
+        a.path = text.substr(5);
+        if (a.path.empty())
+            throw TransportError("unix address missing path: " + text);
+        return a;
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        a.kind = Kind::Tcp;
+        std::string rest = text.substr(4);
+        size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == rest.size())
+            throw TransportError(
+                "tcp address must be tcp:host:port, got: " + text);
+        a.host = rest.substr(0, colon);
+        std::string portText = rest.substr(colon + 1);
+        char *end = nullptr;
+        long port = std::strtol(portText.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || port < 0 || port > 65535)
+            throw TransportError("bad tcp port in address: " + text);
+        a.port = static_cast<int>(port);
+        return a;
+    }
+    // Bare paths stay valid so existing --socket flags keep working.
+    a.kind = Kind::Unix;
+    a.path = text;
+    return a;
+}
+
+std::string
+Address::str() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+// ---------------------------------------------------------------------------
+// Conn
+
+Conn::~Conn()
+{
+    close();
+}
+
+void
+Conn::writeFrame(const std::string &payload)
+{
+    auto &inj = NetFaultInjector::instance();
+    if (inj.armed())
+        applyFault(fd_, inj.onWriteFrame(), /*isWrite=*/true, &payload);
+    cirfix::service::writeFrame(fd_, payload, ioDeadline_);
+}
+
+bool
+Conn::readFrame(std::string *payload)
+{
+    auto &inj = NetFaultInjector::instance();
+    if (inj.armed())
+        applyFault(fd_, inj.onReadFrame(), /*isWrite=*/false, nullptr);
+    return cirfix::service::readFrame(fd_, *payload, ioDeadline_);
+}
+
+void
+Conn::shutdown()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+Conn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dial
+
+std::unique_ptr<Conn>
+dial(const Address &addr, double timeoutSeconds)
+{
+    if (NetFaultInjector::instance().armed() &&
+        NetFaultInjector::instance().onConnect())
+        throw TransportError("injected fault: connection refused to " +
+                             addr.str());
+
+    int fd = -1;
+    sockaddr_storage sa{};
+    socklen_t saLen = 0;
+    if (addr.kind == Address::Kind::Unix) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fail("socket(AF_UNIX)");
+        sockaddr_un un = unixSockaddr(addr.path);
+        std::memcpy(&sa, &un, sizeof un);
+        saLen = sizeof un;
+    } else {
+        ResolvedAddr resolved;
+        try {
+            resolved = resolveTcp(addr.host, addr.port);
+        } catch (...) {
+            throw;
+        }
+        fd = ::socket(resolved.family, SOCK_STREAM, 0);
+        if (fd < 0)
+            fail("socket(tcp)");
+        sa = resolved.storage;
+        saLen = resolved.len;
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    setCloexec(fd);
+
+    // Nonblocking connect + poll bounds establishment by the deadline;
+    // the fd goes back to blocking afterward (framed I/O does its own
+    // deadline handling via poll + MSG_DONTWAIT).
+    setNonBlocking(fd);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&sa), saLen);
+    if (rc < 0 && errno != EINPROGRESS && errno != EAGAIN) {
+        int err = errno;
+        ::close(fd);
+        errno = err;
+        fail("connect to " + addr.str());
+    }
+    if (rc < 0) {
+        int timeoutMs = timeoutSeconds > 0.0
+                            ? static_cast<int>(timeoutSeconds * 1000.0)
+                            : -1;
+        pollfd pfd{fd, POLLOUT, 0};
+        int pr;
+        do {
+            pr = ::poll(&pfd, 1, timeoutMs);
+        } while (pr < 0 && errno == EINTR);
+        if (pr == 0) {
+            ::close(fd);
+            throw DialTimeout("connect to " + addr.str() +
+                              " timed out");
+        }
+        if (pr < 0) {
+            int err = errno;
+            ::close(fd);
+            errno = err;
+            fail("poll during connect to " + addr.str());
+        }
+        int soErr = 0;
+        socklen_t len = sizeof soErr;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len);
+        if (soErr != 0) {
+            ::close(fd);
+            throw TransportError("connect to " + addr.str() + ": " +
+                                 std::strerror(soErr));
+        }
+    }
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    return std::make_unique<Conn>(fd);
+}
+
+std::unique_ptr<Conn>
+dialRetry(const Address &addr, const RetryPolicy &policy,
+          int *attemptsOut)
+{
+    uint64_t jitterState =
+        policy.jitterSeed ? policy.jitterSeed : 0x9e3779b97f4a7c15ull;
+    auto nextJitter = [&jitterState]() {
+        // xorshift64*: deterministic per seed, good enough to spread
+        // reconnect storms; maps to a factor in [0.5, 1.5).
+        jitterState ^= jitterState >> 12;
+        jitterState ^= jitterState << 25;
+        jitterState ^= jitterState >> 27;
+        uint64_t r = jitterState * 0x2545f4914f6cdd1dull;
+        return 0.5 + static_cast<double>(r >> 11) /
+                         static_cast<double>(1ull << 53);
+    };
+
+    int attempts = std::max(1, policy.maxAttempts);
+    double delay = policy.initialDelay;
+    std::string lastError;
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+        try {
+            auto conn = dial(addr, policy.connectTimeout);
+            if (attemptsOut)
+                *attemptsOut = attempt;
+            return conn;
+        } catch (const TransportError &e) {
+            lastError = e.what();
+        }
+        if (attempt == attempts)
+            break;
+        double sleepFor = std::min(delay, policy.maxDelay) * nextJitter();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleepFor));
+        delay *= policy.multiplier;
+    }
+    if (attemptsOut)
+        *attemptsOut = attempts;
+    throw TransportError("connect to " + addr.str() + " failed after " +
+                         std::to_string(attempts) +
+                         " attempt(s): " + lastError);
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+
+Listener::~Listener()
+{
+    close();
+}
+
+Listener &
+Listener::operator=(Listener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        addr_ = other.addr_;
+        other.fd_ = -1;
+        other.addr_ = Address{};
+    }
+    return *this;
+}
+
+Listener
+Listener::bind(const Address &addr, int backlog)
+{
+    Listener l;
+    l.addr_ = addr;
+    if (addr.kind == Address::Kind::Unix) {
+        l.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (l.fd_ < 0)
+            fail("socket(AF_UNIX)");
+        sockaddr_un un = unixSockaddr(addr.path);
+        ::unlink(addr.path.c_str()); // stale socket from a killed run
+        if (::bind(l.fd_, reinterpret_cast<sockaddr *>(&un),
+                   sizeof un) < 0) {
+            int err = errno;
+            ::close(l.fd_);
+            l.fd_ = -1;
+            errno = err;
+            fail("bind " + addr.str());
+        }
+    } else {
+        ResolvedAddr resolved = resolveTcp(addr.host, addr.port);
+        l.fd_ = ::socket(resolved.family, SOCK_STREAM, 0);
+        if (l.fd_ < 0)
+            fail("socket(tcp)");
+        int one = 1;
+        ::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::bind(l.fd_,
+                   reinterpret_cast<sockaddr *>(&resolved.storage),
+                   resolved.len) < 0) {
+            int err = errno;
+            ::close(l.fd_);
+            l.fd_ = -1;
+            errno = err;
+            fail("bind " + addr.str());
+        }
+        // Recover the kernel-chosen port when binding port 0.
+        sockaddr_storage bound{};
+        socklen_t boundLen = sizeof bound;
+        if (::getsockname(l.fd_, reinterpret_cast<sockaddr *>(&bound),
+                          &boundLen) == 0) {
+            if (bound.ss_family == AF_INET)
+                l.addr_.port = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&bound)->sin_port);
+            else if (bound.ss_family == AF_INET6)
+                l.addr_.port = ntohs(
+                    reinterpret_cast<sockaddr_in6 *>(&bound)
+                        ->sin6_port);
+        }
+    }
+    setCloexec(l.fd_);
+    setNonBlocking(l.fd_);
+    if (::listen(l.fd_, backlog) < 0) {
+        int err = errno;
+        l.close();
+        errno = err;
+        fail("listen " + addr.str());
+    }
+    return l;
+}
+
+std::unique_ptr<Conn>
+Listener::accept()
+{
+    while (true) {
+        int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            setCloexec(fd);
+            if (addr_.kind == Address::Kind::Tcp) {
+                int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof one);
+            }
+            return std::make_unique<Conn>(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return nullptr;
+        fail("accept on " + addr_.str());
+    }
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        if (addr_.kind == Address::Kind::Unix && !addr_.path.empty())
+            ::unlink(addr_.path.c_str());
+    }
+}
+
+} // namespace cirfix::service

@@ -1,0 +1,183 @@
+#pragma once
+
+/**
+ * @file
+ * Stream transport for the repair service: one abstraction over
+ * Unix-domain and TCP sockets carrying the same length-prefixed
+ * frames, so the daemon, the fleet coordinator, and every client
+ * speak identical bytes whether the peer is on this host or another.
+ *
+ * Addresses are strings:
+ *
+ *   unix:/path/to.sock       Unix-domain socket
+ *   /path/to.sock            ditto (bare paths stay valid — the PR-3
+ *                            CLI flags keep working unchanged)
+ *   tcp:host:port            TCP; host is an IPv4 literal or a name
+ *                            resolved via getaddrinfo; port 0 binds an
+ *                            ephemeral port (boundAddress() reports it)
+ *
+ * Conn wraps one connected fd with framed I/O, a per-connection I/O
+ * deadline, and the NetFaultInjector hooks — every chaos-test fault
+ * (drops, stalls, partial frames, partitions) is injected here, below
+ * the protocol layer, exactly where a real network would bite.
+ *
+ * dial() bounds connection establishment with a deadline (nonblocking
+ * connect + poll); dialRetry() adds bounded exponential backoff with
+ * deterministic jitter, the client-side answer to a coordinator that
+ * is restarting or briefly partitioned.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/framing.h"
+
+namespace cirfix::service {
+
+/** Transport-level failure distinct from framing errors (bad address,
+ *  connect refusal, bind failure). */
+class TransportError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** dial()'s connect deadline expired (distinct from refusal so the
+ *  CLI can map it to its timeout exit code). */
+class DialTimeout : public TransportError
+{
+  public:
+    using TransportError::TransportError;
+};
+
+/** A parsed endpoint address. */
+struct Address
+{
+    enum class Kind { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    std::string path;       //!< Unix socket path
+    std::string host;       //!< TCP host (literal or name)
+    int port = 0;           //!< TCP port (0 = ephemeral when binding)
+
+    /** Parse "unix:PATH", "tcp:HOST:PORT", or a bare path.
+     *  @throws TransportError on a malformed address. */
+    static Address parse(const std::string &text);
+    /** Canonical string form ("unix:/run/x.sock", "tcp:127.0.0.1:9000"). */
+    std::string str() const;
+};
+
+/**
+ * One connected stream. Framed I/O runs through the fault-injection
+ * hooks and honors the connection's I/O deadline (0 = block forever).
+ * Thread-compatible, not thread-safe: callers serialize access per
+ * connection (the server gives each connection its own thread; the
+ * worker speaks strictly request/response).
+ */
+class Conn
+{
+  public:
+    /** Take ownership of a connected @p fd. */
+    explicit Conn(int fd) : fd_(fd) {}
+    ~Conn();
+
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    int fd() const { return fd_; }
+
+    /** Per-frame I/O budget for both directions; 0 disables. */
+    void setIoDeadline(double seconds) { ioDeadline_ = seconds; }
+    double ioDeadline() const { return ioDeadline_; }
+
+    /** Write one frame (fault hooks + deadline applied).
+     *  @throws ConnectionClosed / FrameTimeout / FrameError. */
+    void writeFrame(const std::string &payload);
+
+    /** Read one frame; false on clean EOF between frames.
+     *  @throws ConnectionClosed / FrameTimeout / FrameError. */
+    bool readFrame(std::string *payload);
+
+    /** Half-close both directions, waking any blocked peer loop
+     *  (including our own reader in another thread); idempotent. */
+    void shutdown();
+
+    /** Close the fd now (normally the destructor's job). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    double ioDeadline_ = 0.0;
+};
+
+/**
+ * Connect to @p addr with a deadline (0 = block forever).
+ * @throws TransportError on refusal/unreachability/timeout (the
+ * injector's partition hook surfaces here as a refusal).
+ */
+std::unique_ptr<Conn> dial(const Address &addr,
+                           double timeoutSeconds = 10.0);
+
+/** Bounded exponential backoff with deterministic jitter. */
+struct RetryPolicy
+{
+    int maxAttempts = 1;          //!< 1 = no retry
+    double connectTimeout = 10.0; //!< per-attempt deadline (seconds)
+    double initialDelay = 0.05;   //!< before the 2nd attempt
+    double maxDelay = 2.0;        //!< backoff ceiling
+    double multiplier = 2.0;
+    /** Jitter stream seed; same seed, same delays (determinism). */
+    uint64_t jitterSeed = 0x9e3779b97f4a7c15ull;
+};
+
+/**
+ * dial() with retry: attempt k waits
+ * min(maxDelay, initialDelay * multiplier^(k-1)) * U where U is a
+ * deterministic jitter factor in [0.5, 1.5). @p attemptsOut (optional)
+ * receives the number of attempts made.
+ * @throws TransportError after the last attempt fails.
+ */
+std::unique_ptr<Conn> dialRetry(const Address &addr,
+                                const RetryPolicy &policy,
+                                int *attemptsOut = nullptr);
+
+/**
+ * A bound, listening endpoint. The listening fd is non-blocking:
+ * accept() after a poll() can never hang on a connection that
+ * vanished between the two calls (the PR-3 teardown relied on
+ * close() racing the poll; this removes the race by construction).
+ */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+    Listener(Listener &&other) noexcept { *this = std::move(other); }
+    Listener &operator=(Listener &&other) noexcept;
+
+    /** Bind + listen on @p addr. Unix paths are unlinked first (stale
+     *  socket from a kill); TCP sets SO_REUSEADDR and supports port 0.
+     *  @throws TransportError on failure. */
+    static Listener bind(const Address &addr, int backlog = 64);
+
+    /** The actual bound address (reports the ephemeral TCP port). */
+    const Address &boundAddress() const { return addr_; }
+
+    int fd() const { return fd_; }
+
+    /** Accept one pending connection; nullptr when none is ready
+     *  (EAGAIN) — pair with poll() on fd(). */
+    std::unique_ptr<Conn> accept();
+
+    /** Close the listening fd and (Unix) unlink the path. Idempotent. */
+    void close();
+
+  private:
+    int fd_ = -1;
+    Address addr_;
+};
+
+} // namespace cirfix::service

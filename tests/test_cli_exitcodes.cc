@@ -8,15 +8,20 @@
  *   2  no repair within the resource budget
  *   3  usage error (bad flags, unknown subcommand, unknown job)
  *   4  internal error (unreadable files, malformed designs)
+ *   5  --timeout expired before the server answered
  *
  * Scripts and the CI harness depend on these staying stable.
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -180,6 +185,35 @@ TEST(CliExitCodes, LintUsageErrorsExitThree)
     EXPECT_EQ(runCli("lint --check width-mismatch=loud " + clean), 3);
     // Unreadable input is an internal error, not usage.
     EXPECT_EQ(runCli("lint /nonexistent/x.v"), 4);
+}
+
+TEST(CliExitCodes, TimeoutExitsFive)
+{
+    // A Unix listener that never accepts: the CLI's connect succeeds
+    // against the backlog, then the handshake read hits the --timeout
+    // deadline. That must be exit code 5 — distinct from 4 (internal),
+    // so scripts can tell "server slow/wedged" from "server absent".
+    std::string path = ::testing::TempDir() + "cli_mute_" +
+                       std::to_string(::getpid()) + ".sock";
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                     sizeof(sa)),
+              0);
+    ASSERT_EQ(::listen(fd, 8), 0);
+
+    EXPECT_EQ(runCli("list --socket " + path + " --timeout 0.2"), 5);
+    EXPECT_EQ(runCli("list --connect unix:" + path + " --timeout 0.2"),
+              5);
+    // A negative timeout is a usage error, not a timeout.
+    EXPECT_EQ(runCli("list --socket " + path + " --timeout -1"), 3);
+
+    ::close(fd);
+    ::unlink(path.c_str());
 }
 
 TEST(CliExitCodes, BudgetExhaustedExitsTwo)

@@ -9,6 +9,7 @@
  * result bit-identical to an uninterrupted run.
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
@@ -855,6 +856,71 @@ TEST(ServiceServer, TwoWorkersDrainTheQueue)
         EXPECT_EQ(client.status(id).str("state"), "done");
     }
     server.stop();
+}
+
+// ---------------------------------------------------------------
+// Client deadlines and dead-peer writes (the --timeout / SIGPIPE
+// contract the CLI builds on)
+// ---------------------------------------------------------------
+
+TEST(ServiceClient, UnresponsiveServerExpiresAsFrameTimeout)
+{
+    // A listener that never accepts: connect() succeeds against the
+    // backlog, the hello frame sits in the kernel buffer, and the
+    // handshake read must expire as a typed FrameTimeout — never a
+    // hang (this is exactly what `--timeout S` arms, and the CLI maps
+    // the exception to exit code 5).
+    std::string path = sockPath("svc-mute");
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    ::unlink(path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                     sizeof(sa)),
+              0);
+    ASSERT_EQ(::listen(fd, 8), 0);
+
+    ClientOptions opts;
+    opts.connectTimeout = 5.0;
+    opts.ioTimeout = 0.2;
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(Client(path, opts), FrameTimeout);
+    double waited = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    EXPECT_LT(waited, 5.0);  // the deadline fired, not a hang
+    ::close(fd);
+    ::unlink(path.c_str());
+}
+
+TEST(ServiceClient, WritesToDeadServerAreTypedNotSigpipe)
+{
+    // The server goes away under an established connection; pumping
+    // frames into the dead socket must raise ConnectionClosed (EPIPE
+    // is mapped, MSG_NOSIGNAL suppresses the signal) — a SIGPIPE
+    // would kill this whole test binary, which is the regression this
+    // test is standing guard against.
+    ServerConfig cfg;
+    cfg.socketPath = sockPath("svc-dead");
+    cfg.stateDir = tmpDir("svc-dead-state");
+    cfg.workers = 1;
+    Server server(cfg);
+    server.start();
+    Client client(cfg.socketPath);
+    server.stop();
+
+    Json msg = Json::object();
+    msg["type"] = "list";
+    EXPECT_THROW(
+        {
+            // The kernel buffer may absorb the first few frames; keep
+            // writing until the broken pipe surfaces.
+            for (int i = 0; i < 4096; ++i)
+                client.send(msg);
+        },
+        ConnectionClosed);
 }
 
 } // namespace

@@ -20,7 +20,9 @@ Usage:
         [--lint-baseline BENCH_lint_baseline.json] \
         [--lint-current BENCH_lint.json] \
         [--witness-baseline BENCH_witness_baseline.json] \
-        [--witness-current BENCH_witness.json] [--threshold 0.15]
+        [--witness-current BENCH_witness.json] \
+        [--fleet-baseline BENCH_fleet_baseline.json] \
+        [--fleet-current BENCH_fleet.json] [--threshold 0.15]
 
 Exit status: 0 = pass (possibly with warnings), 1 = gated regression.
 """
@@ -199,6 +201,59 @@ def compare_witness(baseline, current, threshold):
     return failures, warnings
 
 
+def compare_fleet(baseline, current, threshold):
+    """BENCH_fleet.json: the distributed layer's two hard invariants —
+    zero jobs lost, zero jobs duplicated — fail outright regardless of
+    the baseline. Every other counter (lease churn, reconnects, chaos
+    events) and all timing depend on scheduling, so they only warn."""
+    failures, warnings = [], []
+
+    cur_counters = current.get("counters", {})
+    base_counters = baseline.get("counters", {})
+
+    for name in ("jobs_lost_total", "jobs_duplicated_total"):
+        if cur_counters.get(name, 0) != 0:
+            failures.append(
+                f"{name}={cur_counters[name]}: the fleet violated its "
+                "exactly-once guarantee (hard invariant — never "
+                "baseline-relative)")
+
+    # A completed-jobs shortfall that somehow dodged jobs_lost_total
+    # (schema drift) still gates.
+    submitted = cur_counters.get("jobs_submitted_total", 0)
+    done = cur_counters.get("jobs_completed_total", 0)
+    if done < submitted:
+        failures.append(
+            f"jobs_completed_total={done} < "
+            f"jobs_submitted_total={submitted}: a job never finished")
+
+    for name in sorted(set(base_counters) | set(cur_counters)):
+        if name in ("jobs_lost_total", "jobs_duplicated_total"):
+            continue
+        if name not in base_counters or name not in cur_counters:
+            warnings.append(f"fleet counter {name} missing; skipped")
+            continue
+        if base_counters[name] != cur_counters[name]:
+            warnings.append(
+                f"fleet counter {name}: baseline={base_counters[name]} "
+                f"current={cur_counters[name]} [warn-only: "
+                "scheduling-dependent]")
+
+    base_timing = baseline.get("timing", {})
+    cur_timing = current.get("timing", {})
+    for name in ("failover_recovery_seconds", "chaos_wall_seconds"):
+        if name not in base_timing or name not in cur_timing:
+            continue
+        reg = regression(base_timing[name], cur_timing[name], "lower")
+        if reg > threshold:
+            warnings.append(
+                f"timing {name}: baseline={base_timing[name]:.4g} "
+                f"current={cur_timing[name]:.4g} ({reg:+.1%}) "
+                "[warn-only: machine-dependent]")
+
+    return failures, warnings
+
+
 def compare_micro(baseline, current, threshold):
     """google-benchmark JSON: match by name, warn on real_time."""
     warnings = []
@@ -220,19 +275,23 @@ def compare_micro(baseline, current, threshold):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline")
+    ap.add_argument("--current")
     ap.add_argument("--micro-baseline")
     ap.add_argument("--micro-current")
     ap.add_argument("--lint-baseline")
     ap.add_argument("--lint-current")
     ap.add_argument("--witness-baseline")
     ap.add_argument("--witness-current")
+    ap.add_argument("--fleet-baseline")
+    ap.add_argument("--fleet-current")
     ap.add_argument("--threshold", type=float, default=0.15)
     args = ap.parse_args()
 
-    failures, warnings = compare_repair(
-        load(args.baseline), load(args.current), args.threshold)
+    failures, warnings = [], []
+    if args.baseline and args.current:
+        failures, warnings = compare_repair(
+            load(args.baseline), load(args.current), args.threshold)
 
     if args.micro_baseline and args.micro_current:
         warnings += compare_micro(
@@ -252,6 +311,13 @@ def main():
             args.threshold)
         failures += witness_failures
         warnings += witness_warnings
+
+    if args.fleet_baseline and args.fleet_current:
+        fleet_failures, fleet_warnings = compare_fleet(
+            load(args.fleet_baseline), load(args.fleet_current),
+            args.threshold)
+        failures += fleet_failures
+        warnings += fleet_warnings
 
     for w in warnings:
         print(f"WARN  {w}")

@@ -39,16 +39,30 @@
  *
  * Service subcommands (see src/service/):
  *
- *   cirfix serve    --socket PATH --state-dir DIR [--workers N]
- *                   [--queue-depth N] [--max-eval-budget N]
- *                   [--max-budget-seconds S]
+ *   cirfix serve    --socket PATH | --listen ADDR  --state-dir DIR
+ *                   [--workers N] [--queue-depth N]
+ *                   [--max-eval-budget N] [--max-budget-seconds S]
  *
- *   cirfix submit   --socket PATH <repair inputs> [--priority N]
- *   cirfix status   --socket PATH --id N
- *   cirfix list     --socket PATH
- *   cirfix cancel   --socket PATH --id N
- *   cirfix result   --socket PATH --id N [--out repaired.v]
- *   cirfix watch    --socket PATH --id N
+ *   cirfix coordinator --listen ADDR --state-dir DIR
+ *                   [--local-workers N] [--min-workers N]
+ *                   [--lease-seconds S] [admission flags as serve]
+ *                   (fleet coordinator: jobs run on remote workers)
+ *
+ *   cirfix worker   --connect ADDR --work-dir DIR [--name NAME]
+ *                   (claims and executes jobs from a coordinator)
+ *
+ *   cirfix submit   --socket|--connect ADDR <repair inputs>
+ *                   [--priority N]
+ *   cirfix status   --socket|--connect ADDR --id N
+ *   cirfix list     --socket|--connect ADDR
+ *   cirfix cancel   --socket|--connect ADDR --id N
+ *   cirfix result   --socket|--connect ADDR --id N [--out repaired.v]
+ *   cirfix watch    --socket|--connect ADDR --id N
+ *
+ * Addresses are "unix:PATH", "tcp:host:port", or a bare socket path.
+ * Client commands take [--timeout S] (connect + per-frame I/O
+ * deadline; expiry exits with code 5) and [--retry N] (connect
+ * attempts with exponential backoff).
  *
  * Design files may contain the testbench module inline, or pass an
  * extra file with --extra (repeatable) — all files are concatenated.
@@ -59,6 +73,7 @@
  *   2  no repair within the resource budget (or job canceled first)
  *   3  usage error: bad flags, bad request, unknown job
  *   4  internal error: I/O failure, malformed design, server fault
+ *   5  --timeout expired before the server answered
  */
 
 #include <csignal>
@@ -76,6 +91,7 @@
 #include "core/witness.h"
 #include "lint/lint.h"
 #include "service/client.h"
+#include "service/fleet.h"
 #include "service/server.h"
 #include "sim/elaborate.h"
 #include "sim/probe.h"
@@ -92,6 +108,7 @@ constexpr int kExitLintErrors = 1;
 constexpr int kExitNoRepair = 2;
 constexpr int kExitUsage = 3;
 constexpr int kExitInternal = 4;
+constexpr int kExitTimeout = 5;
 
 /** Bad flags / bad invocation — exits with kExitUsage. */
 class UsageError : public std::runtime_error
@@ -730,42 +747,134 @@ cmdRepair(const Args &args)
 // ---------------------------------------------------------------
 
 service::Server *g_server = nullptr;
+service::Worker *g_worker = nullptr;
 
 void
 onStopSignal(int)
 {
     if (g_server)
         g_server->requestStop();  // async-signal-safe (one write())
+    if (g_worker)
+        g_worker->requestStop();  // async-signal-safe (atomic store)
+}
+
+/** Shared by serve and coordinator: admission caps from flags. */
+void
+admissionFromArgs(const Args &args, service::AdmissionLimits *limits)
+{
+    limits->queueDepth = static_cast<int>(
+        args.getLong("queue-depth", limits->queueDepth));
+    limits->maxEvalBudget =
+        args.getLong("max-eval-budget", limits->maxEvalBudget);
+    limits->maxBudgetSeconds =
+        args.getDouble("max-budget-seconds", limits->maxBudgetSeconds);
 }
 
 int
-cmdServe(const Args &args)
+runServer(const service::ServerConfig &cfg, const char *banner)
 {
-    service::ServerConfig cfg;
-    cfg.socketPath = args.need("socket");
-    cfg.stateDir = args.need("state-dir");
-    cfg.workers = static_cast<int>(args.getLong("workers", 1));
-    cfg.limits.queueDepth = static_cast<int>(
-        args.getLong("queue-depth", cfg.limits.queueDepth));
-    cfg.limits.maxEvalBudget =
-        args.getLong("max-eval-budget", cfg.limits.maxEvalBudget);
-    cfg.limits.maxBudgetSeconds = args.getDouble(
-        "max-budget-seconds", cfg.limits.maxBudgetSeconds);
-
     service::Server server(cfg);
     server.start();
     g_server = &server;
     std::signal(SIGINT, onStopSignal);
     std::signal(SIGTERM, onStopSignal);
-    std::cout << "cirfix-repaird listening on " << cfg.socketPath
+    std::cout << banner << " listening on " << server.boundAddress()
               << " (state dir " << cfg.stateDir << ", " << cfg.workers
-              << " worker" << (cfg.workers == 1 ? "" : "s") << ")\n"
+              << " local worker" << (cfg.workers == 1 ? "" : "s")
+              << ")\n"
               << std::flush;
     server.wait();
     server.stop();
     g_server = nullptr;
     std::cout << "daemon stopped; interrupted jobs resume on restart\n";
     return 0;
+}
+
+int
+cmdServe(const Args &args)
+{
+    service::ServerConfig cfg;
+    cfg.socketPath = args.get("socket");
+    cfg.listenAddress = args.get("listen");
+    if (cfg.socketPath.empty() && cfg.listenAddress.empty())
+        throw UsageError("serve needs --socket PATH or --listen ADDR");
+    cfg.stateDir = args.need("state-dir");
+    cfg.workers = static_cast<int>(args.getLong("workers", 1));
+    admissionFromArgs(args, &cfg.limits);
+    return runServer(cfg, "cirfix-repaird");
+}
+
+int
+cmdCoordinator(const Args &args)
+{
+    service::ServerConfig cfg;
+    cfg.listenAddress = args.need("listen");
+    cfg.stateDir = args.need("state-dir");
+    // A coordinator executes nothing itself by default: jobs wait for
+    // remote workers, and submits with zero workers are rejected with
+    // no_workers. --local-workers N blends in local capacity.
+    cfg.workers = static_cast<int>(args.getLong("local-workers", 0));
+    cfg.fleet.requireWorkers = true;
+    cfg.fleet.minWorkers =
+        static_cast<int>(args.getLong("min-workers", 1));
+    cfg.fleet.leaseSeconds =
+        args.getDouble("lease-seconds", cfg.fleet.leaseSeconds);
+    if (cfg.fleet.leaseSeconds <= 0)
+        throw UsageError("--lease-seconds must be positive");
+    admissionFromArgs(args, &cfg.limits);
+    return runServer(cfg, "cirfix-coordinator");
+}
+
+int
+cmdWorker(const Args &args)
+{
+    service::WorkerConfig wc;
+    wc.coordinator = args.need("connect");
+    wc.workDir = args.need("work-dir");
+    wc.name = args.get("name", "worker");
+    service::Worker worker(wc);
+    g_worker = &worker;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+    std::cout << "cirfix worker '" << wc.name << "' claiming from "
+              << wc.coordinator << " (work dir " << wc.workDir << ")\n"
+              << std::flush;
+    worker.run({});
+    g_worker = nullptr;
+    service::WorkerStats st = worker.stats();
+    std::cout << "worker stopped: " << st.jobsCompleted
+              << " job(s) completed, " << st.jobsAbandoned
+              << " abandoned, " << st.reconnects << " reconnect(s)\n";
+    return 0;
+}
+
+/** Client commands accept --connect ADDR (or the legacy --socket). */
+std::string
+serviceAddress(const Args &args)
+{
+    if (args.flags.count("connect"))
+        return args.get("connect");
+    return args.need("socket");
+}
+
+/** --timeout S bounds connect + every frame; --retry N adds dial
+ *  attempts with exponential backoff. */
+service::ClientOptions
+clientOptionsFromArgs(const Args &args)
+{
+    service::ClientOptions opts;
+    double timeout = args.getDouble("timeout", 0.0);
+    if (timeout < 0)
+        throw UsageError("--timeout wants a non-negative number");
+    if (timeout > 0) {
+        opts.connectTimeout = timeout;
+        opts.ioTimeout = timeout;
+    }
+    opts.connectAttempts =
+        static_cast<int>(args.getLong("retry", 1));
+    if (opts.connectAttempts < 1)
+        throw UsageError("--retry wants at least 1 attempt");
+    return opts;
 }
 
 /** Shared by submit: the same repair inputs the local repair command
@@ -806,16 +915,30 @@ specFromArgs(const Args &args)
 int
 cmdSubmit(const Args &args)
 {
-    service::Client client(args.need("socket"));
-    long id = client.submit(specFromArgs(args));
-    std::cout << "submitted job " << id << "\n";
-    return 0;
+    service::JobSpec spec = specFromArgs(args);
+    service::ClientOptions opts = clientOptionsFromArgs(args);
+    // The request id makes a retried submit idempotent: if the
+    // connection dies after the server enqueued but before the reply
+    // arrived, the retry returns the same job instead of a duplicate.
+    std::string requestId = service::Client::newRequestId();
+    for (int attempt = 1;; ++attempt) {
+        try {
+            service::Client client(serviceAddress(args), opts);
+            long id = client.submit(spec, requestId);
+            std::cout << "submitted job " << id << "\n";
+            return 0;
+        } catch (const service::ConnectionClosed &) {
+            if (attempt >= 3)
+                throw;
+        }
+    }
 }
 
 int
 cmdStatus(const Args &args)
 {
-    service::Client client(args.need("socket"));
+    service::Client client(serviceAddress(args),
+                           clientOptionsFromArgs(args));
     std::cout << client.status(args.getLong("id", -1)).dump() << "\n";
     return 0;
 }
@@ -823,7 +946,8 @@ cmdStatus(const Args &args)
 int
 cmdList(const Args &args)
 {
-    service::Client client(args.need("socket"));
+    service::Client client(serviceAddress(args),
+                           clientOptionsFromArgs(args));
     service::Json jobs = client.list();
     for (const service::Json &job : jobs.items())
         std::cout << job.dump() << "\n";
@@ -833,7 +957,8 @@ cmdList(const Args &args)
 int
 cmdCancel(const Args &args)
 {
-    service::Client client(args.need("socket"));
+    service::Client client(serviceAddress(args),
+                           clientOptionsFromArgs(args));
     long id = args.getLong("id", -1);
     client.cancel(id);
     std::cout << "cancel requested for job " << id << "\n";
@@ -843,7 +968,8 @@ cmdCancel(const Args &args)
 int
 cmdResult(const Args &args)
 {
-    service::Client client(args.need("socket"));
+    service::Client client(serviceAddress(args),
+                           clientOptionsFromArgs(args));
     long id = args.getLong("id", -1);
     service::Json reply = client.result(id);
     std::string state = reply.str("state");
@@ -881,7 +1007,8 @@ cmdResult(const Args &args)
 int
 cmdWatch(const Args &args)
 {
-    service::Client client(args.need("socket"));
+    service::Client client(serviceAddress(args),
+                           clientOptionsFromArgs(args));
     long id = args.getLong("id", -1);
     client.subscribe(id);
     service::Json ev;
@@ -940,16 +1067,26 @@ usage(std::ostream &os)
         "when none found)\n"
         "  (--extra file.v may be repeated to add source files)\n"
         "\n"
-        "service commands:\n"
-        "  serve    --socket S --state-dir D [--workers N] "
-        "[--queue-depth N]\n"
-        "           [--max-eval-budget N] [--max-budget-seconds S]\n"
-        "  submit   --socket S <repair inputs> [--priority N]\n"
-        "  status   --socket S --id N\n"
-        "  list     --socket S\n"
-        "  cancel   --socket S --id N\n"
-        "  result   --socket S --id N [--out r.v]\n"
-        "  watch    --socket S --id N\n"
+        "service commands (ADDR = unix:PATH | tcp:host:port | bare "
+        "path):\n"
+        "  serve    --socket S | --listen ADDR  --state-dir D "
+        "[--workers N]\n"
+        "           [--queue-depth N] [--max-eval-budget N] "
+        "[--max-budget-seconds S]\n"
+        "  coordinator --listen ADDR --state-dir D "
+        "[--local-workers N]\n"
+        "           [--min-workers N] [--lease-seconds S] "
+        "[admission flags as serve]\n"
+        "  worker   --connect ADDR --work-dir D [--name NAME]\n"
+        "  submit   --socket|--connect ADDR <repair inputs> "
+        "[--priority N]\n"
+        "  status   --socket|--connect ADDR --id N\n"
+        "  list     --socket|--connect ADDR\n"
+        "  cancel   --socket|--connect ADDR --id N\n"
+        "  result   --socket|--connect ADDR --id N [--out r.v]\n"
+        "  watch    --socket|--connect ADDR --id N\n"
+        "  (client commands: [--timeout S] exits 5 on expiry; "
+        "[--retry N] dial attempts)\n"
         "\n"
         "exit codes:\n"
         "  0  repair found / command succeeded\n"
@@ -957,7 +1094,8 @@ usage(std::ostream &os)
         "  2  no repair within the resource budget (or job canceled)\n"
         "  3  usage error (bad flags, bad request, unknown job)\n"
         "  4  internal error (I/O failure, malformed design, server "
-        "fault)\n";
+        "fault)\n"
+        "  5  --timeout expired before the server answered\n";
 }
 
 } // namespace
@@ -965,6 +1103,11 @@ usage(std::ostream &os)
 int
 main(int argc, char **argv)
 {
+    // A peer that hangs up mid-write must surface as a typed
+    // ConnectionClosed from the framing layer, never kill the process
+    // with SIGPIPE (sockets already use MSG_NOSIGNAL; this covers the
+    // pipe fallback and any stray stdio writes to a closed pager).
+    std::signal(SIGPIPE, SIG_IGN);
     try {
         Args args = parseArgs(argc, argv);
         if (args.command == "--help" || args.command == "-h" ||
@@ -986,6 +1129,10 @@ main(int argc, char **argv)
             return cmdWitness(args);
         if (args.command == "serve")
             return cmdServe(args);
+        if (args.command == "coordinator")
+            return cmdCoordinator(args);
+        if (args.command == "worker")
+            return cmdWorker(args);
         if (args.command == "submit")
             return cmdSubmit(args);
         if (args.command == "status")
@@ -1003,6 +1150,12 @@ main(int argc, char **argv)
         std::cerr << "usage error: " << e.what() << "\n";
         usage(std::cerr);
         return kExitUsage;
+    } catch (const service::FrameTimeout &e) {
+        std::cerr << "timeout: " << e.what() << "\n";
+        return kExitTimeout;
+    } catch (const service::DialTimeout &e) {
+        std::cerr << "timeout: " << e.what() << "\n";
+        return kExitTimeout;
     } catch (const service::ServiceError &e) {
         std::cerr << "service error (" << e.code()
                   << "): " << e.what() << "\n";
