@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Compiled-backend benchmark for the CI regression gate.
+ *
+ * Three metric groups land in BENCH_compiled.json:
+ *
+ *  - counters: deterministic equivalence quantities over the full
+ *    benchmark suite (11 golden projects + 32 defect variants run
+ *    under both backends). sample_mismatches MUST stay 0 — one
+ *    diverging sample means the compiled backend could change a
+ *    repair verdict, so that is a hard failure (nonzero exit).
+ *    designs_compiled / fallback_count pin the compilable subset: a
+ *    drop in designs_compiled means modules silently fell back to the
+ *    interpreter and the speedup quietly evaporated.
+ *  - repair_identical: a Table-3 repair (counter_sensitivity, fixed
+ *    seed) run under both backends must produce the same winner patch
+ *    fingerprint, generation count and eval count. Hard-gated.
+ *  - timing: fitness-shaped evaluation throughput (elaborate +
+ *    simulate + trace-record per eval) for both backends and the
+ *    resulting speedup. Machine-dependent; the gate only warns.
+ *
+ * Determinism: the diff sweep and the repair runs are pure functions
+ * of the design sources and seeds, so every counter is
+ * exact-comparable across machines.
+ *
+ * Usage: compiled_bench [output.json]   (default: BENCH_compiled.json)
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/registry.h"
+#include "core/scenario.h"
+#include "sim/difftest.h"
+#include "sim/elaborate.h"
+#include "sim/probe.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::shared_ptr<const verilog::SourceFile>
+parseTogether(const std::string &dut, const std::string &tb)
+{
+    return std::shared_ptr<const verilog::SourceFile>(
+        verilog::parse(dut + "\n" + tb));
+}
+
+/** One fitness-shaped evaluation: elaborate, attach probe, run. */
+void
+evalOnce(const std::shared_ptr<const verilog::SourceFile> &file,
+         const std::string &top, const sim::ProbeConfig &probe,
+         sim::SimBackend backend)
+{
+    sim::SimGuards guards;
+    guards.backend = backend;
+    auto design = sim::elaborate(file, top, guards);
+    sim::TraceRecorder rec(*design, probe);
+    design->run();
+}
+
+double
+evalsPerSec(const std::shared_ptr<const verilog::SourceFile> &file,
+            const std::string &top, const sim::ProbeConfig &probe,
+            sim::SimBackend backend, int reps)
+{
+    evalOnce(file, top, probe, backend);  // warm-up
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < reps; ++i)
+        evalOnce(file, top, probe, backend);
+    double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    return s > 0.0 ? reps / s : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_compiled.json";
+
+    // ---- Differential sweep: every golden project + defect variant.
+    long designs = 0;
+    long sample_mismatches = 0;
+    uint64_t designs_compiled = 0;
+    uint64_t fallback_count = 0;
+    uint64_t four_state_fallbacks = 0;
+
+    auto sweepOne = [&](const std::string &name,
+                        const std::string &dut_src,
+                        const ProjectSpec &p) {
+        auto file = parseTogether(dut_src, p.testbenchSource);
+        sim::ProbeConfig probe =
+            sim::deriveProbeConfig(*file, p.tbModule);
+        sim::DiffResult r =
+            sim::diffBackends(file, p.tbModule, probe);
+        ++designs;
+        designs_compiled += r.stats.modulesCompiled;
+        fallback_count += r.stats.modulesFallback;
+        four_state_fallbacks += r.stats.fourStateFallbacks;
+        if (!r.match) {
+            ++sample_mismatches;
+            std::cerr << "compiled_bench: MISMATCH " << name << ": "
+                      << r.mismatch << "\n";
+        }
+    };
+
+    for (const ProjectSpec &p : bench::allProjects())
+        sweepOne("project " + p.name, p.goldenSource, p);
+    for (const DefectSpec &d : bench::allDefects()) {
+        const ProjectSpec &p = bench::getProject(d.project);
+        sweepOne("defect " + d.id,
+                 applyRewrites(p.goldenSource, d.rewrites), p);
+    }
+
+    // ---- Repair-fingerprint identity on a Table-3 scenario.
+    long repair_identical = 0;
+    int repair_generations = 0;
+    long repair_evals = 0;
+    {
+        const DefectSpec &d = bench::getDefect("counter_sensitivity");
+        const ProjectSpec &p = bench::getProject(d.project);
+        Scenario sc = buildScenario(p, d);
+        auto runWith = [&](sim::SimBackend backend) {
+            EngineConfig cfg;
+            cfg.popSize = 100;
+            cfg.maxGenerations = 12;
+            // Generous: the generation budget must bind, not
+            // wall-clock, or the fingerprint stops being
+            // machine-independent.
+            cfg.maxSeconds = 120.0;
+            cfg.seed = 42;
+            cfg.backend = backend;
+            RepairEngine engine = sc.makeEngine(cfg);
+            return engine.run();
+        };
+        RepairResult ev = runWith(sim::SimBackend::Event);
+        RepairResult cp = runWith(sim::SimBackend::Compiled);
+        repair_generations = ev.generations;
+        repair_evals = ev.fitnessEvals;
+        if (ev.found == cp.found &&
+            ev.patch.key() == cp.patch.key() &&
+            ev.generations == cp.generations &&
+            ev.fitnessEvals == cp.fitnessEvals)
+            repair_identical = 1;
+        else
+            std::cerr << "compiled_bench: REPAIR DIVERGED: found "
+                      << ev.found << "/" << cp.found << " gens "
+                      << ev.generations << "/" << cp.generations
+                      << " evals " << ev.fitnessEvals << "/"
+                      << cp.fitnessEvals << "\n";
+    }
+
+    // ---- Throughput: fitness-shaped evals/sec.
+    //
+    // Two regimes, reported separately because they answer different
+    // questions:
+    //  - Table-3 designs (counter, sha3): what a repair run actually
+    //    gains today. Their testbenches stay interpreted (delays,
+    //    initial blocks, $display), so Amdahl caps the whole-eval
+    //    speedup well below the kernel speedup.
+    //  - deep-comb stress: a 48-stage combinational cascade clocked
+    //    for 20k cycles, where levelized two-state execution is the
+    //    workload. This is the regime the compiled backend exists
+    //    for, and where the ~10x evals/sec target is measured.
+    auto throughput = [&](const std::string &dut_src,
+                          const std::string &tb_src,
+                          const std::string &top, int reps,
+                          double *ev, double *cp) {
+        auto file = parseTogether(dut_src, tb_src);
+        sim::ProbeConfig probe = sim::deriveProbeConfig(*file, top);
+        *ev = evalsPerSec(file, top, probe, sim::SimBackend::Event,
+                          reps);
+        *cp = evalsPerSec(file, top, probe,
+                          sim::SimBackend::Compiled, reps);
+    };
+
+    const ProjectSpec &tp = bench::getProject("counter");
+    double counter_ev = 0, counter_cp = 0;
+    throughput(tp.goldenSource, tp.testbenchSource, tp.tbModule, 200,
+               &counter_ev, &counter_cp);
+    const ProjectSpec &sp = bench::getProject("sha3");
+    double sha3_ev = 0, sha3_cp = 0;
+    throughput(sp.goldenSource, sp.testbenchSource, sp.tbModule, 50,
+               &sha3_ev, &sha3_cp);
+
+    std::ostringstream stress;
+    stress << "module pipe(clk, rst, in, out);\n"
+              " input clk; input rst; input [31:0] in;"
+              " output reg [31:0] out;\n reg [31:0] acc;\n";
+    for (int i = 0; i < 48; ++i)
+        stress << " wire [31:0] s" << i << ";\n";
+    stress << " assign s0 = in ^ acc;\n";
+    for (int i = 1; i < 48; ++i)
+        stress << " assign s" << i << " = (s" << (i - 1) << " + 32'd"
+               << i << ") ^ (s" << (i - 1) << " >> 1);\n";
+    stress << " always @(posedge clk) begin\n"
+              "  if (rst) begin acc <= 32'd0; out <= 32'd0; end\n"
+              "  else begin acc <= acc + s47; out <= s47; end\n"
+              " end\nendmodule\n";
+    const char *stress_tb =
+        "module tb;\n"
+        " reg clk; reg rst; reg [31:0] in; wire [31:0] out;\n"
+        " pipe dut(.clk(clk), .rst(rst), .in(in), .out(out));\n"
+        " initial begin clk = 0; rst = 1; in = 32'd3;"
+        " #20 rst = 0; end\n"
+        " always #5 clk = ~clk;\n"
+        " always @(posedge clk) in <= in + 32'd7;\n"
+        " initial #200000 $finish;\nendmodule\n";
+    {
+        // The stress design must itself be bit-identical across
+        // backends, or its timing numbers are meaningless.
+        auto sfile = parseTogether(stress.str(), stress_tb);
+        sim::ProbeConfig sprobe = sim::deriveProbeConfig(*sfile, "tb");
+        sim::DiffResult r = sim::diffBackends(sfile, "tb", sprobe);
+        if (!r.match) {
+            ++sample_mismatches;
+            std::cerr << "compiled_bench: MISMATCH stress: "
+                      << r.mismatch << "\n";
+        }
+    }
+    double stress_ev = 0, stress_cp = 0;
+    throughput(stress.str(), stress_tb, "tb", 3, &stress_ev,
+               &stress_cp);
+
+    auto ratio = [](double cp, double ev) {
+        return ev > 0.0 ? cp / ev : 0.0;
+    };
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"schema\": 1,\n"
+       << "  \"designs\": " << designs << ",\n"
+       << "  \"counters\": {\n"
+       << "    \"sample_mismatches\": " << sample_mismatches << ",\n"
+       << "    \"designs_compiled\": " << designs_compiled << ",\n"
+       << "    \"fallback_count\": " << fallback_count << ",\n"
+       << "    \"four_state_fallbacks\": " << four_state_fallbacks
+       << ",\n"
+       << "    \"repair_identical\": " << repair_identical << ",\n"
+       << "    \"repair_generations\": " << repair_generations << ",\n"
+       << "    \"repair_evals\": " << repair_evals << "\n"
+       << "  },\n"
+       << "  \"timing\": {\n"
+       << "    \"counter_event_evals_per_sec\": " << counter_ev
+       << ",\n"
+       << "    \"counter_compiled_evals_per_sec\": " << counter_cp
+       << ",\n"
+       << "    \"counter_speedup_x\": " << ratio(counter_cp, counter_ev)
+       << ",\n"
+       << "    \"sha3_event_evals_per_sec\": " << sha3_ev << ",\n"
+       << "    \"sha3_compiled_evals_per_sec\": " << sha3_cp << ",\n"
+       << "    \"sha3_speedup_x\": " << ratio(sha3_cp, sha3_ev)
+       << ",\n"
+       << "    \"stress_event_evals_per_sec\": " << stress_ev << ",\n"
+       << "    \"stress_compiled_evals_per_sec\": " << stress_cp
+       << ",\n"
+       << "    \"stress_speedup_x\": " << ratio(stress_cp, stress_ev)
+       << "\n"
+       << "  }\n"
+       << "}\n";
+
+    std::ofstream out(out_path);
+    out << js.str();
+    out.close();
+    std::cout << js.str();
+    std::cerr << "compiled_bench: wrote " << out_path << " ("
+              << designs << " designs)\n";
+    // Equivalence and repair identity are correctness properties, not
+    // performance numbers: fail the build on the spot.
+    return (sample_mismatches == 0 && repair_identical == 1) ? 0 : 1;
+}

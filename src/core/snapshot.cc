@@ -299,6 +299,15 @@ encodeSnapshot(const EngineState &state)
            << " " << state.rowsSkipped << " " << state.lintRejects;
         w.line(os.str());
     }
+    {
+        std::ostringstream os;
+        os << "compiled " << state.compiled.modulesCompiled << " "
+           << state.compiled.modulesFallback << " "
+           << state.compiled.combItems << " " << state.compiled.seqItems
+           << " " << state.compiled.twoStateEvals << " "
+           << state.compiled.fourStateFallbacks;
+        w.line(os.str());
+    }
     w.line("witnesses " + std::to_string(state.witnesses.size()));
     for (const OracleBench &b : state.witnesses) {
         w.blob("wmodule", b.module);
@@ -430,6 +439,15 @@ decodeSnapshot(const std::string &text)
         st.rowsScored = r.parseU64(s[2]);
         st.rowsSkipped = r.parseU64(s[3]);
         st.lintRejects = r.parseLong(s[4]);
+    }
+    {
+        auto c = r.tokens("compiled", 7);
+        st.compiled.modulesCompiled = r.parseU64(c[1]);
+        st.compiled.modulesFallback = r.parseU64(c[2]);
+        st.compiled.combItems = r.parseU64(c[3]);
+        st.compiled.seqItems = r.parseU64(c[4]);
+        st.compiled.twoStateEvals = r.parseU64(c[5]);
+        st.compiled.fourStateFallbacks = r.parseU64(c[6]);
     }
     size_t nwit = r.parseSize(r.tokens("witnesses", 2)[1]);
     for (size_t i = 0; i < nwit; ++i) {

@@ -67,8 +67,11 @@ struct EngineState
      *  line; version 5 added the witness-bench section (oracle
      *  provenance: which hardening benches the recorded fitness values
      *  were scored under); version 6 added the writer-provenance blob
-     *  (which fleet worker checkpointed the run). */
-    static constexpr int kVersion = 6;
+     *  (which fleet worker checkpointed the run); version 7 added the
+     *  "compiled" line (cumulative compiled-backend counters, so a
+     *  resumed run reports the same backend accounting as an
+     *  uninterrupted one). */
+    static constexpr int kVersion = 7;
 
     uint64_t seed = 0;
     /** FNV-1a of the printed faulty design; resume refuses to continue
@@ -91,6 +94,8 @@ struct EngineState
     uint64_t rowsScored = 0;
     uint64_t rowsSkipped = 0;
     long lintRejects = 0;
+    /** Cumulative compiled-backend counters at snapshot time. */
+    sim::CompiledStats compiled;
     double elapsedSeconds = 0.0;
     double bestSeen = -1.0;
     /** Witness benches installed when the snapshot was taken. Every

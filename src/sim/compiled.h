@@ -1,0 +1,240 @@
+#pragma once
+
+/**
+ * @file
+ * Compiled cycle-based simulation backend.
+ *
+ * Instead of running every always block as a coroutine process woken
+ * through per-wait heap-allocated handles, a module inside the
+ * compilable subset is lowered once, at elaboration time, to threaded
+ * bytecode:
+ *
+ *  - Continuous assignments and combinational always blocks become
+ *    *comb items*. Their zero-delay dependency graph is levelized
+ *    (reusing the lint NetGraph for SCC rejection) and re-evaluation is
+ *    driven by per-item dirty flags: a change of any trigger signal
+ *    marks the item and schedules one batched "settle" event that
+ *    executes dirty items in topological order until quiescent.
+ *  - Edge-triggered always blocks become *seq items*, re-armed one-shot
+ *    edge waiters that execute their bytecode once per matching edge.
+ *    Non-blocking assigns are double-buffered: targets and values are
+ *    staged during the activation and committed by a single NBA-region
+ *    event, preserving IEEE NBA ordering.
+ *
+ * Expressions compile to postfix programs over 64-bit two-state words
+ * when every operand is <= 64 bits wide; at run time the program bails
+ * out to the 4-state LogicVec evaluator whenever a referenced signal
+ * carries x/z bits (or a divisor is zero), so x-propagation semantics
+ * are bit-identical to the event-driven reference. Statements outside
+ * the bytecode repertoire execute through execStmtSync (the
+ * interpreter's synchronous path), so a compiled module never changes
+ * the meaning of a statement — modules whose *processes* cannot be
+ * expressed (delays, waits, mixed sensitivity, comb cycles, ...)
+ * fall back to the event-driven interpreter entirely.
+ *
+ * All writes go through Signal::set, so compiled and interpreted
+ * modules interoperate freely through port-aliased signals, and the
+ * testbench (always interpreted) observes identical waiter/watcher
+ * firing.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "sim/design.h"
+#include "sim/eval.h"
+#include "sim/signal.h"
+#include "verilog/ast.h"
+
+namespace cirfix::sim {
+
+/** One instruction of a two-state (uint64) expression program. */
+struct TsInstr
+{
+    enum class Op : uint8_t {
+        Sig,     //!< push signal value (arg = signal table index)
+        Const,   //!< push constant (arg = constant table index)
+        Slice,   //!< x = (x >> arg) & mask(w)   (const part/bit select)
+        Add, Sub, Mul, Div, Mod,
+        BitAnd, BitOr, BitXor, BitXnor, BitNot, Neg,
+        Shl, Shr,
+        Eq, Neq, Lt, Le, Gt, Ge,
+        LogAnd, LogOr, LogNot,
+        RedAnd, RedOr, RedXor, RedNand, RedNor, RedXnor,
+        Ternary, //!< pop else, then, cond; push cond ? then : else
+        Concat2, //!< pop lo, hi; push (hi << arg) | lo
+        Repl,    //!< x replicated arg times, unit width wa
+    };
+
+    Op op;
+    uint8_t w;    //!< result width (1..64)
+    uint8_t wa;   //!< operand/lhs width where needed (shifts, red, repl)
+    int32_t arg = 0;
+};
+
+/** A compiled two-state expression. */
+struct TsProg
+{
+    std::vector<TsInstr> code;
+    std::vector<uint64_t> consts;
+    std::vector<Signal *> sigs;  //!< referenced signals (pre-checked)
+    int width = 0;               //!< result width
+    int maxStack = 0;
+};
+
+/** One lowered expression: 4-state AST plus optional two-state program. */
+struct ExprSlot
+{
+    const verilog::Expr *ast = nullptr;
+    TsProg ts;
+    bool hasTs = false;
+};
+
+/** One lowered assignment target. */
+struct TargetSlot
+{
+    const verilog::Expr *ast = nullptr;
+    /** Pre-resolved target for plain identifier lvalues. */
+    WriteTarget fixed;
+    Signal *sig = nullptr;  //!< non-null iff the target is static
+};
+
+/** One statement-level bytecode instruction. */
+struct Instr
+{
+    enum class Op : uint8_t {
+        Assign,       //!< a = expr slot, b = target slot (blocking)
+        AssignNba,    //!< a = expr slot, b = target slot (non-blocking)
+        JumpIfFalse,  //!< a = expr slot, b = jump pc
+        Jump,         //!< b = jump pc
+        Case,         //!< a = case table index; sets pc
+        Exec,         //!< a = stmt table index; execStmtSync escape
+        End,
+    };
+
+    Op op;
+    int32_t a = 0;
+    int32_t b = 0;
+};
+
+/** Dispatch table for a native case/casez/casex. */
+struct CaseInfo
+{
+    verilog::CaseType type;
+    int subj = 0;  //!< expr slot of the subject
+    struct Arm
+    {
+        std::vector<int> labels;  //!< expr slots, in source order
+        int pc = 0;
+    };
+    std::vector<Arm> arms;  //!< non-default items, in source order
+    int defaultPc = 0;      //!< default body (or endPc when absent)
+};
+
+/** A lowered statement body. */
+struct Program
+{
+    std::vector<Instr> code;
+};
+
+/**
+ * One module instance lowered to bytecode. Created by compile() during
+ * elaboration; the elaborator then calls placeItem() for every
+ * ContAssign/AlwaysBlock module item, in source order, so the t=0
+ * scheduling positions match the event-driven elaboration exactly.
+ */
+class CompiledModule
+{
+  public:
+    /**
+     * Analyze @p mod (elaborated as @p scope) and lower it. Returns
+     * nullptr when the module is outside the compilable subset — the
+     * caller then elaborates it for the event-driven interpreter.
+     * No runtime hooks are registered here; see placeItem().
+     */
+    static std::unique_ptr<CompiledModule>
+    compile(Design &design, InstanceScope &scope,
+            const verilog::Module &mod);
+
+    /** Register the runtime hooks of one module item at the current
+     *  elaboration position (mirrors Process::start / subscribe). */
+    void placeItem(const verilog::Item &item);
+
+    ~CompiledModule();
+
+    CompiledModule(const CompiledModule &) = delete;
+    CompiledModule &operator=(const CompiledModule &) = delete;
+
+  private:
+    CompiledModule(Design &design, InstanceScope &scope);
+
+    struct CombItem
+    {
+        Program prog;
+        std::vector<Signal *> triggers;  //!< deduped level triggers
+        /** true: cont assign (watch + initial eval at placeItem);
+         *  false: always-comb (watchers armed by a t=0 event). */
+        bool isContAssign = false;
+    };
+
+    struct SeqEvent
+    {
+        Signal *sig;
+        verilog::Edge edge;
+    };
+
+    struct SeqItem
+    {
+        Program prog;
+        std::vector<SeqEvent> events;
+        /** Escaped statements in the body contain NBAs: bypass staging
+         *  and schedule every NBA directly, in interpreter order. */
+        bool directNba = false;
+    };
+
+    struct StagedNba
+    {
+        Signal *sig = nullptr;  //!< static target (whole signal)
+        WriteTarget dyn;        //!< used when sig is null
+        LogicVec value{1, Bit::X};
+    };
+
+    // --- lowering (see compiled.cc) ---
+    friend class ModuleCompiler;
+
+    // --- runtime ---
+    void markDirty(int idx);
+    void settle();
+    void execComb(int idx);
+    void armComb(int idx);
+    void armSeq(int idx);
+    void fireSeq(int idx);
+    void execProgram(const Program &prog, SeqItem *seq);
+    void doAssign(const Instr &in, bool nba, SeqItem *seq);
+    int dispatchCase(const Instr &in);
+    LogicVec evalOperand(const ExprSlot &slot);
+    bool evalCond(const ExprSlot &slot);
+    bool runTs(const TsProg &prog, uint64_t &out);
+
+    Design &design_;
+    InstanceScope &scope_;
+
+    std::vector<ExprSlot> exprs_;
+    std::vector<TargetSlot> targets_;
+    std::vector<CaseInfo> cases_;
+    std::vector<const verilog::Stmt *> stmts_;  //!< Exec escapes
+
+    std::vector<CombItem> combItems_;
+    std::vector<SeqItem> seqItems_;
+    std::vector<int> topo_;  //!< comb item evaluation order
+
+    /** Module item -> (isComb, item index); placeItem lookup. */
+    std::vector<std::pair<const verilog::Item *, int>> combByItem_;
+    std::vector<std::pair<const verilog::Item *, int>> seqByItem_;
+
+    std::vector<char> dirty_;
+    bool settlePending_ = false;
+    std::vector<StagedNba> nbaStage_;
+};
+
+} // namespace cirfix::sim

@@ -1,0 +1,147 @@
+#include "sim/difftest.h"
+
+#include <sstream>
+
+#include "sim/elaborate.h"
+
+namespace cirfix::sim {
+
+namespace {
+
+struct RunOutcome
+{
+    Trace trace;
+    Scheduler::Status status = Scheduler::Status::Idle;
+    CompiledStats stats;
+};
+
+RunOutcome
+runOnce(const std::shared_ptr<const verilog::SourceFile> &file,
+        const std::string &top, const ProbeConfig &probe,
+        const RunLimits &limits, SimBackend backend)
+{
+    SimGuards guards;
+    guards.backend = backend;
+    auto design = elaborate(file, top, guards);
+    TraceRecorder rec(*design, probe);
+    RunOutcome out;
+    out.status = design->run(limits).status;
+    out.trace = rec.takeTrace();
+    out.stats = design->compiledStats();
+    return out;
+}
+
+std::string
+bitString(const LogicVec &v)
+{
+    std::string s;
+    for (int i = v.width() - 1; i >= 0; --i) {
+        switch (v.bit(i)) {
+          case Bit::Zero: s += '0'; break;
+          case Bit::One: s += '1'; break;
+          case Bit::X: s += 'x'; break;
+          case Bit::Z: s += 'z'; break;
+        }
+    }
+    return s;
+}
+
+const char *
+statusName(Scheduler::Status s)
+{
+    switch (s) {
+      case Scheduler::Status::Finished: return "Finished";
+      case Scheduler::Status::Idle: return "Idle";
+      case Scheduler::Status::MaxTime: return "MaxTime";
+      case Scheduler::Status::Runaway: return "Runaway";
+      case Scheduler::Status::Deadline: return "Deadline";
+      case Scheduler::Status::Crashed: return "Crashed";
+      case Scheduler::Status::EarlyStop: return "EarlyStop";
+    }
+    return "?";
+}
+
+/** Abnormal-termination class: both backends must agree on whether the
+ *  run ended in a pathology, but Finished/Idle/MaxTime are equivalent
+ *  "real result" endings whose exact member may differ. */
+bool
+pathological(Scheduler::Status s)
+{
+    return s == Scheduler::Status::Runaway ||
+           s == Scheduler::Status::Deadline ||
+           s == Scheduler::Status::Crashed;
+}
+
+} // namespace
+
+DiffResult
+diffBackends(std::shared_ptr<const verilog::SourceFile> file,
+             const std::string &top, const ProbeConfig &probe,
+             const RunLimits &limits)
+{
+    RunOutcome ev = runOnce(file, top, probe, limits, SimBackend::Event);
+    RunOutcome cp =
+        runOnce(file, top, probe, limits, SimBackend::Compiled);
+
+    DiffResult r;
+    r.eventTrace = std::move(ev.trace);
+    r.compiledTrace = std::move(cp.trace);
+    r.stats = cp.stats;
+
+    std::ostringstream why;
+    auto fail = [&](const std::string &what) {
+        why << "top=" << top << " " << what
+            << " [event=" << statusName(ev.status)
+            << " compiled=" << statusName(cp.status)
+            << " modules compiled=" << cp.stats.modulesCompiled
+            << " fallback=" << cp.stats.modulesFallback
+            << " 4-state bails=" << cp.stats.fourStateFallbacks << "]";
+        r.match = false;
+        r.mismatch = why.str();
+    };
+
+    if (pathological(ev.status) != pathological(cp.status)) {
+        fail("termination class diverged");
+        return r;
+    }
+
+    const Trace &a = r.eventTrace;
+    const Trace &b = r.compiledTrace;
+    if (a.vars() != b.vars()) {
+        fail("probe column sets diverged");
+        return r;
+    }
+    size_t n = std::min(a.rows().size(), b.rows().size());
+    for (size_t i = 0; i < n; ++i) {
+        const Trace::Row &ra = a.rows()[i];
+        const Trace::Row &rb = b.rows()[i];
+        if (ra.time != rb.time) {
+            fail("sample " + std::to_string(i) + " time event=" +
+                 std::to_string(ra.time) +
+                 " compiled=" + std::to_string(rb.time));
+            return r;
+        }
+        for (size_t c = 0; c < ra.values.size(); ++c) {
+            const LogicVec &va = ra.values[c];
+            const LogicVec &vb = rb.values[c];
+            if (va.width() == vb.width() && va.identical(vb))
+                continue;
+            // Minimized reproducer: the exact first diverging sample.
+            fail("first mismatch at t=" + std::to_string(ra.time) +
+                 " signal=" + a.vars()[c] + " event=" + bitString(va) +
+                 " compiled=" + bitString(vb) + " (row " +
+                 std::to_string(i) + ")");
+            return r;
+        }
+    }
+    if (a.rows().size() != b.rows().size()) {
+        fail("row counts diverged: event=" +
+             std::to_string(a.rows().size()) +
+             " compiled=" + std::to_string(b.rows().size()));
+        return r;
+    }
+    r.match = true;
+    return r;
+}
+
+} // namespace cirfix::sim

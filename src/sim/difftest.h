@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Backend differential harness: run one design under both the
+ * event-driven interpreter and the compiled cycle-based backend and
+ * compare the sampled output traces bit-for-bit.
+ *
+ * The sampled trace (TraceRecorder rows at rising clock edges) is the
+ * only simulation artifact fitness consumes, so bit-identical traces
+ * prove the compiled backend cannot change any repair result. The
+ * harness backs `cirfix diffsim`, the backend-equivalence CI job and
+ * the compiled-backend tests.
+ */
+
+#include <memory>
+#include <string>
+
+#include "sim/design.h"
+#include "sim/probe.h"
+#include "sim/trace.h"
+#include "verilog/ast.h"
+
+namespace cirfix::sim {
+
+/** Outcome of one event-vs-compiled differential run. */
+struct DiffResult
+{
+    /** Traces (and final run status class) are bit-identical. */
+    bool match = false;
+    /**
+     * Empty on match; otherwise a minimized reproducer: the first
+     * mismatching row/column with both values, plus enough context
+     * (top module, sample time, signal, run statuses) to replay it.
+     */
+    std::string mismatch;
+    Trace eventTrace;
+    Trace compiledTrace;
+    /** Counters of the compiled run (fallback accounting). */
+    CompiledStats stats;
+};
+
+/**
+ * Elaborate @p file twice — SimBackend::Event and SimBackend::Compiled
+ * — run both under @p limits, and compare the recorded traces.
+ * Display-log divergence is deliberately NOT compared: mid-slot
+ * $display interleaving inside a zero-delay comb cascade is
+ * unobservable by fitness (see docs/verilog_subset.md).
+ *
+ * @throws ElabError when the design does not elaborate at all (both
+ *         backends would reject it identically).
+ */
+DiffResult diffBackends(std::shared_ptr<const verilog::SourceFile> file,
+                        const std::string &top, const ProbeConfig &probe,
+                        const RunLimits &limits = {});
+
+} // namespace cirfix::sim

@@ -254,10 +254,18 @@ LogicVec::identical(const LogicVec &o) const
 LogicVec
 LogicVec::resized(int new_width) const
 {
+    if (new_width == width_)
+        return *this;
+    // Word-parallel zero-extend / truncate: bits above width_ are kept
+    // zero by the maskTop invariant, so whole source words can be
+    // copied and the top word re-masked for the new width.
     LogicVec r(new_width, Bit::Zero);
-    int n = std::min(new_width, width_);
-    for (int i = 0; i < n; ++i)
-        r.setBit(i, bit(i));
+    int nw = std::min(r.words(), words());
+    for (int i = 0; i < nw; ++i) {
+        r.aval_[i] = aval_[i];
+        r.bval_[i] = bval_[i];
+    }
+    r.maskTop();
     return r;
 }
 
@@ -266,8 +274,30 @@ LogicVec::slice(int msb, int lsb) const
 {
     assert(msb >= lsb);
     LogicVec r(msb - lsb + 1, Bit::Zero);
-    for (int i = lsb; i <= msb; ++i)
-        r.setBit(i - lsb, bit(i));
+    if (lsb < 0 || msb >= width_) {
+        // Partially out of range: per-bit with X fill (rare path).
+        for (int i = lsb; i <= msb; ++i)
+            r.setBit(i - lsb, bit(i));
+        return r;
+    }
+    // Word-parallel funnel shift of both planes.
+    int off = lsb / 64;
+    int sh = lsb % 64;
+    for (int i = 0; i < r.words(); ++i) {
+        uint64_t a = aval_[off + i];
+        uint64_t b = bval_[off + i];
+        if (sh != 0) {
+            a >>= sh;
+            b >>= sh;
+            if (off + i + 1 < words()) {
+                a |= aval_[off + i + 1] << (64 - sh);
+                b |= bval_[off + i + 1] << (64 - sh);
+            }
+        }
+        r.aval_[i] = a;
+        r.bval_[i] = b;
+    }
+    r.maskTop();
     return r;
 }
 

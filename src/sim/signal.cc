@@ -31,11 +31,18 @@ edgeMatches(Edge edge, Bit from, Bit to)
 void
 Signal::set(const LogicVec &v)
 {
-    LogicVec next = v.resized(width());
-    if (next.identical(value_))
+    // Hot path (a same-width write) costs one compare plus one plane
+    // copy; width-mismatched writes pay one extra resize.
+    LogicVec fitted;
+    const LogicVec *next = &v;
+    if (v.width() != width()) {
+        fitted = v.resized(width());
+        next = &fitted;
+    }
+    if (next->identical(value_))
         return;
-    LogicVec old = value_;
-    value_ = next;
+    LogicVec old = std::move(value_);
+    value_ = *next;
 
     // Fire matching one-shot waiters and prune fired entries.
     if (!waiters_.empty()) {

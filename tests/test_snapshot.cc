@@ -184,7 +184,7 @@ TEST(Snapshot, RejectsGarbageAndWrongVersion)
     auto engine = sc.engine(cfg);
     engine.run();
     std::string bytes = slurp(cfg.snapshotPath);
-    ASSERT_EQ(bytes.rfind("CIRFIX-SNAPSHOT 6\n", 0), 0u);
+    ASSERT_EQ(bytes.rfind("CIRFIX-SNAPSHOT 7\n", 0), 0u);
     std::string wrong = bytes;
     wrong.replace(0, 18, "CIRFIX-SNAPSHOT 99\n");
     try {

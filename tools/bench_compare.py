@@ -22,7 +22,9 @@ Usage:
         [--witness-baseline BENCH_witness_baseline.json] \
         [--witness-current BENCH_witness.json] \
         [--fleet-baseline BENCH_fleet_baseline.json] \
-        [--fleet-current BENCH_fleet.json] [--threshold 0.15]
+        [--fleet-current BENCH_fleet.json] \
+        [--compiled-baseline BENCH_compiled_baseline.json] \
+        [--compiled-current BENCH_compiled.json] [--threshold 0.15]
 
 Exit status: 0 = pass (possibly with warnings), 1 = gated regression.
 """
@@ -85,8 +87,16 @@ def compare_repair(baseline, current, threshold):
     base_counters = baseline.get("counters", {})
     cur_counters = current.get("counters", {})
     for name, direction in GATED.items():
-        if name not in base_counters or name not in cur_counters:
-            warnings.append(f"counter {name} missing; skipped")
+        if name in base_counters and name not in cur_counters:
+            # The producer stopped emitting a gated counter: that is
+            # how a gate silently erodes, so it fails hard.
+            failures.append(
+                f"counter {name} present in baseline but missing from "
+                "current (producer stopped emitting a gated counter)")
+            continue
+        if name not in base_counters:
+            warnings.append(f"counter {name} missing from baseline; "
+                            "skipped (regenerate the baseline)")
             continue
         reg = regression(base_counters[name], cur_counters[name],
                          direction)
@@ -132,8 +142,16 @@ def compare_lint(baseline, current, threshold):
             "broken golden)")
 
     for name in sorted(set(base_counters) | set(cur_counters)):
-        if name not in base_counters or name not in cur_counters:
-            warnings.append(f"lint counter {name} missing; skipped")
+        if name in base_counters and name not in cur_counters:
+            failures.append(
+                f"lint counter {name} present in baseline but missing "
+                "from current (producer stopped emitting a gated "
+                "counter)")
+            continue
+        if name not in base_counters:
+            warnings.append(f"lint counter {name} missing from "
+                            "baseline; skipped (regenerate the "
+                            "baseline)")
             continue
         if base_counters[name] != cur_counters[name]:
             failures.append(
@@ -176,8 +194,16 @@ def compare_witness(baseline, current, threshold):
             "violation — witnesses may only kill wrong behavior)")
 
     for name in sorted(set(base_counters) | set(cur_counters)):
-        if name not in base_counters or name not in cur_counters:
-            warnings.append(f"witness counter {name} missing; skipped")
+        if name in base_counters and name not in cur_counters:
+            failures.append(
+                f"witness counter {name} present in baseline but "
+                "missing from current (producer stopped emitting a "
+                "gated counter)")
+            continue
+        if name not in base_counters:
+            warnings.append(f"witness counter {name} missing from "
+                            "baseline; skipped (regenerate the "
+                            "baseline)")
             continue
         if base_counters[name] != cur_counters[name]:
             failures.append(
@@ -230,8 +256,18 @@ def compare_fleet(baseline, current, threshold):
     for name in sorted(set(base_counters) | set(cur_counters)):
         if name in ("jobs_lost_total", "jobs_duplicated_total"):
             continue
-        if name not in base_counters or name not in cur_counters:
-            warnings.append(f"fleet counter {name} missing; skipped")
+        if name in base_counters and name not in cur_counters:
+            # Fleet counter VALUES are scheduling-dependent (warn
+            # only), but a counter disappearing from the report is
+            # schema drift, not scheduling noise.
+            failures.append(
+                f"fleet counter {name} present in baseline but "
+                "missing from current (producer stopped emitting it)")
+            continue
+        if name not in base_counters:
+            warnings.append(f"fleet counter {name} missing from "
+                            "baseline; skipped (regenerate the "
+                            "baseline)")
             continue
         if base_counters[name] != cur_counters[name]:
             warnings.append(
@@ -245,6 +281,70 @@ def compare_fleet(baseline, current, threshold):
         if name not in base_timing or name not in cur_timing:
             continue
         reg = regression(base_timing[name], cur_timing[name], "lower")
+        if reg > threshold:
+            warnings.append(
+                f"timing {name}: baseline={base_timing[name]:.4g} "
+                f"current={cur_timing[name]:.4g} ({reg:+.1%}) "
+                "[warn-only: machine-dependent]")
+
+    return failures, warnings
+
+
+def compare_compiled(baseline, current, threshold):
+    """BENCH_compiled.json: backend-equivalence quantities are pure
+    functions of the design sources and seeds, so they gate exactly.
+    Two hard invariants fail outright regardless of the baseline:
+    sample_mismatches must be 0 (one diverging sample means the
+    compiled backend could change a repair verdict) and
+    repair_identical must be 1 (same seed, same scenario, same winner
+    patch under both backends). Throughput warns only."""
+    failures, warnings = [], []
+
+    cur_counters = current.get("counters", {})
+    base_counters = baseline.get("counters", {})
+
+    if cur_counters.get("sample_mismatches", 1) != 0:
+        failures.append(
+            "sample_mismatches="
+            f"{cur_counters.get('sample_mismatches')}: the compiled "
+            "backend diverged from the event-driven reference on a "
+            "sampled output (bit-identity violation — never "
+            "baseline-relative)")
+    if cur_counters.get("repair_identical", 0) != 1:
+        failures.append(
+            "repair_identical="
+            f"{cur_counters.get('repair_identical')}: the same seeded "
+            "repair produced a different winner patch or generation "
+            "count under the compiled backend (determinism violation "
+            "— never baseline-relative)")
+
+    for name in sorted(set(base_counters) | set(cur_counters)):
+        if name in base_counters and name not in cur_counters:
+            failures.append(
+                f"compiled counter {name} present in baseline but "
+                "missing from current (producer stopped emitting a "
+                "gated counter)")
+            continue
+        if name not in base_counters:
+            warnings.append(f"compiled counter {name} missing from "
+                            "baseline; skipped (regenerate the "
+                            "baseline)")
+            continue
+        if base_counters[name] != cur_counters[name]:
+            failures.append(
+                f"compiled counter {name} changed: "
+                f"baseline={base_counters[name]} "
+                f"current={cur_counters[name]} (deterministic — a "
+                "designs_compiled drop means modules silently fell "
+                "back to the interpreter; regenerate "
+                "BENCH_compiled_baseline.json if intentional)")
+
+    base_timing = baseline.get("timing", {})
+    cur_timing = current.get("timing", {})
+    # Every compiled timing metric (evals/sec, speedup_x) is
+    # higher-is-better.
+    for name in sorted(set(base_timing) & set(cur_timing)):
+        reg = regression(base_timing[name], cur_timing[name], "higher")
         if reg > threshold:
             warnings.append(
                 f"timing {name}: baseline={base_timing[name]:.4g} "
@@ -285,6 +385,8 @@ def main():
     ap.add_argument("--witness-current")
     ap.add_argument("--fleet-baseline")
     ap.add_argument("--fleet-current")
+    ap.add_argument("--compiled-baseline")
+    ap.add_argument("--compiled-current")
     ap.add_argument("--threshold", type=float, default=0.15)
     args = ap.parse_args()
 
@@ -318,6 +420,13 @@ def main():
             args.threshold)
         failures += fleet_failures
         warnings += fleet_warnings
+
+    if args.compiled_baseline and args.compiled_current:
+        compiled_failures, compiled_warnings = compare_compiled(
+            load(args.compiled_baseline), load(args.compiled_current),
+            args.threshold)
+        failures += compiled_failures
+        warnings += compiled_warnings
 
     for w in warnings:
         print(f"WARN  {w}")
