@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Island-model acceleration benchmark for the CI regression gate.
+ *
+ * Runs the two-fault toggle defect over a fixed seed set twice — once
+ * as a single population, once as a 4-island run with migration — and
+ * measures the median generations-to-first-plausible under the same
+ * per-island generation budget. Islands run concurrently (one engine
+ * thread each), so the generation count of the *winning island* is the
+ * wall-clock-proportional cost of the island run.
+ *
+ * The emitted BENCH_island.json carries three hard invariants that
+ * fail the build outright (and this binary's exit code) regardless of
+ * what the baseline says:
+ *
+ *   elites_lost_total == 0        no failover replay or re-export ever
+ *                                 disagreed with the sealed ledger
+ *   migrant_duplicates_total == 0 no broadcast ever carried the same
+ *                                 patch key twice
+ *   k1_matches_plain == 1         a 1-island run is bit-identical to a
+ *                                 plain RepairEngine run (same seed)
+ *
+ * plus one hard floor: generations_speedup_x >= 2.0 — the island model
+ * must keep halving the median search depth on this defect. The K=1
+ * fingerprint is also emitted; the gate compares it exactly against
+ * the committed baseline (any drift means the search itself changed).
+ *
+ * Everything under "timing" is machine-dependent and only warns.
+ *
+ * Usage: island_bench [output.json]   (default: BENCH_island.json)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/island.h"
+#include "sim/elaborate.h"
+#include "sim/probe.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+const char *kGoldenToggle = R"(
+module dut (clk, rst, q);
+    input clk, rst;
+    output q;
+    reg q;
+    always @(posedge clk) begin
+        if (rst == 1'b1) begin
+            q <= 1'b0;
+        end
+        else begin
+            q <= !q;
+        end
+    end
+endmodule
+module tb;
+    reg clk, rst;
+    wire q;
+    dut d (.clk(clk), .rst(rst), .q(q));
+    initial begin
+        clk = 0;
+        rst = 1;
+        #12 rst = 0;
+        #100 $finish;
+    end
+    always #5 clk = !clk;
+endmodule
+)";
+
+/** The same two-fault defect the island tests use: inverted reset
+ *  polarity plus a dropped toggle — a multi-edit repair, deep enough
+ *  that single-population runs usually exhaust the budget. */
+std::string
+faultyToggle()
+{
+    std::string s = kGoldenToggle;
+    s.replace(s.find("rst == 1'b1"), 11, "rst != 1'b1");
+    s.replace(s.find("q <= !q"), 7, "q <= q");
+    return s;
+}
+
+/** Benchmark knobs — all deterministic inputs, all part of the
+ *  emitted JSON so a baseline mismatch is self-describing. */
+constexpr int kIslands = 4;
+constexpr int kMigrationInterval = 1;
+constexpr int kMigrantsPerIsland = 2;
+constexpr int kPopSize = 12;
+constexpr int kBudgetGenerations = 48;
+constexpr uint64_t kFingerprintSeed = 7;
+const std::vector<uint64_t> kSeeds = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+EngineConfig
+baseConfig(uint64_t seed)
+{
+    EngineConfig cfg;
+    cfg.popSize = kPopSize;
+    cfg.maxGenerations = kBudgetGenerations;
+    cfg.maxSeconds = 600.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+double
+median(std::vector<int> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    return n % 2 ? xs[n / 2]
+                 : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_island.json";
+
+    std::shared_ptr<const verilog::SourceFile> golden =
+        verilog::parse(kGoldenToggle);
+    sim::ProbeConfig probe = sim::deriveProbeConfig(*golden, "tb");
+    auto design = sim::elaborate(golden, "tb");
+    sim::TraceRecorder rec(*design, probe);
+    design->run();
+    Trace oracle = rec.takeTrace();
+    std::shared_ptr<const verilog::SourceFile> faulty =
+        verilog::parse(faultyToggle());
+
+    IslandConfig single;
+    single.islands = 1;
+    IslandConfig multi;
+    multi.islands = kIslands;
+    multi.migrationInterval = kMigrationInterval;
+    multi.migrantsPerIsland = kMigrantsPerIsland;
+
+    long elites_lost = 0;
+    long migrant_duplicates = 0;
+    long single_found = 0;
+    long island_found = 0;
+    std::vector<int> single_gens, island_gens;
+
+    // ---- single population per seed ----------------------------------
+    Clock::time_point t0 = Clock::now();
+    for (uint64_t seed : kSeeds) {
+        IslandOutcome out = runIslands(faulty, "tb", "dut", probe,
+                                       oracle, baseConfig(seed),
+                                       single);
+        single_found += out.found ? 1 : 0;
+        single_gens.push_back(out.found ? out.result.generations
+                                        : kBudgetGenerations);
+    }
+    double single_wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // ---- K islands per seed ------------------------------------------
+    t0 = Clock::now();
+    for (uint64_t seed : kSeeds) {
+        IslandOutcome out = runIslands(faulty, "tb", "dut", probe,
+                                       oracle, baseConfig(seed),
+                                       multi);
+        island_found += out.found ? 1 : 0;
+        island_gens.push_back(
+            out.found ? out.islands[out.winnerIsland].generations
+                      : kBudgetGenerations);
+        elites_lost += out.migration.elitesLost;
+        migrant_duplicates += out.migration.migrantDuplicates;
+    }
+    double island_wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // ---- the K=1 identity invariant ----------------------------------
+    // A 1-island run must be bit-identical to a plain engine run; its
+    // fingerprint is the baseline-exact drift detector.
+    RepairResult plain;
+    {
+        RepairEngine engine(faulty, "tb", "dut", probe, oracle,
+                            baseConfig(kFingerprintSeed));
+        plain = engine.run();
+    }
+    IslandOutcome solo = runIslands(faulty, "tb", "dut", probe, oracle,
+                                    baseConfig(kFingerprintSeed),
+                                    single);
+    bool k1_matches =
+        solo.found == plain.found &&
+        solo.result.generations == plain.generations &&
+        solo.result.patch.key() == plain.patch.key() &&
+        solo.result.repairedSource == plain.repairedSource;
+
+    double median_single = median(single_gens);
+    double median_island = median(island_gens);
+    double speedup =
+        median_island > 0 ? median_single / median_island : 0.0;
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"schema\": 1,\n"
+       << "  \"defect\": \"toggle-two-fault\",\n"
+       << "  \"islands\": " << kIslands << ",\n"
+       << "  \"migration_interval\": " << kMigrationInterval << ",\n"
+       << "  \"migrants_per_island\": " << kMigrantsPerIsland << ",\n"
+       << "  \"pop_size\": " << kPopSize << ",\n"
+       << "  \"budget_generations\": " << kBudgetGenerations << ",\n"
+       << "  \"seeds\": " << kSeeds.size() << ",\n"
+       << "  \"counters\": {\n"
+       << "    \"elites_lost_total\": " << elites_lost << ",\n"
+       << "    \"migrant_duplicates_total\": " << migrant_duplicates
+       << ",\n"
+       << "    \"k1_matches_plain\": " << (k1_matches ? 1 : 0) << ",\n"
+       << "    \"single_found_total\": " << single_found << ",\n"
+       << "    \"island_found_total\": " << island_found << ",\n"
+       << "    \"generations_single_median\": " << median_single
+       << ",\n"
+       << "    \"generations_island_median\": " << median_island
+       << ",\n"
+       << "    \"generations_speedup_x\": " << speedup << "\n"
+       << "  },\n"
+       << "  \"fingerprints\": {\n"
+       << "    \"k1_seed" << kFingerprintSeed << "\": \""
+       << solo.fingerprint << "\"\n"
+       << "  },\n"
+       << "  \"timing\": {\n"
+       << "    \"single_wall_seconds\": " << single_wall << ",\n"
+       << "    \"island_wall_seconds\": " << island_wall << "\n"
+       << "  }\n"
+       << "}\n";
+
+    std::ofstream out(out_path);
+    out << js.str();
+    out.close();
+    std::cout << js.str();
+    std::cerr << "island_bench: wrote " << out_path << "\n";
+
+    // The hard invariants also bind this binary's exit code.
+    bool ok = elites_lost == 0 && migrant_duplicates == 0 &&
+              k1_matches && speedup >= 2.0;
+    if (!ok)
+        std::cerr << "island_bench: hard invariant violated "
+                  << "(elites_lost=" << elites_lost
+                  << " migrant_duplicates=" << migrant_duplicates
+                  << " k1_matches_plain=" << k1_matches
+                  << " speedup=" << speedup << ")\n";
+    return ok ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/island.h"
 #include "core/snapshot.h"
 #include "sim/elaborate.h"
 #include "verilog/parser.h"
@@ -377,7 +378,14 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
                             const std::vector<double> *elite_fitness)
 {
     const size_t n = patches.size();
-    enum class Source { Fresh, Cached, Duplicate, Quarantined };
+    enum class Source {
+        Fresh,
+        Cached,
+        Duplicate,
+        Quarantined,
+        FleetCached,       //!< scored elsewhere in the fleet
+        FleetQuarantined,  //!< condemned elsewhere in the fleet
+    };
     std::vector<Variant> out(n);
     std::vector<std::string> keys(n);
     std::vector<Source> source(n, Source::Fresh);
@@ -438,6 +446,49 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
         fresh.push_back(i);
     }
 
+    // Consult the fleet-shared cache once for everything the local
+    // cache missed. A fleet hit carries an exact score (aborted
+    // evaluations are never published), so substituting it for a fresh
+    // simulation cannot change any search decision — only how much
+    // work this island performs. Hits are adopted into the local cache
+    // during the ordered merge below, exactly where a fresh result
+    // would have landed.
+    if (config_.fleetLookup && !fresh.empty()) {
+        std::vector<std::string> ask;
+        ask.reserve(fresh.size());
+        for (size_t i : fresh)
+            ask.push_back(keys[i]);
+        std::unordered_map<std::string, FitnessCache::Entry> hits;
+        std::unordered_map<std::string, QuarantineEntry> condemned;
+        config_.fleetLookup(ask, &hits, &condemned);
+        std::vector<size_t> still;
+        still.reserve(fresh.size());
+        for (size_t i : fresh) {
+            if (auto q = condemned.find(keys[i]); q != condemned.end()) {
+                source[i] = Source::FleetQuarantined;
+                out[i] = quarantinedVariant(patches[i], q->second);
+                if (abort_armed)
+                    tracker.submit(out[i].fit.fitness);
+                continue;
+            }
+            if (auto h = hits.find(keys[i]); h != hits.end()) {
+                source[i] = Source::FleetCached;
+                out[i].patch = patches[i];
+                out[i].evaluated = true;
+                out[i].valid = h->second.valid;
+                out[i].fit = h->second.fit;
+                out[i].trace = h->second.trace;
+                out[i].outcome = h->second.outcome;
+                out[i].error = h->second.error;
+                if (abort_armed)
+                    tracker.submit(out[i].fit.fitness);
+                continue;
+            }
+            still.push_back(i);
+        }
+        fresh = std::move(still);
+    }
+
     // Fresh simulations run in fixed-size chunks. Each chunk's jobs
     // carry the threshold snapshotted at dispatch (by value), and the
     // tracker is updated only at chunk boundaries, in child order, on
@@ -466,6 +517,8 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
 
     // Merge in child order; only this thread touches the cache, the
     // quarantine and the outcome counters.
+    std::vector<std::pair<std::string, FitnessCache::Entry>> publish_scored;
+    std::vector<std::pair<std::string, QuarantineEntry>> publish_condemned;
     simulated_out.assign(n, false);
     for (size_t i = 0; i < n; ++i) {
         switch (source[i]) {
@@ -494,13 +547,38 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
                 quarantine_.emplace(
                     keys[i],
                     QuarantineEntry{out[i].outcome, out[i].error});
+                if (config_.fleetPublish)
+                    publish_condemned.emplace_back(
+                        keys[i],
+                        QuarantineEntry{out[i].outcome, out[i].error});
             } else {
-                cache_.insert(keys[i],
-                              FitnessCache::Entry{
-                                  out[i].valid, out[i].fit,
-                                  out[i].trace, out[i].outcome,
-                                  out[i].error});
+                FitnessCache::Entry entry{out[i].valid, out[i].fit,
+                                          out[i].trace, out[i].outcome,
+                                          out[i].error};
+                cache_.insert(keys[i], entry);
+                if (config_.fleetPublish)
+                    publish_scored.emplace_back(keys[i], std::move(entry));
             }
+            break;
+          case Source::FleetCached:
+            // An exact score computed by another island. Adopt it into
+            // the local cache at the exact merge slot a fresh
+            // simulation would have used, and account for it like a
+            // simulated candidate — the search trajectory is identical
+            // either way, only the work counters differ.
+            simulated_out[i] = out[i].valid;
+            outcomes_.add(out[i].outcome);
+            ++fleetCacheHits_;
+            cache_.insert(keys[i],
+                          FitnessCache::Entry{out[i].valid, out[i].fit,
+                                              out[i].trace, out[i].outcome,
+                                              out[i].error});
+            break;
+          case Source::FleetQuarantined:
+            ++fleetQuarantineHits_;
+            quarantine_.emplace(
+                keys[i],
+                QuarantineEntry{out[i].outcome, out[i].error});
             break;
           case Source::Duplicate:
             out[i] = out[dup_of[i]];
@@ -511,6 +589,9 @@ RepairEngine::evaluateBatch(const std::vector<Patch> &patches,
             break;
         }
     }
+    if (config_.fleetPublish &&
+        (!publish_scored.empty() || !publish_condemned.empty()))
+        config_.fleetPublish(publish_scored, publish_condemned);
     return out;
 }
 
@@ -574,6 +655,18 @@ RepairEngine::resume(const EngineState &state)
                 "' differs from the engine configuration; migrate the "
                 "snapshot with rehardenSnapshot() first");
     }
+    // An island snapshot belongs to exactly one (island, K) slot: the
+    // RNG stream and migrant ledger it carries are meaningless under
+    // any other slot, so resuming it there would silently diverge.
+    if (state.islandIndex != config_.islandIndex ||
+        state.islandCount != config_.islandCount)
+        throw std::runtime_error(
+            "snapshot island provenance mismatch: snapshot was taken "
+            "by island " + std::to_string(state.islandIndex) + " of " +
+            std::to_string(state.islandCount) +
+            ", but this engine is island " +
+            std::to_string(config_.islandIndex) + " of " +
+            std::to_string(config_.islandCount));
     return runInternal(&state);
 }
 
@@ -607,6 +700,12 @@ RepairEngine::captureState(
     st.trajectory = trajectory;
     st.outcomes = outcomes_;
     st.population = popn;
+    st.islandIndex = config_.islandIndex;
+    st.islandCount = config_.islandCount;
+    st.migrationEpoch = config_.migrationInterval > 0
+                            ? generations_done / config_.migrationInterval
+                            : 0;
+    st.migrantLedger = migrantLedger_;
     for (const auto &[key, entry] : quarantine_)
         st.quarantine.push_back(QuarantineRecord{key, entry});
     std::sort(st.quarantine.begin(), st.quarantine.end(),
@@ -718,6 +817,9 @@ RepairEngine::runInternal(const EngineState *restore)
         result.rowsSkipped = rowsSkipped_;
         result.lintRejects = lintRejects_;
         result.compiled = compiledStats_;
+        result.fleetCacheHits = fleetCacheHits_;
+        result.fleetQuarantineHits = fleetQuarantineHits_;
+        result.migrantLedger = migrantLedger_;
         return result;
     };
 
@@ -752,6 +854,7 @@ RepairEngine::runInternal(const EngineState *restore)
         cache_.setStats(restore->cacheStats);
         popn = restore->population;
         start_gen = restore->generationsDone;
+        migrantLedger_ = restore->migrantLedger;
     } else {
         // seed_popn: the original plus single-mutation neighbours. The
         // original goes first (and alone): its trace seeds fault
@@ -902,10 +1005,17 @@ RepairEngine::runInternal(const EngineState *restore)
             return finish(w);
 
         // Elitism: keep the top e% of the previous generation.
-        std::sort(popn.begin(), popn.end(),
-                  [](const Variant &a, const Variant &b) {
-                      return a.fit.fitness > b.fit.fitness;
-                  });
+        // Stable sorts here and below: the survivor ORDER (which
+        // tournament indexes into) must be a function of the members'
+        // input order and fitness alone, never of how the sort
+        // algorithm permutes ties — that makes it provably independent
+        // of score perturbations below the truncation cutoff (e.g. an
+        // early-aborted candidate carrying a partial score in one run
+        // and an exact fleet-shared score in another).
+        std::stable_sort(popn.begin(), popn.end(),
+                         [](const Variant &a, const Variant &b) {
+                             return a.fit.fitness > b.fit.fitness;
+                         });
         int elites = std::max(
             1, static_cast<int>(config_.elitism *
                                 static_cast<double>(popn.size())));
@@ -916,13 +1026,44 @@ RepairEngine::runInternal(const EngineState *restore)
             next.push_back(std::move(popn[static_cast<size_t>(i)]));
         for (auto &c : children)
             next.push_back(std::move(c));
-        std::sort(next.begin(), next.end(),
-                  [](const Variant &a, const Variant &b) {
-                      return a.fit.fitness > b.fit.fitness;
-                  });
+        std::stable_sort(next.begin(), next.end(),
+                         [](const Variant &a, const Variant &b) {
+                             return a.fit.fitness > b.fit.fitness;
+                         });
         if (static_cast<int>(next.size()) > config_.popSize)
             next.resize(static_cast<size_t>(config_.popSize));
         popn = std::move(next);
+        // Migration barrier: at each epoch boundary hand the truncated
+        // population to the island coordinator and splice the returned
+        // rank-ordered migrant set in, all before the boundary snapshot
+        // below — a crash after the snapshot resumes with migrants
+        // already injected and the ledger already appended, and a crash
+        // before it re-runs the whole generation (same RNG stream, same
+        // export, same injection). The hook may block on remote islands
+        // but must not touch this engine's RNG.
+        if (config_.migrationInterval > 0 && config_.onMigration &&
+            (gen + 1) % config_.migrationInterval == 0) {
+            const int epoch = (gen + 1) / config_.migrationInterval;
+            std::vector<Variant> migrants =
+                config_.onMigration(epoch, popn);
+            if (stopRequested()) {
+                // The hook came back under a stop (wind-down mid
+                // barrier, or a winner sealed this epoch): do NOT
+                // commit the boundary. Recording an empty injection
+                // and snapshotting it would make a resumed run skip
+                // this epoch's real migrant set and diverge; instead
+                // the generation stays uncommitted and a resume
+                // re-runs it — same RNG stream, same exchange
+                // (submit is idempotent), real injection this time.
+                result.generations = gen;
+                result.stopped = true;
+                break;
+            }
+            std::vector<std::string> imported =
+                injectMigrants(&popn, migrants, config_.popSize);
+            migrantLedger_.push_back(
+                MigrantRecord{epoch, std::move(imported)});
+        }
         // Snapshot BEFORE the progress callback: if the process dies
         // anywhere after this point (including inside the callback),
         // the generation is already durable.
@@ -946,6 +1087,11 @@ RepairEngine::runInternal(const EngineState *restore)
             gs.witnessBenches = static_cast<int>(witnessRt_.size());
             gs.compiled = compiledStats_;
             gs.elapsedSeconds = elapsed();
+            gs.fleetCacheHits = fleetCacheHits_;
+            gs.island = config_.islandIndex;
+            gs.epoch = config_.migrationInterval > 0
+                           ? (gen + 1) / config_.migrationInterval
+                           : 0;
             config_.onGeneration(gs);
         }
     }

@@ -41,6 +41,47 @@ namespace cirfix::core {
 
 struct EngineState;
 
+/** One population member. */
+struct Variant
+{
+    Patch patch;
+    FitnessResult fit;
+    sim::Trace trace;     //!< instrumented-testbench output (cached)
+    bool valid = false;   //!< structurally valid ("compiles")
+    bool evaluated = false;
+    /** How the evaluation ended; anything but Ok means worst fitness.
+     *  EarlyAbort is the exception: the candidate simulated normally
+     *  until the streaming cutoff fired, and fit holds the partial
+     *  score (remaining oracle rows read as missing). */
+    EvalOutcome outcome = EvalOutcome::Ok;
+    /** Diagnostic message for non-Ok outcomes. */
+    std::string error;
+    /** Oracle rows actually scored against simulation output when the
+     *  evaluation used the streaming scorer (0 otherwise). */
+    uint64_t rowsScored = 0;
+    /** Compiled-backend counters of this evaluation's design (all
+     *  zero under the event backend or when elaboration failed). */
+    sim::CompiledStats compiled;
+};
+
+/** Why a quarantined patch key is never re-simulated. */
+struct QuarantineEntry
+{
+    EvalOutcome outcome = EvalOutcome::Crashed;
+    std::string error;
+};
+
+/** One migration epoch's imported-migrant record (island runs): which
+ *  patch keys this island injected at that epoch's generation
+ *  boundary. Snapshotted (v8) so a resumed island — and the
+ *  coordinator auditing it — can verify the replayed exchange matches
+ *  the original bit for bit. */
+struct MigrantRecord
+{
+    int epoch = 0;
+    std::vector<std::string> keys;
+};
+
 /** GP and resource parameters (paper Section 4.2 defaults, scaled). */
 struct EngineConfig
 {
@@ -171,6 +212,58 @@ struct EngineConfig
      * client-initiated cancel; nullptr means never stop early.
      */
     std::function<bool()> shouldStop;
+
+    // ---------------- island-model evolution (see island.h) ----------
+    /** Generations per migration epoch; 0 disables migration epochs.
+     *  When > 0 and onMigration is set, the engine fires the hook at
+     *  every generation boundary that completes an epoch. */
+    int migrationInterval = 0;
+    /** This run's island id within a K-island job (-1: not an island
+     *  run). Recorded in every snapshot (v8) and validated on resume —
+     *  an island-2 snapshot never silently resumes as island 0. */
+    int islandIndex = -1;
+    /** Total islands K of the job this run belongs to (0: plain run). */
+    int islandCount = 0;
+    /**
+     * Migration hook, fired on the main thread at each epoch boundary
+     * (after the elitism merge, before the boundary snapshot) with the
+     * 1-based epoch and the truncated population. Returns the migrant
+     * set to inject; injection touches no RNG state, so the island's
+     * own stochastic stream is independent of what (or when) the hook
+     * answers. The hook may block — a distributed island waits here
+     * for the coordinator's barrier — and may signal termination by
+     * arranging for shouldStop to return true afterwards.
+     */
+    std::function<std::vector<Variant>(int epoch,
+                                       const std::vector<Variant> &)>
+        onMigration;
+
+    // ---------------- cross-fleet cache sharing ----------------------
+    /**
+     * Fleet-shared fitness lookup, consulted once per evaluation batch
+     * for the keys that missed the local cache. Hits skip simulation
+     * and are adopted into the local cache; they carry exact scores
+     * (aborted evaluations are never published), so the search
+     * trajectory — population sequence, winner, final patch — is
+     * bit-identical with or without sharing. Only the work-accounting
+     * counters (evals, rows scored, early aborts) depend on what the
+     * rest of the fleet already scored.
+     */
+    std::function<void(
+        const std::vector<std::string> &keys,
+        std::unordered_map<std::string, FitnessCache::Entry> *cache_hits,
+        std::unordered_map<std::string, QuarantineEntry>
+            *quarantine_hits)>
+        fleetLookup;
+    /** Fleet-shared publish, called once per batch with the entries
+     *  this engine freshly scored (exact results only) and the keys it
+     *  freshly condemned. */
+    std::function<void(
+        const std::vector<std::pair<std::string, FitnessCache::Entry>>
+            &scored,
+        const std::vector<std::pair<std::string, QuarantineEntry>>
+            &condemned)>
+        fleetPublish;
 };
 
 /** Per-generation progress report passed to EngineConfig::onGeneration. */
@@ -189,36 +282,12 @@ struct GenerationStats
     /** Cumulative compiled-backend counters (all zero under Event). */
     sim::CompiledStats compiled;
     double elapsedSeconds = 0.0;
-};
-
-/** One population member. */
-struct Variant
-{
-    Patch patch;
-    FitnessResult fit;
-    sim::Trace trace;     //!< instrumented-testbench output (cached)
-    bool valid = false;   //!< structurally valid ("compiles")
-    bool evaluated = false;
-    /** How the evaluation ended; anything but Ok means worst fitness.
-     *  EarlyAbort is the exception: the candidate simulated normally
-     *  until the streaming cutoff fired, and fit holds the partial
-     *  score (remaining oracle rows read as missing). */
-    EvalOutcome outcome = EvalOutcome::Ok;
-    /** Diagnostic message for non-Ok outcomes. */
-    std::string error;
-    /** Oracle rows actually scored against simulation output when the
-     *  evaluation used the streaming scorer (0 otherwise). */
-    uint64_t rowsScored = 0;
-    /** Compiled-backend counters of this evaluation's design (all
-     *  zero under the event backend or when elaboration failed). */
-    sim::CompiledStats compiled;
-};
-
-/** Why a quarantined patch key is never re-simulated. */
-struct QuarantineEntry
-{
-    EvalOutcome outcome = EvalOutcome::Crashed;
-    std::string error;
+    /** Evaluations satisfied by the fleet-shared cache so far. */
+    long fleetCacheHits = 0;
+    /** Island id of this run (-1 for a plain, non-island run). */
+    int island = -1;
+    /** Migration epochs completed so far (0 without migration). */
+    int epoch = 0;
 };
 
 /** Outcome of one repair trial. */
@@ -258,6 +327,15 @@ struct RepairResult
     /** Cumulative compiled-backend counters over every fresh
      *  evaluation of the trial (all zero under Event). */
     sim::CompiledStats compiled;
+    /** Evaluations satisfied by the fleet-shared cache (island runs;
+     *  0 without a fleetLookup hook). Work accounting, not part of the
+     *  deterministic search fingerprint. */
+    long fleetCacheHits = 0;
+    /** Candidates condemned by a fleet-shared quarantine hit. */
+    long fleetQuarantineHits = 0;
+    /** Per-epoch imported-migrant keys (island runs; empty without
+     *  migration). Deterministic per (seed, K, migration schedule). */
+    std::vector<MigrantRecord> migrantLedger;
 };
 
 /**
@@ -329,6 +407,11 @@ class RepairEngine
     const OutcomeCounts &outcomes() const { return outcomes_; }
     /** Keys condemned by a Runaway/Deadline/Oom/Crashed evaluation. */
     size_t quarantineSize() const { return quarantine_.size(); }
+    /** Imported-migrant ledger so far (island runs; see MigrantRecord). */
+    const std::vector<MigrantRecord> &migrantLedger() const
+    {
+        return migrantLedger_;
+    }
 
   private:
     /** run() and resume() share one loop; @p restore is null for a
@@ -423,6 +506,11 @@ class RepairEngine
     /** Patch keys that crashed/ran away once: never re-simulated.
      *  Main thread only, like the cache. */
     std::unordered_map<std::string, QuarantineEntry> quarantine_;
+    /** Evaluations satisfied by the fleet-shared cache / quarantine. */
+    long fleetCacheHits_ = 0;
+    long fleetQuarantineHits_ = 0;
+    /** Imported-migrant keys per completed epoch (island runs). */
+    std::vector<MigrantRecord> migrantLedger_;
 };
 
 /**

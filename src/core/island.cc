@@ -1,0 +1,853 @@
+#include "core/island.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/snapshot.h"
+
+namespace cirfix::core {
+
+uint64_t
+deriveIslandSeed(uint64_t seed, int island)
+{
+    if (island <= 0)
+        return seed;  // island 0 draws the plain run's exact stream
+    // splitmix64 of (seed, island): well-distributed, stable across
+    // platforms, and never the identity for island > 0.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull *
+                            static_cast<uint64_t>(island);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+EngineConfig
+deriveIslandEngineConfig(const EngineConfig &base, const IslandConfig &ic,
+                         int island)
+{
+    EngineConfig cfg = base;
+    cfg.seed = deriveIslandSeed(base.seed, island);
+    cfg.islandIndex = island;
+    cfg.islandCount = ic.islands;
+    // A 1-island run carries island provenance but never migrates:
+    // it must equal a plain run bit for bit.
+    cfg.migrationInterval = ic.islands > 1 ? ic.migrationInterval : 0;
+    cfg.onMigration = nullptr;
+    cfg.fleetLookup = nullptr;
+    cfg.fleetPublish = nullptr;
+    return cfg;
+}
+
+namespace {
+
+/** Strict total order for elite/migrant ranking: fitness descending,
+ *  patch key ascending. Schedule-independent by construction. */
+bool
+rankLess(const std::pair<std::string, const Variant *> &a,
+         const std::pair<std::string, const Variant *> &b)
+{
+    if (a.second->fit.fitness != b.second->fit.fitness)
+        return a.second->fit.fitness > b.second->fit.fitness;
+    return a.first < b.first;
+}
+
+std::string
+hexDouble(double d)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", d);
+    return buf;
+}
+
+} // namespace
+
+std::vector<Variant>
+selectElites(const std::vector<Variant> &popn, int n)
+{
+    std::vector<std::pair<std::string, const Variant *>> ranked;
+    ranked.reserve(popn.size());
+    for (const Variant &v : popn)
+        if (v.evaluated && v.valid)
+            ranked.emplace_back(v.patch.key(), &v);
+    std::sort(ranked.begin(), ranked.end(), rankLess);
+    std::vector<Variant> out;
+    for (const auto &[key, v] : ranked) {
+        if (static_cast<int>(out.size()) >= n)
+            break;
+        out.push_back(*v);
+    }
+    return out;
+}
+
+std::vector<Variant>
+selectMigrants(
+    const std::vector<std::vector<Variant>> &exports,
+    const std::function<bool(const std::string &)> &isQuarantined,
+    MigrationStats *stats)
+{
+    std::vector<std::pair<std::string, const Variant *>> ranked;
+    for (const auto &ex : exports) {
+        if (stats)
+            stats->elitesExported += static_cast<long>(ex.size());
+        for (const Variant &v : ex)
+            ranked.emplace_back(v.patch.key(), &v);
+    }
+    std::sort(ranked.begin(), ranked.end(), rankLess);
+    std::vector<Variant> out;
+    std::vector<std::string> seen;
+    for (const auto &[key, v] : ranked) {
+        if (std::find(seen.begin(), seen.end(), key) != seen.end())
+            continue;  // same patch exported by several islands
+        seen.push_back(key);
+        if (isQuarantined && isQuarantined(key))
+            continue;  // condemned keys never migrate
+        out.push_back(*v);
+    }
+    if (stats) {
+        stats->migrantsBroadcast += static_cast<long>(out.size());
+        // Invariant check, not dedup: the loop above must already have
+        // made the broadcast duplicate-free.
+        std::vector<std::string> keys;
+        for (const Variant &v : out)
+            keys.push_back(v.patch.key());
+        std::sort(keys.begin(), keys.end());
+        stats->migrantDuplicates += static_cast<long>(
+            keys.size() -
+            static_cast<size_t>(std::distance(
+                keys.begin(),
+                std::unique(keys.begin(), keys.end()))));
+    }
+    return out;
+}
+
+std::vector<std::string>
+injectMigrants(std::vector<Variant> *popn,
+               const std::vector<Variant> &migrants, int popSize)
+{
+    if (migrants.empty())
+        return {};
+    std::vector<std::string> local;
+    local.reserve(popn->size());
+    for (const Variant &v : *popn)
+        local.push_back(v.patch.key());
+    std::vector<std::string> appended;
+    for (const Variant &m : migrants) {
+        std::string key = m.patch.key();
+        if (std::find(local.begin(), local.end(), key) != local.end())
+            continue;  // already bred (or received) here
+        local.push_back(key);
+        appended.push_back(key);
+        popn->push_back(m);
+    }
+    // Stable: locals precede migrants at equal fitness, migrants keep
+    // broadcast rank — the merged order is a pure function of the
+    // inputs, never of scores below the truncation cutoff.
+    std::stable_sort(popn->begin(), popn->end(),
+                     [](const Variant &a, const Variant &b) {
+                         return a.fit.fitness > b.fit.fitness;
+                     });
+    if (static_cast<int>(popn->size()) > popSize)
+        popn->resize(static_cast<size_t>(popSize));
+    std::vector<std::string> survived;
+    for (const Variant &v : *popn) {
+        std::string key = v.patch.key();
+        if (std::find(appended.begin(), appended.end(), key) !=
+            appended.end())
+            survived.push_back(key);
+    }
+    return survived;
+}
+
+// ------------------------------------------------ SharedFitnessStore
+
+void
+SharedFitnessStore::publish(
+    const std::vector<std::pair<std::string, FitnessCache::Entry>>
+        &scored,
+    const std::vector<std::pair<std::string, QuarantineEntry>>
+        &condemned)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[key, entry] : scored)
+        cache_.emplace(key, entry);  // first writer wins (exact anyway)
+    for (const auto &[key, entry] : condemned)
+        quarantine_.emplace(key, entry);
+}
+
+void
+SharedFitnessStore::lookup(
+    const std::vector<std::string> &keys,
+    std::unordered_map<std::string, FitnessCache::Entry> *cacheHits,
+    std::unordered_map<std::string, QuarantineEntry> *quarantineHits)
+    const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string &key : keys) {
+        if (auto q = quarantine_.find(key); q != quarantine_.end()) {
+            if (quarantineHits)
+                quarantineHits->emplace(key, q->second);
+            continue;
+        }
+        if (auto c = cache_.find(key); c != cache_.end())
+            if (cacheHits)
+                cacheHits->emplace(key, c->second);
+    }
+}
+
+bool
+SharedFitnessStore::isQuarantined(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantine_.count(key) != 0;
+}
+
+size_t
+SharedFitnessStore::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+size_t
+SharedFitnessStore::quarantineSize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantine_.size();
+}
+
+// -------------------------------------------------- MigrationLedger
+
+MigrationLedger::MigrationLedger(IslandConfig cfg) : cfg_(cfg) {}
+
+void
+MigrationLedger::attachQuarantineFilter(
+    std::function<bool(const std::string &)> isQuarantined)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    isQuarantined_ = std::move(isQuarantined);
+}
+
+void
+MigrationLedger::submit(int island, int epoch,
+                        std::vector<Variant> elites)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    EpochState &st = epochs_[epoch];
+    auto prior = st.submissions.find(island);
+    if (prior != st.submissions.end()) {
+        // Failover re-export. A deterministic island re-derives the
+        // identical elite set; anything else means an elite was lost
+        // (or fabricated) across the crash.
+        auto keysOf = [](const std::vector<Variant> &vs) {
+            std::vector<std::string> ks;
+            for (const Variant &v : vs)
+                ks.push_back(v.patch.key());
+            return ks;
+        };
+        if (keysOf(prior->second) != keysOf(elites))
+            ++stats_.elitesLost;
+        return;  // first submission already fed (or will feed) the merge
+    }
+    st.submissions.emplace(island, std::move(elites));
+    sealIfReadyLocked(epoch);
+}
+
+void
+MigrationLedger::markDone(int island, int finalEpoch, bool found)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (doneAt_.count(island))
+        return;
+    doneAt_.emplace(island, finalEpoch);
+    if (found) {
+        // Lexicographic min (epoch, island): sealed epochs make this
+        // final (see class comment).
+        if (winnerIsland_ == -1 || finalEpoch < winnerEpoch_ ||
+            (finalEpoch == winnerEpoch_ && island < winnerIsland_)) {
+            winnerIsland_ = island;
+            winnerEpoch_ = finalEpoch;
+        }
+    }
+    // A done-mark can complete any pending barrier.
+    for (auto &[epoch, st] : epochs_)
+        if (!st.sealed)
+            sealIfReadyLocked(epoch);
+}
+
+void
+MigrationLedger::sealIfReadyLocked(int epoch)
+{
+    EpochState &st = epochs_[epoch];
+    if (st.sealed)
+        return;
+    for (int i = 0; i < cfg_.islands; ++i)
+        if (!st.submissions.count(i) && !doneAt_.count(i))
+            return;
+    std::vector<std::vector<Variant>> exports;
+    for (int i = 0; i < cfg_.islands; ++i) {
+        auto it = st.submissions.find(i);
+        if (it != st.submissions.end())
+            exports.push_back(it->second);
+    }
+    st.migrants = selectMigrants(exports, isQuarantined_, &stats_);
+    st.migrantKeys.clear();
+    for (const Variant &v : st.migrants)
+        st.migrantKeys.push_back(v.patch.key());
+    st.sealed = true;
+}
+
+MigrationLedger::Exchange
+MigrationLedger::poll(int island, int epoch)
+{
+    (void)island;
+    std::lock_guard<std::mutex> lock(mu_);
+    Exchange ex;
+    auto it = epochs_.find(epoch);
+    if (it == epochs_.end() || !it->second.sealed)
+        return ex;
+    ex.ready = true;
+    ex.stop = winnerIsland_ != -1 && winnerEpoch_ <= epoch;
+    ex.migrants = it->second.migrants;
+    return ex;
+}
+
+void
+MigrationLedger::verifyReplay(int island,
+                              const std::vector<MigrantRecord> &ledger)
+{
+    (void)island;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const MigrantRecord &rec : ledger) {
+        auto it = epochs_.find(rec.epoch);
+        if (it == epochs_.end() || !it->second.sealed) {
+            // The island injected migrants from an epoch this ledger
+            // never sealed: its history cannot be ours.
+            stats_.elitesLost += static_cast<long>(rec.keys.size());
+            continue;
+        }
+        for (const std::string &key : rec.keys)
+            if (std::find(it->second.migrantKeys.begin(),
+                          it->second.migrantKeys.end(),
+                          key) == it->second.migrantKeys.end())
+                ++stats_.elitesLost;
+    }
+}
+
+bool
+MigrationLedger::allDone()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(doneAt_.size()) >= cfg_.islands;
+}
+
+std::pair<int, int>
+MigrationLedger::winner()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return {winnerIsland_, winnerEpoch_};
+}
+
+MigrationStats
+MigrationLedger::stats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::vector<std::pair<int, std::vector<std::string>>>
+MigrationLedger::broadcasts()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<int, std::vector<std::string>>> out;
+    for (const auto &[epoch, st] : epochs_)
+        if (st.sealed)
+            out.emplace_back(epoch, st.migrantKeys);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+std::string
+MigrationLedger::encode()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    auto blob = [&os](const std::string &tag, const std::string &data) {
+        os << tag << ' ' << data.size() << '\n' << data << '\n';
+    };
+    os << "CIRFIX-ISLAND-LEDGER 1\n";
+    os << "config " << cfg_.islands << ' ' << cfg_.migrationInterval
+       << ' ' << cfg_.migrantsPerIsland << '\n';
+    os << "stats " << stats_.elitesExported << ' '
+       << stats_.migrantsBroadcast << ' ' << stats_.migrantDuplicates
+       << ' ' << stats_.elitesLost << '\n';
+    std::vector<std::pair<int, int>> done(doneAt_.begin(),
+                                          doneAt_.end());
+    std::sort(done.begin(), done.end());
+    os << "done " << done.size() << '\n';
+    for (auto [island, epoch] : done)
+        os << "d " << island << ' ' << epoch << '\n';
+    os << "winner " << winnerIsland_ << ' ' << winnerEpoch_ << '\n';
+    std::vector<int> sealed;
+    for (const auto &[epoch, st] : epochs_)
+        if (st.sealed)
+            sealed.push_back(epoch);
+    std::sort(sealed.begin(), sealed.end());
+    os << "epochs " << sealed.size() << '\n';
+    for (int epoch : sealed) {
+        const EpochState &st = epochs_.at(epoch);
+        std::vector<int> islands;
+        for (const auto &[i, vs] : st.submissions)
+            islands.push_back(i);
+        std::sort(islands.begin(), islands.end());
+        os << "epoch " << epoch << ' ' << islands.size() << '\n';
+        for (int i : islands)
+            blob("sub " + std::to_string(i),
+                 encodeVariants(st.submissions.at(i)));
+        blob("migrants", encodeVariants(st.migrants));
+    }
+    std::string body = os.str();
+    os << "checksum " << fingerprintSource(body) << '\n';
+    return os.str();
+}
+
+bool
+MigrationLedger::decode(const std::string &text)
+{
+    try {
+        std::istringstream is(text);
+        auto expectLine = [&is](const std::string &tag) {
+            std::string got;
+            if (!(is >> got) || got != tag)
+                throw std::runtime_error("expected '" + tag + "'");
+        };
+        auto readBlob = [&is](const std::string &tag) {
+            std::string head;
+            // Tags may contain one space ("sub <i>"); read word-wise.
+            std::istringstream tags(tag);
+            std::string word;
+            while (tags >> word) {
+                std::string got;
+                if (!(is >> got) || got != word)
+                    throw std::runtime_error("expected '" + tag + "'");
+            }
+            size_t n = 0;
+            if (!(is >> n))
+                throw std::runtime_error("bad blob size");
+            is.get();  // newline
+            std::string data(n, '\0');
+            is.read(data.data(), static_cast<std::streamsize>(n));
+            if (is.gcount() != static_cast<std::streamsize>(n))
+                throw std::runtime_error("blob truncated");
+            is.get();  // trailing newline
+            return data;
+        };
+        // Verify the seal before trusting anything inside.
+        {
+            const std::string tag = "checksum ";
+            size_t cks = text.rfind("\nchecksum ");
+            if (cks == std::string::npos)
+                throw std::runtime_error("missing checksum");
+            uint64_t want = std::stoull(
+                text.substr(cks + 1 + tag.size()));
+            if (fingerprintSource(text.substr(0, cks + 1)) != want)
+                throw std::runtime_error("checksum mismatch");
+        }
+        expectLine("CIRFIX-ISLAND-LEDGER");
+        int v = 0;
+        if (!(is >> v) || v != 1)
+            throw std::runtime_error("unsupported ledger version");
+        IslandConfig cfg;
+        expectLine("config");
+        if (!(is >> cfg.islands >> cfg.migrationInterval >>
+              cfg.migrantsPerIsland))
+            throw std::runtime_error("bad config");
+        MigrationStats stats;
+        expectLine("stats");
+        if (!(is >> stats.elitesExported >> stats.migrantsBroadcast >>
+              stats.migrantDuplicates >> stats.elitesLost))
+            throw std::runtime_error("bad stats");
+        expectLine("done");
+        size_t ndone = 0;
+        is >> ndone;
+        std::unordered_map<int, int> doneAt;
+        for (size_t i = 0; i < ndone; ++i) {
+            expectLine("d");
+            int island = 0, epoch = 0;
+            if (!(is >> island >> epoch))
+                throw std::runtime_error("bad done record");
+            doneAt.emplace(island, epoch);
+        }
+        expectLine("winner");
+        int wIsland = -1, wEpoch = 0;
+        if (!(is >> wIsland >> wEpoch))
+            throw std::runtime_error("bad winner record");
+        expectLine("epochs");
+        size_t nepochs = 0;
+        is >> nepochs;
+        is.get();
+        std::unordered_map<int, EpochState> epochs;
+        for (size_t e = 0; e < nepochs; ++e) {
+            expectLine("epoch");
+            int epoch = 0;
+            size_t nsub = 0;
+            if (!(is >> epoch >> nsub))
+                throw std::runtime_error("bad epoch record");
+            is.get();
+            EpochState st;
+            for (size_t s = 0; s < nsub; ++s) {
+                // Peek the island index out of the "sub <i>" tag.
+                std::string word;
+                if (!(is >> word) || word != "sub")
+                    throw std::runtime_error("expected 'sub'");
+                int island = 0;
+                size_t n = 0;
+                if (!(is >> island >> n))
+                    throw std::runtime_error("bad sub record");
+                is.get();
+                std::string data(n, '\0');
+                is.read(data.data(),
+                        static_cast<std::streamsize>(n));
+                if (is.gcount() != static_cast<std::streamsize>(n))
+                    throw std::runtime_error("sub blob truncated");
+                is.get();
+                st.submissions.emplace(island, decodeVariants(data));
+            }
+            st.migrants = decodeVariants(readBlob("migrants"));
+            for (const Variant &mv : st.migrants)
+                st.migrantKeys.push_back(mv.patch.key());
+            st.sealed = true;
+            epochs.emplace(epoch, std::move(st));
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        cfg_ = cfg;
+        stats_ = stats;
+        doneAt_ = std::move(doneAt);
+        winnerIsland_ = wIsland;
+        winnerEpoch_ = wEpoch;
+        epochs_ = std::move(epochs);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+// ----------------------------------------------------- fingerprint
+
+uint64_t
+islandFingerprint(const IslandFingerprintInput &in)
+{
+    std::ostringstream os;
+    os << "island-fingerprint v1\n";
+    os << "seed " << in.seed << '\n';
+    os << "config " << in.config.islands << ' '
+       << in.config.migrationInterval << ' '
+       << in.config.migrantsPerIsland << '\n';
+    os << "winner " << in.winnerIsland << ' ' << in.winnerEpoch << '\n';
+    for (const IslandStats &st : in.islands) {
+        os << "island " << st.island << ' ' << st.generations << ' '
+           << (st.found ? 1 : 0) << ' ' << (st.stopped ? 1 : 0) << ' '
+           << hexDouble(st.bestFitness) << '\n';
+        os << "patch " << st.patchKey.size() << '\n'
+           << st.patchKey << '\n';
+        for (const MigrantRecord &rec : st.ledger) {
+            os << "injected " << rec.epoch << ' ' << rec.keys.size()
+               << '\n';
+            for (const std::string &key : rec.keys)
+                os << "key " << key.size() << '\n' << key << '\n';
+        }
+    }
+    for (const auto &[epoch, keys] : in.broadcasts) {
+        os << "broadcast " << epoch << ' ' << keys.size() << '\n';
+        for (const std::string &key : keys)
+            os << "key " << key.size() << '\n' << key << '\n';
+    }
+    return fingerprintSource(os.str());
+}
+
+IslandFingerprintInput
+fingerprintInput(const IslandOutcome &outcome, uint64_t seed,
+                 const IslandConfig &cfg)
+{
+    IslandFingerprintInput in;
+    in.seed = seed;
+    in.config = cfg;
+    in.winnerIsland = outcome.winnerIsland;
+    in.winnerEpoch = outcome.winnerEpoch;
+    in.islands = outcome.islands;
+    in.broadcasts = outcome.broadcasts;
+    return in;
+}
+
+// ------------------------------------------------------- runIslands
+
+namespace {
+
+IslandStats
+digestFromResult(int island, const RepairResult &res)
+{
+    IslandStats st;
+    st.island = island;
+    st.generations = res.generations;
+    st.found = res.found;
+    st.stopped = res.stopped;
+    st.bestFitness = res.fitnessTrajectory.empty()
+                         ? 0.0
+                         : res.fitnessTrajectory.back().second;
+    if (res.found)
+        st.patchKey = res.patch.key();
+    st.ledger = res.migrantLedger;
+    st.fitnessEvals = res.fitnessEvals;
+    st.fleetCacheHits = res.fleetCacheHits;
+    st.fleetQuarantineHits = res.fleetQuarantineHits;
+    return st;
+}
+
+int
+epochOf(int generations, int interval)
+{
+    return interval > 0 ? (generations + interval - 1) / interval : 0;
+}
+
+} // namespace
+
+IslandOutcome
+runIslands(std::shared_ptr<const verilog::SourceFile> faulty,
+           const std::string &tbModule, const std::string &dutModule,
+           const sim::ProbeConfig &probe, const Trace &oracle,
+           const EngineConfig &base, const IslandConfig &cfg,
+           const std::string &snapshotDir,
+           const std::function<void(const GenerationStats &)>
+               &onGeneration,
+           const std::function<bool()> &shouldStop)
+{
+    namespace fs = std::filesystem;
+    const int K = std::max(1, cfg.islands);
+
+    auto ledgerPath = [&] {
+        return snapshotDir.empty() ? std::string()
+                                   : snapshotDir + "/islands.ledger";
+    }();
+    auto islandSnap = [&](int i) {
+        return snapshotDir.empty()
+                   ? std::string()
+                   : snapshotDir + "/island-" + std::to_string(i) +
+                         ".snap";
+    };
+
+    MigrationLedger ledger(cfg);
+    SharedFitnessStore store;
+    ledger.attachQuarantineFilter([&store](const std::string &key) {
+        return store.isQuarantined(key);
+    });
+
+    // Crash recovery: island snapshots are only trustworthy together
+    // with the ledger that fed them their migrants. A missing or
+    // corrupt ledger restarts the whole job from scratch (the rerun is
+    // deterministic, so the final result is unchanged — only work is
+    // lost).
+    if (!snapshotDir.empty() && K > 1) {
+        bool haveSnaps = false;
+        for (int i = 0; i < K; ++i)
+            if (fs::exists(islandSnap(i)))
+                haveSnaps = true;
+        bool ledgerOk = false;
+        if (fs::exists(ledgerPath)) {
+            std::ifstream in(ledgerPath, std::ios::binary);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            ledgerOk = ledger.decode(buf.str());
+        }
+        if (haveSnaps && !ledgerOk) {
+            for (int i = 0; i < K; ++i)
+                fs::remove(islandSnap(i));
+            if (fs::exists(ledgerPath))
+                fs::remove(ledgerPath);
+        }
+    }
+
+    std::mutex persistMu;
+    auto persistLedger = [&] {
+        if (ledgerPath.empty())
+            return;
+        std::lock_guard<std::mutex> lock(persistMu);
+        std::string data = ledger.encode();
+        std::string tmp = ledgerPath + ".tmp";
+        {
+            std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+            os.write(data.data(),
+                     static_cast<std::streamsize>(data.size()));
+        }
+        std::rename(tmp.c_str(), ledgerPath.c_str());
+    };
+
+    std::mutex barrierMu;
+    std::condition_variable barrierCv;
+    std::vector<char> stopFlags(static_cast<size_t>(K), 0);
+    std::mutex genMu;
+
+    std::vector<RepairResult> results(static_cast<size_t>(K));
+    std::vector<std::string> failures(static_cast<size_t>(K));
+
+    auto runOne = [&](int island) {
+        EngineConfig ec = deriveIslandEngineConfig(base, cfg, island);
+        ec.snapshotPath = islandSnap(island);
+        ec.snapshotEvery = ec.snapshotPath.empty() ? 0 : 1;
+        if (K > 1) {
+            ec.onMigration = [&, island](int epoch,
+                                         const std::vector<Variant>
+                                             &popn) {
+                std::vector<Variant> elites =
+                    selectElites(popn, cfg.migrantsPerIsland);
+                ledger.submit(island, epoch, std::move(elites));
+                barrierCv.notify_all();
+                // Bounded waits instead of a pure condvar predicate:
+                // the ledger has its own lock, so a notify could slip
+                // between poll and block — the timeout bounds that
+                // window, and external cancels stay responsive.
+                MigrationLedger::Exchange ex;
+                {
+                    std::unique_lock<std::mutex> lock(barrierMu);
+                    for (;;) {
+                        ex = ledger.poll(island, epoch);
+                        if (ex.ready)
+                            break;
+                        if ((shouldStop && shouldStop()) ||
+                            (base.shouldStop && base.shouldStop()))
+                            break;
+                        barrierCv.wait_for(
+                            lock, std::chrono::milliseconds(20));
+                    }
+                }
+                persistLedger();
+                if (!ex.ready || ex.stop) {
+                    stopFlags[static_cast<size_t>(island)] = 1;
+                    return std::vector<Variant>{};
+                }
+                return ex.migrants;
+            };
+            ec.fleetLookup =
+                [&store](const std::vector<std::string> &keys,
+                         std::unordered_map<std::string,
+                                            FitnessCache::Entry> *hits,
+                         std::unordered_map<std::string,
+                                            QuarantineEntry> *quar) {
+                    store.lookup(keys, hits, quar);
+                };
+            ec.fleetPublish =
+                [&store](
+                    const std::vector<std::pair<
+                        std::string, FitnessCache::Entry>> &scored,
+                    const std::vector<std::pair<
+                        std::string, QuarantineEntry>> &condemned) {
+                    store.publish(scored, condemned);
+                };
+        }
+        ec.shouldStop = [&, island] {
+            if (stopFlags[static_cast<size_t>(island)])
+                return true;
+            if (shouldStop && shouldStop())
+                return true;
+            if (base.shouldStop && base.shouldStop())
+                return true;
+            return false;
+        };
+        if (onGeneration)
+            ec.onGeneration = [&](const GenerationStats &gs) {
+                std::lock_guard<std::mutex> lock(genMu);
+                onGeneration(gs);
+            };
+        else
+            ec.onGeneration = nullptr;
+
+        try {
+            RepairEngine engine(faulty, tbModule, dutModule, probe,
+                                oracle, ec);
+            RepairResult res;
+            if (!ec.snapshotPath.empty() &&
+                fs::exists(ec.snapshotPath)) {
+                EngineState state = loadSnapshot(ec.snapshotPath);
+                ledger.verifyReplay(island, state.migrantLedger);
+                res = engine.resume(state);
+            } else {
+                res = engine.run();
+            }
+            results[static_cast<size_t>(island)] = std::move(res);
+        } catch (const std::exception &e) {
+            failures[static_cast<size_t>(island)] = e.what();
+        }
+        const RepairResult &res = results[static_cast<size_t>(island)];
+        // Wind-down (external stop, no winner): do NOT mark the island
+        // done — a persisted done-mark would make a resumed run seal
+        // later epochs with partial submissions and diverge from the
+        // uninterrupted one. The island stays resumable, exactly like a
+        // fleet worker that abandons its shard without a done frame.
+        // (Every other island sees the same shouldStop, so no barrier
+        // waits on the skipped mark.)
+        bool windDown = res.stopped && !res.found &&
+                        ((shouldStop && shouldStop()) ||
+                         (base.shouldStop && base.shouldStop()));
+        if (!windDown) {
+            ledger.markDone(island,
+                            epochOf(res.generations,
+                                    K > 1 ? cfg.migrationInterval : 0),
+                            res.found);
+            persistLedger();
+        }
+        barrierCv.notify_all();
+    };
+
+    if (K == 1) {
+        runOne(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<size_t>(K));
+        for (int i = 0; i < K; ++i)
+            threads.emplace_back(runOne, i);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    for (int i = 0; i < K; ++i)
+        if (!failures[static_cast<size_t>(i)].empty())
+            throw std::runtime_error(
+                "island " + std::to_string(i) +
+                " failed: " + failures[static_cast<size_t>(i)]);
+
+    IslandOutcome out;
+    auto [wIsland, wEpoch] = ledger.winner();
+    out.winnerIsland = wIsland;
+    out.winnerEpoch = wEpoch;
+    out.found = wIsland != -1;
+    for (int i = 0; i < K; ++i)
+        out.islands.push_back(
+            digestFromResult(i, results[static_cast<size_t>(i)]));
+    out.broadcasts = ledger.broadcasts();
+    out.migration = ledger.stats();
+    if (out.found) {
+        out.result = std::move(results[static_cast<size_t>(wIsland)]);
+    } else {
+        // Best-effort digest when nothing repaired: highest best-seen
+        // fitness, lowest island index on ties.
+        int best = 0;
+        for (int i = 1; i < K; ++i)
+            if (out.islands[static_cast<size_t>(i)].bestFitness >
+                out.islands[static_cast<size_t>(best)].bestFitness)
+                best = i;
+        out.winnerIsland = -1;
+        out.result = std::move(results[static_cast<size_t>(best)]);
+    }
+    out.fingerprint =
+        islandFingerprint(fingerprintInput(out, base.seed, cfg));
+    return out;
+}
+
+} // namespace cirfix::core

@@ -1,0 +1,305 @@
+#pragma once
+
+/**
+ * @file
+ * Island-model evolution: K subpopulations of the same repair search,
+ * each a full RepairEngine with its own derived seed, exchanging elite
+ * patches at fixed generation boundaries ("migration epochs").
+ *
+ * Determinism contract. A K-island run is a pure function of
+ * (seed, K, migrationInterval, migrantsPerIsland): each island's RNG
+ * stream is derived from the job seed and its index, elites are
+ * exported at every epoch boundary (after the generation's elitism
+ * truncation, before its snapshot), and the broadcast migrant set is a
+ * deterministic merge — fitness descending, patch key ascending,
+ * deduplicated, minus fleet-quarantined keys. Timing, thread
+ * scheduling, crashes and failover can change only *work* counters
+ * (evaluations, cache hits, early aborts); the populations, the
+ * migrant ledger, the winner and the final patch are bit-identical
+ * per configuration. islandFingerprint() hashes exactly the invariant
+ * part, so two runs — in-process threads vs a distributed fleet, with
+ * or without a SIGKILLed worker mid-epoch — can be compared with one
+ * integer.
+ *
+ * The soundness of cross-island fitness sharing (why a fleet cache hit
+ * cannot change the search) is argued in DESIGN.md "Island-model
+ * evolution": local caches never store early-aborted scores, so every
+ * shared entry is exact, and an exact score substituted for a
+ * would-have-aborted simulation still falls below the survival cutoff
+ * that would have aborted it.
+ *
+ * MigrationLedger is the coordinator's half of the barrier protocol
+ * and is deliberately transport-free: the in-process runIslands() and
+ * the fleet coordinator (service/fleet.h) drive the same class, which
+ * is what makes "cirfix repair --islands 4" and a 4-worker fleet run
+ * produce the same fingerprint.
+ */
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace cirfix::core {
+
+/** Knobs of a K-island run (all part of the fingerprint). */
+struct IslandConfig
+{
+    int islands = 1;
+    /** Generations per migration epoch. */
+    int migrationInterval = 2;
+    /** Elites each island exports at every epoch boundary. */
+    int migrantsPerIsland = 2;
+};
+
+/** Migration-machinery totals. The first two are volume counters; the
+ *  last two are *hard invariants* (island_bench gates them at zero):
+ *  a nonzero migrantDuplicates means the dedup merge emitted the same
+ *  key twice in one broadcast, a nonzero elitesLost means a failover
+ *  replay disagreed with the coordinator's ledger. */
+struct MigrationStats
+{
+    long elitesExported = 0;    //!< elites received across all epochs
+    long migrantsBroadcast = 0; //!< broadcast-set entries, summed
+    long migrantDuplicates = 0; //!< duplicate keys inside one broadcast
+    long elitesLost = 0;        //!< replay/re-export mismatches
+};
+
+/** Per-island digest of a finished (or stopped) island run. Fields up
+ *  to @c ledger are fingerprinted; the trailing counters are volatile
+ *  work accounting (excluded — see the determinism contract above). */
+struct IslandStats
+{
+    int island = 0;
+    int generations = 0;
+    bool found = false;
+    bool stopped = false;
+    /** Best fitness ever seen, read at the end of the run (converged:
+     *  per-generation it is timing-invariant once the generation's
+     *  whole merge pool has been absorbed). */
+    double bestFitness = 0.0;
+    /** Minimized winning patch key ("" unless found). */
+    std::string patchKey;
+    /** Per-epoch keys of migrants actually injected. */
+    std::vector<MigrantRecord> ledger;
+    // ---- volatile work counters (not fingerprinted) ----
+    long fitnessEvals = 0;
+    long fleetCacheHits = 0;
+    long fleetQuarantineHits = 0;
+};
+
+/** The whole K-island run: the winning island's full result plus the
+ *  per-island digests and migration accounting. */
+struct IslandOutcome
+{
+    bool found = false;
+    int winnerIsland = -1;
+    /** Epoch the winner's discovery generation belongs to
+     *  (ceil(generations / migrationInterval)). */
+    int winnerEpoch = 0;
+    /** The winning island's result (best non-winner by bestFitness,
+     *  lowest index tiebreak, when nothing was found). */
+    RepairResult result;
+    std::vector<IslandStats> islands;
+    /** Broadcast migrant keys per sealed epoch, ascending epoch. */
+    std::vector<std::pair<int, std::vector<std::string>>> broadcasts;
+    MigrationStats migration;
+    uint64_t fingerprint = 0;
+};
+
+/** Island i's RNG seed. Identity at island 0, so a 1-island run draws
+ *  the exact stream a plain run would. */
+uint64_t deriveIslandSeed(uint64_t seed, int island);
+
+/** Derive island @p island's engine config from the job's base config:
+ *  derived seed, island provenance, migration interval. Hooks
+ *  (onMigration, fleetLookup/fleetPublish, shouldStop) stay unset —
+ *  the caller attaches its transport. At islands == 1 no migration
+ *  hook should be attached at all: the run must equal a plain run. */
+EngineConfig deriveIslandEngineConfig(const EngineConfig &base,
+                                      const IslandConfig &ic,
+                                      int island);
+
+/** Top-@p n *valid* variants by (fitness desc, key asc) — a strict
+ *  total order, so exports are schedule-independent. */
+std::vector<Variant> selectElites(const std::vector<Variant> &popn,
+                                  int n);
+
+/**
+ * Merge per-island epoch exports into the broadcast migrant set:
+ * concatenate, order by (fitness desc, key asc), drop duplicate keys
+ * and keys @p isQuarantined condemns. Every island receives this same
+ * set; injectMigrants() deduplicates against the local population, so
+ * an island never re-imports its own exports. @p stats accumulates
+ * volume counters and the duplicate invariant.
+ */
+std::vector<Variant> selectMigrants(
+    const std::vector<std::vector<Variant>> &exports,
+    const std::function<bool(const std::string &)> &isQuarantined,
+    MigrationStats *stats);
+
+/**
+ * Inject @p migrants into @p popn at a generation boundary: append
+ * every migrant whose key is not already present, stable-sort by
+ * fitness descending (stable: local members and broadcast rank break
+ * ties deterministically), truncate to @p popSize. @return the keys
+ * of migrants that survived into the population, in population order.
+ */
+std::vector<std::string> injectMigrants(std::vector<Variant> *popn,
+                                        const std::vector<Variant>
+                                            &migrants,
+                                        int popSize);
+
+/** Thread-safe fleet-shared fitness/quarantine store, keyed by
+ *  Patch::key. One instance per job: the in-process islands share it
+ *  directly; the coordinator exposes it over cache_sync messages. */
+class SharedFitnessStore
+{
+  public:
+    void publish(
+        const std::vector<std::pair<std::string, FitnessCache::Entry>>
+            &scored,
+        const std::vector<std::pair<std::string, QuarantineEntry>>
+            &condemned);
+
+    /** Fill @p cacheHits / @p quarantineHits for every known key. */
+    void lookup(const std::vector<std::string> &keys,
+                std::unordered_map<std::string, FitnessCache::Entry>
+                    *cacheHits,
+                std::unordered_map<std::string, QuarantineEntry>
+                    *quarantineHits) const;
+
+    bool isQuarantined(const std::string &key) const;
+    size_t cacheSize() const;
+    size_t quarantineSize() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, FitnessCache::Entry> cache_;
+    std::unordered_map<std::string, QuarantineEntry> quarantine_;
+};
+
+/**
+ * The epoch barrier, transport-free. Islands submit() their elites at
+ * each boundary and poll() until the epoch *seals* — every island has
+ * either submitted that epoch or marked itself done. Sealing epoch e
+ * fixes the winner decision for every epoch <= e (an island whose
+ * discovery lies in epoch w never submits w, so its done-mark is part
+ * of seal(e) for all e >= w), which is why stop decisions handed out
+ * at barriers are timing-independent. All methods are internally
+ * locked; poll() never blocks (callers wait on their own condition or
+ * re-poll over the wire).
+ */
+class MigrationLedger
+{
+  public:
+    explicit MigrationLedger(IslandConfig cfg);
+
+    /** Island @p island offers @p elites at epoch @p epoch. Idempotent
+     *  per (island, epoch): a failover re-export with identical keys
+     *  is ignored, a mismatching one counts elitesLost (the first
+     *  submission already fed the broadcast). */
+    void submit(int island, int epoch, std::vector<Variant> elites);
+
+    /** Island will make no further submissions. @p found marks a
+     *  winner whose discovery generation lies in epoch @p finalEpoch;
+     *  the winner among several is the lexicographically smallest
+     *  (epoch, island). Idempotent. */
+    void markDone(int island, int finalEpoch, bool found);
+
+    struct Exchange
+    {
+        bool ready = false; //!< epoch sealed; fields below valid
+        bool stop = false;  //!< a winner at epoch <= this one exists
+        std::vector<Variant> migrants;
+    };
+
+    /** Barrier status for @p island at @p epoch (non-blocking). */
+    Exchange poll(int island, int epoch);
+
+    /** Failover replay check: every ledger entry a resumed island
+     *  carries must be a subset of the epoch's broadcast; a violation
+     *  counts elitesLost. */
+    void verifyReplay(int island,
+                      const std::vector<MigrantRecord> &ledger);
+
+    bool allDone();
+    /** (-1, 0) while no winner is sealed. */
+    std::pair<int, int> winner();
+    MigrationStats stats();
+    /** Sealed broadcasts, ascending epoch. */
+    std::vector<std::pair<int, std::vector<std::string>>> broadcasts();
+
+    /** Serialized ledger state for coordinator crash-recovery. */
+    std::string encode();
+    /** @return false (leaving *this untouched) on a parse failure —
+     *  the caller restarts the job from scratch. */
+    bool decode(const std::string &text);
+
+    /** Quarantine filter for selectMigrants (may be null). */
+    void attachQuarantineFilter(
+        std::function<bool(const std::string &)> isQuarantined);
+
+  private:
+    struct EpochState
+    {
+        std::unordered_map<int, std::vector<Variant>> submissions;
+        bool sealed = false;
+        std::vector<Variant> migrants;
+        std::vector<std::string> migrantKeys;
+    };
+
+    void sealIfReadyLocked(int epoch);
+
+    std::mutex mu_;
+    IslandConfig cfg_;
+    std::function<bool(const std::string &)> isQuarantined_;
+    std::unordered_map<int, EpochState> epochs_;
+    std::unordered_map<int, int> doneAt_;  //!< island -> final epoch
+    int winnerIsland_ = -1;
+    int winnerEpoch_ = 0;
+    MigrationStats stats_;
+};
+
+/** Canonical fingerprint of a K-island run: configuration, per-island
+ *  digests (invariant fields only), the winner and every sealed
+ *  broadcast. Volatile work counters never enter. */
+struct IslandFingerprintInput
+{
+    uint64_t seed = 0;
+    IslandConfig config;
+    int winnerIsland = -1;
+    int winnerEpoch = 0;
+    std::vector<IslandStats> islands;
+    std::vector<std::pair<int, std::vector<std::string>>> broadcasts;
+};
+
+uint64_t islandFingerprint(const IslandFingerprintInput &in);
+
+/** Build the fingerprint input from a finished outcome. */
+IslandFingerprintInput fingerprintInput(const IslandOutcome &outcome,
+                                        uint64_t seed,
+                                        const IslandConfig &cfg);
+
+/**
+ * Run a K-island repair in-process: one engine thread per island, the
+ * barrier and the shared fitness store wired directly. With
+ * cfg.islands == 1 this is exactly a plain RepairEngine::run() (same
+ * seed, no migration hook) — the K=1 fingerprint-identity invariant.
+ * @p snapshotDir, when non-empty, receives island-<k>.snap checkpoints
+ * every generation; existing checkpoints are resumed (crash recovery).
+ */
+IslandOutcome runIslands(
+    std::shared_ptr<const verilog::SourceFile> faulty,
+    const std::string &tbModule, const std::string &dutModule,
+    const sim::ProbeConfig &probe, const Trace &oracle,
+    const EngineConfig &base, const IslandConfig &cfg,
+    const std::string &snapshotDir = "",
+    const std::function<void(const GenerationStats &)> &onGeneration =
+        nullptr,
+    const std::function<bool()> &shouldStop = nullptr);
+
+} // namespace cirfix::core

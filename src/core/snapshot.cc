@@ -308,6 +308,19 @@ encodeSnapshot(const EngineState &state)
            << state.compiled.fourStateFallbacks;
         w.line(os.str());
     }
+    {
+        std::ostringstream os;
+        os << "island " << state.islandIndex << " " << state.islandCount
+           << " " << state.migrationEpoch;
+        w.line(os.str());
+    }
+    w.line("ledger " + std::to_string(state.migrantLedger.size()));
+    for (const MigrantRecord &m : state.migrantLedger) {
+        w.line("epoch " + std::to_string(m.epoch) + " " +
+               std::to_string(m.keys.size()));
+        for (const std::string &k : m.keys)
+            w.blob("mkey", k);
+    }
     w.line("witnesses " + std::to_string(state.witnesses.size()));
     for (const OracleBench &b : state.witnesses) {
         w.blob("wmodule", b.module);
@@ -410,14 +423,29 @@ decodeSnapshot(const std::string &text)
 {
     Reader r(text);
     EngineState st;
+    long version;
     {
         auto magic = r.tokens("CIRFIX-SNAPSHOT", 2);
-        long version = r.parseLong(magic[1]);
-        if (version != EngineState::kVersion)
+        version = r.parseLong(magic[1]);
+        // Name both versions in the diagnostic so the remedy is
+        // obvious: a too-new snapshot needs a newer binary, a too-old
+        // one needs re-running (or a migration tool), never a "corrupt
+        // snapshot" hunt.
+        if (version > EngineState::kVersion)
             throw std::runtime_error(
-                "unsupported snapshot version " +
-                std::to_string(version) + " (this build reads version " +
-                std::to_string(EngineState::kVersion) + ")");
+                "snapshot version " + std::to_string(version) +
+                " is newer than this build understands (it reads "
+                "versions " +
+                std::to_string(EngineState::kOldestReadableVersion) +
+                ".." + std::to_string(EngineState::kVersion) +
+                "); load it with the newer cirfix that wrote it");
+        if (version < EngineState::kOldestReadableVersion)
+            throw std::runtime_error(
+                "snapshot version " + std::to_string(version) +
+                " is older than this build understands (it reads "
+                "versions " +
+                std::to_string(EngineState::kOldestReadableVersion) +
+                ".." + std::to_string(EngineState::kVersion) + ")");
     }
     verifySeal(text);
     st.seed = r.parseU64(r.tokens("seed", 2)[1]);
@@ -449,6 +477,24 @@ decodeSnapshot(const std::string &text)
         st.compiled.twoStateEvals = r.parseU64(c[5]);
         st.compiled.fourStateFallbacks = r.parseU64(c[6]);
     }
+    if (version >= 8) {
+        auto isl = r.tokens("island", 4);
+        st.islandIndex = static_cast<int>(r.parseLong(isl[1]));
+        st.islandCount = static_cast<int>(r.parseLong(isl[2]));
+        st.migrationEpoch = static_cast<int>(r.parseLong(isl[3]));
+        size_t nled = r.parseSize(r.tokens("ledger", 2)[1]);
+        for (size_t i = 0; i < nled; ++i) {
+            auto e = r.tokens("epoch", 3);
+            MigrantRecord m;
+            m.epoch = static_cast<int>(r.parseLong(e[1]));
+            size_t nkeys = r.parseSize(e[2]);
+            for (size_t k = 0; k < nkeys; ++k)
+                m.keys.push_back(r.blob("mkey"));
+            st.migrantLedger.push_back(std::move(m));
+        }
+    }
+    // (v7 snapshots carry the defaults: island -1 of 0, empty ledger —
+    // exactly what a plain single-population run records.)
     size_t nwit = r.parseSize(r.tokens("witnesses", 2)[1]);
     for (size_t i = 0; i < nwit; ++i) {
         OracleBench b;
@@ -560,6 +606,34 @@ loadSnapshot(const std::string &path)
     std::ostringstream buf;
     buf << is.rdbuf();
     return decodeSnapshot(buf.str());
+}
+
+std::string
+encodeVariants(const std::vector<Variant> &variants)
+{
+    Writer w;
+    w.line("CIRFIX-VARIANTS 1");
+    w.line("count " + std::to_string(variants.size()));
+    for (const Variant &v : variants)
+        w.writeVariant(v);
+    return w.str();
+}
+
+std::vector<Variant>
+decodeVariants(const std::string &text)
+{
+    Reader r(text);
+    auto magic = r.tokens("CIRFIX-VARIANTS", 2);
+    if (r.parseLong(magic[1]) != 1)
+        corrupt("unsupported variants version " + magic[1]);
+    size_t n = r.parseSize(r.tokens("count", 2)[1]);
+    std::vector<Variant> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(r.readVariant());
+    if (!r.done())
+        corrupt("trailing garbage after variants");
+    return out;
 }
 
 } // namespace cirfix::core

@@ -70,8 +70,18 @@ struct EngineState
      *  (which fleet worker checkpointed the run); version 7 added the
      *  "compiled" line (cumulative compiled-backend counters, so a
      *  resumed run reports the same backend accounting as an
-     *  uninterrupted one). */
-    static constexpr int kVersion = 7;
+     *  uninterrupted one); version 8 added the island-provenance line
+     *  (which island of how many wrote the snapshot, and its migration
+     *  epoch) and the migrant ledger (which elite keys each epoch
+     *  injected), so a crashed island resumes into its own slot of the
+     *  K-island schedule and never into another's. Version-7 snapshots
+     *  still load (a plain single-population run is island -1 of 0 with
+     *  an empty ledger); snapshots NEWER than this build are rejected
+     *  with both versions named so the fix (upgrade the binary) is
+     *  obvious. */
+    static constexpr int kVersion = 8;
+    /** Oldest version decodeSnapshot() still accepts. */
+    static constexpr int kOldestReadableVersion = 7;
 
     uint64_t seed = 0;
     /** FNV-1a of the printed faulty design; resume refuses to continue
@@ -105,6 +115,18 @@ struct EngineState
     std::vector<OracleBench> witnesses;
     std::vector<std::pair<long, double>> trajectory;
     OutcomeCounts outcomes;
+    /** Island provenance (v8): which slot of a K-island run wrote this
+     *  snapshot. A plain run is island -1 of 0. resume() refuses a
+     *  snapshot whose slot differs from the engine's — the RNG stream
+     *  and ledger are meaningless under any other slot. */
+    int islandIndex = -1;
+    int islandCount = 0;
+    /** Migration epochs completed when the snapshot was taken. */
+    int migrationEpoch = 0;
+    /** Per-epoch keys of the migrants actually injected (v8). The
+     *  coordinator replays this on failover to verify the resumed
+     *  island re-derived the same schedule. */
+    std::vector<MigrantRecord> migrantLedger;
     std::vector<Variant> population;
     /** Sorted by key (so snapshots are byte-stable). */
     std::vector<QuarantineRecord> quarantine;
@@ -130,5 +152,16 @@ void saveSnapshot(const std::string &path, const EngineState &state);
 /** Read and decode the snapshot at @p path.
  *  @throws std::runtime_error when unreadable or corrupt. */
 EngineState loadSnapshot(const std::string &path);
+
+/** Serialize a list of variants (patch + fitness + validity) using the
+ *  snapshot wire format. Used by the fleet to ship elite migrants and
+ *  shared cache entries between workers; traces are included so a
+ *  fleet cache hit is indistinguishable from a local one. */
+std::string encodeVariants(const std::vector<Variant> &variants);
+
+/** Parse encodeVariants() output. @throws std::runtime_error on
+ *  structural corruption. @p faulty is the design the patches apply
+ *  to (patch donors are reparsed against it, as in decodeSnapshot). */
+std::vector<Variant> decodeVariants(const std::string &text);
 
 } // namespace cirfix::core

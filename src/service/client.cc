@@ -99,8 +99,14 @@ Client::status(long id)
     msg["type"] = "status";
     msg["id"] = id;
     Json reply = request(msg);
-    if (const Json *job = reply.find("job"))
-        return *job;
+    if (const Json *job = reply.find("job")) {
+        Json out = *job;
+        // Daemon-wide lease totals ride the status reply; surface
+        // them on the summary so `cirfix status` shows them.
+        if (const Json *ls = reply.find("lease_stats"))
+            out["lease_stats"] = *ls;
+        return out;
+    }
     return Json();
 }
 

@@ -27,10 +27,15 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
+#include "core/island.h"
+#include "service/json.h"
 #include "service/transport.h"
 
 namespace cirfix::service {
@@ -66,6 +71,92 @@ class FleetRegistry
     std::mutex mu_;
     std::unordered_set<std::string> workers_;
     uint64_t nextKey_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Island-job orchestration (coordinator side)
+
+/** Wire codec for fleet cache entries: entries ride the snapshot
+ *  variant-blob format (with an empty patch — the patch is identified
+ *  by its key, which travels in the parallel @p keysOut array). */
+std::string encodeCacheEntries(
+    const std::vector<std::pair<std::string, core::FitnessCache::Entry>>
+        &entries,
+    Json *keysOut);
+std::vector<std::pair<std::string, core::FitnessCache::Entry>>
+decodeCacheEntries(const Json &keys, const std::string &blob);
+
+/** Quarantine records <-> JSON ([{key, outcome, error}]). */
+Json encodeQuarantineRecords(
+    const std::vector<std::pair<std::string, core::QuarantineEntry>>
+        &records);
+std::vector<std::pair<std::string, core::QuarantineEntry>>
+decodeQuarantineRecords(const Json &j);
+
+/**
+ * Coordinator-side orchestration of one K-island job: owns the
+ * migration ledger (the epoch barrier), the fleet-shared fitness
+ * store, and the per-island digests that assemble into the job's
+ * terminal payload. The coordinator creates one per sharded job and
+ * drives it from the migrate / cache_sync / done handlers; the ledger
+ * is persisted at every sealed epoch (and every done-mark) so a
+ * coordinator restart replays the exchange history instead of
+ * inventing a new one. A ledger that fails to decode restarts the job
+ * from scratch — deterministic, so the final result is unchanged.
+ */
+class IslandCoordinator
+{
+  public:
+    IslandCoordinator(core::IslandConfig cfg, std::string ledgerPath);
+
+    enum class Recovery { Fresh, Restored, Corrupt };
+    /** Try to restore the durable ledger; Corrupt means the caller
+     *  must discard the job's shard snapshots and start over. */
+    Recovery recover();
+
+    core::MigrationLedger &ledger() { return ledger_; }
+    core::SharedFitnessStore &store() { return store_; }
+    const core::IslandConfig &config() const { return cfg_; }
+
+    /** Handle a worker migrate frame (lease already validated):
+     *  replay audits, elite submission + barrier poll. @return the
+     *  reply payload (ok{wait} / migrants{stop, blob}). */
+    Json handleMigrate(const Json &msg);
+    /** Handle a worker cache_sync frame: publish + lookup. */
+    Json handleCacheSync(const Json &msg);
+
+    /** An island shard committed its done frame. */
+    void shardDone(int island, const Json &digest, Json result,
+                   const std::string &error);
+    /** Settle islands that will never run (canceled before claim). */
+    void shardReaped(int island);
+
+    bool allDone();
+    /** Assemble the terminal payload once allDone(): the winning
+     *  island's result plus the islands block (fingerprint included).
+     *  Returns Null and fills @p error when any shard failed. */
+    Json assemble(uint64_t seed, std::string *error);
+
+    /** Durably persist the ledger now (atomic rename). A no-op after
+     *  retire(): a late shard frame racing the job's assembly must not
+     *  resurrect the ledger file the assembly just removed. */
+    void persist();
+    void removeLedgerFile();
+    /** Remove the ledger file and permanently disable persist().
+     *  Called exactly once, when the assembled job goes terminal. */
+    void retire();
+
+  private:
+    core::IslandConfig cfg_;
+    std::string path_;
+    core::MigrationLedger ledger_;
+    core::SharedFitnessStore store_;
+    std::mutex mu_;
+    bool retired_ = false;  //!< job assembled; persist() disabled
+    std::set<int> persistedEpochs_;  //!< epochs already durable
+    std::map<int, Json> digests_;
+    std::map<int, Json> results_;
+    std::string failure_;  //!< first shard failure diagnostic
 };
 
 /** Worker-side knobs. */
@@ -131,6 +222,7 @@ class Worker
         double leaseSeconds = 3.0;
         std::string specJson;
         std::string snapshot;
+        int island = -1;  //!< >= 0: island shard of a K-island job
     };
 
     /** One claim round-trip. @return false when no job was handed out
@@ -141,8 +233,12 @@ class Worker
      *  on unexpected local failures (not transport ones). */
     void execute(Conn &conn, const Assignment &a,
                  const std::function<bool()> &shouldExit);
+    /** Island-shard variant of execute(): same lease discipline, plus
+     *  blocking migrate barriers and cache_sync fitness sharing. */
+    void executeShard(Conn &conn, const Assignment &a,
+                      const std::function<bool()> &shouldExit);
 
-    std::string snapshotPath(long id) const;
+    std::string snapshotPath(long id, int island = -1) const;
 
     WorkerConfig cfg_;
     std::atomic<bool> stopRequested_{false};

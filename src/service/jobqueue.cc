@@ -68,6 +68,9 @@ JobQueue::submit(JobSpec spec, const std::string &requestId)
     job->spec = std::move(spec);
     job->requestId = requestId;
     job->state = JobState::Queued;
+    if (shardMode_ && job->spec.params.islands > 1)
+        job->shards.resize(
+            static_cast<size_t>(job->spec.params.islands));
     pushStateEventLocked(*job);
     jobs_.emplace(job->id, job);
     if (!requestId.empty())
@@ -107,6 +110,13 @@ JobQueue::restore(std::shared_ptr<Job> job)
     if (!job->requestId.empty())
         requestIds_[job->requestId] = job->id;
     job->leaseId = 0;  // leases don't survive a coordinator restart
+    if (shardMode_ && job->spec.params.islands > 1 &&
+        !isTerminal(job->state))
+        // Shards are rebuilt unleased and not-done; resumed claimants
+        // fast-forward from the coordinator's shard snapshots, and the
+        // recovered migration ledger replays their history.
+        job->shards.assign(
+            static_cast<size_t>(job->spec.params.islands), JobShard{});
     if (!isTerminal(job->state))
         job->state = JobState::Queued;  // running jobs resume
     if (job->events.empty()) {
@@ -127,8 +137,8 @@ JobQueue::nextReadyLocked()
 {
     std::shared_ptr<Job> best;
     for (auto &[id, job] : jobs_) {
-        if (job->state != JobState::Queued)
-            continue;
+        if (job->state != JobState::Queued || !job->shards.empty())
+            continue;  // sharded jobs only move via per-shard claims
         if (!best || job->spec.priority > best->spec.priority ||
             (job->spec.priority == best->spec.priority &&
              job->seq < best->seq))
@@ -261,9 +271,26 @@ void
 JobQueue::publishGeneration(Job &job, const core::GenerationStats &gs)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    job.generation = gs.generation;
-    job.bestFitness = gs.bestFitness;
-    job.fitnessEvals = gs.fitnessEvals;
+    if (gs.island >= 0 &&
+        gs.island < static_cast<int>(job.shards.size())) {
+        // Island shard: per-shard progress mirror; the job-level
+        // fields aggregate across islands for one-line status.
+        JobShard &sh = job.shards[static_cast<size_t>(gs.island)];
+        sh.generation = gs.generation;
+        sh.epoch = gs.epoch;
+        sh.bestFitness = gs.bestFitness;
+        sh.fitnessEvals = gs.fitnessEvals;
+        job.generation = std::max(job.generation, gs.generation);
+        job.bestFitness = std::max(job.bestFitness, gs.bestFitness);
+        long evals = 0;
+        for (const JobShard &s : job.shards)
+            evals += s.fitnessEvals;
+        job.fitnessEvals = evals;
+    } else {
+        job.generation = gs.generation;
+        job.bestFitness = gs.bestFitness;
+        job.fitnessEvals = gs.fitnessEvals;
+    }
     Json ev = Json::object();
     ev["type"] = "event";
     ev["event"] = "generation";
@@ -271,6 +298,11 @@ JobQueue::publishGeneration(Job &job, const core::GenerationStats &gs)
     ev["generation"] = gs.generation;
     ev["best_fitness"] = gs.bestFitness;
     ev["fitness_evals"] = gs.fitnessEvals;
+    if (gs.island >= 0) {
+        ev["island"] = gs.island;
+        ev["epoch"] = gs.epoch;
+        ev["fleet_cache_hits"] = gs.fleetCacheHits;
+    }
     ev["invalid_mutants"] = gs.invalidMutants;
     ev["total_mutants"] = gs.totalMutants;
     ev["quarantined"] = static_cast<long long>(gs.quarantined);
@@ -358,28 +390,78 @@ JobQueue::summaries()
 
 std::shared_ptr<Job>
 JobQueue::tryClaim(const std::string &worker, double leaseSeconds,
-                   uint64_t *leaseIdOut)
+                   uint64_t *leaseIdOut, int *islandOut)
 {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_)
         return nullptr;
-    std::shared_ptr<Job> job = nextReadyLocked();
-    if (!job)
-        return nullptr;
-    job->state = JobState::Running;
-    job->leaseId = nextLease_++;
-    job->leaseDeadline =
+    auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(leaseSeconds));
-    job->worker = worker;
-    ++job->attempts;
+
+    // One priority-then-FIFO scan over whole jobs and island shards:
+    // a plain Queued job is claimed whole; a sharded job (island-aware
+    // callers only) hands out its lowest unleased, undone shard while
+    // any shard is live.
+    std::shared_ptr<Job> best;
+    int bestShard = -1;
+    for (auto &[id, job] : jobs_) {
+        int shard = -1;
+        if (job->shards.empty()) {
+            if (job->state != JobState::Queued)
+                continue;
+        } else {
+            if (!islandOut || isTerminal(job->state) ||
+                job->cancelRequested.load(std::memory_order_relaxed))
+                continue;
+            for (size_t k = 0; k < job->shards.size(); ++k)
+                if (!job->shards[k].done &&
+                    job->shards[k].leaseId == 0) {
+                    shard = static_cast<int>(k);
+                    break;
+                }
+            if (shard < 0)
+                continue;
+        }
+        if (!best || job->spec.priority > best->spec.priority ||
+            (job->spec.priority == best->spec.priority &&
+             job->seq < best->seq)) {
+            best = job;
+            bestShard = shard;
+        }
+    }
+    if (!best)
+        return nullptr;
+
+    uint64_t lease = nextLease_++;
+    if (bestShard >= 0) {
+        JobShard &sh = best->shards[static_cast<size_t>(bestShard)];
+        sh.leaseId = lease;
+        sh.leaseDeadline = deadline;
+        sh.worker = worker;
+        ++sh.attempts;
+        ++best->attempts;
+        best->worker = worker;  // last assignee (provenance)
+        if (best->state == JobState::Queued) {
+            best->state = JobState::Running;
+            pushStateEventLocked(*best);
+        }
+    } else {
+        best->state = JobState::Running;
+        best->leaseId = lease;
+        best->leaseDeadline = deadline;
+        best->worker = worker;
+        ++best->attempts;
+        pushStateEventLocked(*best);
+    }
     ++leaseStats_.assignments;
-    pushStateEventLocked(*job);
     eventsCv_.notify_all();
     if (leaseIdOut)
-        *leaseIdOut = job->leaseId;
-    return job;
+        *leaseIdOut = lease;
+    if (islandOut)
+        *islandOut = bestShard;
+    return best;
 }
 
 bool
@@ -388,16 +470,28 @@ JobQueue::renewLease(long id, uint64_t leaseId, double leaseSeconds,
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = jobs_.find(id);
-    if (it == jobs_.end() || it->second->leaseId != leaseId ||
-        it->second->state != JobState::Running) {
+    if (it == jobs_.end() || it->second->state != JobState::Running) {
         ++leaseStats_.staleRejections;
         return false;
     }
     Job &job = *it->second;
-    job.leaseDeadline =
+    auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(leaseSeconds));
+    if (job.leaseId == leaseId) {
+        job.leaseDeadline = deadline;
+    } else {
+        JobShard *held = nullptr;
+        for (JobShard &sh : job.shards)
+            if (!sh.done && sh.leaseId == leaseId)
+                held = &sh;
+        if (!held) {
+            ++leaseStats_.staleRejections;
+            return false;
+        }
+        held->leaseDeadline = deadline;
+    }
     ++leaseStats_.renewals;
     if (cancelOut)
         *cancelOut =
@@ -417,6 +511,46 @@ JobQueue::completeLeased(long id, uint64_t leaseId)
     }
     it->second->leaseId = 0;  // lease consumed by the terminal commit
     return it->second;
+}
+
+std::shared_ptr<Job>
+JobQueue::completeShardLeased(long id, uint64_t leaseId, int *islandOut)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it != jobs_.end() && it->second->state == JobState::Running) {
+        Job &job = *it->second;
+        for (size_t k = 0; k < job.shards.size(); ++k) {
+            JobShard &sh = job.shards[k];
+            if (sh.done || sh.leaseId != leaseId)
+                continue;
+            sh.leaseId = 0;
+            sh.done = true;
+            if (islandOut)
+                *islandOut = static_cast<int>(k);
+            return it->second;
+        }
+    }
+    ++leaseStats_.staleRejections;
+    return nullptr;
+}
+
+std::vector<int>
+JobQueue::reapCanceledShards(Job &job)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<int> reaped;
+    if (!job.cancelRequested.load(std::memory_order_relaxed) ||
+        isTerminal(job.state))
+        return reaped;
+    for (size_t k = 0; k < job.shards.size(); ++k) {
+        JobShard &sh = job.shards[k];
+        if (sh.done || sh.leaseId != 0)
+            continue;  // leased shards wind down via the cancel flag
+        sh.done = true;
+        reaped.push_back(static_cast<int>(k));
+    }
+    return reaped;
 }
 
 void
@@ -440,9 +574,23 @@ JobQueue::requeueExpired()
     auto now = std::chrono::steady_clock::now();
     std::vector<long> requeued;
     for (auto &[id, job] : jobs_) {
-        if (job->state != JobState::Running || job->leaseId == 0)
+        if (job->state != JobState::Running)
             continue;
-        if (job->leaseDeadline > now)
+        bool swept = false;
+        for (JobShard &sh : job->shards) {
+            if (sh.done || sh.leaseId == 0 || sh.leaseDeadline > now)
+                continue;
+            // The shard goes back to claimable; the job stays Running
+            // (its other islands keep working) and the next claimant
+            // resumes from the coordinator's shard snapshot.
+            sh.leaseId = 0;
+            ++leaseStats_.expirations;
+            ++leaseStats_.requeues;
+            swept = true;
+        }
+        if (swept)
+            requeued.push_back(id);
+        if (job->leaseId == 0 || job->leaseDeadline > now)
             continue;
         ++leaseStats_.expirations;
         requeueLocked(*job);
@@ -461,8 +609,19 @@ JobQueue::requeueOwnedBy(const std::string &worker)
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<long> requeued;
     for (auto &[id, job] : jobs_) {
-        if (job->state != JobState::Running || job->leaseId == 0 ||
-            job->worker != worker)
+        if (job->state != JobState::Running)
+            continue;
+        bool swept = false;
+        for (JobShard &sh : job->shards) {
+            if (sh.done || sh.leaseId == 0 || sh.worker != worker)
+                continue;
+            sh.leaseId = 0;
+            ++leaseStats_.requeues;
+            swept = true;
+        }
+        if (swept)
+            requeued.push_back(id);
+        if (job->leaseId == 0 || job->worker != worker)
             continue;
         requeueLocked(*job);
         requeued.push_back(id);
@@ -479,12 +638,19 @@ JobQueue::nextLeaseDeadline()
 {
     std::lock_guard<std::mutex> lock(mu_);
     std::chrono::steady_clock::time_point soonest{};
-    for (auto &[id, job] : jobs_) {
-        if (job->state != JobState::Running || job->leaseId == 0)
-            continue;
+    auto consider = [&](std::chrono::steady_clock::time_point t) {
         if (soonest == std::chrono::steady_clock::time_point{} ||
-            job->leaseDeadline < soonest)
-            soonest = job->leaseDeadline;
+            t < soonest)
+            soonest = t;
+    };
+    for (auto &[id, job] : jobs_) {
+        if (job->state != JobState::Running)
+            continue;
+        if (job->leaseId != 0)
+            consider(job->leaseDeadline);
+        for (const JobShard &sh : job->shards)
+            if (!sh.done && sh.leaseId != 0)
+                consider(sh.leaseDeadline);
     }
     return soonest;
 }
@@ -513,6 +679,25 @@ jobSummary(const Job &job)
         j["attempts"] = job.attempts;
     if (!job.error.empty())
         j["error"] = job.error;
+    if (!job.shards.empty()) {
+        j["island_count"] = static_cast<long long>(job.shards.size());
+        Json islands = Json::array();
+        for (size_t k = 0; k < job.shards.size(); ++k) {
+            const JobShard &sh = job.shards[k];
+            Json s = Json::object();
+            s["island"] = static_cast<long long>(k);
+            s["done"] = sh.done;
+            s["generation"] = sh.generation;
+            s["epoch"] = sh.epoch;
+            s["best_fitness"] = sh.bestFitness;
+            s["fitness_evals"] = sh.fitnessEvals;
+            s["attempts"] = sh.attempts;
+            if (!sh.worker.empty())
+                s["worker"] = sh.worker;
+            islands.push(std::move(s));
+        }
+        j["islands"] = std::move(islands);
+    }
     return j;
 }
 

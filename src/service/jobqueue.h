@@ -76,6 +76,26 @@ struct Rejection
     std::string message;
 };
 
+/** One island shard of a K-island job (coordinator shard mode only;
+ *  see DESIGN.md "Island-model evolution"). Each shard is leased to a
+ *  worker independently: the job is Running while any shard is live
+ *  and goes terminal only when the coordinator has assembled every
+ *  shard's digest. */
+struct JobShard
+{
+    uint64_t leaseId = 0;  //!< 0 = unleased (claimable unless done)
+    std::chrono::steady_clock::time_point leaseDeadline{};
+    std::string worker;
+    int attempts = 0;
+    bool done = false;  //!< digest committed; never re-leased
+
+    // Progress mirror (per-island status lines).
+    int generation = 0;
+    int epoch = 0;
+    double bestFitness = -1.0;
+    long fitnessEvals = 0;
+};
+
 /** One job, owned by the queue. Every field is guarded by the queue's
  *  mutex except cancelRequested, which the engine's shouldStop hook
  *  polls lock-free from the worker thread. */
@@ -93,6 +113,11 @@ struct Job
     std::chrono::steady_clock::time_point leaseDeadline{};
     std::string worker;  //!< current/last executor name (provenance)
     int attempts = 0;    //!< assignment count (1 = never failed over)
+
+    /** Island shards (coordinator shard mode, params.islands > 1);
+     *  empty for plain jobs. Sharded jobs never go through pop() or a
+     *  whole-job claim — only per-shard leases. */
+    std::vector<JobShard> shards;
 
     // Progress mirror of the engine's GenerationStats, for status.
     int generation = 0;
@@ -182,18 +207,37 @@ class JobQueue
 
     // ---- lease machinery (fleet mode) ----
 
-    /** Non-blocking claim for a remote worker: picks the same
-     *  priority-then-FIFO job pop() would, marks it Running under a
-     *  fresh lease for @p worker, arms the deadline. nullptr when the
-     *  queue is empty or closed. @p leaseIdOut receives the lease. */
+    /** Shard mode (coordinator): submissions with params.islands > 1
+     *  are split into one claimable shard per island instead of a
+     *  whole-job assignment. Off by default — the classic daemon runs
+     *  island jobs in-process. Set once, before any submission. */
+    void setShardMode(bool on) { shardMode_ = on; }
+    bool shardMode() const { return shardMode_; }
+
+    /**
+     * Non-blocking claim for a remote worker: picks the same
+     * priority-then-FIFO job pop() would, marks it Running under a
+     * fresh lease for @p worker, arms the deadline. nullptr when the
+     * queue is empty or closed. @p leaseIdOut receives the lease.
+     *
+     * @p islandOut selects what the caller can execute: when null
+     * (legacy callers) only whole jobs are handed out and sharded jobs
+     * are skipped; when non-null, an island shard may be granted —
+     * *islandOut receives its index (or -1 for a whole job). Lease ids
+     * are minted from one counter, so a shard lease never collides
+     * with a job lease.
+     */
     std::shared_ptr<Job> tryClaim(const std::string &worker,
                                   double leaseSeconds,
-                                  uint64_t *leaseIdOut);
+                                  uint64_t *leaseIdOut,
+                                  int *islandOut = nullptr);
 
-    /** Renew a lease (heartbeat or progress frame). @return false when
-     *  the lease is stale — the job was re-assigned or went terminal;
-     *  the worker must abandon it. @p cancelOut (optional) reports a
-     *  pending cancel request the worker should honor. */
+    /** Renew a lease (heartbeat or progress frame) — a whole-job lease
+     *  or an island-shard lease, found by its globally unique id.
+     *  @return false when the lease is stale — the job was re-assigned
+     *  or went terminal; the worker must abandon it. @p cancelOut
+     *  (optional) reports a pending cancel request the worker should
+     *  honor. */
     bool renewLease(long id, uint64_t leaseId, double leaseSeconds,
                     bool *cancelOut);
 
@@ -202,6 +246,19 @@ class JobQueue
      *  (caller publishes the terminal transition); nullptr on a stale
      *  lease (the attempt must be discarded — duplication barrier). */
     std::shared_ptr<Job> completeLeased(long id, uint64_t leaseId);
+
+    /** Shard analogue of completeLeased(): validates the shard lease,
+     *  marks the shard done (the job stays Running — the coordinator
+     *  assembles the terminal result once every shard is done) and
+     *  fills @p islandOut. nullptr on a stale lease. */
+    std::shared_ptr<Job> completeShardLeased(long id, uint64_t leaseId,
+                                             int *islandOut);
+
+    /** Coordinator sweep for a cancel-requested sharded job: mark every
+     *  unleased, undone shard done (it will never be claimed again) and
+     *  return their indices so the coordinator can settle its ledger.
+     *  Leased shards are left to wind down via the cancel flag. */
+    std::vector<int> reapCanceledShards(Job &job);
 
     /** Sweep: requeue every leased Running job whose deadline passed.
      *  Jobs with a pending cancel go terminal Canceled instead.
@@ -248,6 +305,7 @@ class JobQueue
     long nextId_ = 1;
     long nextSeq_ = 0;
     uint64_t nextLease_ = 1;
+    bool shardMode_ = false;
     bool closed_ = false;
     bool noWorkers_ = false;
     bool degraded_ = false;

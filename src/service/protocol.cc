@@ -50,6 +50,9 @@ toJson(const JobSpec &spec)
     p["eval_deadline"] = spec.params.evalDeadlineSeconds;
     p["eval_mem_budget"] =
         static_cast<long long>(spec.params.evalMemoryBudget);
+    p["islands"] = spec.params.islands;
+    p["migration_interval"] = spec.params.migrationInterval;
+    p["migrants"] = spec.params.migrantsPerIsland;
     j["params"] = std::move(p);
     return j;
 }
@@ -92,10 +95,22 @@ jobSpecFromJson(const Json &j)
         spec.params.evalMemoryBudget = static_cast<uint64_t>(p->num(
             "eval_mem_budget",
             static_cast<int64_t>(d.evalMemoryBudget)));
+        spec.params.islands =
+            static_cast<int>(p->num("islands", d.islands));
+        spec.params.migrationInterval = static_cast<int>(
+            p->num("migration_interval", d.migrationInterval));
+        spec.params.migrantsPerIsland =
+            static_cast<int>(p->num("migrants", d.migrantsPerIsland));
     }
     if (spec.params.popSize < 1 || spec.params.maxGenerations < 0 ||
         spec.params.maxSeconds <= 0)
         throw std::runtime_error("job spec has nonsensical GP bounds");
+    if (spec.params.islands < 1 ||
+        (spec.params.islands > 1 &&
+         (spec.params.migrationInterval < 1 ||
+          spec.params.migrantsPerIsland < 0)))
+        throw std::runtime_error(
+            "job spec has nonsensical island parameters");
     return spec;
 }
 

@@ -43,13 +43,35 @@
  *   claim      w -> c     wait_ms -> job (spec + snapshot + lease) or
  *                         no_job when the queue stayed empty
  *   job        c -> w     id, spec, snapshot (may be empty), lease_id,
- *                         lease_seconds
+ *                         lease_seconds; island >= 0 marks an island
+ *                         shard of a K-island job
  *   progress   w -> c     id, lease_id, generation stats, snapshot
  *                         bytes -> ok (carries cancel flag) or
  *                         error lease_lost
  *   heartbeat  w -> c     id, lease_id -> ok (cancel flag) / lease_lost
- *   done       w -> c     id, lease_id, state, result/error -> ok /
+ *   done       w -> c     id, lease_id, state, result/error (island
+ *                         shards add island + digest) -> ok /
  *                         lease_lost
+ *
+ * Island extensions (jobs submitted with params.islands > 1 on a
+ * coordinator are split into one shard per island, each with its own
+ * lease; see DESIGN.md "Island-model evolution"):
+ *
+ *   migrate    w -> c     id, lease_id, island, epoch, elites (variant
+ *                         blob) -> ok {wait:true} while the epoch
+ *                         barrier is open, else migrants {stop, blob}.
+ *                         Re-sent as a poll; the coordinator's submit
+ *                         is idempotent per (island, epoch). A frame
+ *                         with a "replay" ledger (and no elites) asks
+ *                         the coordinator to audit a resumed shard's
+ *                         imported-migrant history.
+ *   cache_sync w -> c     id, lease_id, optional publish (keys +
+ *                         variant blob) + condemn (quarantine records)
+ *                         + lookup (keys) -> cache {hit_keys, hits
+ *                         blob, quarantined records}. Shares the
+ *                         patch-keyed fitness cache fleet-wide so no
+ *                         worker re-simulates a candidate any island
+ *                         already scored.
  *
  * Leases are the duplication barrier: every assignment mints a fresh
  * lease_id, and progress/done frames quoting a stale lease are
@@ -115,6 +137,14 @@ struct JobParams
     double phi = 2.0;
     double evalDeadlineSeconds = 30.0;
     uint64_t evalMemoryBudget = 64ull << 20;
+    /** Island-model evolution (island.h): subpopulation count. 1 is a
+     *  plain single-population run; a coordinator shards K > 1 across
+     *  distinct workers. */
+    int islands = 1;
+    /** Generations per migration epoch (islands > 1 only). */
+    int migrationInterval = 2;
+    /** Elites each island exports at every epoch boundary. */
+    int migrantsPerIsland = 2;
 };
 
 /** One repair request: a faulty design + expected behavior. Exactly

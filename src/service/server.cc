@@ -77,7 +77,12 @@ constexpr int kSweepTickMs = 100;
 } // namespace
 
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), queue_(cfg_.limits)
-{}
+{
+    // Coordinator mode shards K-island jobs across workers; the
+    // classic daemon runs them in-process (session.cc). Must be set
+    // before recoverStateDir() so restored jobs rebuild their shards.
+    queue_.setShardMode(cfg_.fleet.requireWorkers);
+}
 
 Server::~Server()
 {
@@ -101,6 +106,19 @@ Server::resultFile(long id) const
 {
     return cfg_.stateDir + "/job-" + std::to_string(id) +
            ".result.json";
+}
+
+std::string
+Server::ledgerFile(long id) const
+{
+    return cfg_.stateDir + "/job-" + std::to_string(id) + ".ledger";
+}
+
+std::string
+Server::shardSnapshotFile(long id, int island) const
+{
+    return cfg_.stateDir + "/job-" + std::to_string(id) + ".i" +
+           std::to_string(island) + ".snap";
 }
 
 void
@@ -301,9 +319,101 @@ Server::updateFleetStatus()
     queue_.setFleetStatus(noWorkers, degraded);
 }
 
+std::shared_ptr<IslandCoordinator>
+Server::islandCoordinatorFor(const std::shared_ptr<Job> &job)
+{
+    if (job->spec.params.islands <= 1)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(islandMu_);
+    auto it = islandJobs_.find(job->id);
+    if (it != islandJobs_.end())
+        // May be the null tombstone of an assembled job: a late shard
+        // frame must get "no coordinator", never a fresh one that
+        // would re-create the ledger the assembly just removed.
+        return it->second;
+    auto coord = std::make_shared<IslandCoordinator>(
+        islandConfigFromSpec(job->spec), ledgerFile(job->id));
+    if (coord->recover() == IslandCoordinator::Recovery::Corrupt) {
+        // An undecodable ledger restarts the job from scratch: drop it
+        // and every shard snapshot. Determinism makes the restarted
+        // search converge to the same result — only work is lost.
+        coord->removeLedgerFile();
+        for (int i = 0; i < job->spec.params.islands; ++i)
+            std::remove(shardSnapshotFile(job->id, i).c_str());
+        coord = std::make_shared<IslandCoordinator>(
+            islandConfigFromSpec(job->spec), ledgerFile(job->id));
+    }
+    islandJobs_.emplace(job->id, coord);
+    return coord;
+}
+
+void
+Server::finishIslandJob(const std::shared_ptr<Job> &job,
+                        const std::shared_ptr<IslandCoordinator>
+                            &coord)
+{
+    {
+        // The done handler and the sweep can both observe allDone();
+        // whoever swaps the registry entry for the null tombstone
+        // commits the job. The tombstone stays so a late shard frame
+        // cannot resurrect a coordinator for the finished job.
+        std::lock_guard<std::mutex> lock(islandMu_);
+        auto it = islandJobs_.find(job->id);
+        if (it == islandJobs_.end() || !it->second)
+            return;
+        it->second = nullptr;
+    }
+    std::string error;
+    Json result = coord->assemble(job->spec.params.seed, &error);
+    JobState state = JobState::Failed;
+    if (error.empty()) {
+        bool found = coord->ledger().winner().first != -1;
+        state = !found && job->cancelRequested.load(
+                              std::memory_order_relaxed)
+                    ? JobState::Canceled
+                    : JobState::Done;
+        queue_.setResult(*job, std::move(result));
+    }
+    queue_.setState(*job, state, error);
+    try {
+        persistResult(*job);
+    } catch (const std::exception &) {
+    }
+    // retire() removes the ledger file AND disables persist(), so a
+    // shard_done/migrate persist racing this cleanup cannot write the
+    // file back afterwards.
+    coord->retire();
+    for (int i = 0; i < job->spec.params.islands; ++i)
+        std::remove(shardSnapshotFile(job->id, i).c_str());
+}
+
+void
+Server::sweepIslandJobs()
+{
+    std::vector<std::pair<long, std::shared_ptr<IslandCoordinator>>>
+        live;
+    {
+        std::lock_guard<std::mutex> lock(islandMu_);
+        for (const auto &[id, coord] : islandJobs_)
+            if (coord)  // skip tombstones of assembled jobs
+                live.emplace_back(id, coord);
+    }
+    for (const auto &[id, coord] : live) {
+        std::shared_ptr<Job> job = queue_.find(id);
+        if (!job)
+            continue;
+        if (job->cancelRequested.load(std::memory_order_relaxed))
+            for (int island : queue_.reapCanceledShards(*job))
+                coord->shardReaped(island);
+        if (coord->allDone())
+            finishIslandJob(job, coord);
+    }
+}
+
 void
 Server::sweepLeases()
 {
+    sweepIslandJobs();
     for (long id : queue_.requeueExpired()) {
         // A requeue normally needs no persistence (the job file and
         // snapshot are already durable), but a cancel-while-leased
@@ -506,9 +616,10 @@ Server::dispatchWorker(const Json &msg, const std::string &key)
                         std::chrono::milliseconds(waitMs);
         std::shared_ptr<Job> job;
         uint64_t leaseId = 0;
+        int island = -1;
         while (true) {
             job = queue_.tryClaim(key, cfg_.fleet.leaseSeconds,
-                                  &leaseId);
+                                  &leaseId, &island);
             if (job || stopping_.load(std::memory_order_relaxed) ||
                 std::chrono::steady_clock::now() >= deadline)
                 break;
@@ -530,10 +641,20 @@ Server::dispatchWorker(const Json &msg, const std::string &key)
         resp["lease_id"] = static_cast<long long>(leaseId);
         resp["lease_seconds"] = cfg_.fleet.leaseSeconds;
         resp["spec"] = toJson(job->spec);
-        // Empty for a fresh job; the dead worker's last durable
-        // checkpoint on failover — the claimant resumes from it
-        // bit-identically.
-        resp["snapshot"] = slurpFileOrEmpty(snapshotFile(job->id));
+        if (island >= 0) {
+            // An island shard: make sure the coordinator exists (and
+            // has recovered its ledger) before the shard's first
+            // migrate frame arrives.
+            islandCoordinatorFor(job);
+            resp["island"] = island;
+            resp["snapshot"] = slurpFileOrEmpty(
+                shardSnapshotFile(job->id, island));
+        } else {
+            // Empty for a fresh job; the dead worker's last durable
+            // checkpoint on failover — the claimant resumes from it
+            // bit-identically.
+            resp["snapshot"] = slurpFileOrEmpty(snapshotFile(job->id));
+        }
         return resp;
     }
 
@@ -550,10 +671,14 @@ Server::dispatchWorker(const Json &msg, const std::string &key)
         if (!job)
             return makeError(errc::kUnknownJob,
                              "no job with id " + std::to_string(id));
+        int island = static_cast<int>(msg.num("island", -1));
         std::string snapshot = msg.str("snapshot");
         if (!snapshot.empty()) {
             try {
-                writeFileAtomic(snapshotFile(id), snapshot);
+                writeFileAtomic(island >= 0
+                                    ? shardSnapshotFile(id, island)
+                                    : snapshotFile(id),
+                                snapshot);
             } catch (const std::exception &) {
                 // Progress still counts; failover would just fall
                 // back to an older checkpoint.
@@ -565,6 +690,9 @@ Server::dispatchWorker(const Json &msg, const std::string &key)
         gs.fitnessEvals = msg.num("fitness_evals", 0);
         gs.invalidMutants = msg.num("invalid_mutants", 0);
         gs.totalMutants = msg.num("total_mutants", 0);
+        gs.island = island;
+        gs.epoch = static_cast<int>(msg.num("epoch", 0));
+        gs.fleetCacheHits = msg.num("fleet_cache_hits", 0);
         queue_.publishGeneration(*job, gs);
         Json resp = Json::object();
         resp["type"] = "ok";
@@ -584,6 +712,87 @@ Server::dispatchWorker(const Json &msg, const std::string &key)
         Json resp = Json::object();
         resp["type"] = "ok";
         resp["cancel"] = cancel;
+        return resp;
+    }
+
+    if (type == "migrate" || type == "cache_sync") {
+        long id = msg.num("id", -1);
+        uint64_t leaseId =
+            static_cast<uint64_t>(msg.num("lease_id", 0));
+        bool cancel = false;
+        if (!queue_.renewLease(id, leaseId, cfg_.fleet.leaseSeconds,
+                               &cancel))
+            return makeError(errc::kLeaseLost,
+                             "job " + std::to_string(id) +
+                                 " is no longer leased to you");
+        std::shared_ptr<Job> job = queue_.find(id);
+        if (!job)
+            return makeError(errc::kUnknownJob,
+                             "no job with id " + std::to_string(id));
+        std::shared_ptr<IslandCoordinator> coord =
+            islandCoordinatorFor(job);
+        if (!coord)
+            return makeError(errc::kBadRequest,
+                             "job " + std::to_string(id) +
+                                 " is not an island job (or already "
+                                 "assembled)");
+        Json resp;
+        try {
+            resp = type == "migrate" ? coord->handleMigrate(msg)
+                                     : coord->handleCacheSync(msg);
+        } catch (const std::exception &e) {
+            return makeError(errc::kInternal, e.what());
+        }
+        if (cancel)
+            resp["cancel"] = true;
+        return resp;
+    }
+
+    if (type == "done" && msg.num("island", -1) >= 0) {
+        long id = msg.num("id", -1);
+        uint64_t leaseId =
+            static_cast<uint64_t>(msg.num("lease_id", 0));
+        int island = -1;
+        std::shared_ptr<Job> job =
+            queue_.completeShardLeased(id, leaseId, &island);
+        if (!job)
+            return makeError(errc::kLeaseLost,
+                             "job " + std::to_string(id) +
+                                 " is no longer leased to you");
+        std::shared_ptr<IslandCoordinator> coord =
+            islandCoordinatorFor(job);
+        if (coord) {
+            JobState state = JobState::Failed;
+            try {
+                state = jobStateFromName(msg.str("state", "failed"));
+            } catch (const std::exception &) {
+            }
+            const Json *digest = msg.find("digest");
+            const Json *result = msg.find("result");
+            std::string error;
+            if (state == JobState::Failed) {
+                error = msg.str("error");
+                if (error.empty())
+                    error = "island shard failed";
+                // The job cannot succeed once any island failed: wind
+                // the surviving shards down via the cancel relay.
+                job->cancelRequested.store(true,
+                                           std::memory_order_relaxed);
+            }
+            coord->shardDone(island,
+                             digest && digest->isObject()
+                                 ? *digest
+                                 : Json::object(),
+                             result ? *result : Json(), error);
+            // Shard snapshots are kept until the whole job assembles:
+            // a coordinator restart re-runs done shards from them
+            // (their in-memory digests died with the coordinator).
+            if (coord->allDone())
+                finishIslandJob(job, coord);
+        }
+        Json resp = Json::object();
+        resp["type"] = "ok";
+        resp["id"] = id;
         return resp;
     }
 
@@ -671,6 +880,15 @@ Server::dispatch(const Json &msg, Conn &conn, bool &keep_open)
         Json resp = Json::object();
         resp["type"] = "status";
         resp["job"] = std::move(summary);
+        LeaseStats ls = queue_.leaseStats();
+        Json lease = Json::object();
+        lease["assignments"] = static_cast<long long>(ls.assignments);
+        lease["renewals"] = static_cast<long long>(ls.renewals);
+        lease["expirations"] = static_cast<long long>(ls.expirations);
+        lease["requeues"] = static_cast<long long>(ls.requeues);
+        lease["stale_rejections"] =
+            static_cast<long long>(ls.staleRejections);
+        resp["lease_stats"] = std::move(lease);
         return resp;
     }
 

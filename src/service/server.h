@@ -35,6 +35,7 @@
  * re-queued job resumes exactly where the dead one checkpointed.
  */
 
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -111,6 +112,22 @@ class Server
     /** Persist terminal states minted by the lease sweep. */
     void sweepLeases();
 
+    // ---- island-job orchestration (shard mode) ----
+    std::string ledgerFile(long id) const;
+    std::string shardSnapshotFile(long id, int island) const;
+    /** Find-or-create (and crash-recover) the coordinator of a
+     *  sharded job; nullptr for plain jobs. */
+    std::shared_ptr<IslandCoordinator>
+    islandCoordinatorFor(const std::shared_ptr<Job> &job);
+    /** Assemble + commit a sharded job's terminal state (idempotent —
+     *  the done handler and the sweep may race here). */
+    void finishIslandJob(const std::shared_ptr<Job> &job,
+                         const std::shared_ptr<IslandCoordinator>
+                             &coord);
+    /** Settle canceled island jobs whose unleased shards will never
+     *  run; assemble any job that became allDone. */
+    void sweepIslandJobs();
+
     // ---- persistence ----
     std::string jobFile(long id) const;
     std::string snapshotFile(long id) const;
@@ -122,6 +139,9 @@ class Server
     ServerConfig cfg_;
     JobQueue queue_;
     FleetRegistry fleet_;
+    std::mutex islandMu_;
+    /** Live coordinators of sharded jobs, keyed by job id. */
+    std::map<long, std::shared_ptr<IslandCoordinator>> islandJobs_;
     Listener listener_;
     int stopPipe_[2] = {-1, -1};
     std::atomic<bool> stopping_{false};

@@ -1,5 +1,7 @@
 #include "service/session.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "core/snapshot.h"
@@ -24,6 +26,16 @@ engineConfigFromSpec(const JobSpec &spec)
     cfg.evalDeadlineSeconds = spec.params.evalDeadlineSeconds;
     cfg.evalMemoryBudget = spec.params.evalMemoryBudget;
     return cfg;
+}
+
+core::IslandConfig
+islandConfigFromSpec(const JobSpec &spec)
+{
+    core::IslandConfig ic;
+    ic.islands = spec.params.islands;
+    ic.migrationInterval = spec.params.migrationInterval;
+    ic.migrantsPerIsland = spec.params.migrantsPerIsland;
+    return ic;
 }
 
 namespace {
@@ -116,6 +128,149 @@ resultToJson(const core::RepairResult &res)
     return j;
 }
 
+namespace {
+
+/** Bit-exact double transport (JSON %.17g is exact too, but hexfloat
+ *  text is what islandFingerprint() hashes — ship the same form). */
+std::string
+hexDouble(double d)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", d);
+    return buf;
+}
+
+} // namespace
+
+Json
+migrantRecordsToJson(const std::vector<core::MigrantRecord> &ledger)
+{
+    Json out = Json::array();
+    for (const core::MigrantRecord &rec : ledger) {
+        Json r = Json::object();
+        r["epoch"] = rec.epoch;
+        Json keys = Json::array();
+        for (const std::string &k : rec.keys)
+            keys.push(k);
+        r["keys"] = std::move(keys);
+        out.push(std::move(r));
+    }
+    return out;
+}
+
+std::vector<core::MigrantRecord>
+migrantRecordsFromJson(const Json &j)
+{
+    std::vector<core::MigrantRecord> out;
+    if (!j.isArray())
+        return out;
+    for (const Json &r : j.items()) {
+        core::MigrantRecord rec;
+        rec.epoch = static_cast<int>(r.num("epoch", 0));
+        if (const Json *keys = r.find("keys"))
+            for (const Json &k : keys->items())
+                rec.keys.push_back(k.asString());
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+Json
+islandDigestToJson(const core::IslandStats &st)
+{
+    Json j = Json::object();
+    j["island"] = st.island;
+    j["generations"] = st.generations;
+    j["found"] = st.found;
+    j["stopped"] = st.stopped;
+    j["best_fitness"] = st.bestFitness;
+    j["best_fitness_hex"] = hexDouble(st.bestFitness);
+    j["patch_key"] = st.patchKey;
+    j["ledger"] = migrantRecordsToJson(st.ledger);
+    j["fitness_evals"] = st.fitnessEvals;
+    j["fleet_cache_hits"] = st.fleetCacheHits;
+    j["fleet_quarantine_hits"] = st.fleetQuarantineHits;
+    return j;
+}
+
+core::IslandStats
+islandStatsFromDigest(const Json &digest)
+{
+    if (!digest.isObject())
+        throw std::runtime_error("island digest must be an object");
+    core::IslandStats st;
+    st.island = static_cast<int>(digest.num("island", -1));
+    if (st.island < 0)
+        throw std::runtime_error("island digest missing 'island'");
+    st.generations = static_cast<int>(digest.num("generations", 0));
+    st.found = digest.flag("found");
+    st.stopped = digest.flag("stopped");
+    std::string hex = digest.str("best_fitness_hex");
+    st.bestFitness = hex.empty() ? digest.real("best_fitness", 0.0)
+                                 : std::strtod(hex.c_str(), nullptr);
+    st.patchKey = digest.str("patch_key");
+    if (const Json *ledger = digest.find("ledger"))
+        st.ledger = migrantRecordsFromJson(*ledger);
+    st.fitnessEvals = digest.num("fitness_evals", 0);
+    st.fleetCacheHits = digest.num("fleet_cache_hits", 0);
+    st.fleetQuarantineHits = digest.num("fleet_quarantine_hits", 0);
+    return st;
+}
+
+Json
+islandBlockJson(
+    uint64_t seed, const core::IslandConfig &cfg, bool found,
+    int winnerIsland, int winnerEpoch,
+    const std::vector<core::IslandStats> &islands,
+    const std::vector<std::pair<int, std::vector<std::string>>>
+        &broadcasts,
+    const core::MigrationStats &migration, uint64_t fingerprint)
+{
+    Json j = Json::object();
+    j["count"] = cfg.islands;
+    j["migration_interval"] = cfg.migrationInterval;
+    j["migrants_per_island"] = cfg.migrantsPerIsland;
+    j["seed"] = static_cast<long long>(seed);
+    j["found"] = found;
+    j["winner_island"] = winnerIsland;
+    j["winner_epoch"] = winnerEpoch;
+    j["fingerprint"] = std::to_string(fingerprint);
+    Json digests = Json::array();
+    for (const core::IslandStats &st : islands)
+        digests.push(islandDigestToJson(st));
+    j["islands"] = std::move(digests);
+    Json bc = Json::array();
+    for (const auto &[epoch, keys] : broadcasts) {
+        Json b = Json::object();
+        b["epoch"] = epoch;
+        Json ks = Json::array();
+        for (const std::string &k : keys)
+            ks.push(k);
+        b["keys"] = std::move(ks);
+        bc.push(std::move(b));
+    }
+    j["broadcasts"] = std::move(bc);
+    Json mig = Json::object();
+    mig["elites_exported"] = migration.elitesExported;
+    mig["migrants_broadcast"] = migration.migrantsBroadcast;
+    mig["migrant_duplicates"] = migration.migrantDuplicates;
+    mig["elites_lost"] = migration.elitesLost;
+    j["migration"] = std::move(mig);
+    return j;
+}
+
+Json
+islandOutcomeToJson(const core::IslandOutcome &outcome, uint64_t seed,
+                    const core::IslandConfig &cfg)
+{
+    Json j = resultToJson(outcome.result);
+    j["islands"] = islandBlockJson(
+        seed, cfg, outcome.found, outcome.winnerIsland,
+        outcome.winnerEpoch, outcome.islands, outcome.broadcasts,
+        outcome.migration, outcome.fingerprint);
+    return j;
+}
+
 SessionOutcome
 runRepairJob(const JobSpec &spec, const std::string &snapshotPath,
              const std::function<void(const core::GenerationStats &)>
@@ -127,6 +282,27 @@ runRepairJob(const JobSpec &spec, const std::string &snapshotPath,
     try {
         JobInputs in = buildJobInputs(spec);
         core::EngineConfig cfg = engineConfigFromSpec(spec);
+        if (spec.params.islands > 1) {
+            // In-process K-island run (classic daemon / CLI path): the
+            // islands, the barrier and the shared fitness store all
+            // live in this process. Checkpoints land in a per-job
+            // directory next to where the plain snapshot would go.
+            core::IslandConfig ic = islandConfigFromSpec(spec);
+            cfg.snapshotProvenance = provenance;
+            std::string dir;
+            if (!snapshotPath.empty()) {
+                dir = snapshotPath + ".d";
+                std::filesystem::create_directories(dir);
+            }
+            core::IslandOutcome outcome = core::runIslands(
+                in.faulty, spec.tbModule, spec.dutModule, in.probe,
+                in.oracle, cfg, ic, dir, onGeneration, shouldStop);
+            out.result = islandOutcomeToJson(outcome, cfg.seed, ic);
+            out.state = outcome.result.stopped && !outcome.found
+                            ? JobState::Canceled
+                            : JobState::Done;
+            return out;
+        }
         cfg.snapshotPath = snapshotPath;
         cfg.snapshotProvenance = provenance;
         cfg.snapshotEvery = 1;
@@ -155,6 +331,88 @@ runRepairJob(const JobSpec &spec, const std::string &snapshotPath,
     } catch (...) {
         out.state = JobState::Failed;
         out.error = "unknown exception";
+    }
+    return out;
+}
+
+IslandShardOutcome
+runIslandShard(const JobSpec &spec, int island,
+               const std::string &snapshotPath,
+               const IslandShardHooks &hooks,
+               const std::function<void(const core::GenerationStats &)>
+                   &onGeneration,
+               const std::function<bool()> &shouldStop,
+               const std::string &provenance)
+{
+    IslandShardOutcome out;
+    // Mirrors runIslands()'s per-island wiring exactly — the engine
+    // config, elite selection and stop handling must match bit for bit
+    // or the distributed fingerprint diverges from the in-process one.
+    bool migrationStop = false;
+    try {
+        JobInputs in = buildJobInputs(spec);
+        core::IslandConfig ic = islandConfigFromSpec(spec);
+        core::EngineConfig cfg = core::deriveIslandEngineConfig(
+            engineConfigFromSpec(spec), ic, island);
+        cfg.snapshotPath = snapshotPath;
+        cfg.snapshotProvenance = provenance;
+        cfg.snapshotEvery = 1;
+        cfg.onGeneration = onGeneration;
+        cfg.shouldStop = [&] {
+            return migrationStop || (shouldStop && shouldStop());
+        };
+        cfg.onMigration =
+            [&](int epoch, const std::vector<core::Variant> &popn) {
+                std::vector<core::Variant> elites = core::selectElites(
+                    popn, ic.migrantsPerIsland);
+                bool stop = false;
+                std::vector<core::Variant> migrants = hooks.exchange(
+                    epoch, std::move(elites), &stop);
+                if (stop)
+                    migrationStop = true;
+                return migrants;
+            };
+        if (hooks.lookup)
+            cfg.fleetLookup = hooks.lookup;
+        if (hooks.publish)
+            cfg.fleetPublish = hooks.publish;
+        core::RepairEngine engine(in.faulty, spec.tbModule,
+                                  spec.dutModule, in.probe,
+                                  std::move(in.oracle), cfg);
+        core::RepairResult res;
+        if (!snapshotPath.empty() &&
+            std::filesystem::exists(snapshotPath)) {
+            core::EngineState state = core::loadSnapshot(snapshotPath);
+            if (hooks.replay)
+                hooks.replay(state.migrantLedger);
+            res = engine.resume(state);
+        } else {
+            res = engine.run();
+        }
+        core::IslandStats st;
+        st.island = island;
+        st.generations = res.generations;
+        st.found = res.found;
+        st.stopped = res.stopped;
+        st.bestFitness = res.fitnessTrajectory.empty()
+                             ? 0.0
+                             : res.fitnessTrajectory.back().second;
+        if (res.found)
+            st.patchKey = res.patch.key();
+        st.ledger = res.migrantLedger;
+        st.fitnessEvals = res.fitnessEvals;
+        st.fleetCacheHits = res.fleetCacheHits;
+        st.fleetQuarantineHits = res.fleetQuarantineHits;
+        out.digest = islandDigestToJson(st);
+        out.session.result = resultToJson(res);
+        out.session.state = JobState::Done;
+        out.stopped = res.stopped;
+    } catch (const std::exception &e) {
+        out.session.state = JobState::Failed;
+        out.session.error = e.what();
+    } catch (...) {
+        out.session.state = JobState::Failed;
+        out.session.error = "unknown exception";
     }
     return out;
 }

@@ -1057,3 +1057,371 @@ TEST(FleetServer, SustainedChaosLosesNothingDuplicatesNothing)
         w->stop();
     server.stop();
 }
+
+// ---------------------------------------------------------------
+// Island jobs on the fleet (coordinator shards one job to K workers)
+// ---------------------------------------------------------------
+
+namespace {
+
+/** The repairable two-fault toggle, sharded into K islands. Migration
+ *  reshapes each island's trajectory, so the repair can land later
+ *  than the plain run's generation 6 — the budget is generous and the
+ *  winner stops everyone early anyway. */
+JobSpec
+islandSpec(int islands = 4)
+{
+    JobSpec spec = repairableSpec();
+    // Seed 15845 converges at K=4 (island 1 finds the repair at epoch
+    // 3); the base seed 7 only repairs in the single-population run.
+    spec.params.seed = 15845;
+    spec.params.maxGenerations = 12;
+    spec.params.islands = islands;
+    spec.params.migrationInterval = 2;
+    spec.params.migrantsPerIsland = 2;
+    return spec;
+}
+
+/** A synthetic valid, evaluated variant with a distinct key per
+ *  @p target (one Delete edit) — protocol-level test traffic. */
+core::Variant
+fleetVariant(int target, double fitness)
+{
+    core::Variant v;
+    core::Edit e;
+    e.kind = core::EditKind::Delete;
+    e.target = target;
+    v.patch.edits.push_back(std::move(e));
+    v.fit.fitness = fitness;
+    v.valid = true;
+    v.evaluated = true;
+    return v;
+}
+
+std::string
+fleetKey(int target)
+{
+    return fleetVariant(target, 0).patch.key();
+}
+
+} // namespace
+
+TEST(FleetIsland, CacheSyncSharesScoresAcrossWorkers)
+{
+    core::IslandConfig ic;
+    ic.islands = 2;
+    IslandCoordinator coord(ic, "");
+
+    // Worker A publishes an exact score and condemns a crasher.
+    core::FitnessCache::Entry scored;
+    scored.valid = true;
+    scored.fit.fitness = 0.625;
+    core::QuarantineEntry crashed;
+    crashed.error = "simulator crashed";
+    Json publish = Json::object();
+    publish["type"] = "cache_sync";
+    Json keys;
+    publish["publish"] =
+        encodeCacheEntries({{fleetKey(1), scored}}, &keys);
+    publish["publish_keys"] = std::move(keys);
+    publish["condemn"] =
+        encodeQuarantineRecords({{fleetKey(2), crashed}});
+    Json ack = coord.handleCacheSync(publish);
+    EXPECT_EQ(ack.str("type"), "cache");
+
+    // Worker B looks the same keys up: the published score is a hit,
+    // the condemned key comes back quarantined, the unknown key is
+    // silently absent (B will score it itself).
+    Json lookup = Json::object();
+    lookup["type"] = "cache_sync";
+    Json want = Json::array();
+    want.push(fleetKey(1));
+    want.push(fleetKey(2));
+    want.push(fleetKey(3));
+    lookup["lookup"] = std::move(want);
+    Json reply = coord.handleCacheSync(lookup);
+    ASSERT_EQ(reply.str("type"), "cache");
+
+    auto hits = decodeCacheEntries(*reply.find("hit_keys"),
+                                   reply.str("hits"));
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].first, fleetKey(1));
+    EXPECT_DOUBLE_EQ(hits[0].second.fit.fitness, 0.625);
+    auto quarantined =
+        decodeQuarantineRecords(*reply.find("quarantined"));
+    ASSERT_EQ(quarantined.size(), 1u);
+    EXPECT_EQ(quarantined[0].first, fleetKey(2));
+    EXPECT_EQ(quarantined[0].second.error, "simulator crashed");
+}
+
+TEST(FleetIsland, QuarantinedKeysNeverMigrateAsElites)
+{
+    core::IslandConfig ic;
+    ic.islands = 2;
+    ic.migrationInterval = 2;
+    IslandCoordinator coord(ic, "");
+
+    // The fleet condemned key 8 (it crashed a simulator somewhere).
+    core::QuarantineEntry crashed;
+    crashed.error = "boom";
+    Json condemn = Json::object();
+    condemn["condemn"] =
+        encodeQuarantineRecords({{fleetKey(8), crashed}});
+    coord.handleCacheSync(condemn);
+
+    // Island 0 exports the condemned key among its elites; island 1's
+    // submission seals the barrier.
+    auto migrate = [&](int island,
+                       const std::vector<core::Variant> &elites) {
+        Json msg = Json::object();
+        msg["island"] = island;
+        msg["epoch"] = 1;
+        msg["elites"] = core::encodeVariants(elites);
+        return coord.handleMigrate(msg);
+    };
+    Json waiting =
+        migrate(0, {fleetVariant(8, 1.0), fleetVariant(1, 0.9)});
+    EXPECT_EQ(waiting.str("type"), "ok");
+    EXPECT_TRUE(waiting.flag("wait"));
+    Json sealed = migrate(1, {fleetVariant(5, 0.5)});
+    ASSERT_EQ(sealed.str("type"), "migrants");
+
+    // The broadcast excludes the condemned key — a poisoned patch can
+    // never propagate through migration.
+    std::vector<core::Variant> migrants =
+        core::decodeVariants(sealed.str("migrants"));
+    std::vector<std::string> keys;
+    for (const core::Variant &v : migrants)
+        keys.push_back(v.patch.key());
+    EXPECT_EQ(keys, (std::vector<std::string>{fleetKey(1),
+                                              fleetKey(5)}));
+    EXPECT_EQ(coord.ledger().stats().migrantDuplicates, 0);
+}
+
+TEST(FleetIsland, FourIslandFleetMatchesInProcessFingerprint)
+{
+    JobSpec spec = islandSpec(4);
+
+    // In-process reference: the classic daemon path runs the same
+    // 4-island job on threads.
+    SessionOutcome reference = runRepairJob(spec, "", nullptr, nullptr);
+    ASSERT_EQ(reference.state, JobState::Done);
+    const Json *refIslands = reference.result.find("islands");
+    ASSERT_NE(refIslands, nullptr);
+    std::string refFingerprint = refIslands->str("fingerprint");
+    ASSERT_FALSE(refFingerprint.empty());
+
+    ServerConfig cfg = coordinatorConfig("fleet-island-e2e");
+    Server server(cfg);
+    server.start();
+    std::string address = server.boundAddress();
+    std::vector<std::unique_ptr<WorkerThread>> workers;
+    for (int i = 0; i < 4; ++i)
+        workers.push_back(std::make_unique<WorkerThread>(
+            workerConfig(address, "iw" + std::to_string(i))));
+    ASSERT_TRUE(eventually([&] { return server.workerCount() == 4; }));
+
+    Client client(address);
+    long id = client.submit(spec);
+    drainJob(address, id);
+
+    Json summary = client.status(id);
+    EXPECT_EQ(summary.str("state"), "done");
+    // The per-shard progress schema rides the status summary.
+    EXPECT_EQ(summary.num("island_count"), 4);
+    const Json *shards = summary.find("islands");
+    ASSERT_NE(shards, nullptr);
+    ASSERT_EQ(shards->size(), 4u);
+    for (const Json &s : shards->items()) {
+        EXPECT_TRUE(s.has("island"));
+        EXPECT_TRUE(s.flag("done"));
+        EXPECT_TRUE(s.has("generation"));
+        EXPECT_TRUE(s.has("epoch"));
+        EXPECT_TRUE(s.has("best_fitness"));
+        EXPECT_TRUE(s.has("fitness_evals"));
+        EXPECT_GE(s.num("attempts"), 1);
+        EXPECT_FALSE(s.str("worker").empty());
+    }
+
+    Json reply = client.result(id);
+    const Json *result = reply.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->flag("found"));
+    const Json *islands = result->find("islands");
+    ASSERT_NE(islands, nullptr);
+
+    // The acceptance bar: a 4-worker fleet and 4 in-process threads
+    // compute the same run — one integer to compare. (Work counters
+    // like evals and cache hits legitimately differ with timing; the
+    // fingerprint hashes exactly the invariant part.)
+    EXPECT_EQ(islands->str("fingerprint"), refFingerprint);
+    EXPECT_EQ(islands->num("winner_island"),
+              refIslands->num("winner_island"));
+    EXPECT_EQ(islands->num("winner_epoch"),
+              refIslands->num("winner_epoch"));
+    EXPECT_EQ(result->str("repaired_source"),
+              reference.result.str("repaired_source"));
+    // Hard migration invariants.
+    const Json *mig = islands->find("migration");
+    ASSERT_NE(mig, nullptr);
+    EXPECT_EQ(mig->num("migrant_duplicates"), 0);
+    EXPECT_EQ(mig->num("elites_lost"), 0);
+
+    // Terminal island job: ledger and shard snapshots are cleaned up
+    // (the removal runs just after the terminal event is published).
+    EXPECT_TRUE(eventually([&] {
+        if (std::filesystem::exists(cfg.stateDir + "/job-" +
+                                    std::to_string(id) + ".ledger"))
+            return false;
+        for (int k = 0; k < 4; ++k)
+            if (std::filesystem::exists(
+                    cfg.stateDir + "/job-" + std::to_string(id) +
+                    ".i" + std::to_string(k) + ".snap"))
+                return false;
+        return true;
+    }));
+
+    for (auto &w : workers)
+        w->stop();
+    server.stop();
+}
+
+TEST(FleetIsland, RerunOnFleetIsBitIdentical)
+{
+    // Two fleet runs of the same island job — different timing, same
+    // fingerprint. Catches any nondeterminism the in-process
+    // comparison above could mask.
+    JobSpec spec = islandSpec(3);
+    std::vector<std::string> fingerprints;
+    for (int round = 0; round < 2; ++round) {
+        ServerConfig cfg = coordinatorConfig(
+            "fleet-island-rerun" + std::to_string(round));
+        Server server(cfg);
+        server.start();
+        std::string address = server.boundAddress();
+        std::vector<std::unique_ptr<WorkerThread>> workers;
+        for (int i = 0; i < 3; ++i)
+            workers.push_back(std::make_unique<WorkerThread>(
+                workerConfig(address, "rw" + std::to_string(i))));
+        ASSERT_TRUE(
+            eventually([&] { return server.workerCount() == 3; }));
+        Client client(address);
+        long id = client.submit(spec);
+        drainJob(address, id);
+        Json reply = client.result(id);
+        const Json *islands = reply.find("result")->find("islands");
+        ASSERT_NE(islands, nullptr);
+        fingerprints.push_back(islands->str("fingerprint"));
+        for (auto &w : workers)
+            w->stop();
+        server.stop();
+    }
+    EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+TEST(FleetIsland, SigkilledWorkerMidEpochPreservesFingerprint)
+{
+#ifdef CIRFIX_UNDER_TSAN
+    GTEST_SKIP() << "fork+threads is unsupported under tsan";
+#endif
+    // A longer deterministic island job (the unrepairable spec, 12
+    // generations x 3 islands) so the SIGKILL provably lands mid-run.
+    JobSpec spec = unrepairableSpec(12);
+    spec.params.islands = 3;
+    spec.params.migrationInterval = 2;
+    spec.params.migrantsPerIsland = 2;
+
+    SessionOutcome reference = runRepairJob(spec, "", nullptr, nullptr);
+    ASSERT_EQ(reference.state, JobState::Done);
+    std::string refFingerprint =
+        reference.result.find("islands")->str("fingerprint");
+
+    std::string socket = sockPath("fleet-island-kill9");
+
+    // Fork the victim BEFORE any server threads exist (fork with live
+    // locks is undefined); its dialRetry loop waits for the
+    // coordinator to come up.
+    pid_t victim = fork();
+    ASSERT_GE(victim, 0);
+    if (victim == 0) {
+        try {
+            WorkerConfig wc;
+            wc.coordinator = "unix:" + socket;
+            wc.name = "ivictim";
+            wc.claimWaitSeconds = 0.05;
+            wc.workDir = ::testing::TempDir() + "fleet-ikill9-wd." +
+                         std::to_string(::getpid());
+            Worker worker(wc);
+            worker.run({});
+        } catch (...) {
+        }
+        _exit(0);
+    }
+
+    ServerConfig cfg;
+    cfg.listenAddress = "unix:" + socket;
+    cfg.stateDir = tmpDir("fleet-island-kill9-state");
+    cfg.workers = 0;
+    cfg.fleet.requireWorkers = true;
+    cfg.fleet.leaseSeconds = 0.5;
+    Server server(cfg);
+    server.start();
+    std::string address = server.boundAddress();
+
+    std::vector<std::unique_ptr<WorkerThread>> crew;
+    for (int i = 0; i < 2; ++i)
+        crew.push_back(std::make_unique<WorkerThread>(
+            workerConfig(address, "icrew" + std::to_string(i))));
+    ASSERT_TRUE(
+        eventually([&] { return server.workerCount() == 3; }, 30.0));
+
+    Client client(address);
+    long id = client.submit(spec);
+
+    // Wait until every shard is leased and at least one epoch of
+    // progress exists, so the kill lands mid-epoch on a live shard.
+    ASSERT_TRUE(eventually([&] {
+        Json st = client.status(id);
+        const Json *shards = st.find("islands");
+        if (!shards || shards->size() != 3u)
+            return false;
+        int leased = 0, progressed = 0;
+        for (const Json &s : shards->items()) {
+            if (!s.str("worker").empty())
+                ++leased;
+            if (s.num("generation", 0) >= 2)
+                ++progressed;
+        }
+        return leased == 3 && progressed >= 1;
+    }));
+
+    // kill -9: no goodbye frame — the lease (and a dead TCP peer) is
+    // all the coordinator gets. Its shard requeues and another worker
+    // resumes it from the coordinator-side shard snapshot.
+    ASSERT_EQ(::kill(victim, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    WorkerThread rescue(workerConfig(address, "irescue"));
+    drainJob(address, id);
+
+    Json summary = client.status(id);
+    EXPECT_EQ(summary.str("state"), "done");
+
+    Json reply = client.result(id);
+    const Json *islands = reply.find("result")->find("islands");
+    ASSERT_NE(islands, nullptr);
+    // The acceptance bar: SIGKILL-one-worker-mid-epoch changes
+    // nothing the fingerprint can see — and no elites were lost or
+    // duplicated across the failover.
+    EXPECT_EQ(islands->str("fingerprint"), refFingerprint);
+    const Json *mig = islands->find("migration");
+    ASSERT_NE(mig, nullptr);
+    EXPECT_EQ(mig->num("elites_lost"), 0);
+    EXPECT_EQ(mig->num("migrant_duplicates"), 0);
+
+    for (auto &w : crew)
+        w->stop();
+    server.stop();
+}

@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Island-model evolution tests (core/island.h): deterministic seed and
+ * config derivation, the strict elite/migrant total order, barrier
+ * sealing and the lex-min winner rule, ledger idempotency and
+ * crash-recovery round-trips, the shared fitness store, and the
+ * end-to-end determinism contract — K=1 equals a plain run, K=3 reruns
+ * are bit-identical, and a wind-down + resume converges to the same
+ * fingerprint as an uninterrupted run.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/island.h"
+#include "sim/elaborate.h"
+#include "sim/probe.h"
+#include "verilog/parser.h"
+
+using namespace cirfix;
+using namespace cirfix::core;
+using namespace cirfix::verilog;
+using sim::ProbeConfig;
+using sim::TraceRecorder;
+
+namespace {
+
+const char *kGoldenToggle = R"(
+module dut (clk, rst, q);
+    input clk, rst;
+    output q;
+    reg q;
+    always @(posedge clk) begin
+        if (rst == 1'b1) begin
+            q <= 1'b0;
+        end
+        else begin
+            q <= !q;
+        end
+    end
+endmodule
+module tb;
+    reg clk, rst;
+    wire q;
+    dut d (.clk(clk), .rst(rst), .q(q));
+    initial begin
+        clk = 0;
+        rst = 1;
+        #12 rst = 0;
+        #100 $finish;
+    end
+    always #5 clk = !clk;
+endmodule
+)";
+
+/** Same two-fault defect as test_snapshot.cc: multi-edit repair, found
+ *  by seed 7 in generation 6 — late enough that migration epochs fire
+ *  before the winner lands. */
+std::string
+faultyToggle()
+{
+    std::string s = kGoldenToggle;
+    s.replace(s.find("rst == 1'b1"), 11, "rst != 1'b1");
+    s.replace(s.find("q <= !q"), 7, "q <= q");
+    return s;
+}
+
+struct MiniScenario
+{
+    std::shared_ptr<const SourceFile> faulty;
+    ProbeConfig probe;
+    Trace oracle;
+
+    MiniScenario()
+    {
+        std::shared_ptr<const SourceFile> golden =
+            parse(kGoldenToggle);
+        probe = sim::deriveProbeConfig(*golden, "tb");
+        auto design = sim::elaborate(golden, "tb");
+        TraceRecorder rec(*design, probe);
+        design->run();
+        oracle = rec.takeTrace();
+        faulty = parse(faultyToggle());
+    }
+
+    IslandOutcome
+    islands(const EngineConfig &base, const IslandConfig &ic,
+            const std::string &snapDir = "",
+            const std::function<bool()> &stop = nullptr) const
+    {
+        return runIslands(faulty, "tb", "dut", probe, oracle, base,
+                          ic, snapDir, nullptr, stop);
+    }
+};
+
+EngineConfig
+baseConfig()
+{
+    EngineConfig cfg;
+    cfg.popSize = 12;
+    cfg.maxGenerations = 6;
+    cfg.maxSeconds = 120.0;
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::string
+tmpDir(const std::string &name)
+{
+    std::string d = ::testing::TempDir() + name;
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+/** A synthetic valid, evaluated variant: one Delete edit at
+ *  @p target (distinct targets give distinct keys) with @p fitness. */
+Variant
+makeVariant(int target, double fitness)
+{
+    Variant v;
+    Edit e;
+    e.kind = EditKind::Delete;
+    e.target = target;
+    v.patch.edits.push_back(std::move(e));
+    v.fit.fitness = fitness;
+    v.valid = true;
+    v.evaluated = true;
+    return v;
+}
+
+std::vector<std::string>
+keysOf(const std::vector<Variant> &vs)
+{
+    std::vector<std::string> ks;
+    for (const Variant &v : vs)
+        ks.push_back(v.patch.key());
+    return ks;
+}
+
+// ------------------------------------------------------------------
+// Derivation
+// ------------------------------------------------------------------
+
+TEST(Island, SeedDerivationIsIdentityAtZeroAndDistinct)
+{
+    // Island 0 draws the plain run's exact stream — the K=1 identity.
+    EXPECT_EQ(deriveIslandSeed(7, 0), 7u);
+    EXPECT_EQ(deriveIslandSeed(12345, 0), 12345u);
+    // Distinct islands get distinct, stable streams.
+    std::vector<uint64_t> seeds;
+    for (int i = 0; i < 8; ++i)
+        seeds.push_back(deriveIslandSeed(7, i));
+    for (size_t a = 0; a < seeds.size(); ++a)
+        for (size_t b = a + 1; b < seeds.size(); ++b)
+            EXPECT_NE(seeds[a], seeds[b]) << a << " vs " << b;
+    // Deterministic across calls (no hidden state).
+    EXPECT_EQ(deriveIslandSeed(7, 3), deriveIslandSeed(7, 3));
+}
+
+TEST(Island, DerivedConfigCarriesIslandProvenance)
+{
+    EngineConfig base = baseConfig();
+    IslandConfig ic;
+    ic.islands = 4;
+    ic.migrationInterval = 3;
+    EngineConfig ec = deriveIslandEngineConfig(base, ic, 2);
+    EXPECT_EQ(ec.islandIndex, 2);
+    EXPECT_EQ(ec.islandCount, 4);
+    EXPECT_EQ(ec.migrationInterval, 3);
+    EXPECT_EQ(ec.seed, deriveIslandSeed(base.seed, 2));
+
+    // A 1-island job never migrates: it must equal a plain run.
+    IslandConfig one;
+    one.islands = 1;
+    EngineConfig solo = deriveIslandEngineConfig(base, one, 0);
+    EXPECT_EQ(solo.migrationInterval, 0);
+    EXPECT_EQ(solo.seed, base.seed);
+}
+
+// ------------------------------------------------------------------
+// Elite / migrant selection
+// ------------------------------------------------------------------
+
+TEST(Island, SelectElitesOrdersAndFiltersDeterministically)
+{
+    std::vector<Variant> popn;
+    popn.push_back(makeVariant(5, 0.9));
+    popn.push_back(makeVariant(3, 0.9));  // fitness tie: key breaks it
+    popn.push_back(makeVariant(9, 0.5));
+    popn.push_back(makeVariant(1, 1.0));
+    Variant invalid = makeVariant(2, 1.0);
+    invalid.valid = false;
+    popn.push_back(invalid);
+    Variant unevaluated = makeVariant(4, 1.0);
+    unevaluated.evaluated = false;
+    popn.push_back(unevaluated);
+
+    std::vector<Variant> elites = selectElites(popn, 3);
+    ASSERT_EQ(elites.size(), 3u);
+    // Fitness descending; the 0.9 tie resolved by key ascending.
+    EXPECT_DOUBLE_EQ(elites[0].fit.fitness, 1.0);
+    EXPECT_EQ(elites[0].patch.key(), makeVariant(1, 0).patch.key());
+    EXPECT_DOUBLE_EQ(elites[1].fit.fitness, 0.9);
+    EXPECT_DOUBLE_EQ(elites[2].fit.fitness, 0.9);
+    EXPECT_LT(elites[1].patch.key(), elites[2].patch.key());
+
+    // Schedule independence: any input order gives the same export.
+    std::vector<Variant> reversed(popn.rbegin(), popn.rend());
+    EXPECT_EQ(keysOf(selectElites(reversed, 3)), keysOf(elites));
+
+    // n larger than the valid pool: only valid+evaluated export.
+    EXPECT_EQ(selectElites(popn, 100).size(), 4u);
+}
+
+TEST(Island, SelectMigrantsDedupsAcrossIslandsAndDropsQuarantined)
+{
+    // Island A and island B both export target-1; B also exports a
+    // key that the fleet has quarantined.
+    std::vector<std::vector<Variant>> exports(2);
+    exports[0].push_back(makeVariant(1, 1.0));
+    exports[0].push_back(makeVariant(5, 0.7));
+    exports[1].push_back(makeVariant(1, 1.0));  // duplicate key
+    exports[1].push_back(makeVariant(8, 0.9));  // quarantined below
+    std::string condemned = makeVariant(8, 0).patch.key();
+
+    MigrationStats stats;
+    std::vector<Variant> migrants = selectMigrants(
+        exports,
+        [&](const std::string &key) { return key == condemned; },
+        &stats);
+
+    std::vector<std::string> keys = keysOf(migrants);
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], makeVariant(1, 0).patch.key());
+    EXPECT_EQ(keys[1], makeVariant(5, 0).patch.key());
+
+    EXPECT_EQ(stats.elitesExported, 4);
+    EXPECT_EQ(stats.migrantsBroadcast, 2);
+    // The hard invariant: the broadcast itself is duplicate-free.
+    EXPECT_EQ(stats.migrantDuplicates, 0);
+    EXPECT_EQ(stats.elitesLost, 0);
+}
+
+TEST(Island, InjectMigrantsSkipsPresentKeysAndTruncates)
+{
+    std::vector<Variant> popn;
+    popn.push_back(makeVariant(1, 0.8));
+    popn.push_back(makeVariant(2, 0.6));
+    popn.push_back(makeVariant(3, 0.4));
+
+    std::vector<Variant> migrants;
+    migrants.push_back(makeVariant(1, 0.8));  // already present: skip
+    migrants.push_back(makeVariant(7, 0.9));  // better than all locals
+    migrants.push_back(makeVariant(9, 0.1));  // truncated away
+
+    std::vector<std::string> imported =
+        injectMigrants(&popn, migrants, 4);
+    ASSERT_EQ(popn.size(), 4u);
+    EXPECT_EQ(popn[0].patch.key(), makeVariant(7, 0).patch.key());
+    EXPECT_DOUBLE_EQ(popn[1].fit.fitness, 0.8);
+    // Only migrants that survived into the population are reported —
+    // that is what the migrant ledger records. The 0.1 migrant was
+    // truncated away, the duplicate was skipped: one import.
+    ASSERT_EQ(imported.size(), 1u);
+    EXPECT_EQ(imported[0], makeVariant(7, 0).patch.key());
+}
+
+// ------------------------------------------------------------------
+// The migration ledger (barrier protocol)
+// ------------------------------------------------------------------
+
+IslandConfig
+threeIslands()
+{
+    IslandConfig ic;
+    ic.islands = 3;
+    ic.migrationInterval = 2;
+    ic.migrantsPerIsland = 2;
+    return ic;
+}
+
+TEST(Island, LedgerSealsOnlyWhenEveryIslandSubmittedOrIsDone)
+{
+    MigrationLedger ledger(threeIslands());
+    ledger.submit(0, 1, {makeVariant(1, 0.9)});
+    EXPECT_FALSE(ledger.poll(0, 1).ready);
+    ledger.submit(1, 1, {makeVariant(2, 0.8)});
+    EXPECT_FALSE(ledger.poll(1, 1).ready);
+
+    // Island 2 found a repair inside epoch 1: it never submits epoch 1
+    // — its done-mark completes the barrier instead.
+    ledger.markDone(2, 1, true);
+    MigrationLedger::Exchange ex = ledger.poll(0, 1);
+    ASSERT_TRUE(ex.ready);
+    // A winner at epoch <= 1 exists, so everyone stops here.
+    EXPECT_TRUE(ex.stop);
+    EXPECT_EQ(keysOf(ex.migrants),
+              (std::vector<std::string>{
+                  makeVariant(1, 0).patch.key(),
+                  makeVariant(2, 0).patch.key()}));
+    EXPECT_EQ(ledger.winner(), (std::pair<int, int>{2, 1}));
+}
+
+TEST(Island, LedgerWinnerIsLexicographicMinOfEpochThenIsland)
+{
+    MigrationLedger ledger(threeIslands());
+    ledger.markDone(2, 2, true);
+    EXPECT_EQ(ledger.winner(), (std::pair<int, int>{2, 2}));
+    // Earlier epoch beats a lower island index...
+    ledger.markDone(1, 1, true);
+    EXPECT_EQ(ledger.winner(), (std::pair<int, int>{1, 1}));
+    // ...and at equal epochs the lower island index wins.
+    ledger.markDone(0, 1, true);
+    EXPECT_EQ(ledger.winner(), (std::pair<int, int>{0, 1}));
+    EXPECT_TRUE(ledger.allDone());
+}
+
+TEST(Island, LedgerSubmitIsIdempotentAndCountsMismatchedReplays)
+{
+    MigrationLedger ledger(threeIslands());
+    std::vector<Variant> elites = {makeVariant(1, 0.9),
+                                   makeVariant(2, 0.8)};
+    ledger.submit(0, 1, elites);
+    // Failover re-export with identical keys: ignored, nothing lost.
+    ledger.submit(0, 1, elites);
+    EXPECT_EQ(ledger.stats().elitesLost, 0);
+    // A mismatching re-export means an elite was lost (or fabricated)
+    // across a crash: counted, first submission stands.
+    ledger.submit(0, 1, {makeVariant(9, 0.9)});
+    EXPECT_EQ(ledger.stats().elitesLost, 1);
+
+    ledger.submit(1, 1, {});
+    ledger.submit(2, 1, {});
+    std::vector<std::string> sealed =
+        keysOf(ledger.poll(0, 1).migrants);
+    EXPECT_EQ(sealed, keysOf(elites));  // the first export fed the merge
+}
+
+TEST(Island, LedgerVerifyReplayFlagsForeignInjections)
+{
+    MigrationLedger ledger(threeIslands());
+    ledger.submit(0, 1, {makeVariant(1, 0.9)});
+    ledger.submit(1, 1, {makeVariant(2, 0.8)});
+    ledger.submit(2, 1, {});
+    ASSERT_TRUE(ledger.poll(0, 1).ready);
+
+    // A resumed island whose injected keys are a subset of the sealed
+    // broadcast is consistent.
+    MigrantRecord good;
+    good.epoch = 1;
+    good.keys = {makeVariant(1, 0).patch.key()};
+    ledger.verifyReplay(1, {good});
+    EXPECT_EQ(ledger.stats().elitesLost, 0);
+
+    // A key the broadcast never carried: that history is not ours.
+    MigrantRecord foreign;
+    foreign.epoch = 1;
+    foreign.keys = {makeVariant(42, 0).patch.key()};
+    ledger.verifyReplay(1, {foreign});
+    EXPECT_EQ(ledger.stats().elitesLost, 1);
+
+    // An epoch this ledger never sealed: every key counts.
+    MigrantRecord unknown;
+    unknown.epoch = 9;
+    unknown.keys = {"a", "b"};
+    ledger.verifyReplay(1, {unknown});
+    EXPECT_EQ(ledger.stats().elitesLost, 3);
+}
+
+TEST(Island, LedgerEncodeDecodeRoundTripsAndRejectsCorruption)
+{
+    MigrationLedger ledger(threeIslands());
+    ledger.submit(0, 1, {makeVariant(1, 0.9), makeVariant(2, 0.8)});
+    ledger.submit(1, 1, {makeVariant(3, 0.7)});
+    ledger.submit(2, 1, {});
+    ledger.markDone(2, 2, true);
+    ledger.submit(0, 2, {makeVariant(4, 0.95)});
+    ledger.submit(1, 2, {makeVariant(5, 0.6)});
+
+    std::string bytes = ledger.encode();
+    MigrationLedger restored(threeIslands());
+    ASSERT_TRUE(restored.decode(bytes));
+    EXPECT_EQ(restored.winner(), ledger.winner());
+    EXPECT_EQ(restored.allDone(), ledger.allDone());
+    auto a = ledger.broadcasts(), b = restored.broadcasts();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(restored.stats().elitesExported,
+              ledger.stats().elitesExported);
+    // decode(encode(x)) re-encodes byte-exactly.
+    EXPECT_EQ(restored.encode(), bytes);
+
+    // Corruption (bit flip, truncation, garbage) is refused and the
+    // target ledger stays untouched — the caller restarts the job.
+    MigrationLedger untouched(threeIslands());
+    std::string flipped = bytes;
+    size_t mid = flipped.size() / 2;
+    flipped[mid] = flipped[mid] == '0' ? '1' : '0';
+    EXPECT_FALSE(untouched.decode(flipped));
+    EXPECT_FALSE(untouched.decode(bytes.substr(0, bytes.size() / 2)));
+    EXPECT_FALSE(untouched.decode("not a ledger\n"));
+    EXPECT_TRUE(untouched.broadcasts().empty());
+    EXPECT_EQ(untouched.winner(), (std::pair<int, int>{-1, 0}));
+}
+
+// ------------------------------------------------------------------
+// Shared fitness store
+// ------------------------------------------------------------------
+
+TEST(Island, SharedStorePublishesLooksUpAndQuarantines)
+{
+    SharedFitnessStore store;
+    FitnessCache::Entry entry;
+    entry.valid = true;
+    entry.fit.fitness = 0.75;
+    QuarantineEntry bad;
+    bad.error = "simulator crashed";
+    store.publish({{"key-a", entry}}, {{"key-x", bad}});
+    EXPECT_EQ(store.cacheSize(), 1u);
+    EXPECT_EQ(store.quarantineSize(), 1u);
+    EXPECT_TRUE(store.isQuarantined("key-x"));
+    EXPECT_FALSE(store.isQuarantined("key-a"));
+
+    std::unordered_map<std::string, FitnessCache::Entry> hits;
+    std::unordered_map<std::string, QuarantineEntry> quar;
+    store.lookup({"key-a", "key-x", "key-missing"}, &hits, &quar);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_DOUBLE_EQ(hits.at("key-a").fit.fitness, 0.75);
+    ASSERT_EQ(quar.size(), 1u);
+    EXPECT_EQ(quar.at("key-x").error, "simulator crashed");
+}
+
+// ------------------------------------------------------------------
+// End-to-end determinism contract
+// ------------------------------------------------------------------
+
+TEST(Island, KOneEqualsPlainEngineRun)
+{
+    MiniScenario sc;
+    EngineConfig base = baseConfig();
+
+    RepairResult plain;
+    {
+        RepairEngine engine(sc.faulty, "tb", "dut", sc.probe,
+                            sc.oracle, base);
+        plain = engine.run();
+    }
+    ASSERT_TRUE(plain.found);
+
+    IslandConfig one;
+    one.islands = 1;
+    IslandOutcome solo = sc.islands(base, one);
+    ASSERT_TRUE(solo.found);
+    EXPECT_EQ(solo.winnerIsland, 0);
+    EXPECT_EQ(solo.result.patch.key(), plain.patch.key());
+    EXPECT_EQ(solo.result.repairedSource, plain.repairedSource);
+    EXPECT_EQ(solo.result.generations, plain.generations);
+    EXPECT_EQ(solo.result.fitnessEvals, plain.fitnessEvals);
+    EXPECT_TRUE(solo.broadcasts.empty());
+    EXPECT_EQ(solo.migration.elitesExported, 0);
+
+    // The K=1 fingerprint is itself reproducible — the invariant
+    // island_bench gates on.
+    IslandOutcome again = sc.islands(base, one);
+    EXPECT_EQ(again.fingerprint, solo.fingerprint);
+    EXPECT_NE(solo.fingerprint, 0u);
+}
+
+TEST(Island, KThreeRerunIsBitIdentical)
+{
+    MiniScenario sc;
+    EngineConfig base = baseConfig();
+    IslandConfig ic = threeIslands();
+
+    IslandOutcome first = sc.islands(base, ic);
+    IslandOutcome second = sc.islands(base, ic);
+
+    // Thread scheduling varies between the runs; the invariant part
+    // must not.
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    EXPECT_EQ(first.found, second.found);
+    EXPECT_EQ(first.winnerIsland, second.winnerIsland);
+    EXPECT_EQ(first.winnerEpoch, second.winnerEpoch);
+    EXPECT_EQ(first.broadcasts, second.broadcasts);
+    ASSERT_EQ(first.islands.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(first.islands[i].generations,
+                  second.islands[i].generations);
+        EXPECT_EQ(first.islands[i].patchKey,
+                  second.islands[i].patchKey);
+        ASSERT_EQ(first.islands[i].ledger.size(),
+                  second.islands[i].ledger.size());
+        for (size_t e = 0; e < first.islands[i].ledger.size(); ++e)
+            EXPECT_EQ(first.islands[i].ledger[e].keys,
+                      second.islands[i].ledger[e].keys);
+    }
+    // The migration machinery's hard invariants.
+    EXPECT_EQ(first.migration.migrantDuplicates, 0);
+    EXPECT_EQ(first.migration.elitesLost, 0);
+    // And a different seed is a different run (fingerprint is not a
+    // constant).
+    EngineConfig other = base;
+    other.seed = 23;
+    EXPECT_NE(sc.islands(other, ic).fingerprint, first.fingerprint);
+}
+
+TEST(Island, WindDownThenResumeMatchesUninterruptedFingerprint)
+{
+    MiniScenario sc;
+    EngineConfig base = baseConfig();
+    IslandConfig ic = threeIslands();
+
+    IslandOutcome reference = sc.islands(base, ic);
+    ASSERT_TRUE(reference.found);
+
+    // Wind the run down after a few generations of total progress
+    // (wherever each island happens to be — mid epoch, at a barrier),
+    // exactly like a daemon shutdown.
+    std::string dir = tmpDir("island-winddown");
+    std::atomic<int> gens{0};
+    std::atomic<bool> stop{false};
+    IslandOutcome interrupted = runIslands(
+        sc.faulty, "tb", "dut", sc.probe, sc.oracle, base, ic, dir,
+        [&](const GenerationStats &) {
+            if (++gens >= 5)
+                stop.store(true);
+        },
+        [&] { return stop.load(); });
+    // Where the stop lands (mid epoch, at a barrier, or even after a
+    // lucky early repair) depends on timing — the resumed run below
+    // must converge to the reference regardless.
+    (void)interrupted;
+
+    // Resume from the per-island snapshots + persisted ledger and run
+    // to completion: bit-identical to the run that never stopped.
+    IslandOutcome resumed = sc.islands(base, ic, dir);
+    EXPECT_TRUE(resumed.found);
+    EXPECT_EQ(resumed.fingerprint, reference.fingerprint);
+    EXPECT_EQ(resumed.winnerIsland, reference.winnerIsland);
+    EXPECT_EQ(resumed.winnerEpoch, reference.winnerEpoch);
+    EXPECT_EQ(resumed.broadcasts, reference.broadcasts);
+    EXPECT_EQ(resumed.result.patch.key(),
+              reference.result.patch.key());
+    EXPECT_EQ(resumed.migration.elitesLost, 0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Island, CorruptLedgerRestartsFromScratchDeterministically)
+{
+    MiniScenario sc;
+    EngineConfig base = baseConfig();
+    IslandConfig ic = threeIslands();
+    IslandOutcome reference = sc.islands(base, ic);
+
+    // Interrupt a checkpointed run, then corrupt its ledger: the
+    // snapshots are untrustworthy without the ledger that fed them, so
+    // the whole job restarts — and lands on the same result anyway.
+    std::string dir = tmpDir("island-corrupt");
+    std::atomic<int> gens{0};
+    std::atomic<bool> stop{false};
+    runIslands(
+        sc.faulty, "tb", "dut", sc.probe, sc.oracle, base, ic, dir,
+        [&](const GenerationStats &) {
+            if (++gens >= 5)
+                stop.store(true);
+        },
+        [&] { return stop.load(); });
+    std::string ledgerPath = dir + "/islands.ledger";
+    if (std::filesystem::exists(ledgerPath)) {
+        std::FILE *f = std::fopen(ledgerPath.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fputs("garbage", f);
+        std::fclose(f);
+    }
+
+    IslandOutcome restarted = sc.islands(base, ic, dir);
+    EXPECT_TRUE(restarted.found);
+    EXPECT_EQ(restarted.fingerprint, reference.fingerprint);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

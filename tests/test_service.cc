@@ -858,6 +858,43 @@ TEST(ServiceServer, TwoWorkersDrainTheQueue)
     server.stop();
 }
 
+TEST(ServiceServer, StatusCarriesLeaseStatsSchema)
+{
+    // `cirfix status --json` consumers key on this schema: every
+    // status reply carries daemon-wide lease totals, all five
+    // members present (zero on a classic daemon that never leased).
+    ServerConfig cfg;
+    cfg.socketPath = sockPath("svc-leasestats");
+    cfg.stateDir = tmpDir("svc-leasestats-state");
+    cfg.workers = 1;
+    Server server(cfg);
+    server.start();
+
+    Client client(cfg.socketPath);
+    long id = client.submit(unrepairableSpec(1));
+    {
+        Client watcher(cfg.socketPath);
+        watcher.subscribe(id);
+        Json ev;
+        while (watcher.recv(&ev))
+            if (ev.str("type") == "end_of_stream")
+                break;
+    }
+    Json summary = client.status(id);
+    EXPECT_EQ(summary.str("state"), "done");
+    const Json *ls = summary.find("lease_stats");
+    ASSERT_NE(ls, nullptr) << summary.dump();
+    for (const char *member :
+         {"assignments", "renewals", "expirations", "requeues",
+          "stale_rejections"}) {
+        ASSERT_TRUE(ls->has(member)) << member;
+        EXPECT_GE(ls->num(member), 0) << member;
+    }
+    // Local execution leases nothing.
+    EXPECT_EQ(ls->num("assignments"), 0);
+    server.stop();
+}
+
 // ---------------------------------------------------------------
 // Client deadlines and dead-peer writes (the --timeout / SIGPIPE
 // contract the CLI builds on)

@@ -184,16 +184,20 @@ TEST(Snapshot, RejectsGarbageAndWrongVersion)
     auto engine = sc.engine(cfg);
     engine.run();
     std::string bytes = slurp(cfg.snapshotPath);
-    ASSERT_EQ(bytes.rfind("CIRFIX-SNAPSHOT 7\n", 0), 0u);
+    ASSERT_EQ(bytes.rfind("CIRFIX-SNAPSHOT 8\n", 0), 0u);
     std::string wrong = bytes;
     wrong.replace(0, 18, "CIRFIX-SNAPSHOT 99\n");
     try {
         decodeSnapshot(wrong);
         FAIL() << "expected version rejection";
     } catch (const std::runtime_error &e) {
-        EXPECT_NE(std::string(e.what()).find("version"),
-                  std::string::npos)
-            << e.what();
+        // The diagnostic names BOTH versions (the file's and the
+        // readable range) and tells the user the remedy.
+        std::string what = e.what();
+        EXPECT_NE(what.find("version 99"), std::string::npos) << what;
+        EXPECT_NE(what.find("7..8"), std::string::npos) << what;
+        EXPECT_NE(what.find("newer cirfix"), std::string::npos)
+            << what;
     }
     // A version-1 file (no checksum seal) is likewise rejected by
     // version, not misparsed.
@@ -203,6 +207,129 @@ TEST(Snapshot, RejectsGarbageAndWrongVersion)
     // Truncation anywhere must throw, never misparse.
     EXPECT_THROW(decodeSnapshot(bytes.substr(0, bytes.size() / 2)),
                  std::runtime_error);
+    std::remove(cfg.snapshotPath.c_str());
+}
+
+TEST(Snapshot, IslandProvenanceAndLedgerRoundTrip)
+{
+    MiniScenario sc;
+    EngineConfig cfg = baseConfig();
+    cfg.maxGenerations = 1;
+    cfg.islandIndex = 2;
+    cfg.islandCount = 4;
+    cfg.snapshotPath = tmpPath("island.snap");
+    auto engine = sc.engine(cfg);
+    engine.run();
+
+    EngineState state = loadSnapshot(cfg.snapshotPath);
+    EXPECT_EQ(state.islandIndex, 2);
+    EXPECT_EQ(state.islandCount, 4);
+    EXPECT_EQ(state.migrationEpoch, 0);
+    EXPECT_TRUE(state.migrantLedger.empty());
+
+    // The migrant ledger round-trips byte-exactly, including keys
+    // with newlines and blanks (they travel as length-prefixed
+    // blobs, not lines).
+    MigrantRecord e1;
+    e1.epoch = 1;
+    e1.keys = {"k:1|alpha", "k:2|with\nnewline", ""};
+    MigrantRecord e2;
+    e2.epoch = 2;
+    e2.keys = {"k:9"};
+    state.migrantLedger = {e1, e2};
+    state.migrationEpoch = 2;
+    std::string bytes = encodeSnapshot(state);
+    EngineState back = decodeSnapshot(bytes);
+    EXPECT_EQ(encodeSnapshot(back), bytes);
+    ASSERT_EQ(back.migrantLedger.size(), 2u);
+    EXPECT_EQ(back.migrantLedger[0].epoch, 1);
+    EXPECT_EQ(back.migrantLedger[0].keys, e1.keys);
+    EXPECT_EQ(back.migrantLedger[1].keys, e2.keys);
+    EXPECT_EQ(back.migrationEpoch, 2);
+    std::remove(cfg.snapshotPath.c_str());
+}
+
+TEST(Snapshot, V7FileLoadsAsPlainRun)
+{
+    // Forward compat: a v7 snapshot (no island records) still loads,
+    // and comes back as "not an island run" — island -1 of 0, empty
+    // ledger — rather than garbage or a rejection.
+    MiniScenario sc;
+    EngineConfig cfg = baseConfig();
+    cfg.maxGenerations = 1;
+    cfg.snapshotPath = tmpPath("v7compat.snap");
+    auto engine = sc.engine(cfg);
+    engine.run();
+    std::string v8 = slurp(cfg.snapshotPath);
+    ASSERT_EQ(v8.rfind("CIRFIX-SNAPSHOT 8\n", 0), 0u);
+
+    // Synthesize the v7 byte stream: drop the island + ledger
+    // records, stamp the old version, and re-seal the checksum.
+    std::string body = v8;
+    size_t isl = body.find("\nisland ");
+    ASSERT_NE(isl, std::string::npos);
+    size_t ledger = body.find("\nledger ", isl);
+    ASSERT_NE(ledger, std::string::npos);
+    size_t ledgerEnd = body.find('\n', ledger + 1);
+    ASSERT_NE(ledgerEnd, std::string::npos);
+    body.erase(isl, ledgerEnd - isl);
+    body.replace(0, 18, "CIRFIX-SNAPSHOT 7\n");
+    size_t seal = body.rfind("\nchecksum ");
+    ASSERT_NE(seal, std::string::npos);
+    body.erase(seal + 1);
+    body += "checksum " + std::to_string(fingerprintSource(body)) +
+            "\nend\n";
+
+    EngineState st = decodeSnapshot(body);
+    EXPECT_EQ(st.islandIndex, -1);
+    EXPECT_EQ(st.islandCount, 0);
+    EXPECT_EQ(st.migrationEpoch, 0);
+    EXPECT_TRUE(st.migrantLedger.empty());
+    EXPECT_EQ(st.seed, cfg.seed);
+
+    // And a plain engine resumes it: v7 files stay usable across the
+    // format bump.
+    auto resumer = sc.engine(baseConfig());
+    RepairResult resumed = resumer.resume(st);
+    EXPECT_TRUE(resumed.found);
+    std::remove(cfg.snapshotPath.c_str());
+}
+
+TEST(Snapshot, ResumeRejectsIslandProvenanceMismatch)
+{
+    MiniScenario sc;
+    EngineConfig cfg = baseConfig();
+    cfg.maxGenerations = 1;
+    cfg.islandIndex = 1;
+    cfg.islandCount = 4;
+    cfg.snapshotPath = tmpPath("islandslot.snap");
+    auto engine = sc.engine(cfg);
+    engine.run();
+    EngineState state = loadSnapshot(cfg.snapshotPath);
+
+    // Wrong slot of the same job: refused, with both slots named.
+    EngineConfig other = cfg;
+    other.islandIndex = 0;
+    other.snapshotPath.clear();
+    auto wrongSlot = sc.engine(other);
+    try {
+        wrongSlot.resume(state);
+        FAIL() << "expected island-provenance rejection";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("island provenance mismatch"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("island 1 of 4"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("island 0 of 4"), std::string::npos)
+            << what;
+    }
+
+    // A plain (non-island) engine refuses an island snapshot too.
+    EngineConfig plain = baseConfig();
+    auto plainEngine = sc.engine(plain);
+    EXPECT_THROW(plainEngine.resume(state), std::runtime_error);
     std::remove(cfg.snapshotPath.c_str());
 }
 

@@ -23,6 +23,8 @@ Usage:
         [--witness-current BENCH_witness.json] \
         [--fleet-baseline BENCH_fleet_baseline.json] \
         [--fleet-current BENCH_fleet.json] \
+        [--island-baseline BENCH_island_baseline.json] \
+        [--island-current BENCH_island.json] \
         [--compiled-baseline BENCH_compiled_baseline.json] \
         [--compiled-current BENCH_compiled.json] [--threshold 0.15]
 
@@ -290,6 +292,96 @@ def compare_fleet(baseline, current, threshold):
     return failures, warnings
 
 
+def compare_island(baseline, current, threshold):
+    """BENCH_island.json: the island model's determinism invariants —
+    zero elites lost, zero duplicate migrants in a broadcast, K=1
+    bit-identical to a plain run — fail outright regardless of the
+    baseline, as does the acceleration floor (median generations to
+    first plausible must stay >= 2x the single-population run). The
+    K=1 fingerprint gates by exact string equality against the
+    baseline: any drift means the search itself changed, not just its
+    cost. Remaining counters are pure functions of the seed set and
+    gate exactly; wall-clock timing warns only."""
+    failures, warnings = [], []
+
+    cur_counters = current.get("counters", {})
+    base_counters = baseline.get("counters", {})
+
+    for name in ("elites_lost_total", "migrant_duplicates_total"):
+        if cur_counters.get(name, 0) != 0:
+            failures.append(
+                f"{name}={cur_counters[name]}: the migration ledger "
+                "violated its determinism contract (hard invariant — "
+                "never baseline-relative)")
+    if cur_counters.get("k1_matches_plain", 0) != 1:
+        failures.append(
+            "k1_matches_plain="
+            f"{cur_counters.get('k1_matches_plain')}: a 1-island run "
+            "diverged from the plain engine on the same seed "
+            "(identity violation — never baseline-relative)")
+    speedup = cur_counters.get("generations_speedup_x", 0)
+    if speedup < 2.0:
+        failures.append(
+            f"generations_speedup_x={speedup}: the island model no "
+            "longer halves the median search depth vs a single "
+            "population (hard floor 2.0 — never baseline-relative)")
+
+    base_fps = baseline.get("fingerprints", {})
+    cur_fps = current.get("fingerprints", {})
+    for name in sorted(set(base_fps) | set(cur_fps)):
+        if name not in cur_fps:
+            failures.append(
+                f"island fingerprint {name} present in baseline but "
+                "missing from current (producer stopped emitting it)")
+            continue
+        if name not in base_fps:
+            warnings.append(f"island fingerprint {name} missing from "
+                            "baseline; skipped (regenerate the "
+                            "baseline)")
+            continue
+        if base_fps[name] != cur_fps[name]:
+            failures.append(
+                f"island fingerprint {name} changed: "
+                f"baseline={base_fps[name]} current={cur_fps[name]} "
+                "(the K=1 search itself changed — regenerate "
+                "BENCH_island_baseline.json only if intentional)")
+
+    hard = ("elites_lost_total", "migrant_duplicates_total",
+            "k1_matches_plain")
+    for name in sorted(set(base_counters) | set(cur_counters)):
+        if name in hard:
+            continue
+        if name in base_counters and name not in cur_counters:
+            failures.append(
+                f"island counter {name} present in baseline but "
+                "missing from current (producer stopped emitting a "
+                "gated counter)")
+            continue
+        if name not in base_counters:
+            warnings.append(f"island counter {name} missing from "
+                            "baseline; skipped (regenerate the "
+                            "baseline)")
+            continue
+        if base_counters[name] != cur_counters[name]:
+            failures.append(
+                f"island counter {name} changed: "
+                f"baseline={base_counters[name]} "
+                f"current={cur_counters[name]} (deterministic — "
+                "regenerate BENCH_island_baseline.json if intentional)")
+
+    base_timing = baseline.get("timing", {})
+    cur_timing = current.get("timing", {})
+    for name in sorted(set(base_timing) & set(cur_timing)):
+        reg = regression(base_timing[name], cur_timing[name], "lower")
+        if reg > threshold:
+            warnings.append(
+                f"timing {name}: baseline={base_timing[name]:.4g} "
+                f"current={cur_timing[name]:.4g} ({reg:+.1%}) "
+                "[warn-only: machine-dependent]")
+
+    return failures, warnings
+
+
 def compare_compiled(baseline, current, threshold):
     """BENCH_compiled.json: backend-equivalence quantities are pure
     functions of the design sources and seeds, so they gate exactly.
@@ -385,6 +477,8 @@ def main():
     ap.add_argument("--witness-current")
     ap.add_argument("--fleet-baseline")
     ap.add_argument("--fleet-current")
+    ap.add_argument("--island-baseline")
+    ap.add_argument("--island-current")
     ap.add_argument("--compiled-baseline")
     ap.add_argument("--compiled-current")
     ap.add_argument("--threshold", type=float, default=0.15)
@@ -420,6 +514,13 @@ def main():
             args.threshold)
         failures += fleet_failures
         warnings += fleet_warnings
+
+    if args.island_baseline and args.island_current:
+        island_failures, island_warnings = compare_island(
+            load(args.island_baseline), load(args.island_current),
+            args.threshold)
+        failures += island_failures
+        warnings += island_warnings
 
     if args.compiled_baseline and args.compiled_current:
         compiled_failures, compiled_warnings = compare_compiled(

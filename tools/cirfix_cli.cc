@@ -94,6 +94,7 @@
 #include "benchmarks/registry.h"
 #include "core/engine.h"
 #include "core/faultloc.h"
+#include "core/island.h"
 #include "core/scenario.h"
 #include "core/snapshot.h"
 #include "core/witness.h"
@@ -773,6 +774,73 @@ cmdRepair(const Args &args)
         return kExitRepairFound;
     };
 
+    // --islands K: island-model evolution (core/island.h). K derived
+    // subpopulations evolve in parallel threads and exchange elites
+    // every --migration-interval generations; the run is bit-identical
+    // per (seed, K, schedule) and prints the canonical fingerprint so
+    // it can be compared against a distributed fleet run.
+    if (args.getLong("islands", 1) > 1) {
+        core::IslandConfig ic;
+        ic.islands = static_cast<int>(args.getLong("islands", 1));
+        ic.migrationInterval = static_cast<int>(args.getLong(
+            "migration-interval", ic.migrationInterval));
+        ic.migrantsPerIsland = static_cast<int>(
+            args.getLong("migrants", ic.migrantsPerIsland));
+        if (ic.migrationInterval < 1 || ic.migrantsPerIsland < 0)
+            throw UsageError("--migration-interval wants >= 1 and "
+                             "--migrants wants >= 0");
+        std::string snapDir = args.get("snapshot");
+        cfg.snapshotPath.clear();  // per-island paths live in snapDir
+        for (int trial = 0; trial < trials; ++trial) {
+            cfg.seed = seed0 + static_cast<uint64_t>(trial) * 7919;
+            std::function<void(const core::GenerationStats &)> onGen;
+            if (log)
+                onGen = [&log,
+                         trial](const core::GenerationStats &g) {
+                    *log << "trial " << trial + 1 << " island "
+                         << g.island << " epoch " << g.epoch << " gen "
+                         << g.generation << " best " << g.bestFitness
+                         << " evals " << g.fitnessEvals << "\n";
+                    log->flush();
+                };
+            std::cout << "trial " << trial + 1 << "/" << trials
+                      << " (seed " << cfg.seed << ", " << ic.islands
+                      << " islands, migrate every "
+                      << ic.migrationInterval << " gens)...\n";
+            core::IslandOutcome outcome =
+                core::runIslands(faulty, tb, dut, probe, oracle, cfg,
+                                 ic, snapDir, onGen);
+            for (const core::IslandStats &st : outcome.islands) {
+                std::cout << "  island " << st.island << ": "
+                          << st.generations << " generations, best "
+                          << st.bestFitness << ", "
+                          << st.fitnessEvals << " evals, "
+                          << st.fleetCacheHits << " fleet cache hits";
+                if (st.found)
+                    std::cout << " [found]";
+                std::cout << "\n";
+            }
+            std::cout << "  migration: "
+                      << outcome.migration.elitesExported
+                      << " elites exported, "
+                      << outcome.migration.migrantsBroadcast
+                      << " migrants broadcast, "
+                      << outcome.migration.migrantDuplicates
+                      << " duplicates, "
+                      << outcome.migration.elitesLost << " lost\n";
+            if (outcome.found)
+                std::cout << "  winner: island "
+                          << outcome.winnerIsland << " at epoch "
+                          << outcome.winnerEpoch << "\n";
+            std::cout << "  fingerprint: " << outcome.fingerprint
+                      << "\n";
+            if (report(outcome.result) == kExitRepairFound)
+                return kExitRepairFound;
+        }
+        std::cout << "no repair found within resource bounds\n";
+        return kExitNoRepair;
+    }
+
     // --harden 1: witness-driven oracle hardening. Needs the full
     // scenario — the golden design (witness generation compares
     // against it) and a held-out verification bench (which exposes
@@ -1042,6 +1110,12 @@ specFromArgs(const Args &args)
     spec.params.evalMemoryBudget = static_cast<uint64_t>(args.getLong(
         "mem-budget",
         static_cast<long>(spec.params.evalMemoryBudget)));
+    spec.params.islands = static_cast<int>(
+        args.getLong("islands", spec.params.islands));
+    spec.params.migrationInterval = static_cast<int>(args.getLong(
+        "migration-interval", spec.params.migrationInterval));
+    spec.params.migrantsPerIsland = static_cast<int>(
+        args.getLong("migrants", spec.params.migrantsPerIsland));
     spec.priority = static_cast<int>(args.getLong("priority", 0));
     return spec;
 }
@@ -1155,8 +1229,11 @@ cmdWatch(const Args &args)
                                         ev.str("message"));
         std::string kind = ev.str("event");
         if (kind == "generation") {
-            std::cout << "job " << id << " gen "
-                      << ev.num("generation") << " best "
+            std::cout << "job " << id;
+            if (ev.has("island"))
+                std::cout << " island " << ev.num("island")
+                          << " epoch " << ev.num("epoch");
+            std::cout << " gen " << ev.num("generation") << " best "
                       << ev.real("best_fitness") << " evals "
                       << ev.num("fitness_evals") << "\n"
                       << std::flush;
@@ -1188,6 +1265,8 @@ usage(std::ostream &os)
         "           [--harden 0|1 --verify-tb v.v --verify-module MOD "
         "[--tries N] [--cycles N] [--rounds N]]\n"
         "           [--backend event|compiled|auto]\n"
+        "           [--islands K] [--migration-interval N] "
+        "[--migrants M]   (island-model evolution)\n"
         "  simulate --design f.v --tb TB [--vcd o.vcd] "
         "[--trace o.csv] [--backend event|compiled|auto]\n"
         "  diffsim  [--project NAME] [--defect ID] "
@@ -1219,6 +1298,8 @@ usage(std::ostream &os)
         "  worker   --connect ADDR --work-dir D [--name NAME]\n"
         "  submit   --socket|--connect ADDR <repair inputs> "
         "[--priority N]\n"
+        "           [--islands K] [--migration-interval N] "
+        "[--migrants M]   (a coordinator shards K islands)\n"
         "  status   --socket|--connect ADDR --id N\n"
         "  list     --socket|--connect ADDR\n"
         "  cancel   --socket|--connect ADDR --id N\n"
